@@ -1,0 +1,111 @@
+"""E11 — Lemma 2 / Corollary 2: the expressibility compiler.
+
+Claims reproduced: a generic yes/no query decided by a machine compiles
+to a constant-free linearly-stratified rulebase with the same number of
+strata, whose answers match direct evaluation on unordered domains; the
+Corollary 2 construction lifts it to a typed query through the
+``OUT <- D(x), YES[add: P0(x)]`` rule.
+
+Series reported: compiled-query evaluation time vs domain size for the
+nonempty / empty scanners and the typed membership query.
+"""
+
+import pytest
+
+from repro.engine.query import Session
+from repro.machines.oracle import Cascade
+from repro.machines.turing import Machine, Step
+from repro.queries.compile import (
+    Signature,
+    compile_typed_query,
+    compile_yes_no_query,
+    query_database,
+    relation_empty_machine,
+    relation_nonempty_machine,
+)
+
+SIGNATURE = Signature((("p", 1),))
+SIZES = [2, 3]
+
+
+@pytest.fixture(scope="module")
+def nonempty_rulebase():
+    machine = relation_nonempty_machine(SIGNATURE, "p")
+    return compile_yes_no_query(Cascade((machine,)), SIGNATURE)
+
+
+@pytest.fixture(scope="module")
+def empty_rulebase():
+    machine = relation_empty_machine(SIGNATURE, "p")
+    return compile_yes_no_query(Cascade((machine,)), SIGNATURE)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_compiled_nonempty_positive(benchmark, nonempty_rulebase, size):
+    domain = [f"e{index}" for index in range(size)]
+    db = query_database(SIGNATURE, domain, {"p": [domain[-1]]})
+
+    def run():
+        return Session(nonempty_rulebase, "prove").ask(db, "yes")
+
+    assert benchmark(run) is True
+    benchmark.extra_info["domain_size"] = size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_compiled_nonempty_negative(benchmark, nonempty_rulebase, size):
+    domain = [f"e{index}" for index in range(size)]
+    db = query_database(SIGNATURE, domain, {"p": []})
+
+    def run():
+        return Session(nonempty_rulebase, "prove").ask(db, "yes")
+
+    assert benchmark(run) is False
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_compiled_empty_query(benchmark, empty_rulebase, size):
+    domain = [f"e{index}" for index in range(size)]
+    db = query_database(SIGNATURE, domain, {"p": []})
+
+    def run():
+        return Session(empty_rulebase, "prove").ask(db, "yes")
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("rows,expected", [([], True), (["e0"], False)])
+def test_sigma2_compiled_query(benchmark, rows, expected):
+    """Lemma 2 at k = 2: emptiness via a complemented oracle relay —
+    a constant-free Sigma_2^P rulebase on an unordered domain."""
+    from repro.machines.library import contains_one
+    from repro.queries.compile import translating_relay_machine
+
+    top = translating_relay_machine(SIGNATURE, "p", accept_on_yes=False)
+    cascade = Cascade((top, contains_one()))
+    rulebase = compile_yes_no_query(cascade, SIGNATURE, extra_time_arity=1)
+    db = query_database(SIGNATURE, ["e0", "e1"], {"p": rows})
+
+    def run():
+        return Session(rulebase, "prove").ask(db, "yes")
+
+    assert benchmark(run) is expected
+    benchmark.extra_info["strata"] = 2
+
+
+def test_corollary2_typed_query(benchmark):
+    signature = Signature((("p0", 1), ("p", 1)))
+    steps = []
+    for symbol in signature.symbols():
+        if symbol == "s11":
+            steps.append(Step("scan", symbol, "acc", symbol, 0))
+        else:
+            steps.append(Step("scan", symbol, "scan", symbol, 1))
+    machine = Machine("both", tuple(steps), "scan", frozenset({"acc"}))
+    rulebase = compile_typed_query(Cascade((machine,)), signature, 1)
+    db = query_database(signature, ["a", "b"], {"p": ["b"]})
+
+    def run():
+        return Session(rulebase, "prove").answers(db, "out(X)")
+
+    assert benchmark(run) == {("b",)}

@@ -1,0 +1,86 @@
+"""E13 — ablation: what the memo tables buy.
+
+DESIGN.md calls out two implementation choices worth ablating:
+
+* the model engine memoizes whole models per database — without it,
+  every hypothetical branch recomputes the models of shared databases
+  (parity's ``2^n`` subset lattice collapses to a DAG only with the
+  cache);
+* the PROVE engine caches proven/refuted sigma goals and delta models.
+
+Series reported: time with and without memoization, same instances;
+the shape assertion checks memoized never loses on the DAG-shaped
+parity workload.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.library import graph_db, hamiltonian_rulebase, parity_db, parity_rulebase
+
+MODEL_SIZES = [3, 4]
+PROVE_SIZES = [3, 5]
+
+
+@pytest.mark.parametrize("size", MODEL_SIZES)
+@pytest.mark.parametrize("memoize", [True, False], ids=["memo", "nomemo"])
+def test_model_engine_memoization(benchmark, size, memoize):
+    rulebase = parity_rulebase()
+    db = parity_db([f"x{index}" for index in range(size)])
+
+    def run():
+        engine = PerfectModelEngine(rulebase, memoize=memoize)
+        return engine.ask(db, "even")
+
+    assert benchmark(run) is (size % 2 == 0)
+    benchmark.extra_info["memoize"] = memoize
+
+
+@pytest.mark.parametrize("size", PROVE_SIZES)
+@pytest.mark.parametrize("memoize", [True, False], ids=["memo", "nomemo"])
+def test_prove_engine_memoization(benchmark, size, memoize):
+    rulebase = parity_rulebase()
+    db = parity_db([f"x{index}" for index in range(size)])
+
+    def run():
+        engine = LinearStratifiedProver(rulebase, memoize=memoize)
+        return engine.ask(db, "even")
+
+    assert benchmark(run) is (size % 2 == 0)
+
+
+def test_memoization_wins_on_shared_subproblems(benchmark):
+    """Parity on 4 elements: the subset lattice shares heavily, so the
+    cache must win (2^4 memoized databases; without the cache every
+    fixpoint round recomputes each branch's submodels, which compounds
+    far beyond 4!)."""
+    rulebase = parity_rulebase()
+    db = parity_db([f"x{index}" for index in range(4)])
+
+    def measure(memoize):
+        start = time.perf_counter()
+        PerfectModelEngine(rulebase, memoize=memoize).ask(db, "even")
+        return time.perf_counter() - start
+
+    def run():
+        return measure(True), measure(False)
+
+    with_memo, without_memo = benchmark(run)
+    assert with_memo < without_memo
+    benchmark.extra_info["speedup"] = round(without_memo / max(with_memo, 1e-9), 1)
+
+
+def test_hamiltonian_memoization(benchmark):
+    """Hamiltonian search also shares (visited-set) subproblems."""
+    rulebase = hamiltonian_rulebase()
+    nodes = [f"v{index}" for index in range(5)]
+    edges = [(a, b) for a in nodes for b in nodes if a != b]
+    db = graph_db(nodes, edges)
+
+    def run():
+        return PerfectModelEngine(rulebase).ask(db, "yes")
+
+    assert benchmark(run) is True

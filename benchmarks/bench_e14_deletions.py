@@ -1,0 +1,70 @@
+"""E14 — extension: hypothetical deletions (the [4] EXPTIME variant).
+
+The paper's introduction notes that allowing hypothetical *deletions*
+raises data-complexity from PSPACE to EXPTIME.  This bench exercises
+the extension end to end on a redundancy-analysis workload: "would the
+alarm still fire with sensor X removed?" — one counterfactual deletion
+per sensor — and scales the sensor count.
+
+Series reported: time vs number of sensors for the top-down engine
+(the only engine covering the extension), plus the classification
+check (EXPTIME).
+"""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.core.database import Database
+from repro.core.parser import parse_program
+from repro.engine.topdown import TopDownEngine
+
+SIZES = [2, 4, 8]
+
+
+def redundancy_rulebase():
+    return parse_program(
+        """
+        alarm :- wired(S), live(S).
+        fragile(S) :- wired(S), ~still_alarm(S).
+        still_alarm(S) :- wired(S), alarm[del: live(S)].
+        """
+    )
+
+
+def sensor_db(sensors: int, live: int) -> Database:
+    names = [f"s{index}" for index in range(sensors)]
+    return Database.from_relations(
+        {"wired": names, "live": names[:live]}
+    )
+
+
+@pytest.mark.parametrize("sensors", SIZES)
+def test_redundancy_analysis(benchmark, sensors):
+    rulebase = redundancy_rulebase()
+    db = sensor_db(sensors, live=sensors)
+
+    def run():
+        return TopDownEngine(rulebase).answers(db, "fragile(S)")
+
+    fragile = benchmark(run)
+    # Every sensor live: removing any one of >= 2 still fires the alarm.
+    assert fragile == set()
+    benchmark.extra_info["sensors"] = sensors
+
+
+@pytest.mark.parametrize("sensors", SIZES)
+def test_single_point_of_failure(benchmark, sensors):
+    rulebase = redundancy_rulebase()
+    db = sensor_db(sensors, live=1)  # only s0 is live
+
+    def run():
+        return TopDownEngine(rulebase).answers(db, "fragile(S)")
+
+    assert benchmark(run) == {("s0",)}
+
+
+def test_classification_is_exptime(benchmark):
+    def run():
+        return classify(redundancy_rulebase()).class_name
+
+    assert benchmark(run) == "EXPTIME"

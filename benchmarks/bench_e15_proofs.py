@@ -1,0 +1,76 @@
+"""E15 — extension: the cost of explanations.
+
+Proof objects replay the winning derivation on top of the decision
+procedure, so explaining should cost a small multiple of deciding (the
+engine's memo tables prune failed branches for both).  This bench
+measures decide-vs-explain on the paper's workloads and asserts the
+produced proofs verify under the independent Definition 3 checker.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engine.proofs import Explainer, verify_proof
+from repro.engine.topdown import TopDownEngine
+from repro.library import (
+    addition_chain_rulebase,
+    coloring_db,
+    coloring_rulebase,
+    graph_db,
+    hamiltonian_rulebase,
+)
+
+CHAIN_LENGTHS = [8, 16, 32]
+
+
+@pytest.mark.parametrize("n", CHAIN_LENGTHS)
+def test_decide_chain(benchmark, n):
+    rulebase = addition_chain_rulebase(n)
+
+    def run():
+        return TopDownEngine(rulebase).ask(Database(), "a1")
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("n", CHAIN_LENGTHS)
+def test_explain_chain(benchmark, n):
+    rulebase = addition_chain_rulebase(n)
+
+    def run():
+        return Explainer(rulebase).explain(Database(), "a1")
+
+    proof = benchmark(run)
+    assert proof is not None
+    assert proof.depth() >= n
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_explain_hamiltonian(benchmark, n):
+    rulebase = hamiltonian_rulebase()
+    nodes = [f"v{index}" for index in range(n)]
+    edges = list(zip(nodes, nodes[1:]))
+    db = graph_db(nodes, edges)
+
+    def run():
+        return Explainer(rulebase).explain(db, "yes")
+
+    proof = benchmark(run)
+    assert proof is not None
+
+
+def test_verify_is_cheap(benchmark):
+    """Verification walks the finished tree once (negations aside)."""
+    rulebase = coloring_rulebase()
+    db = coloring_db(
+        ["a", "b", "c", "d"],
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        ["red", "green"],
+    )
+    proof = Explainer(rulebase).explain(db, "yes")
+    assert proof is not None
+
+    def run():
+        return verify_proof(rulebase, proof)
+
+    assert benchmark(run) is True

@@ -1,0 +1,40 @@
+"""E2 — Example 5: iterating a stored linear order.
+
+Claim reproduced: ``R, DB |- A`` iff ``R, DB + {B(a_1)..B(a_n)} |- D``
+— the rulebase walks the stored ``FIRST``/``NEXT``/``LAST`` order,
+hypothetically marking every element, and the check predicate ``d``
+verifies full coverage.
+
+Series reported: time vs order length, for the PROVE and top-down
+engines.
+"""
+
+import pytest
+
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.topdown import TopDownEngine
+from repro.library import order_db, order_iteration_rulebase
+
+LENGTHS = [4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_order_iteration_prove(benchmark, n):
+    rulebase = order_iteration_rulebase()
+    db = order_db(n)
+
+    def run():
+        return LinearStratifiedProver(rulebase).ask(db, "a")
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_order_iteration_topdown(benchmark, n):
+    rulebase = order_iteration_rulebase()
+    db = order_db(n)
+
+    def run():
+        return TopDownEngine(rulebase).ask(db, "a")
+
+    assert benchmark(run) is True

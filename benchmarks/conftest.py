@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one experiment from
+EXPERIMENTS.md (the paper has no numeric tables; each experiment
+operationalizes a definition, example, or theorem — see DESIGN.md
+section 5 for the index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks assert their *correctness* conditions inline (the "iff"
+statements of the paper), so a bench run doubles as an end-to-end
+check; the timing series are the reproduction of the complexity
+*shapes* (exponential vs polynomial growth, who wins, crossovers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def engine_factory(name: str):
+    """Build a fresh engine of the given kind for a rulebase."""
+    from repro.engine.model import PerfectModelEngine
+    from repro.engine.prove import LinearStratifiedProver
+    from repro.engine.topdown import TopDownEngine
+
+    return {
+        "prove": LinearStratifiedProver,
+        "model": PerfectModelEngine,
+        "topdown": TopDownEngine,
+    }[name]
+
+
+@pytest.fixture(params=["prove", "model", "topdown"])
+def any_engine(request):
+    """Parametrize a bench over all three engines."""
+    return request.param, engine_factory(request.param)

@@ -1,0 +1,58 @@
+"""Turn a pytest-benchmark JSON dump into per-experiment series tables.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Prints, per experiment file, one row per benchmark with its sweep
+parameters (from ``benchmark.extra_info``) and the median time — the
+"series" each EXPERIMENTS.md row describes, regenerated from raw data.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def _format_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:8.1f}us"
+    if value < 1:
+        return f"{value * 1e3:8.2f}ms"
+    return f"{value:8.2f}s "
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    by_experiment: dict[str, list[dict]] = defaultdict(list)
+    for bench in payload.get("benchmarks", []):
+        # fullname looks like "benchmarks/bench_e5_hamiltonian.py::test_x[3]"
+        experiment = bench["fullname"].split("::")[0].split("/")[-1]
+        by_experiment[experiment].append(bench)
+
+    for experiment in sorted(by_experiment):
+        print(f"== {experiment} ==")
+        rows = by_experiment[experiment]
+        rows.sort(key=lambda bench: bench["fullname"])
+        for bench in rows:
+            name = bench["fullname"].split("::")[-1]
+            median = bench["stats"]["median"]
+            extras = bench.get("extra_info") or {}
+            extra_text = " ".join(
+                f"{key}={value}" for key, value in sorted(extras.items())
+            )
+            print(f"  {name:<55} {_format_seconds(median)}  {extra_text}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -1,0 +1,85 @@
+"""Legal reasoning with hypothetical rules.
+
+The paper's introduction motivates hypothetical premises with the legal
+domain: Gabbay's reading of the British Nationality Act — *"you are
+eligible for citizenship if your father would be eligible if he were
+still alive"* — and McCarty's contract/tax consultation systems.
+
+This example encodes a small statute of that shape:
+
+* citizens by birthplace or by descent from a citizen parent;
+* the counterfactual clause: a deceased parent is treated *as if
+  alive* when assessing the child's claim — a hypothetical insertion;
+* a benefits clause with negation-by-failure: residents who are not
+  citizens may apply for naturalization.
+
+Run with::
+
+    python examples/legal_reasoning.py
+"""
+
+from repro import Database, Session, classify, parse_program
+
+STATUTE = parse_program(
+    """
+    % Citizenship by birth on the territory, for the living.
+    citizen(X) :- born_in_territory(X), alive(X).
+
+    % Citizenship by descent from a citizen parent.
+    citizen(X) :- parent(P, X), citizen(P), alive(X).
+
+    % The counterfactual clause: if a deceased parent WOULD be a
+    % citizen were they still alive, the child may still claim descent.
+    citizen(X) :- parent(P, X), deceased(P), alive(X),
+                  citizen(P)[add: alive(P)].
+
+    % Naturalization track: residents who cannot claim citizenship.
+    may_naturalize(X) :- resident(X), alive(X), ~citizen(X).
+    """
+)
+
+FAMILY = Database.from_relations(
+    {
+        # george was born on the territory but died before his
+        # grandchild's claim is assessed.
+        "born_in_territory": ["george"],
+        "parent": [("george", "diana"), ("diana", "ella")],
+        "alive": ["diana", "ella", "omar"],
+        "deceased": ["george"],
+        "resident": ["ella", "omar"],
+    }
+)
+
+
+def main() -> None:
+    print(f"statute classification: {classify(STATUTE)}")
+    session = Session(STATUTE)
+    print(f"engine: {session.engine_name}")
+    print()
+
+    print("citizens:")
+    for (person,) in sorted(session.answers(FAMILY, "citizen(X)")):
+        print(f"   -> {person}")
+    print()
+
+    # diana's claim rests on the counterfactual: george is deceased,
+    # but WOULD be a citizen if he were alive.
+    print("?- citizen(george)                ->",
+          session.ask(FAMILY, "citizen(george)"))
+    print("?- citizen(george)[add: alive(george)] ->",
+          session.ask(FAMILY, "citizen(george)[add: alive(george)]"))
+    print()
+
+    print("may apply for naturalization:")
+    for (person,) in sorted(session.answers(FAMILY, "may_naturalize(X)")):
+        print(f"   -> {person}")
+
+    # Sanity: the descent chain works through the counterfactual.
+    assert session.ask(FAMILY, "citizen(diana)")
+    assert session.ask(FAMILY, "citizen(ella)")
+    assert not session.ask(FAMILY, "citizen(george)")  # not alive
+    assert session.answers(FAMILY, "may_naturalize(X)") == {("omar",)}
+
+
+if __name__ == "__main__":
+    main()

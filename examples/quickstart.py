@@ -1,0 +1,95 @@
+"""Quickstart: hypothetical queries over a university database.
+
+Reproduces Examples 1-3 of Bonner (PODS 1989).  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, Session, classify, parse_program
+
+# ----------------------------------------------------------------------
+# A rulebase with an ordinary Horn rule and a hypothetical rule.
+# ``grad(S)`` — student S can graduate;
+# ``within_one(S)`` — S could graduate after one more course
+#                     (the hypothetical premise of Example 2).
+# ----------------------------------------------------------------------
+RULES = parse_program(
+    """
+    grad(S) :- take(S, his101), take(S, eng201), take(S, cs250).
+    within_one(S) :- student(S), grad(S)[add: take(S, C)].
+    """
+)
+
+DB = Database.from_relations(
+    {
+        "student": ["tony", "sue", "pat"],
+        "take": [
+            ("tony", "his101"),
+            ("tony", "eng201"),
+            ("sue", "his101"),
+            ("sue", "eng201"),
+            ("sue", "cs250"),
+            ("pat", "his101"),
+        ],
+    }
+)
+
+
+def main() -> None:
+    session = Session(RULES)
+    print(f"engine selected: {session.engine_name}")
+    print(f"classification:  {classify(RULES)}")
+    print()
+
+    # Example 1: "If Tony took cs250, would he be eligible to graduate?"
+    question = "grad(tony)[add: take(tony, cs250)]"
+    print(f"?- {question}")
+    print("   ->", session.ask(DB, question))
+
+    # The same question for pat, who is two courses short.
+    question = "grad(pat)[add: take(pat, cs250)]"
+    print(f"?- {question}")
+    print("   ->", session.ask(DB, question))
+    print()
+
+    # Example 2: "Retrieve those students who could graduate if they
+    # took one more course."
+    print("?- within_one(S)")
+    for (student,) in sorted(session.answers(DB, "within_one(S)")):
+        print(f"   -> {student}")
+    print()
+
+    # Example 3: hypothetical queries inside rule premises — the joint
+    # math-and-physics degree.  This rulebase is NOT linearly
+    # stratified (within1/grad recurse non-linearly), so the session
+    # transparently switches to the general-language engine.
+    degree_rules = parse_program(
+        """
+        within1(S, D) :- grad(S, D)[add: take(S, C)].
+        grad(S, mathphys) :- within1(S, math), within1(S, phys).
+        grad(S, math) :- take(S, alg1), take(S, anal1).
+        grad(S, phys) :- take(S, mech1), take(S, em1).
+        """
+    )
+    degree_db = Database.from_relations(
+        {
+            "take": [
+                ("ada", "alg1"),
+                ("ada", "mech1"),
+                ("bob", "alg1"),
+                ("bob", "anal1"),
+                ("bob", "mech1"),
+                ("cyd", "alg1"),
+            ]
+        }
+    )
+    degree_session = Session(degree_rules)
+    print(f"degree rulebase: {classify(degree_rules)}")
+    print(f"engine selected: {degree_session.engine_name}")
+    print("?- grad(S, mathphys)")
+    for (student,) in sorted(degree_session.answers(degree_db, "grad(S, mathphys)")):
+        print(f"   -> {student}")
+
+
+if __name__ == "__main__":
+    main()

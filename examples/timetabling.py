@@ -1,0 +1,69 @@
+"""Exam timetabling as hypothetical graph coloring.
+
+The same construction pattern as Example 7 (record choices by
+hypothetical insertion, close with negation-by-failure), applied to a
+classic scheduling problem: assign each exam a slot so that no student
+has two exams in the same slot.  Exams sharing a student form the
+conflict graph; slots are the colors.
+
+Run with::
+
+    python examples/timetabling.py
+"""
+
+from itertools import combinations
+
+from repro import Session, classify
+from repro.library import coloring_db, coloring_rulebase, is_colorable
+
+# Which student sits which exams.
+ENROLMENT = {
+    "ada": ["algebra", "logic", "databases"],
+    "bob": ["logic", "compilers"],
+    "cyd": ["databases", "compilers", "networks"],
+    "dee": ["algebra", "networks"],
+}
+
+
+def conflict_graph() -> tuple[list[str], list[tuple[str, str]]]:
+    exams = sorted({exam for exams in ENROLMENT.values() for exam in exams})
+    edges = set()
+    for student_exams in ENROLMENT.values():
+        for left, right in combinations(sorted(student_exams), 2):
+            edges.add((left, right))
+    return exams, sorted(edges)
+
+
+def main() -> None:
+    rules = coloring_rulebase()
+    print(f"rulebase: {classify(rules)}")
+    session = Session(rules)
+    exams, conflicts = conflict_graph()
+    print(f"{len(exams)} exams, {len(conflicts)} conflicts")
+    for slot_count in (1, 2, 3, 4):
+        slots = [f"slot{index}" for index in range(1, slot_count + 1)]
+        db = coloring_db(exams, conflicts, slots)
+        feasible = session.ask(db, "yes")
+        oracle = is_colorable(exams, conflicts, slots)
+        marker = "feasible" if feasible else "infeasible"
+        print(f"  {slot_count} slot(s): {marker}")
+        assert feasible == oracle
+    # Show one concrete schedule via a derivation.
+    from repro import Explainer, format_proof
+
+    slots = ["slot1", "slot2", "slot3"]
+    db = coloring_db(exams, conflicts, slots)
+    proof = Explainer(rules).explain(db, "yes")
+    if proof is not None:
+        assignments = [
+            line.strip()
+            for line in format_proof(proof).splitlines()
+            if "+{col(" in line
+        ]
+        print("one valid schedule (from the proof):")
+        for line in assignments:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Hypothetical Datalog: negation and linear recursion.
+
+A reproduction of Bonner (PODS 1989) as a working Python library:
+
+* the hypothetical inference system ``R, DB |- A`` with premises
+  ``A``, ``~A``, and ``A[add: B]`` (Section 3);
+* linear stratification analysis and the Lemma 1 algorithm (Section 4);
+* two evaluation engines — the reference perfect-model evaluator and
+  the paper's PROVE_Sigma / PROVE_Delta cascade (Section 5.2);
+* oracle-Turing-machine encodings (Section 5.1) and the
+  order-assertion / expressibility compiler (Section 6).
+
+Quickstart::
+
+    from repro import parse_program, Database, Session
+
+    rules = parse_program(
+        "grad(S) :- take(S, his101), take(S, eng201)."
+    )
+    db = Database.from_relations({"take": [("tony", "his101")]})
+    session = Session(rules)
+    session.ask(db, "grad(tony)[add: take(tony, eng201)]")  # True
+"""
+
+from .analysis import (
+    ComplexityReport,
+    LinearStratification,
+    classify,
+    is_linearly_stratified,
+    linear_stratification,
+)
+from .core import (
+    Atom,
+    Constant,
+    Database,
+    Hypothetical,
+    HypotheticalDatalogError,
+    Negated,
+    Positive,
+    Premise,
+    Rule,
+    Rulebase,
+    Term,
+    Variable,
+    atom,
+    fact,
+    parse_atom,
+    parse_database,
+    parse_premise,
+    parse_program,
+    parse_rule,
+    rule,
+    term,
+)
+from .engine import (
+    Explainer,
+    LinearStratifiedProver,
+    PerfectModelEngine,
+    Proof,
+    Session,
+    TopDownEngine,
+    answers,
+    ask,
+    format_proof,
+    verify_proof,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Atom",
+    "Constant",
+    "Term",
+    "Variable",
+    "atom",
+    "term",
+    "Positive",
+    "Negated",
+    "Hypothetical",
+    "Premise",
+    "Rule",
+    "Rulebase",
+    "rule",
+    "fact",
+    "Database",
+    "parse_atom",
+    "parse_database",
+    "parse_premise",
+    "parse_program",
+    "parse_rule",
+    "HypotheticalDatalogError",
+    # analysis
+    "linear_stratification",
+    "is_linearly_stratified",
+    "LinearStratification",
+    "classify",
+    "ComplexityReport",
+    # engines
+    "Session",
+    "ask",
+    "answers",
+    "PerfectModelEngine",
+    "LinearStratifiedProver",
+    "TopDownEngine",
+    "Explainer",
+    "Proof",
+    "verify_proof",
+    "format_proof",
+]

@@ -1,0 +1,51 @@
+"""Static analysis: dependency graphs, linearity, stratification, classification."""
+
+from .bounds import AppendixABound, proof_sequence_bound
+from .classify import ComplexityReport, classify
+from .lint import LintFinding, lint
+from .slicing import Slice, dependency_cone, slice_rulebase
+from .depgraph import DependencyGraph, Edge
+from .recursion import (
+    is_linear_rule,
+    is_linear_ruleset,
+    is_recursive_rule,
+    mutual_recursion_classes,
+    nonlinear_rules,
+    recursive_premise_count,
+)
+from .stratify import (
+    LinearStratification,
+    h_stratification,
+    h_stratification_violations,
+    is_h_stratified,
+    is_linearly_stratified,
+    linear_stratification,
+    negation_strata,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "Edge",
+    "mutual_recursion_classes",
+    "recursive_premise_count",
+    "is_recursive_rule",
+    "is_linear_rule",
+    "is_linear_ruleset",
+    "nonlinear_rules",
+    "negation_strata",
+    "LinearStratification",
+    "linear_stratification",
+    "h_stratification",
+    "is_h_stratified",
+    "h_stratification_violations",
+    "is_linearly_stratified",
+    "ComplexityReport",
+    "classify",
+    "AppendixABound",
+    "proof_sequence_bound",
+    "LintFinding",
+    "lint",
+    "Slice",
+    "dependency_cone",
+    "slice_rulebase",
+]

@@ -1,0 +1,118 @@
+"""Data-complexity classification of rulebases (Theorem 1).
+
+Given a rulebase, :func:`classify` reports the complexity class of its
+query graph as established by the paper and its companions:
+
+* plain Horn rules, with or without stratified negation — ``P``
+  (linearity does not matter in the Horn case; the paper notes this in
+  the introduction);
+* hypothetical rules with a linear stratification of ``k`` strata —
+  ``Sigma_k^P`` (Theorem 1); ``k = 1`` is ``NP``;
+* hypothetical rules without a linear stratification (but with
+  stratified negation so inference is well defined) — ``PSPACE``
+  (the bound from [4], Bonner ICDT'88);
+* rulebases using the hypothetical-deletion extension — ``EXPTIME``
+  (also from [4]; mentioned in the paper's introduction);
+* recursion through negation — inference is not well defined; the
+  report says so instead of naming a class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ast import Rulebase
+from ..core.errors import StratificationError
+from .stratify import linear_stratification, negation_strata
+
+__all__ = ["ComplexityReport", "classify"]
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Outcome of :func:`classify`.
+
+    ``class_name`` is the data-complexity class of the rulebase's query
+    graph; ``strata`` is the number of linear strata when a linear
+    stratification exists, else ``None``.
+    """
+
+    class_name: str
+    strata: int | None
+    well_defined: bool
+    linearly_stratified: bool
+    notes: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [f"data-complexity: {self.class_name}"]
+        if self.strata is not None:
+            parts.append(f"strata: {self.strata}")
+        if not self.well_defined:
+            parts.append("inference not well defined")
+        return "; ".join(parts)
+
+
+def classify(rulebase: Rulebase) -> ComplexityReport:
+    """Classify a rulebase per Theorem 1 and the surrounding discussion.
+
+    >>> from repro.core.parser import parse_program
+    >>> classify(parse_program("p(X) :- q(X).")).class_name
+    'P'
+    """
+    try:
+        negation_strata(rulebase)
+    except StratificationError as error:
+        return ComplexityReport(
+            class_name="undefined",
+            strata=None,
+            well_defined=False,
+            linearly_stratified=False,
+            notes=(str(error),),
+        )
+
+    if rulebase.has_deletions():
+        return ComplexityReport(
+            class_name="EXPTIME",
+            strata=None,
+            well_defined=True,
+            linearly_stratified=False,
+            notes=(
+                "hypothetical deletions present: data-complete for "
+                "EXPTIME ([4], Bonner ICDT'88)",
+            ),
+        )
+
+    if not rulebase.has_hypotheses():
+        note = (
+            "Horn rules with stratified negation"
+            if rulebase.has_negation()
+            else "Horn rules"
+        )
+        return ComplexityReport(
+            class_name="P",
+            strata=None,
+            well_defined=True,
+            linearly_stratified=True,
+            notes=(note,),
+        )
+
+    try:
+        stratification = linear_stratification(rulebase)
+    except StratificationError as error:
+        return ComplexityReport(
+            class_name="PSPACE",
+            strata=None,
+            well_defined=True,
+            linearly_stratified=False,
+            notes=("no linear stratification: " + str(error),),
+        )
+
+    k = stratification.k
+    name = "NP" if k == 1 else f"Sigma_{k}^P"
+    return ComplexityReport(
+        class_name=name,
+        strata=k,
+        well_defined=True,
+        linearly_stratified=True,
+        notes=(f"linear stratification with {k} strata",),
+    )

@@ -1,0 +1,158 @@
+"""Static hygiene checks for rulebases.
+
+Definition 3's domain-grounding semantics makes several patterns legal
+that are almost always mistakes in practice; this linter flags them
+without changing any semantics:
+
+* ``unsafe-head`` — a head variable not bound by any positive premise:
+  the rule derives its head for *every* domain value of that variable.
+  (Deliberate in a few paper rules — Example 7's ``path(X) :- ~select(Y)``
+  — hence a warning, not an error.)
+* ``floating-hypothesis`` — a hypothetical premise none of whose
+  variables is bound by a positive premise: the engines will enumerate
+  the full domain product for it.
+* ``unused-predicate`` — defined but never referenced (and not an
+  obvious entry point like a 0-ary predicate); informational, since
+  unreferenced heads are usually the rulebase's outputs.
+* ``undefined-reference`` — referenced but neither defined nor ever
+  insertable (not mentioned in any ``add``), so it can only come from
+  the database; listed so typos surface.
+* ``constant-symbols`` — the rulebase mentions constants, so the query
+  it defines is not guaranteed generic (Section 6.1).
+* ``negation-cycle`` / ``not-linearly-stratified`` — the structural
+  conditions, surfaced as lint findings with the analyzer's messages.
+
+Each finding carries a code, a message, and the rule it points at
+(when applicable).  ``hypodatalog lint`` prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.ast import Hypothetical, Positive, Rule, Rulebase
+from ..core.errors import StratificationError
+from .stratify import linear_stratification, negation_strata
+
+__all__ = ["LintFinding", "lint"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One finding: a stable code, severity, message, optional rule.
+
+    ``severity`` is ``"warning"`` (probably a mistake) or ``"info"``
+    (worth knowing, often deliberate — e.g. EDB references).
+    """
+
+    code: str
+    message: str
+    rule: Optional[Rule] = None
+    severity: str = "warning"
+
+    def __str__(self) -> str:
+        location = f"  in: {self.rule}" if self.rule is not None else ""
+        return f"[{self.severity}:{self.code}] {self.message}{location}"
+
+
+def _positive_variables(item: Rule) -> set:
+    bound = set()
+    for premise in item.body:
+        if isinstance(premise, Positive):
+            bound.update(premise.atom.variables())
+    return bound
+
+
+def lint(rulebase: Rulebase) -> list[LintFinding]:
+    """All findings for a rulebase, stable order (rule order, then code)."""
+    findings: list[LintFinding] = []
+
+    for item in rulebase:
+        bound = _positive_variables(item)
+        unsafe = [var for var in set(item.head.variables()) if var not in bound]
+        if unsafe:
+            names = ", ".join(sorted(var.name for var in unsafe))
+            findings.append(
+                LintFinding(
+                    "unsafe-head",
+                    f"head variable(s) {names} not bound by a positive "
+                    f"premise; the rule fires for every domain value",
+                    item,
+                )
+            )
+        for premise in item.body:
+            if isinstance(premise, Hypothetical):
+                premise_vars = set(premise.variables())
+                if premise_vars and not premise_vars & bound:
+                    findings.append(
+                        LintFinding(
+                            "floating-hypothesis",
+                            f"hypothetical premise {premise} shares no "
+                            f"variable with a positive premise; the full "
+                            f"domain product will be enumerated",
+                            item,
+                        )
+                    )
+
+    defined = rulebase.defined_predicates()
+    referenced: set[str] = set()
+    insertable: set[str] = set()
+    for item in rulebase:
+        for _, predicate in item.body_predicates():
+            referenced.add(predicate)
+        insertable.update(item.added_predicates())
+        for premise in item.body:
+            if isinstance(premise, Hypothetical):
+                insertable.update(a.predicate for a in premise.deletions)
+    for predicate in sorted(defined - referenced):
+        if rulebase.arity(predicate) == 0:
+            continue  # 0-ary heads are natural entry points (yes, accept)
+        findings.append(
+            LintFinding(
+                "unused-predicate",
+                f"predicate {predicate!r} is defined but never referenced — "
+                f"an output predicate, or dead code",
+                severity="info",
+            )
+        )
+    for predicate in sorted(referenced - defined - insertable):
+        findings.append(
+            LintFinding(
+                "undefined-reference",
+                f"predicate {predicate!r} is referenced but never defined "
+                f"or inserted; it can only be satisfied by database facts",
+                severity="info",
+            )
+        )
+
+    if not rulebase.is_constant_free:
+        constants = ", ".join(
+            sorted(str(constant) for constant in rulebase.constants())[:6]
+        )
+        findings.append(
+            LintFinding(
+                "constant-symbols",
+                f"rulebase mentions constants ({constants}...); the query "
+                f"it defines need not be generic (Section 6.1)",
+                severity="info",
+            )
+        )
+
+    try:
+        negation_strata(rulebase)
+    except StratificationError as error:
+        findings.append(LintFinding("negation-cycle", str(error)))
+    else:
+        try:
+            linear_stratification(rulebase)
+        except StratificationError as error:
+            findings.append(
+                LintFinding(
+                    "not-linearly-stratified",
+                    f"{error} — the PROVE engine will refuse this rulebase; "
+                    f"the top-down engine still evaluates it",
+                    severity="info",
+                )
+            )
+    return findings

@@ -1,0 +1,74 @@
+"""Mutual recursion and linearity (Definition 8 of the paper).
+
+A rule ``B <- phi_1, ..., phi_n`` is *recursive* iff some premise's goal
+predicate is mutually recursive with ``B``, and *linear* iff exactly one
+premise is.  A set of rules is linear iff every recursive rule in it is
+linear.
+
+"Mutually recursive" is taken with respect to the whole rulebase: two
+predicates are mutually recursive iff they lie in the same strongly
+connected component of the dependency graph (positive, negative, and
+hypothetical edges all count; addition atoms do not).  This captures
+the paper's warning that linearity cannot be judged one rule at a time:
+the ``n + 1`` rules ``A <- B, D_1, ..., D_n`` and ``D_i <- A[add:C_i]``
+each look linear but jointly imply the non-linear rule (2), and indeed
+here every ``D_i`` is mutually recursive with ``A``, so the first rule
+has ``n`` recursive premises and is flagged non-linear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.ast import Rule, Rulebase
+from .depgraph import DependencyGraph
+
+__all__ = [
+    "mutual_recursion_classes",
+    "recursive_premise_count",
+    "is_recursive_rule",
+    "is_linear_rule",
+    "is_linear_ruleset",
+    "nonlinear_rules",
+]
+
+
+def mutual_recursion_classes(rulebase: Rulebase) -> dict[str, frozenset[str]]:
+    """Map each predicate to its mutual-recursion equivalence class."""
+    graph = DependencyGraph.from_rulebase(rulebase)
+    return {node: graph.component_of(node) for node in graph.nodes}
+
+
+def recursive_premise_count(
+    item: Rule, classes: Mapping[str, frozenset[str]]
+) -> int:
+    """Number of premises whose goal predicate is mutually recursive
+    with the rule head."""
+    head_class = classes.get(item.head.predicate, frozenset({item.head.predicate}))
+    return sum(
+        1 for _, predicate in item.body_predicates() if predicate in head_class
+    )
+
+
+def is_recursive_rule(item: Rule, classes: Mapping[str, frozenset[str]]) -> bool:
+    """Definition 8: at least one mutually-recursive premise."""
+    return recursive_premise_count(item, classes) >= 1
+
+
+def is_linear_rule(item: Rule, classes: Mapping[str, frozenset[str]]) -> bool:
+    """Definition 8: non-recursive rules are vacuously linear;
+    recursive rules must have exactly one recursive premise."""
+    return recursive_premise_count(item, classes) <= 1
+
+
+def is_linear_ruleset(
+    rules: Iterable[Rule], classes: Mapping[str, frozenset[str]]
+) -> bool:
+    """Definition 8 for sets: every recursive rule is linear."""
+    return all(is_linear_rule(item, classes) for item in rules)
+
+
+def nonlinear_rules(rulebase: Rulebase) -> list[Rule]:
+    """The rules of a rulebase violating linearity, for diagnostics."""
+    classes = mutual_recursion_classes(rulebase)
+    return [item for item in rulebase if not is_linear_rule(item, classes)]

@@ -1,0 +1,21 @@
+"""Workload generators for the benchmark harness."""
+
+from .workloads import (
+    chain_edges_db,
+    cycle_graph,
+    path_graph,
+    random_database,
+    random_graph,
+    random_layered_rulebase,
+    transitive_closure_rules,
+)
+
+__all__ = [
+    "random_graph",
+    "path_graph",
+    "cycle_graph",
+    "transitive_closure_rules",
+    "chain_edges_db",
+    "random_database",
+    "random_layered_rulebase",
+]

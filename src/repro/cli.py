@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
+
+* ``classify RULES`` — Theorem 1 complexity classification;
+* ``stratify RULES`` — print the linear stratification, Example 9 style;
+* ``query RULES -d DB "premise"`` — decide a query;
+* ``answers RULES -d DB "pattern"`` — enumerate answers;
+* ``model RULES -d DB`` — print the full perfect model;
+* ``lint RULES`` — static hygiene warnings;
+* ``graph RULES`` — Graphviz DOT of the dependency graph;
+* ``explain RULES -d DB "query"`` — print a derivation;
+* ``repl [RULES] [-d DB]`` — interactive console.
+
+``RULES`` and ``DB`` are file paths in the textual syntax of
+:mod:`repro.core.parser`; ``-`` reads from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.classify import classify
+from .analysis.stratify import linear_stratification
+from .core.database import Database
+from .core.errors import HypotheticalDatalogError
+from .core.parser import parse_database, parse_program
+from .core.pretty import format_database, format_stratification
+from .engine.model import PerfectModelEngine
+from .engine.query import Session
+
+__all__ = ["main"]
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_db(path: Optional[str]) -> Database:
+    if path is None:
+        return Database()
+    return parse_database(_read(path))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hypodatalog",
+        description="Hypothetical Datalog with negation and linear recursion "
+        "(Bonner, PODS 1989).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify_cmd = commands.add_parser(
+        "classify", help="data-complexity classification (Theorem 1)"
+    )
+    classify_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+
+    stratify_cmd = commands.add_parser(
+        "stratify", help="print the linear stratification (Lemma 1)"
+    )
+    stratify_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+
+    query_cmd = commands.add_parser("query", help="decide a query")
+    query_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    query_cmd.add_argument("premise", help="query text, e.g. 'grad(tony)[add: take(tony, cs452)]'")
+    query_cmd.add_argument("-d", "--db", help="database file")
+    query_cmd.add_argument(
+        "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model")
+    )
+
+    answers_cmd = commands.add_parser("answers", help="enumerate answers")
+    answers_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    answers_cmd.add_argument("pattern", help="atom pattern, e.g. 'grad(S)'")
+    answers_cmd.add_argument("-d", "--db", help="database file")
+    answers_cmd.add_argument(
+        "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model")
+    )
+
+    model_cmd = commands.add_parser("model", help="print the perfect model")
+    model_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    model_cmd.add_argument("-d", "--db", help="database file")
+
+    lint_cmd = commands.add_parser(
+        "lint", help="static hygiene warnings for a rulebase"
+    )
+    lint_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+
+    explain_cmd = commands.add_parser(
+        "explain", help="print a derivation of a provable query"
+    )
+    explain_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    explain_cmd.add_argument("premise", help="query text")
+    explain_cmd.add_argument("-d", "--db", help="database file")
+
+    graph_cmd = commands.add_parser(
+        "graph", help="emit the predicate dependency graph as Graphviz DOT"
+    )
+    graph_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+
+    repl_cmd = commands.add_parser("repl", help="interactive console")
+    repl_cmd.add_argument("rules", nargs="?", help="rulebase file to preload")
+    repl_cmd.add_argument("-d", "--db", help="database file to preload")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    options = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(options)
+    except HypotheticalDatalogError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(options: argparse.Namespace) -> int:
+    if options.command == "repl":
+        from .repl import run
+
+        rulebase = (
+            parse_program(_read(options.rules)) if options.rules else None
+        )
+        return run(rulebase, _load_db(options.db))
+    rulebase = parse_program(_read(options.rules))
+    if options.command == "classify":
+        report = classify(rulebase)
+        print(report)
+        for note in report.notes:
+            print(f"  note: {note}")
+        return 0
+    if options.command == "stratify":
+        print(format_stratification(linear_stratification(rulebase)))
+        return 0
+    if options.command == "query":
+        session = Session(rulebase, options.engine)
+        result = session.ask(_load_db(options.db), options.premise)
+        print("yes" if result else "no")
+        return 0 if result else 1
+    if options.command == "answers":
+        session = Session(rulebase, options.engine)
+        rows = session.answers(_load_db(options.db), options.pattern)
+        for row in sorted(rows, key=str):
+            print(", ".join(str(value) for value in row))
+        return 0
+    if options.command == "model":
+        engine = PerfectModelEngine(rulebase)
+        model = engine.model(_load_db(options.db))
+        print(format_database(Database(model)))
+        return 0
+    if options.command == "graph":
+        from .analysis.depgraph import DependencyGraph
+
+        print(DependencyGraph.from_rulebase(rulebase).to_dot())
+        return 0
+    if options.command == "lint":
+        from .analysis.lint import lint
+
+        findings = lint(rulebase)
+        for finding in findings:
+            print(finding)
+        if not findings:
+            print("no findings")
+        warnings = [f for f in findings if f.severity == "warning"]
+        return 1 if warnings else 0
+    if options.command == "explain":
+        from .engine.proofs import Explainer, format_proof
+
+        proof = Explainer(rulebase).explain(_load_db(options.db), options.premise)
+        if proof is None:
+            print("not provable")
+            return 1
+        print(format_proof(proof))
+        return 0
+    raise AssertionError(f"unhandled command {options.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

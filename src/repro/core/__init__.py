@@ -1,0 +1,54 @@
+"""Core language objects: terms, atoms, premises, rules, databases, parsing."""
+
+from .ast import (
+    Hypothetical,
+    Negated,
+    Positive,
+    Premise,
+    Rule,
+    Rulebase,
+    fact,
+    rule,
+)
+from .database import Database
+from .errors import (
+    CompilationError,
+    EvaluationError,
+    HypotheticalDatalogError,
+    MachineError,
+    ParseError,
+    StratificationError,
+    ValidationError,
+)
+from .parser import parse_atom, parse_database, parse_premise, parse_program, parse_rule
+from .terms import Atom, Constant, Term, Variable, atom, term
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Term",
+    "Variable",
+    "atom",
+    "term",
+    "Positive",
+    "Negated",
+    "Hypothetical",
+    "Premise",
+    "Rule",
+    "Rulebase",
+    "rule",
+    "fact",
+    "Database",
+    "parse_atom",
+    "parse_database",
+    "parse_premise",
+    "parse_program",
+    "parse_rule",
+    "HypotheticalDatalogError",
+    "ParseError",
+    "ValidationError",
+    "StratificationError",
+    "EvaluationError",
+    "MachineError",
+    "CompilationError",
+]

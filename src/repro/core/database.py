@@ -1,0 +1,225 @@
+"""Immutable databases of ground facts.
+
+A database in the paper is a finite set of ground atomic formulas.  The
+inference rule for hypothetical premises evaluates ``R, DB + {B} |- A``,
+so databases must support cheap functional extension (``DB + {B}``) and
+must be hashable so evaluation results can be memoized per database.
+
+:class:`Database` wraps a frozenset of ground :class:`~repro.core.terms.Atom`
+objects and precomputes a per-predicate index (predicate -> set of
+argument tuples) used by the join machinery in the engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from .errors import ValidationError
+from .terms import Atom, Constant, Term
+from .unify import Substitution, match_args
+
+__all__ = ["Database"]
+
+_Payload = Union[str, int]
+
+
+class Database:
+    """A finite set of ground facts, immutable and hashable."""
+
+    __slots__ = ("_facts", "_index", "_hash")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        collected = frozenset(facts)
+        for item in collected:
+            if not item.is_ground:
+                raise ValidationError(f"database fact {item} is not ground")
+        self._facts: frozenset[Atom] = collected
+        index: dict[str, set[tuple[Term, ...]]] = {}
+        for item in collected:
+            index.setdefault(item.predicate, set()).add(item.args)
+        self._index: dict[str, frozenset[tuple[Term, ...]]] = {
+            predicate: frozenset(rows) for predicate, rows in index.items()
+        }
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_relations(
+        cls, relations: Mapping[str, Iterable[Sequence[_Payload] | _Payload]]
+    ) -> "Database":
+        """Build a database from ``{predicate: rows}``.
+
+        Each row is a sequence of constant payloads (strings or ints);
+        a bare payload is treated as a 1-tuple, which makes unary
+        relations pleasant to write:
+
+        >>> db = Database.from_relations({"node": ["a", "b"],
+        ...                               "edge": [("a", "b")]})
+        >>> len(db)
+        3
+        """
+        facts: list[Atom] = []
+        for predicate, rows in relations.items():
+            for row in rows:
+                if isinstance(row, (str, int)):
+                    row = (row,)
+                facts.append(
+                    Atom(predicate, tuple(Constant(value) for value in row))
+                )
+        return cls(facts)
+
+    # ------------------------------------------------------------------
+    # Set behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def facts(self) -> frozenset[Atom]:
+        return self._facts
+
+    def __contains__(self, item: Atom) -> bool:
+        return item in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._facts)
+        return self._hash
+
+    def __le__(self, other: "Database") -> bool:
+        return self._facts <= other._facts
+
+    def __lt__(self, other: "Database") -> bool:
+        return self._facts < other._facts
+
+    # ------------------------------------------------------------------
+    # Functional updates (the ``DB + {B}`` of Definition 3)
+    # ------------------------------------------------------------------
+
+    def with_facts(self, *additions: Atom) -> "Database":
+        """Return ``self + {additions}``; ``self`` is unchanged.
+
+        Returns ``self`` itself when every addition is already present,
+        which keeps memo tables small: the hypothetical inference rule
+        frequently re-adds facts that are already there.
+        """
+        new = [item for item in additions if item not in self._facts]
+        if not new:
+            return self
+        return Database(self._facts.union(new))
+
+    def without_facts(self, *removals: Atom) -> "Database":
+        """Return ``self - {removals}``; ``self`` is unchanged.
+
+        Supports the hypothetical-deletion extension (``A[del: B]``).
+        Returns ``self`` itself when nothing named is present.
+        """
+        present = [item for item in removals if item in self._facts]
+        if not present:
+            return self
+        return Database(self._facts.difference(present))
+
+    def union(self, other: "Database") -> "Database":
+        """Set union of two databases."""
+        if other._facts <= self._facts:
+            return self
+        return Database(self._facts | other._facts)
+
+    def without_predicate(self, predicate: str) -> "Database":
+        """Return a copy with every fact of ``predicate`` removed."""
+        if predicate not in self._index:
+            return self
+        return Database(
+            item for item in self._facts if item.predicate != predicate
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def predicates(self) -> frozenset[str]:
+        """Predicates with at least one fact."""
+        return frozenset(self._index)
+
+    def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
+        """The set of argument tuples stored under ``predicate``."""
+        return self._index.get(predicate, frozenset())
+
+    def rows(self, predicate: str) -> set[tuple[_Payload, ...]]:
+        """The relation as plain Python payload tuples.
+
+        >>> Database.from_relations({"edge": [("a", "b")]}).rows("edge")
+        {('a', 'b')}
+        """
+        return {
+            tuple(term.value for term in args)  # type: ignore[union-attr]
+            for args in self.relation(predicate)
+        }
+
+    def matches(
+        self, pattern: Atom, binding: Optional[Substitution] = None
+    ) -> Iterator[Substitution]:
+        """Enumerate extensions of ``binding`` matching ``pattern``.
+
+        Mirrors :meth:`repro.engine.interpretation.Interpretation.matches`
+        so engines can join rule premises directly against the stored
+        facts.
+        """
+        rows = self._index.get(pattern.predicate)
+        if not rows:
+            return
+        pattern_args = pattern.substitute(binding).args if binding else pattern.args
+        for ground_args in rows:
+            extended = match_args(pattern_args, ground_args, binding)
+            if extended is not None:
+                yield extended
+
+    def has_match(
+        self, pattern: Atom, binding: Optional[Substitution] = None
+    ) -> bool:
+        """True iff some stored fact matches ``pattern`` under ``binding``."""
+        for _ in self.matches(pattern, binding):
+            return True
+        return False
+
+    def constants(self) -> frozenset[Constant]:
+        """Every constant appearing in some fact."""
+        found: set[Constant] = set()
+        for item in self._facts:
+            found.update(item.constants())
+        return frozenset(found)
+
+    def rename(self, mapping: Mapping[_Payload, _Payload]) -> "Database":
+        """Apply a renaming (permutation) of constant payloads.
+
+        Used by the genericity checks of Section 6: a query is generic
+        iff renaming the database constants renames the answer the same
+        way.  Payloads absent from ``mapping`` are left unchanged.
+        """
+        renamed = []
+        for item in self._facts:
+            args = tuple(
+                Constant(mapping.get(arg.value, arg.value))  # type: ignore[union-attr]
+                for arg in item.args
+            )
+            renamed.append(Atom(item.predicate, args))
+        return Database(renamed)
+
+    def __str__(self) -> str:
+        ordered = sorted(self._facts, key=lambda item: (item.predicate, str(item)))
+        return "\n".join(f"{item}." for item in ordered)
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._facts)} facts)"

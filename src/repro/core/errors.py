@@ -1,0 +1,86 @@
+"""Exception hierarchy for the hypothetical-Datalog library.
+
+Every error raised deliberately by this package derives from
+:class:`HypotheticalDatalogError`, so callers can catch one base class.
+The subclasses mirror the pipeline stages: parsing, program validation,
+stratification analysis, query evaluation, machine simulation, and query
+compilation (the Section 6 expressibility construction).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HypotheticalDatalogError",
+    "ParseError",
+    "ValidationError",
+    "StratificationError",
+    "EvaluationError",
+    "MachineError",
+    "CompilationError",
+]
+
+
+class HypotheticalDatalogError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(HypotheticalDatalogError):
+    """A program, database, or query text could not be parsed.
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ValidationError(HypotheticalDatalogError):
+    """A syntactically valid object violates a structural requirement.
+
+    Examples: a non-ground fact in a database, a negated hypothetical
+    premise (disallowed by the paper's simplifying assumption in
+    Section 3.1), or an atom whose arity is inconsistent across a
+    rulebase.
+    """
+
+
+class StratificationError(HypotheticalDatalogError):
+    """A rulebase is not stratifiable in the requested sense.
+
+    Raised when negation is recursive (no stratification in the sense of
+    Apt-Blair-Walker exists) or when a rulebase fails the linear
+    stratification tests of Section 4 / Lemma 1.
+    """
+
+
+class EvaluationError(HypotheticalDatalogError):
+    """Query evaluation could not proceed.
+
+    Examples: querying a predicate with the wrong arity, exceeding a
+    user-supplied resource bound, or evaluating a rulebase that the
+    selected engine does not support.
+    """
+
+
+class MachineError(HypotheticalDatalogError):
+    """A Turing machine description or simulation is invalid.
+
+    Examples: transitions mentioning unknown states, inputs outside the
+    machine's alphabet, or a bounded run that exhausted its time budget
+    without halting when an exact answer was required.
+    """
+
+
+class CompilationError(HypotheticalDatalogError):
+    """The Section 6 query-to-rulebase compiler rejected its input.
+
+    Examples: a database signature with unsupported arities, or a
+    machine whose alphabet does not match the bitmap convention.
+    """

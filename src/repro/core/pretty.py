@@ -1,0 +1,74 @@
+"""Pretty-printing of atoms, rules, rulebases, and databases.
+
+The ``__str__`` methods on the AST classes already emit the concrete
+syntax accepted by :mod:`repro.core.parser`; this module adds the
+document-level helpers (sorted databases, programs grouped by
+predicate, stratification-annotated listings) used by the CLI and the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .ast import Rule, Rulebase
+from .database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..analysis.stratify import LinearStratification
+
+__all__ = [
+    "format_rule",
+    "format_program",
+    "format_database",
+    "format_stratification",
+]
+
+
+def format_rule(item: Rule) -> str:
+    """Render one rule in parseable concrete syntax."""
+    return str(item)
+
+
+def format_program(rulebase: Rulebase, group_by_predicate: bool = False) -> str:
+    """Render a program, optionally grouping rules by head predicate.
+
+    Grouped output inserts a comment header per predicate definition,
+    which makes generated rulebases (machine encodings) readable.
+    """
+    if not group_by_predicate:
+        return "\n".join(str(item) for item in rulebase)
+    lines: list[str] = []
+    seen: set[str] = set()
+    for item in rulebase:
+        predicate = item.head.predicate
+        if predicate not in seen:
+            seen.add(predicate)
+            lines.append(f"% --- {predicate} ---")
+            for defining in rulebase.definition(predicate):
+                lines.append(str(defining))
+    return "\n".join(lines)
+
+
+def format_database(db: Database) -> str:
+    """Render a database sorted by predicate, one fact per line."""
+    return str(db)
+
+
+def format_stratification(stratification: "LinearStratification") -> str:
+    """Render a linear stratification as annotated segments.
+
+    Output mirrors the layout of Example 9 in the paper: strata are
+    listed top-down, each split into its Sigma (hypothetical, linear)
+    and Delta (Horn with stratified negation) parts.
+    """
+    lines: list[str] = []
+    for index in range(stratification.k, 0, -1):
+        sigma = stratification.sigma(index)
+        delta = stratification.delta(index)
+        lines.append(f"% ===== stratum {index} =====")
+        lines.append(f"% Sigma_{index} ({len(sigma)} rules)")
+        lines.extend(str(item) for item in sigma)
+        lines.append(f"% Delta_{index} ({len(delta)} rules)")
+        lines.extend(str(item) for item in delta)
+    return "\n".join(lines)

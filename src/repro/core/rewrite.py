@@ -1,0 +1,89 @@
+"""Source-to-source rewrites on rulebases.
+
+Two rewrites from the paper:
+
+* :func:`negate_hypothetical` — the Section 3.1 workaround for the "no
+  negated hypotheticals" restriction: introduce a fresh predicate ``C``
+  and a rule ``C <- A[add:B]`` so that ``~C`` has the effect of
+  ``~A[add:B]``.
+* :func:`single_addition_form` — Definition 1 makes the addition of a
+  hypothetical premise a single atom; our AST allows a tuple.  This
+  rewrite restores the strict single-addition form by chaining fresh
+  predicates: ``A[add: B1, B2]`` becomes ``aux1[add: B1]`` with
+  ``aux1 <- A[add: B2]``.  It exists to demonstrate that the extension
+  is syntactic sugar; the engines handle tuples natively.
+"""
+
+from __future__ import annotations
+
+from .ast import Hypothetical, Negated, Premise, Rule, Rulebase
+from .terms import Atom
+
+__all__ = ["negate_hypothetical", "single_addition_form"]
+
+_AUX_COUNTER = 0
+
+
+def _fresh_predicate(stem: str) -> str:
+    global _AUX_COUNTER
+    _AUX_COUNTER += 1
+    return f"{stem}__aux{_AUX_COUNTER}"
+
+
+def negate_hypothetical(premise: Hypothetical) -> tuple[Negated, Rule]:
+    """Express ``~A[add:B]`` with an auxiliary predicate.
+
+    Returns ``(negated_premise, auxiliary_rule)``: add the rule to the
+    rulebase and use the negated premise in place of the (disallowed)
+    negated hypothetical.  The auxiliary head carries exactly the
+    variables of the original premise, so bindings flow through.
+    """
+    variables = tuple(dict.fromkeys(premise.variables()))
+    head = Atom(_fresh_predicate(premise.atom.predicate), variables)
+    return Negated(head), Rule(head, (premise,))
+
+
+def single_addition_form(rulebase: Rulebase) -> Rulebase:
+    """Rewrite every multi-addition premise into nested single additions.
+
+    The result derives exactly the same atoms over the original
+    predicates (the auxiliary predicates are fresh).  Rules without
+    multi-addition premises are kept verbatim.
+    """
+    rewritten: list[Rule] = []
+    for item in rulebase:
+        extra_rules: list[Rule] = []
+        new_body: list[Premise] = []
+        for premise in item.body:
+            if (
+                isinstance(premise, Hypothetical)
+                and not premise.deletions
+                and len(premise.additions) > 1
+            ):
+                new_body.append(_chain(premise, extra_rules))
+            else:
+                new_body.append(premise)
+        rewritten.append(Rule(item.head, tuple(new_body)))
+        rewritten.extend(extra_rules)
+    return Rulebase(rewritten)
+
+
+def _chain(premise: Hypothetical, extra_rules: list[Rule]) -> Hypothetical:
+    """Peel additions one at a time through auxiliary predicates.
+
+    ``A[add: B1, ..., Bm]`` holds at DB iff ``A`` holds at
+    ``DB + {B1, ..., Bm}``; adding the atoms one per auxiliary level
+    reaches the same database, so the rewrite is semantics-preserving.
+    """
+    goal = premise.atom
+    additions = list(premise.additions)
+    # Innermost level adds the last atom and proves the original goal.
+    while len(additions) > 1:
+        last = additions.pop()
+        variables = tuple(
+            dict.fromkeys(list(goal.variables()) + list(last.variables()))
+        )
+        aux_head = Atom(_fresh_predicate(goal.predicate), variables)
+        extra_rules.append(Rule(aux_head, (Hypothetical(goal, (last,)),)))
+        goal = aux_head
+    return Hypothetical(goal, (additions[0],))

@@ -1,0 +1,177 @@
+"""Terms and atomic formulas.
+
+The language of the paper is function-free first-order logic: a *term*
+is either a variable or a constant, and an *atom* is a predicate symbol
+applied to a tuple of terms.  Everything here is immutable and hashable
+so that atoms can live in databases (sets) and serve as dictionary keys
+in memo tables.
+
+Conventions
+-----------
+* Constants carry either a string or an integer payload.  Integers are
+  used by the Turing-machine encodings of Section 5.1 (counter values);
+  strings are used everywhere else.
+* The helper :func:`term` and :func:`atom` constructors apply the usual
+  Prolog-ish convention: an identifier starting with an uppercase letter
+  or underscore denotes a variable, anything else a constant.  The
+  dataclass constructors themselves are convention-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "term",
+    "atom",
+    "fresh_variable",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant symbol; payload is a string or an integer."""
+
+    value: Union[str, int]
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``predicate(arg_1, ..., arg_n)``.
+
+    ``args`` may be empty: the paper uses 0-ary predicates freely
+    (``EVEN``, ``YES``, ``ACCEPT``).
+    """
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff no argument is a variable."""
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of this atom, left to right, with repeats."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants of this atom, left to right, with repeats."""
+        for arg in self.args:
+            if isinstance(arg, Constant):
+                yield arg
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Atom":
+        """Return a copy with every bound variable replaced.
+
+        Unbound variables are left in place, so partial substitutions
+        are fine.
+        """
+        if not self.args:
+            return self
+        new_args = tuple(
+            binding.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        if new_args == self.args:
+            return self
+        return Atom(self.predicate, new_args)
+
+    def values(self) -> tuple[Union[str, int], ...]:
+        """Return the payload tuple of a ground atom.
+
+        Raises :class:`ValueError` if the atom is not ground; use this
+        only on database facts.
+        """
+        payload = []
+        for arg in self.args:
+            if not isinstance(arg, Constant):
+                raise ValueError(f"atom {self} is not ground")
+            payload.append(arg.value)
+        return tuple(payload)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate}({inner})"
+
+
+def term(value: Union[Term, str, int]) -> Term:
+    """Coerce a Python value to a term.
+
+    Strings beginning with an uppercase letter or ``_`` become
+    variables; all other strings and all integers become constants.
+    Terms pass through unchanged.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+def atom(predicate: str, *args: Union[Term, str, int]) -> Atom:
+    """Build an atom, coercing each argument with :func:`term`.
+
+    >>> str(atom("take", "S", "cs452"))
+    'take(S, cs452)'
+    """
+    return Atom(predicate, tuple(term(arg) for arg in args))
+
+
+_FRESH_COUNTER = 0
+
+
+def fresh_variable(stem: str = "V") -> Variable:
+    """Return a variable guaranteed distinct from all earlier fresh ones.
+
+    Fresh variables are used when renaming rules apart and when the
+    Section 5/6 encoders synthesize rules.  The name always contains a
+    ``#`` so it can never collide with parsed user variables.
+    """
+    global _FRESH_COUNTER
+    _FRESH_COUNTER += 1
+    return Variable(f"{stem}#{_FRESH_COUNTER}")
+
+
+def all_variables(atoms: Iterable[Atom]) -> set[Variable]:
+    """Collect the set of variables occurring in ``atoms``."""
+    found: set[Variable] = set()
+    for item in atoms:
+        found.update(item.variables())
+    return found

@@ -1,0 +1,150 @@
+"""Substitutions, matching, and unification.
+
+The engines ground rules against the evaluation domain (Definition 3
+grounds over ``dom(R, DB)``), so most of the work here is *matching* a
+pattern atom against ground facts.  Full unification is provided for
+the goal-directed prover of Section 5.2, which unifies goals with rule
+heads before grounding the leftovers.
+
+Substitutions are plain ``dict[Variable, Term]`` objects; the functions
+here never mutate a substitution they were given.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .terms import Atom, Constant, Term, Variable, fresh_variable
+
+__all__ = [
+    "Substitution",
+    "match",
+    "match_args",
+    "unify",
+    "rename_rule_apart",
+    "ground_instances",
+]
+
+Substitution = dict[Variable, Term]
+
+
+def _walk(term: Term, binding: Mapping[Variable, Term]) -> Term:
+    """Chase a variable through the binding until it stops moving."""
+    while isinstance(term, Variable):
+        bound = binding.get(term)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def match_args(
+    pattern: tuple[Term, ...],
+    ground: tuple[Term, ...],
+    binding: Optional[Substitution] = None,
+) -> Optional[Substitution]:
+    """Match a pattern argument tuple against a ground tuple.
+
+    Returns an *extended copy* of ``binding`` on success, ``None`` on
+    failure.  Repeated variables in the pattern must match equal
+    constants (so ``p(X, X)`` only matches facts with equal arguments).
+    """
+    if len(pattern) != len(ground):
+        return None
+    result: Substitution = dict(binding) if binding else {}
+    for pat, val in zip(pattern, ground):
+        pat = _walk(pat, result)
+        if isinstance(pat, Variable):
+            result[pat] = val
+        elif pat != val:
+            return None
+    return result
+
+
+def match(
+    pattern: Atom, ground: Atom, binding: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Match a pattern atom against a ground atom.
+
+    >>> from repro.core.terms import atom
+    >>> binding = match(atom("edge", "X", "Y"), atom("edge", "a", "b"))
+    >>> sorted((v.name, str(t)) for v, t in binding.items())
+    [('X', 'a'), ('Y', 'b')]
+    """
+    if pattern.predicate != ground.predicate:
+        return None
+    return match_args(pattern.args, ground.args, binding)
+
+
+def unify(
+    left: Atom, right: Atom, binding: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two atoms (function-free, so no occurs-check is needed).
+
+    Returns an extended copy of ``binding`` on success, ``None`` on
+    failure.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    result: Substitution = dict(binding) if binding else {}
+    for l_term, r_term in zip(left.args, right.args):
+        l_term = _walk(l_term, result)
+        r_term = _walk(r_term, result)
+        if l_term == r_term:
+            continue
+        if isinstance(l_term, Variable):
+            result[l_term] = r_term
+        elif isinstance(r_term, Variable):
+            result[r_term] = l_term
+        else:
+            return None
+    return result
+
+
+def resolve(binding: Substitution) -> Substitution:
+    """Flatten variable-to-variable chains in a substitution."""
+    return {var: _walk(term, binding) for var, term in binding.items()}
+
+
+def rename_rule_apart(rule_variables: Iterable[Variable]) -> Substitution:
+    """Build a renaming of ``rule_variables`` to fresh variables.
+
+    Used before unifying a goal with a rule head so that variables of
+    the goal never collide with variables of the rule.
+    """
+    return {var: fresh_variable(var.name.split("#")[0]) for var in set(rule_variables)}
+
+
+def ground_instances(
+    variables: Iterable[Variable],
+    domain: Iterable[Constant],
+    binding: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Enumerate all groundings of ``variables`` over ``domain``.
+
+    Definition 3 quantifies rule variables over ``dom(R, DB)``; this is
+    the enumerator the engines use for variables that the join over
+    positive premises left unbound.  Yields extended copies of
+    ``binding``; yields ``binding`` itself (as a copy) when there is
+    nothing to ground.
+    """
+    todo = [var for var in dict.fromkeys(variables) if not binding or var not in binding]
+    base: Substitution = dict(binding) if binding else {}
+    if not todo:
+        yield base
+        return
+    constants = list(domain)
+    if not constants:
+        return
+
+    def extend(index: int, current: Substitution) -> Iterator[Substitution]:
+        if index == len(todo):
+            yield dict(current)
+            return
+        var = todo[index]
+        for value in constants:
+            current[var] = value
+            yield from extend(index + 1, current)
+        del current[var]
+
+    yield from extend(0, base)

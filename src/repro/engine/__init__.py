@@ -1,0 +1,48 @@
+"""Evaluation engines.
+
+* :mod:`repro.engine.datalog` — positive-Datalog least fixpoints
+  (naive and semi-naive), the Bancilhon-Ramakrishnan substrate.
+* :mod:`repro.engine.stratified` — stratified Datalog¬ perfect models,
+  the Apt-Blair-Walker substrate.
+* :mod:`repro.engine.model` — reference evaluator for the full
+  hypothetical language (memoized per database).
+* :mod:`repro.engine.prove` — the paper's PROVE_Sigma / PROVE_Delta
+  cascade for linearly stratified rulebases.
+* :mod:`repro.engine.topdown` — tabled goal-directed evaluation for the
+  full (PSPACE) language.
+* :mod:`repro.engine.proofs` — proof objects: explanations with an
+  independent Definition 3 checker.
+* :mod:`repro.engine.query` — engine-agnostic session API.
+"""
+
+from .datalog import FixpointStats, naive_least_fixpoint, seminaive_least_fixpoint
+from .interpretation import Interpretation
+from .model import EngineStats, PerfectModelEngine
+from .proofs import Explainer, PremiseStep, Proof, format_proof, verify_proof
+from .prove import LinearStratifiedProver, ProverStats
+from .query import Session, answers, ask
+from .stratified import perfect_model, stratified_holds
+from .topdown import TopDownEngine, TopDownStats
+
+__all__ = [
+    "Interpretation",
+    "naive_least_fixpoint",
+    "seminaive_least_fixpoint",
+    "FixpointStats",
+    "perfect_model",
+    "stratified_holds",
+    "PerfectModelEngine",
+    "EngineStats",
+    "LinearStratifiedProver",
+    "ProverStats",
+    "TopDownEngine",
+    "TopDownStats",
+    "Explainer",
+    "Proof",
+    "PremiseStep",
+    "verify_proof",
+    "format_proof",
+    "Session",
+    "ask",
+    "answers",
+]

@@ -1,0 +1,178 @@
+"""Shared rule-body satisfaction machinery.
+
+Evaluating a rule body means enumerating the substitutions under which
+every premise holds.  The engines differ only in *how* each premise
+kind is decided, so this module factors the traversal out:
+
+* positive premises are matched against an :class:`Interpretation`
+  (producing bindings);
+* hypothetical premises are delegated to a callback that knows how to
+  evaluate them (the model engine recurses into an enlarged database,
+  the PROVE engine calls the lower-level prover);
+* negated premises are delegated to a test callback and evaluated
+  *last*, after positives and hypotheticals have bound everything they
+  can.
+
+A variable is *local to a negation* — and hence read as quantified
+inside it, the paper's usage (DESIGN.md section 2) — only when it
+occurs in exactly one negated premise and nowhere else in the rule.
+Variables that also occur in the head (``ok(N, C) :- ~clash(N, C)``),
+in another premise, or in a second negation are ordinary rule
+variables: Definition 3 grounds them over the domain *before* the
+negation is tested.  :func:`nonlocal_variables` computes that set per
+rule, and :func:`satisfy_body` grounds whatever of it is still unbound
+right before the first negated premise.
+
+Premises are reordered positives -> hypotheticals -> negations;
+within a category the textual order is kept, so evaluation is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule
+from ..core.terms import Atom, Constant, Variable
+from ..core.unify import Substitution, ground_instances
+from .interpretation import Interpretation
+
+__all__ = ["satisfy_body", "ordered_premises", "nonlocal_variables"]
+
+HypotheticalExpander = Callable[[Hypothetical, Substitution], Iterator[Substitution]]
+NegatedTest = Callable[[Atom, Substitution], bool]
+PositiveExpander = Callable[[Atom, Substitution], Iterator[Substitution]]
+
+
+def ordered_premises(body: Sequence[Premise]) -> list[Premise]:
+    """Reorder a body: positives, then hypotheticals, then negations."""
+    positives = [item for item in body if isinstance(item, Positive)]
+    hypotheticals = [item for item in body if isinstance(item, Hypothetical)]
+    negations = [item for item in body if isinstance(item, Negated)]
+    return positives + hypotheticals + negations
+
+
+def greedy_positive_order(
+    positives: Sequence[Positive], bound: Iterable[Variable]
+) -> list[Positive]:
+    """Most-bound-first join order for positive premises.
+
+    Repeatedly picks the premise with the fewest variables not yet
+    bound (ties broken by textual order), then treats its variables as
+    bound.  Classic greedy join planning: it never changes the set of
+    satisfying substitutions, only how fast the search narrows.
+    """
+    bound_vars = set(bound)
+    remaining = list(positives)
+    ordered: list[Positive] = []
+    while remaining:
+        best_index = min(
+            range(len(remaining)),
+            key=lambda position: len(
+                set(remaining[position].atom.variables()) - bound_vars
+            ),
+        )
+        best = remaining.pop(best_index)
+        ordered.append(best)
+        bound_vars.update(best.atom.variables())
+    return ordered
+
+
+def nonlocal_variables(item: Rule) -> tuple[Variable, ...]:
+    """The rule variables Definition 3 must ground before negations.
+
+    Everything except variables occurring in exactly one negated
+    premise and nowhere else — those (and only those) are quantified
+    inside their negation.
+    """
+    head_vars = set(item.head.variables())
+    occurrence_count: dict[Variable, int] = {}
+    negated_only: dict[Variable, bool] = {}
+    for premise in item.body:
+        for var in set(premise.variables()):
+            occurrence_count[var] = occurrence_count.get(var, 0) + 1
+            negated_only[var] = (
+                negated_only.get(var, True) and isinstance(premise, Negated)
+            )
+    result = []
+    for var in dict.fromkeys(
+        list(item.head.variables())
+        + [v for premise in item.body for v in premise.variables()]
+    ):
+        local = (
+            var not in head_vars
+            and occurrence_count.get(var, 0) == 1
+            and negated_only.get(var, False)
+        )
+        if not local:
+            result.append(var)
+    return tuple(result)
+
+
+def satisfy_body(
+    body: Sequence[Premise],
+    *,
+    positive: PositiveExpander,
+    hypothetical: HypotheticalExpander,
+    negated: NegatedTest,
+    binding: Optional[Substitution] = None,
+    ground_first: Sequence[Variable] = (),
+    domain: Optional[Iterable[Constant]] = None,
+    optimize: bool = False,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions under which every premise holds.
+
+    ``positive(atom, binding)`` yields extended bindings matching the
+    atom; ``hypothetical(premise, binding)`` yields extended bindings
+    under which the premise holds (grounding its free variables);
+    ``negated(atom, binding)`` decides a negated premise under the
+    final binding.  Yielded substitutions are independent dicts.
+
+    ``ground_first`` (typically :func:`nonlocal_variables` of the rule)
+    lists variables that must be ground before any negated premise is
+    tested; those still unbound once positives and hypotheticals are
+    done are enumerated over ``domain``.
+
+    ``optimize`` applies :func:`greedy_positive_order` to the positive
+    premises, seeded with the variables already bound on entry.
+    """
+    ordered = ordered_premises(body)
+    if optimize:
+        positives = [item for item in ordered if isinstance(item, Positive)]
+        rest = [item for item in ordered if not isinstance(item, Positive)]
+        seed = binding.keys() if binding else ()
+        ordered = list(greedy_positive_order(positives, seed)) + rest
+    first_negation = next(
+        (index for index, premise in enumerate(ordered)
+         if isinstance(premise, Negated)),
+        len(ordered),
+    )
+    domain_list = list(domain) if domain is not None else []
+
+    def extend(position: int, current: Substitution) -> Iterator[Substitution]:
+        if position == first_negation and ground_first:
+            missing = [var for var in ground_first if var not in current]
+            if missing:
+                for grounded in ground_instances(missing, domain_list, current):
+                    yield from continue_from(position, grounded)
+                return
+        yield from continue_from(position, current)
+
+    def continue_from(
+        position: int, current: Substitution
+    ) -> Iterator[Substitution]:
+        if position == len(ordered):
+            yield current
+            return
+        premise = ordered[position]
+        if isinstance(premise, Positive):
+            for extended in positive(premise.atom, current):
+                yield from extend(position + 1, extended)
+        elif isinstance(premise, Hypothetical):
+            for extended in hypothetical(premise, current):
+                yield from extend(position + 1, extended)
+        else:
+            if negated(premise.atom, current):
+                yield from extend(position + 1, current)
+
+    yield from extend(0, dict(binding) if binding else {})

@@ -1,0 +1,191 @@
+"""Positive Datalog substrate: naive and semi-naive bottom-up evaluation.
+
+This is the classical least-fixpoint machinery of Bancilhon and
+Ramakrishnan's survey (reference [2] of the paper), used as the
+substrate under stratified negation and re-used by the benches as a
+baseline (experiment E12 measures naive vs semi-naive on transitive
+closure).
+
+Both evaluators accept only rules whose premises are all positive; the
+richer layers (stratified negation, hypothetical premises) live in
+:mod:`repro.engine.stratified` and :mod:`repro.engine.model`.
+
+Safety is not required: a rule variable not bound by any body atom is
+grounded over the supplied domain, matching Definition 3's quantification
+over ``dom(R, DB)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.ast import Positive, Rule
+from ..core.errors import EvaluationError
+from ..core.terms import Atom, Constant
+from ..core.unify import Substitution, ground_instances
+from .interpretation import Interpretation
+
+__all__ = ["naive_least_fixpoint", "seminaive_least_fixpoint", "FixpointStats"]
+
+
+class FixpointStats:
+    """Counters describing a fixpoint run (rounds, rule firings)."""
+
+    __slots__ = ("rounds", "firings", "derived")
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.firings = 0
+        self.derived = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FixpointStats(rounds={self.rounds}, firings={self.firings}, "
+            f"derived={self.derived})"
+        )
+
+
+def _positive_atoms(item: Rule) -> list[Atom]:
+    atoms: list[Atom] = []
+    for premise in item.body:
+        if not isinstance(premise, Positive):
+            raise EvaluationError(
+                f"positive-Datalog evaluator given non-positive premise "
+                f"{premise} in rule {item}"
+            )
+        atoms.append(premise.atom)
+    return atoms
+
+
+def _derive_heads(
+    item: Rule,
+    body: Sequence[Atom],
+    interp: Interpretation,
+    domain: Sequence[Constant],
+    required_delta: Optional[tuple[int, Interpretation]] = None,
+) -> Iterator[Atom]:
+    """Enumerate head instances of one rule against an interpretation.
+
+    ``required_delta = (index, delta)`` restricts the join so that the
+    body atom at ``index`` matches within ``delta`` — the semi-naive
+    discipline (at least one premise uses a newly derived fact).
+    """
+
+    def extend(position: int, binding: Substitution) -> Iterator[Substitution]:
+        if position == len(body):
+            yield binding
+            return
+        source: Interpretation = interp
+        if required_delta is not None and position == required_delta[0]:
+            source = required_delta[1]
+        for extended in source.matches(body[position], binding):
+            yield from extend(position + 1, extended)
+
+    head_variables = set(item.head.variables())
+    for binding in extend(0, {}):
+        unbound = [var for var in head_variables if var not in binding]
+        if unbound:
+            for grounded in ground_instances(unbound, domain, binding):
+                yield item.head.substitute(grounded)
+        else:
+            yield item.head.substitute(binding)
+
+
+def _domain_of(rules: Sequence[Rule], facts: Iterable[Atom]) -> list[Constant]:
+    constants: set[Constant] = set()
+    for item in rules:
+        constants.update(item.constants())
+    for item in facts:
+        constants.update(item.constants())
+    return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+
+def naive_least_fixpoint(
+    rules: Iterable[Rule],
+    facts: Iterable[Atom],
+    domain: Optional[Sequence[Constant]] = None,
+    stats: Optional[FixpointStats] = None,
+) -> Interpretation:
+    """Least fixpoint by naive iteration.
+
+    Every round applies every rule against the full interpretation;
+    stops when a round adds nothing.  Simple and obviously correct —
+    the baseline for experiment E12.
+    """
+    rule_list = list(rules)
+    interp = Interpretation(facts)
+    if domain is None:
+        domain = _domain_of(rule_list, interp)
+    bodies = [_positive_atoms(item) for item in rule_list]
+    changed = True
+    while changed:
+        changed = False
+        if stats is not None:
+            stats.rounds += 1
+        pending: list[Atom] = []
+        for item, body in zip(rule_list, bodies):
+            for head in _derive_heads(item, body, interp, domain):
+                if stats is not None:
+                    stats.firings += 1
+                pending.append(head)
+        for head in pending:
+            if interp.add(head):
+                changed = True
+                if stats is not None:
+                    stats.derived += 1
+    return interp
+
+
+def seminaive_least_fixpoint(
+    rules: Iterable[Rule],
+    facts: Iterable[Atom],
+    domain: Optional[Sequence[Constant]] = None,
+    stats: Optional[FixpointStats] = None,
+) -> Interpretation:
+    """Least fixpoint by semi-naive (differential) iteration.
+
+    Each round only considers rule instantiations in which at least one
+    body atom matches a fact derived in the previous round, which
+    avoids re-deriving the whole relation every round.  First round
+    seeds the delta with the base facts.
+    """
+    rule_list = list(rules)
+    interp = Interpretation(facts)
+    if domain is None:
+        domain = _domain_of(rule_list, interp)
+    bodies = [_positive_atoms(item) for item in rule_list]
+    delta = interp.copy()
+    first_round = True
+    while len(delta) or first_round:
+        if stats is not None:
+            stats.rounds += 1
+        next_delta = Interpretation()
+        for item, body in zip(rule_list, bodies):
+            if not body:
+                # Bodiless rules fire once, on the first round.
+                if first_round:
+                    for head in _derive_heads(item, body, interp, domain):
+                        if stats is not None:
+                            stats.firings += 1
+                        if head not in interp:
+                            next_delta.add(head)
+                continue
+            delta_positions = [
+                index
+                for index, pattern in enumerate(body)
+                if delta.count(pattern.predicate)
+            ]
+            for index in delta_positions:
+                for head in _derive_heads(
+                    item, body, interp, domain, required_delta=(index, delta)
+                ):
+                    if stats is not None:
+                        stats.firings += 1
+                    if head not in interp:
+                        next_delta.add(head)
+        if stats is not None:
+            stats.derived += len(next_delta)
+        interp.update(next_delta)
+        delta = next_delta
+        first_round = False
+    return interp

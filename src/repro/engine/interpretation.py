@@ -1,0 +1,110 @@
+"""Mutable interpretations (sets of ground atoms) with pattern matching.
+
+All engines manipulate growing sets of derived facts; this class wraps
+such a set with a per-predicate index and the matching operation that
+drives rule-body joins: given a pattern atom and a partial binding,
+enumerate the bindings that extend it to match some stored fact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..core.terms import Atom, Term
+from ..core.unify import Substitution, match_args
+
+__all__ = ["Interpretation"]
+
+
+class Interpretation:
+    """A mutable set of ground atoms, indexed by predicate."""
+
+    __slots__ = ("_by_predicate", "_size")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._by_predicate: dict[str, set[tuple[Term, ...]]] = {}
+        self._size = 0
+        for item in facts:
+            self.add(item)
+
+    def add(self, item: Atom) -> bool:
+        """Insert a ground atom; return True iff it was new."""
+        rows = self._by_predicate.setdefault(item.predicate, set())
+        before = len(rows)
+        rows.add(item.args)
+        if len(rows) > before:
+            self._size += 1
+            return True
+        return False
+
+    def update(self, items: Iterable[Atom]) -> int:
+        """Insert many atoms; return how many were new."""
+        added = 0
+        for item in items:
+            if self.add(item):
+                added += 1
+        return added
+
+    def __contains__(self, item: Atom) -> bool:
+        rows = self._by_predicate.get(item.predicate)
+        return rows is not None and item.args in rows
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for predicate, rows in self._by_predicate.items():
+            for args in rows:
+                yield Atom(predicate, args)
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(
+            predicate for predicate, rows in self._by_predicate.items() if rows
+        )
+
+    def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
+        return frozenset(self._by_predicate.get(predicate, ()))
+
+    def count(self, predicate: str) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    def matches(
+        self, pattern: Atom, binding: Optional[Substitution] = None
+    ) -> Iterator[Substitution]:
+        """Enumerate extensions of ``binding`` matching ``pattern``.
+
+        Each yielded substitution is an independent dict extending
+        ``binding``; the pattern grounded by it is a stored fact.
+        """
+        rows = self._by_predicate.get(pattern.predicate)
+        if not rows:
+            return
+        pattern_args = (
+            pattern.substitute(binding).args if binding else pattern.args
+        )
+        for ground_args in rows:
+            extended = match_args(pattern_args, ground_args, binding)
+            if extended is not None:
+                yield extended
+
+    def has_match(
+        self, pattern: Atom, binding: Optional[Substitution] = None
+    ) -> bool:
+        """True iff some stored fact matches the pattern under binding."""
+        for _ in self.matches(pattern, binding):
+            return True
+        return False
+
+    def to_frozenset(self) -> frozenset[Atom]:
+        return frozenset(self)
+
+    def copy(self) -> "Interpretation":
+        duplicate = Interpretation()
+        duplicate._by_predicate = {
+            predicate: set(rows) for predicate, rows in self._by_predicate.items()
+        }
+        duplicate._size = self._size
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"Interpretation({self._size} atoms)"

@@ -1,0 +1,307 @@
+"""Reference evaluator for hypothetical Datalog with stratified negation.
+
+This engine computes, for a rulebase ``R`` and database ``DB``, the set
+of all ground atoms ``A`` with ``R, DB |- A`` under Definition 3 plus
+negation-by-failure.  It is the semantic ground truth against which the
+paper's goal-directed proof procedures (:mod:`repro.engine.prove`) are
+cross-checked.
+
+How it works
+------------
+The perfect model at a database is computed stratum by stratum (strata
+here are the classic negation strata: recursion through hypothetical
+premises is allowed, recursion through negation is not — the paper's
+standing assumption in Section 3.1).  Within a stratum, rules are
+applied to a fixpoint.  A hypothetical premise ``A[add: B...]`` under a
+grounding either
+
+* adds nothing new (every ``B`` already in the database) — then it is
+  the premise ``A`` inside the *same* fixpoint, or
+* strictly enlarges the database — then the engine recursively computes
+  the full model of the enlarged database.  Since additions only grow
+  the database and the ground-atom space over ``dom(R, DB)`` is finite,
+  this recursion is well founded.
+
+Models are memoized per database, so the overall cost is "number of
+reachable databases x fixpoint cost" rather than "number of proof
+paths".  For Example 7 (Hamiltonian path) this makes the evaluator a
+Held-Karp-style dynamic program: exponential in the number of nodes,
+as Theorem 1 says it must be, but not factorial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.parser import parse_premise
+from ..core.terms import Atom, Constant, Variable
+from ..core.unify import Substitution, ground_instances
+from .body import nonlocal_variables, satisfy_body
+from .interpretation import Interpretation
+
+__all__ = ["PerfectModelEngine", "EngineStats"]
+
+Query = Union[str, Atom, Premise]
+
+
+class EngineStats:
+    """Counters describing the work a :class:`PerfectModelEngine` did."""
+
+    __slots__ = ("models_computed", "cache_hits", "rule_rounds", "atoms_derived")
+
+    def __init__(self) -> None:
+        self.models_computed = 0
+        self.cache_hits = 0
+        self.rule_rounds = 0
+        self.atoms_derived = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"EngineStats({inner})"
+
+
+class PerfectModelEngine:
+    """Memoizing bottom-up evaluator for hypothetical Datalog¬.
+
+    Parameters
+    ----------
+    rulebase:
+        The rules.  Negation must be stratified in the classic sense
+        (checked at construction); hypothetical recursion is fine and
+        linearity is *not* required — this engine evaluates the full
+        PSPACE language.
+    max_databases:
+        Safety valve: the number of distinct databases whose models may
+        be materialized before :class:`EvaluationError` is raised.
+        Hypothetical evaluation legitimately explores exponentially
+        many databases, so runaway queries are easier to hit than in
+        plain Datalog.
+    memoize:
+        Disable to measure the cost of memoization for the E13 ablation
+        bench; leave enabled otherwise.
+    optimize_joins:
+        Greedy most-bound-first ordering of positive premises (E16
+        ablation); semantics-neutral.
+    """
+
+    def __init__(
+        self,
+        rulebase: Rulebase,
+        *,
+        max_databases: int = 200_000,
+        memoize: bool = True,
+        optimize_joins: bool = True,
+    ) -> None:
+        from ..analysis.stratify import negation_strata
+
+        if rulebase.has_deletions():
+            raise EvaluationError(
+                "the bottom-up model engine supports the paper's add-only "
+                "language; evaluate hypothetical deletions with the "
+                "top-down engine"
+            )
+        self._rulebase = rulebase
+        layers = negation_strata(rulebase)
+        self._layer_rules: list[tuple[Rule, ...]] = [
+            tuple(
+                item
+                for predicate in layer
+                for item in rulebase.definition(predicate)
+            )
+            for layer in layers
+        ]
+        self._rule_constants = frozenset(rulebase.constants())
+        self._cache: dict[Database, frozenset[Atom]] = {}
+        self._max_databases = max_databases
+        self._memoize = memoize
+        self._optimize_joins = optimize_joins
+        self.stats = EngineStats()
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def domain(self, db: Database) -> list[Constant]:
+        """``dom(R, DB)``: all constants of the rulebase and database."""
+        constants = set(self._rule_constants) | set(db.constants())
+        return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+    def model(self, db: Database) -> frozenset[Atom]:
+        """All ground atoms derivable from ``db`` (Definition 3 + NAF)."""
+        return self._model(db, self.domain(db))
+
+    def ask(self, db: Database, query: Query) -> bool:
+        """Decide a query: an atom, a premise, or premise text.
+
+        Variables in the query are read existentially; a negated
+        premise ``~A`` holds iff no instance of ``A`` is derivable.
+        """
+        premise = self._coerce(query)
+        return self.holds(db, premise)
+
+    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+        """All payload tuples ``t`` with ``pattern[t]`` derivable.
+
+        >>> # answers(db, "grad(S)") -> {("tony",), ("sue",)}
+        """
+        if isinstance(pattern, str):
+            premise = parse_premise(pattern)
+            if not isinstance(premise, Positive):
+                raise EvaluationError("answers() needs a plain atom pattern")
+            pattern = premise.atom
+        model = self.model(db)
+        variables = list(dict.fromkeys(pattern.variables()))
+        results: set[tuple] = set()
+        interp = Interpretation(model)
+        for binding in interp.matches(pattern):
+            results.add(
+                tuple(binding[var].value for var in variables)  # type: ignore[union-attr]
+            )
+        return results
+
+    def holds(self, db: Database, premise: Premise) -> bool:
+        """Decide one premise at a database (variables existential)."""
+        domain = self.domain(db)
+        if isinstance(premise, Negated):
+            return not self._exists(db, Positive(premise.atom), domain)
+        return self._exists(db, premise, domain)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cached_databases(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(query: Query) -> Premise:
+        if isinstance(query, str):
+            return parse_premise(query)
+        if isinstance(query, Atom):
+            return Positive(query)
+        return query
+
+    def _exists(self, db: Database, premise: Premise, domain) -> bool:
+        """Is some grounding of the premise derivable at ``db``?"""
+        if isinstance(premise, Positive):
+            goal = premise.atom
+            model = self._model(db, domain)
+            if goal.is_ground:
+                return goal in model
+            return Interpretation(model).has_match(goal)
+        if isinstance(premise, Hypothetical):
+            unbound = list(dict.fromkeys(premise.variables()))
+            for binding in ground_instances(unbound, domain):
+                grounded = premise.substitute(binding)
+                db2 = db.with_facts(*grounded.additions)
+                model = self._model(db2, domain)
+                if grounded.atom in model:
+                    return True
+            return False
+        raise EvaluationError(f"cannot decide premise {premise}")
+
+    def _model(self, db: Database, domain: Sequence[Constant]) -> frozenset[Atom]:
+        cached = self._cache.get(db)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        if len(self._cache) >= self._max_databases:
+            raise EvaluationError(
+                f"hypothetical evaluation touched more than "
+                f"{self._max_databases} databases; raise max_databases "
+                f"if this is intended"
+            )
+        self.stats.models_computed += 1
+        interp = Interpretation(db)
+        for rules in self._layer_rules:
+            self._close_layer(rules, interp, db, domain)
+        result = interp.to_frozenset()
+        if self._memoize:
+            self._cache[db] = result
+        return result
+
+    def _close_layer(
+        self,
+        rules: tuple[Rule, ...],
+        interp: Interpretation,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> None:
+        changed = True
+        while changed:
+            changed = False
+            self.stats.rule_rounds += 1
+            pending: list[Atom] = []
+            for item in rules:
+                head_variables = set(item.head.variables())
+                bindings = satisfy_body(
+                    item.body,
+                    positive=lambda pattern, current: interp.matches(
+                        pattern, current
+                    ),
+                    hypothetical=lambda premise, current: self._expand_hypothetical(
+                        premise, current, db, interp, domain
+                    ),
+                    negated=lambda pattern, current: not interp.has_match(
+                        pattern, current
+                    ),
+                    ground_first=nonlocal_variables(item),
+                    domain=domain,
+                    optimize=self._optimize_joins,
+                )
+                for binding in bindings:
+                    unbound = [
+                        var for var in head_variables if var not in binding
+                    ]
+                    if unbound:
+                        for grounded in ground_instances(unbound, domain, binding):
+                            pending.append(item.head.substitute(grounded))
+                    else:
+                        pending.append(item.head.substitute(binding))
+            for head in pending:
+                if interp.add(head):
+                    changed = True
+                    self.stats.atoms_derived += 1
+
+    def _expand_hypothetical(
+        self,
+        premise: Hypothetical,
+        binding: Substitution,
+        db: Database,
+        interp: Interpretation,
+        domain: Sequence[Constant],
+    ) -> Iterator[Substitution]:
+        """Bindings under which ``A[add: B...]`` holds at ``db``.
+
+        Free variables of the premise are grounded over the domain
+        (Definition 3).  When the additions are already present the
+        premise collapses to ``A`` inside the current fixpoint; when
+        they are new the engine recurses into the enlarged database.
+        """
+        unbound = [
+            var for var in dict.fromkeys(premise.variables()) if var not in binding
+        ]
+        for grounding in ground_instances(unbound, domain, binding):
+            grounded = premise.substitute(grounding)
+            db2 = db.with_facts(*grounded.additions)
+            if db2 is db:
+                if grounded.atom in interp:
+                    yield grounding
+            else:
+                model = self._model(db2, domain)
+                if grounded.atom in model:
+                    yield grounding

@@ -1,0 +1,398 @@
+"""Proof objects: explicit derivations for ``R, DB |- A``.
+
+The engines answer yes/no; for a consultation-style system (the legal
+applications that motivated hypothetical rules in the first place) a
+*yes* should come with a derivation.  This module provides
+
+* :class:`Proof` — a tree of rule applications.  A node proves one
+  ground atom at one database; its children prove the rule's premises.
+  Hypothetical premises switch databases (the additions/deletions are
+  recorded on the edge); negated premises carry no subproof — negation
+  by failure has no finite constructive witness — but are recorded and
+  re-checked by the verifier.
+* :class:`Explainer` — reconstructs a proof for any provable goal by
+  searching rule choices, using a :class:`TopDownEngine` to prune
+  unprovable branches.
+* :func:`verify_proof` — an *independent* checker: it validates every
+  node against Definition 3 without consulting the explainer (negated
+  premises are re-evaluated with a fresh engine).
+* :func:`format_proof` — indentation-based rendering.
+
+The round trip ``explain -> verify`` is itself a strong test of the
+engines and is exercised in ``tests/test_proofs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.parser import parse_premise
+from ..core.terms import Atom, Constant
+from ..core.unify import Substitution, ground_instances, match
+from .body import nonlocal_variables, ordered_premises
+from .topdown import TopDownEngine
+
+__all__ = ["Proof", "PremiseStep", "Explainer", "verify_proof", "format_proof"]
+
+
+@dataclass(frozen=True)
+class PremiseStep:
+    """One premise of a rule application, with its evidence.
+
+    * positive premise — ``proof`` is the subproof (same database);
+    * hypothetical premise — ``proof`` is the subproof at the updated
+      database (recorded in ``proof.db``);
+    * negated premise — ``proof`` is ``None``; the verifier re-checks
+      that no instance of the (partially grounded) atom is derivable.
+    """
+
+    premise: Premise  # grounded by the rule application's substitution
+    proof: Optional["Proof"]
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A derivation of ``goal`` at ``db``.
+
+    ``rule is None`` means the goal is a database fact (inference rule
+    1); otherwise the node is an application of ``rule`` under
+    ``binding`` (inference rule 3), with one :class:`PremiseStep` per
+    body premise.  Inference rule 2 (hypotheticals) appears as the
+    database change between a step's premise and its subproof.
+    """
+
+    goal: Atom
+    db: Database
+    rule: Optional[Rule] = None
+    steps: tuple[PremiseStep, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return self.rule is None
+
+    def size(self) -> int:
+        """Number of nodes in the proof tree."""
+        return 1 + sum(
+            step.proof.size() for step in self.steps if step.proof is not None
+        )
+
+    def depth(self) -> int:
+        """Height of the proof tree."""
+        inner = [
+            step.proof.depth() for step in self.steps if step.proof is not None
+        ]
+        return 1 + (max(inner) if inner else 0)
+
+
+class Explainer:
+    """Builds :class:`Proof` trees for provable goals.
+
+    The search mirrors the top-down engine's, but keeps enough
+    structure to emit the winning rule applications.  The engine's
+    memo tables prune failing branches, so explanation cost stays close
+    to decision cost.
+    """
+
+    def __init__(self, rulebase: Rulebase) -> None:
+        self._rulebase = rulebase
+        self._engine = TopDownEngine(rulebase)
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    def explain(
+        self, db: Database, query: Union[str, Atom, Premise]
+    ) -> Optional[Proof]:
+        """A proof of the query at ``db``, or ``None`` if unprovable.
+
+        Accepts the same query forms as the engines.  For a
+        hypothetical query the returned proof is rooted at the updated
+        database; for a negated query there is nothing to return, and
+        :class:`EvaluationError` is raised (negation has no witness).
+        """
+        premise = self._coerce(query)
+        if isinstance(premise, Negated):
+            raise EvaluationError(
+                "negated queries have no constructive proof to explain"
+            )
+        domain = self._engine.domain(db)
+        unbound = list(dict.fromkeys(premise.variables()))
+        for binding in ground_instances(unbound, domain):
+            grounded = premise.substitute(binding)
+            if isinstance(grounded, Hypothetical):
+                updated = db.without_facts(*grounded.deletions).with_facts(
+                    *grounded.additions
+                )
+                proof = self._explain_atom(grounded.atom, updated, domain, set())
+            else:
+                proof = self._explain_atom(grounded.atom, db, domain, set())
+            if proof is not None:
+                return proof
+        return None
+
+    @staticmethod
+    def _coerce(query: Union[str, Atom, Premise]) -> Premise:
+        if isinstance(query, str):
+            return parse_premise(query)
+        if isinstance(query, Atom):
+            return Positive(query)
+        return query
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _explain_atom(
+        self,
+        goal: Atom,
+        db: Database,
+        domain: Sequence[Constant],
+        path: set,
+    ) -> Optional[Proof]:
+        if goal in db:
+            return Proof(goal, db)
+        key = (goal, db)
+        if key in path:
+            return None  # minimal proofs never feed a goal to itself
+        if not self._engine.ask(db, goal):
+            return None
+        path.add(key)
+        try:
+            for item in self._rulebase.definition(goal.predicate):
+                head_binding = match(item.head, goal)
+                if head_binding is None:
+                    continue
+                body = ordered_premises(item.body)
+                guard = nonlocal_variables(item)
+                for binding in self._satisfying_bindings(
+                    body, 0, head_binding, db, domain, guard
+                ):
+                    steps = self._build_steps(item, body, binding, db, domain, path)
+                    if steps is not None:
+                        return Proof(goal, db, item, steps)
+        finally:
+            path.discard(key)
+        return None
+
+    def _satisfying_bindings(
+        self,
+        body: Sequence[Premise],
+        position: int,
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+        guard: Sequence = (),
+    ) -> Iterator[Substitution]:
+        """Ground substitutions under which every premise holds."""
+        if position == len(body):
+            yield dict(binding)
+            return
+        premise = body[position]
+        if isinstance(premise, Negated):
+            missing = [var for var in guard if var not in binding]
+            if missing:
+                for grounded in ground_instances(missing, domain, binding):
+                    yield from self._satisfying_bindings(
+                        body, position, grounded, db, domain, ()
+                    )
+                return
+        if isinstance(premise, Positive):
+            seen = set()
+            pattern = premise.atom
+            variables = list(dict.fromkeys(pattern.variables()))
+            for extended in db.matches(pattern, binding):
+                signature = tuple(extended.get(var) for var in variables)
+                seen.add(signature)
+                yield from self._satisfying_bindings(
+                    body, position + 1, extended, db, domain, guard
+                )
+            if self._rulebase.definition(pattern.predicate):
+                unbound = [var for var in variables if var not in binding]
+                for extended in ground_instances(unbound, domain, binding):
+                    signature = tuple(extended.get(var) for var in variables)
+                    if signature in seen:
+                        continue
+                    if self._engine.ask(db, pattern.substitute(extended)):
+                        yield from self._satisfying_bindings(
+                            body, position + 1, extended, db, domain, guard
+                        )
+        elif isinstance(premise, Hypothetical):
+            unbound = [
+                var
+                for var in dict.fromkeys(premise.variables())
+                if var not in binding
+            ]
+            for extended in ground_instances(unbound, domain, binding):
+                grounded = premise.substitute(extended)
+                updated = db.without_facts(*grounded.deletions).with_facts(
+                    *grounded.additions
+                )
+                if self._engine.ask(updated, grounded.atom):
+                    yield from self._satisfying_bindings(
+                        body, position + 1, extended, db, domain, guard
+                    )
+        else:  # Negated: remaining variables are local to the negation
+            pattern = premise.atom.substitute(binding)
+            unbound = list(dict.fromkeys(pattern.variables()))
+            holds = not any(
+                self._engine.ask(db, pattern.substitute(grounding))
+                for grounding in ground_instances(unbound, domain)
+            )
+            if holds:
+                yield from self._satisfying_bindings(
+                    body, position + 1, binding, db, domain, guard
+                )
+
+    def _build_steps(
+        self,
+        item: Rule,
+        body: Sequence[Premise],
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+        path: set,
+    ) -> Optional[tuple[PremiseStep, ...]]:
+        """Recursively prove the premises; None if any subproof fails
+        (possible despite engine-provability when the only derivations
+        run through the current path)."""
+        steps: list[PremiseStep] = []
+        for premise in body:
+            grounded = premise.substitute(binding)
+            if isinstance(grounded, Positive):
+                subproof = self._explain_atom(grounded.atom, db, domain, path)
+                if subproof is None:
+                    return None
+                steps.append(PremiseStep(grounded, subproof))
+            elif isinstance(grounded, Hypothetical):
+                updated = db.without_facts(*grounded.deletions).with_facts(
+                    *grounded.additions
+                )
+                subproof = self._explain_atom(grounded.atom, updated, domain, path)
+                if subproof is None:
+                    return None
+                steps.append(PremiseStep(grounded, subproof))
+            else:
+                steps.append(PremiseStep(grounded, None))
+        return tuple(steps)
+
+
+def verify_proof(rulebase: Rulebase, proof: Proof) -> bool:
+    """Independently check a proof against Definition 3.
+
+    Fact nodes must be database members.  Rule nodes must use a rule of
+    the rulebase whose head matches the goal; each step's premise must
+    be the corresponding body premise under one common substitution;
+    positive subproofs stay at the same database, hypothetical
+    subproofs move to the updated database, and negated premises are
+    re-evaluated with a fresh engine (negation has no witness to
+    check).
+    """
+    engine = TopDownEngine(rulebase)
+    return _verify(rulebase, proof, engine)
+
+
+def _verify(rulebase: Rulebase, proof: Proof, engine: TopDownEngine) -> bool:
+    if proof.rule is None:
+        return proof.goal in proof.db
+    if proof.rule not in rulebase.rules:
+        return False
+    binding = match(proof.rule.head, proof.goal)
+    if binding is None:
+        return False
+    expected = ordered_premises(proof.rule.body)
+    if len(expected) != len(proof.steps):
+        return False
+    # One common substitution must connect the rule to every step.
+    for template, step in zip(expected, proof.steps):
+        extended = _match_premise(template, step.premise, binding)
+        if extended is None:
+            return False
+        binding = extended
+    for step in proof.steps:
+        premise = step.premise
+        if isinstance(premise, Positive):
+            if step.proof is None or step.proof.goal != premise.atom:
+                return False
+            if step.proof.db != proof.db:
+                return False
+            if not _verify(rulebase, step.proof, engine):
+                return False
+        elif isinstance(premise, Hypothetical):
+            if step.proof is None or step.proof.goal != premise.atom:
+                return False
+            updated = proof.db.without_facts(*premise.deletions).with_facts(
+                *premise.additions
+            )
+            if step.proof.db != updated:
+                return False
+            if not _verify(rulebase, step.proof, engine):
+                return False
+        else:  # Negated: re-evaluate
+            if step.proof is not None:
+                return False
+            if engine.ask(proof.db, Negated(premise.atom)) is False:
+                return False
+    return True
+
+
+def _match_premise(
+    template: Premise, grounded: Premise, binding: Substitution
+) -> Optional[Substitution]:
+    """Extend ``binding`` so that ``template`` becomes ``grounded``."""
+    if type(template) is not type(grounded):
+        return None
+    current = match(template.goal.substitute(binding), grounded.goal, binding)
+    if current is None:
+        return None
+    if isinstance(template, Hypothetical):
+        assert isinstance(grounded, Hypothetical)
+        if len(template.additions) != len(grounded.additions):
+            return None
+        if len(template.deletions) != len(grounded.deletions):
+            return None
+        for pattern, target in zip(
+            template.additions + template.deletions,
+            grounded.additions + grounded.deletions,
+        ):
+            current = match(pattern.substitute(current), target, current)
+            if current is None:
+                return None
+    return current
+
+
+def format_proof(proof: Proof, indent: int = 0) -> str:
+    """Indented rendering of a proof tree.
+
+    Fact leaves print as ``atom  [fact]``; rule nodes print the rule
+    they apply; hypothetical steps show the database change.
+    """
+    pad = "  " * indent
+    lines: list[str] = []
+    if proof.is_fact:
+        lines.append(f"{pad}{proof.goal}  [fact in DB]")
+        return "\n".join(lines)
+    lines.append(f"{pad}{proof.goal}  [by rule: {proof.rule}]")
+    for step in proof.steps:
+        premise = step.premise
+        if isinstance(premise, Negated):
+            lines.append(f"{pad}  {premise}  [by failure]")
+        elif isinstance(premise, Hypothetical):
+            changes = []
+            if premise.additions:
+                changes.append(
+                    "+{" + ", ".join(str(a) for a in premise.additions) + "}"
+                )
+            if premise.deletions:
+                changes.append(
+                    "-{" + ", ".join(str(a) for a in premise.deletions) + "}"
+                )
+            lines.append(f"{pad}  [hypothetically {' '.join(changes)}]")
+            lines.append(format_proof(step.proof, indent + 2))
+        else:
+            lines.append(format_proof(step.proof, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,469 @@
+"""The paper's proof procedures for linearly stratified rulebases (Section 5.2).
+
+For a rulebase with linear stratification ``Delta_1, Sigma_1, ...,
+Delta_k, Sigma_k`` the paper defines a cascade of procedures:
+
+* ``PROVE_Sigma_i`` — a nondeterministic, top-down, goal-set procedure
+  for the hypothetical (linear) part of stratum ``i``.  Its three
+  expansion steps mirror the inference rules of Definition 3: a goal in
+  the database succeeds; a hypothetical goal ``B[add:C]`` becomes
+  ``(B, DB + C)``; an atomic goal defined in ``Sigma_i`` is replaced by
+  the premises of one of its rules.  Goals defined below ``Sigma_i``
+  are passed to ``PROVE_Delta_i``.
+* ``PROVE_Delta_i`` — the bottom-up perfect-model procedure of
+  stratified Horn logic (the LFP/T/TEST procedures), except that its
+  ``TEST0`` consults ``PROVE_Sigma_{i-1}`` as an oracle for premises
+  defined below the segment — exactly how an NP machine consults a
+  lower oracle.
+
+This module realizes the cascade deterministically:
+
+* the nondeterministic choices of ``PROVE_Sigma_i`` become exhaustive
+  depth-first search with cycle cutting and memoization of proven and
+  refuted goals (a refuted goal is only cached when its subtree hit no
+  cycle, which keeps the search complete);
+* ``PROVE_Delta_i`` materializes the perfect model of ``Delta_i`` at a
+  database once and memoizes it per ``(stratum, database)``, so the
+  many ``TEST0`` calls of the paper become dictionary lookups.
+
+The prover also keeps the counters needed by experiment E9: the number
+of sigma goals expanded bounds the length of the paper's "proof
+sequences", which Appendix A (Theorem 3) proves polynomial in the
+domain size for linear rulebases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from ..analysis.stratify import (
+    LinearStratification,
+    linear_stratification,
+    negation_strata,
+)
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.parser import parse_premise
+from ..core.terms import Atom, Constant, Variable
+from ..core.unify import Substitution, ground_instances, match
+from .body import nonlocal_variables, satisfy_body
+from .interpretation import Interpretation
+
+__all__ = ["LinearStratifiedProver", "ProverStats"]
+
+Query = Union[str, Atom, Premise]
+
+
+class ProverStats:
+    """Work counters for a :class:`LinearStratifiedProver`."""
+
+    __slots__ = (
+        "sigma_goals",
+        "sigma_cache_hits",
+        "delta_models",
+        "delta_cache_hits",
+        "cycles_cut",
+        "max_depth",
+    )
+
+    def __init__(self) -> None:
+        self.sigma_goals = 0
+        self.sigma_cache_hits = 0
+        self.delta_models = 0
+        self.delta_cache_hits = 0
+        self.cycles_cut = 0
+        self.max_depth = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"ProverStats({inner})"
+
+
+class LinearStratifiedProver:
+    """Goal-directed prover implementing PROVE_Sigma / PROVE_Delta.
+
+    Parameters
+    ----------
+    rulebase:
+        Must be linearly stratified; :class:`StratificationError` is
+        raised otherwise (use :class:`~repro.engine.model.PerfectModelEngine`
+        for the general language).
+    stratification:
+        A precomputed stratification, if the caller already has one.
+    memoize:
+        Disable the proven/refuted goal caches and the delta-model
+        cache for the E13 ablation bench.
+    """
+
+    def __init__(
+        self,
+        rulebase: Rulebase,
+        stratification: Optional[LinearStratification] = None,
+        *,
+        memoize: bool = True,
+        optimize_joins: bool = True,
+    ) -> None:
+        if rulebase.has_deletions():
+            raise EvaluationError(
+                "the PROVE cascade covers the paper's add-only language; "
+                "evaluate hypothetical deletions with the top-down engine"
+            )
+        self._rulebase = rulebase
+        self._strat = stratification or linear_stratification(rulebase)
+        self._rule_constants = frozenset(rulebase.constants())
+        self._memoize = memoize
+        self._optimize_joins = optimize_joins
+        # Delta segments, split into their internal negation layers.
+        self._delta_layers: dict[int, list[tuple[Rule, ...]]] = {}
+        for stratum in range(1, self._strat.k + 1):
+            delta_rules = self._strat.delta(stratum)
+            segment = Rulebase(delta_rules)
+            layers: list[tuple[Rule, ...]] = []
+            for component in negation_strata(segment):
+                group = tuple(
+                    item
+                    for predicate in component
+                    for item in segment.definition(predicate)
+                )
+                if group:
+                    layers.append(group)
+            self._delta_layers[stratum] = layers
+        # Caches.
+        self._sigma_true: set[tuple[Atom, Database]] = set()
+        self._sigma_false: set[tuple[Atom, Database]] = set()
+        self._delta_cache: dict[tuple[int, Database], Interpretation] = {}
+        self._path: set[tuple[Atom, Database]] = set()
+        self._cycle_events = 0
+        self._delta_in_progress: set[tuple[int, Database]] = set()
+        self.stats = ProverStats()
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    @property
+    def stratification(self) -> LinearStratification:
+        return self._strat
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def domain(self, db: Database) -> list[Constant]:
+        """``dom(R, DB)``."""
+        constants = set(self._rule_constants) | set(db.constants())
+        return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+    def ask(self, db: Database, query: Query) -> bool:
+        """Decide a query (atom, premise, or premise text).
+
+        Variables are read existentially; ``~A`` holds iff no instance
+        of ``A`` is provable.
+        """
+        premise = self._coerce(query)
+        domain = self.domain(db)
+        if isinstance(premise, Negated):
+            return not self._exists(Positive(premise.atom), db, domain)
+        return self._exists(premise, db, domain)
+
+    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+        """All payload tuples making the pattern provable."""
+        if isinstance(pattern, str):
+            premise = parse_premise(pattern)
+            if not isinstance(premise, Positive):
+                raise EvaluationError("answers() needs a plain atom pattern")
+            pattern = premise.atom
+        domain = self.domain(db)
+        variables = list(dict.fromkeys(pattern.variables()))
+        results: set[tuple] = set()
+        for binding in ground_instances(variables, domain):
+            if self._decide(Positive(pattern.substitute(binding)), db):
+                results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
+        return results
+
+    def clear_caches(self) -> None:
+        self._sigma_true.clear()
+        self._sigma_false.clear()
+        self._delta_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch (the PROVE cascade)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(query: Query) -> Premise:
+        if isinstance(query, str):
+            return parse_premise(query)
+        if isinstance(query, Atom):
+            return Positive(query)
+        return query
+
+    def _exists(self, premise: Premise, db: Database, domain) -> bool:
+        unbound = list(dict.fromkeys(premise.variables()))
+        for binding in ground_instances(unbound, domain):
+            if self._decide(premise.substitute(binding), db):
+                return True
+        return False
+
+    def _decide(self, premise: Premise, db: Database) -> bool:
+        """Decide a ground premise — the full PROVE cascade.
+
+        Dispatches on where the goal predicate is defined, which is
+        exactly where the paper's cascade would eventually route it.
+        """
+        if isinstance(premise, Hypothetical):
+            enlarged = db.with_facts(*premise.additions)
+            return self._decide(Positive(premise.atom), enlarged)
+        if isinstance(premise, Negated):
+            return not self._decide(Positive(premise.atom), db)
+        goal = premise.atom
+        if goal in db:  # line 1 of PROVE_Sigma / TEST0
+            return True
+        segment = self._strat.segment_of(goal.predicate)
+        if segment == 0:  # EDB predicate, not a fact
+            return False
+        stratum = (segment + 1) // 2
+        if segment % 2 == 0:
+            return self._sigma_search(stratum, goal, db)
+        return goal in self._delta_model(stratum, db)
+
+    # ------------------------------------------------------------------
+    # PROVE_Sigma_i: top-down search over linear hypothetical rules
+    # ------------------------------------------------------------------
+
+    def _sigma_search(self, stratum: int, goal: Atom, db: Database) -> bool:
+        """Exhaustive realization of the nondeterministic goal search."""
+        key = (goal, db)
+        if key in self._sigma_true:
+            self.stats.sigma_cache_hits += 1
+            return True
+        if key in self._sigma_false:
+            self.stats.sigma_cache_hits += 1
+            return False
+        if key in self._path:
+            # A goal may not feed its own proof: cut this branch.  The
+            # result is not cached — another branch may still prove it.
+            self._cycle_events += 1
+            self.stats.cycles_cut += 1
+            return False
+
+        self.stats.sigma_goals += 1
+        self._path.add(key)
+        self.stats.max_depth = max(self.stats.max_depth, len(self._path))
+        cycles_before = self._cycle_events
+        domain = self.domain(db)
+        proven = False
+        for item in self._rulebase.definition(goal.predicate):
+            binding = match(item.head, goal)
+            if binding is None:
+                continue
+            for _ in self._sigma_body(stratum, item, binding, db, domain):
+                proven = True
+                break
+            if proven:
+                break
+        self._path.discard(key)
+        if proven:
+            if self._memoize:
+                self._sigma_true.add(key)
+            return True
+        if self._memoize and self._cycle_events == cycles_before:
+            # Exhaustive failure with no cycle cut anywhere below:
+            # safe to remember as refuted.
+            self._sigma_false.add(key)
+        return False
+
+    def _sigma_body(
+        self,
+        stratum: int,
+        item: Rule,
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> Iterator[Substitution]:
+        """Bindings satisfying a Sigma rule body (goal-set expansion)."""
+        return satisfy_body(
+            item.body,
+            binding=binding,
+            ground_first=nonlocal_variables(item),
+            domain=domain,
+            optimize=self._optimize_joins,
+            positive=lambda pattern, current: self._match_atom(
+                pattern, current, db, domain
+            ),
+            hypothetical=lambda premise, current: self._expand_hypothetical(
+                premise, current, db, domain
+            ),
+            negated=lambda pattern, current: self._test_negated(
+                pattern, current, db, domain
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Premise evaluation shared by the Sigma search and Delta models
+    # ------------------------------------------------------------------
+
+    def _match_atom(
+        self,
+        pattern: Atom,
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> Iterator[Substitution]:
+        """Enumerate bindings making a positive premise provable.
+
+        Facts in the database come first (line 1 / TEST0's first case),
+        then derivations: predicates defined in a Delta segment are
+        matched against that segment's materialized perfect model;
+        predicates defined in a Sigma segment are grounded over the
+        domain and searched goal-directedly.
+        """
+        seen: set[tuple] = set()
+        pattern_variables = list(dict.fromkeys(pattern.variables()))
+
+        def emit(extended: Substitution) -> Iterator[Substitution]:
+            signature = tuple(extended.get(var) for var in pattern_variables)
+            if signature not in seen:
+                seen.add(signature)
+                yield extended
+
+        for extended in db.matches(pattern, binding):
+            yield from emit(extended)
+
+        segment = self._strat.segment_of(pattern.predicate)
+        if segment == 0:
+            return
+        stratum = (segment + 1) // 2
+        if segment % 2 == 1:
+            model = self._delta_model(stratum, db)
+            for extended in model.matches(pattern, binding):
+                yield from emit(extended)
+        else:
+            unbound = [var for var in pattern_variables if var not in binding]
+            for grounding in ground_instances(unbound, domain, binding):
+                goal = pattern.substitute(grounding)
+                if self._sigma_search(stratum, goal, db):
+                    yield from emit(grounding)
+
+    def _expand_hypothetical(
+        self,
+        premise: Hypothetical,
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> Iterator[Substitution]:
+        """Ground the premise and decide it at the enlarged database."""
+        unbound = [
+            var for var in dict.fromkeys(premise.variables()) if var not in binding
+        ]
+        for grounding in ground_instances(unbound, domain, binding):
+            grounded = premise.substitute(grounding)
+            if self._decide(grounded, db):
+                yield grounding
+
+    def _test_negated(
+        self,
+        pattern: Atom,
+        binding: Substitution,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> bool:
+        """Negation as failure with local variables inside the negation."""
+        if db.has_match(pattern, binding):
+            return False
+        segment = self._strat.segment_of(pattern.predicate)
+        if segment == 0:
+            return True
+        stratum = (segment + 1) // 2
+        if segment % 2 == 1:
+            return not self._delta_model(stratum, db).has_match(pattern, binding)
+        unbound = [
+            var
+            for var in dict.fromkeys(pattern.variables())
+            if var not in binding
+        ]
+        for grounding in ground_instances(unbound, domain, binding):
+            if self._sigma_search(stratum, pattern.substitute(grounding), db):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # PROVE_Delta_i: materialized perfect model per (stratum, database)
+    # ------------------------------------------------------------------
+
+    def _delta_model(self, stratum: int, db: Database) -> Interpretation:
+        """Perfect model of Delta_stratum at ``db`` (plus the db facts).
+
+        Premises over predicates defined below the segment are decided
+        through the cascade — the paper's TEST0 oracle calls.
+        """
+        key = (stratum, db)
+        cached = self._delta_cache.get(key)
+        if cached is not None:
+            self.stats.delta_cache_hits += 1
+            return cached
+        if key in self._delta_in_progress:  # pragma: no cover - guarded by H-strat
+            raise EvaluationError(
+                f"recursive Delta_{stratum} model computation; the "
+                f"stratification is inconsistent"
+            )
+        self._delta_in_progress.add(key)
+        self.stats.delta_models += 1
+        domain = self.domain(db)
+        segment = 2 * stratum - 1
+        own = self._strat.predicates_in_segment(segment)
+        interp = Interpretation(db)
+
+        def positive(pattern: Atom, current: Substitution) -> Iterator[Substitution]:
+            if pattern.predicate in own:
+                yield from interp.matches(pattern, current)
+            else:
+                yield from self._match_atom(pattern, current, db, domain)
+
+        def negated(pattern: Atom, current: Substitution) -> bool:
+            if pattern.predicate in own:
+                return not interp.has_match(pattern, current)
+            return self._test_negated(pattern, current, db, domain)
+
+        def hypothetical(
+            premise: Hypothetical, current: Substitution
+        ) -> Iterator[Substitution]:
+            return self._expand_hypothetical(premise, current, db, domain)
+
+        for group in self._delta_layers.get(stratum, []):
+            changed = True
+            while changed:
+                changed = False
+                pending: list[Atom] = []
+                for item in group:
+                    head_variables = set(item.head.variables())
+                    for current in satisfy_body(
+                        item.body,
+                        positive=positive,
+                        hypothetical=hypothetical,
+                        negated=negated,
+                        ground_first=nonlocal_variables(item),
+                        domain=domain,
+                        optimize=self._optimize_joins,
+                    ):
+                        unbound = [
+                            var for var in head_variables if var not in current
+                        ]
+                        if unbound:
+                            for grounded in ground_instances(
+                                unbound, domain, current
+                            ):
+                                pending.append(item.head.substitute(grounded))
+                        else:
+                            pending.append(item.head.substitute(current))
+                for head in pending:
+                    if interp.add(head):
+                        changed = True
+        self._delta_in_progress.discard(key)
+        if self._memoize:
+            self._delta_cache[key] = interp
+        return interp

@@ -1,0 +1,125 @@
+"""High-level query API.
+
+Most users want to load a rulebase, pick a database, and ask queries
+without choosing an engine.  :class:`Session` does exactly that: it
+classifies the rulebase, selects the paper's
+:class:`~repro.engine.prove.LinearStratifiedProver` when a linear
+stratification exists, and falls back to the goal-directed
+:class:`~repro.engine.topdown.TopDownEngine` (the general PSPACE
+language) otherwise.  The bottom-up
+:class:`~repro.engine.model.PerfectModelEngine` is available on request
+(``engine="model"``) as the declarative reference.
+
+Module-level :func:`ask` and :func:`answers` are one-shot conveniences;
+build a :class:`Session` when issuing several queries so caches are
+shared.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..analysis.classify import ComplexityReport, classify
+from ..analysis.stratify import is_linearly_stratified
+from ..core.ast import Premise, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.terms import Atom
+from .model import PerfectModelEngine
+from .prove import LinearStratifiedProver
+from .topdown import TopDownEngine
+
+__all__ = ["Session", "ask", "answers"]
+
+Query = Union[str, Atom, Premise]
+Engine = Union[PerfectModelEngine, LinearStratifiedProver, TopDownEngine]
+
+
+class Session:
+    """A rulebase plus a chosen evaluation engine.
+
+    ``engine`` may be:
+
+    * ``"auto"`` (default) — ``"prove"`` when the rulebase is linearly
+      stratified, ``"topdown"`` otherwise;
+    * ``"prove"`` — the paper's Section 5.2 PROVE cascade (requires
+      linear stratification);
+    * ``"topdown"`` — tabled goal-directed search, full language;
+    * ``"model"`` — the bottom-up reference evaluator (computes whole
+      perfect models; may be infeasible on rulebases whose hypothetical
+      recursion touches very many databases).
+    """
+
+    def __init__(self, rulebase: Rulebase, engine: str = "auto") -> None:
+        self._rulebase = rulebase
+        if engine == "auto":
+            engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
+        if engine == "prove":
+            self._engine: Engine = LinearStratifiedProver(rulebase)
+        elif engine == "topdown":
+            self._engine = TopDownEngine(rulebase)
+        elif engine == "model":
+            self._engine = PerfectModelEngine(rulebase)
+        else:
+            raise EvaluationError(
+                f"unknown engine {engine!r}; use 'auto', 'prove', "
+                f"'topdown', or 'model'"
+            )
+        self._engine_name = engine
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def engine_name(self) -> str:
+        return self._engine_name
+
+    def ask(self, db: Database, query: Query) -> bool:
+        """Decide a query: ``R, DB |- query``?
+
+        Accepts an atom, a premise object, or premise text such as
+        ``"grad(tony)[add: take(tony, cs452)]"``.  Variables are read
+        existentially.
+        """
+        return self._engine.ask(db, query)
+
+    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+        """All payload tuples satisfying an atom pattern.
+
+        ``session.answers(db, "grad(S)")`` returns ``{("tony",), ...}``.
+        """
+        return self._engine.answers(db, pattern)
+
+    def classify(self) -> ComplexityReport:
+        """Theorem 1 classification of this session's rulebase."""
+        return classify(self._rulebase)
+
+    def explain(self, db: Database, query: Query):
+        """A :class:`~repro.engine.proofs.Proof` for a provable query,
+        or ``None``.  Backed by a lazily created Explainer (shared
+        across calls so its caches persist)."""
+        if not hasattr(self, "_explainer"):
+            from .proofs import Explainer
+
+            self._explainer = Explainer(self._rulebase)
+        return self._explainer.explain(db, query)
+
+
+def ask(rulebase: Rulebase, db: Database, query: Query, engine: str = "auto") -> bool:
+    """One-shot :meth:`Session.ask`."""
+    return Session(rulebase, engine).ask(db, query)
+
+
+def answers(
+    rulebase: Rulebase,
+    db: Database,
+    pattern: Union[str, Atom],
+    engine: str = "auto",
+) -> set[tuple]:
+    """One-shot :meth:`Session.answers`."""
+    return Session(rulebase, engine).answers(db, pattern)

@@ -1,0 +1,117 @@
+"""Stratified Datalog-with-negation substrate (no hypotheticals).
+
+This is the "familiar bottom-up procedure of stratified Horn-logic"
+that the paper's ``PROVE_Delta`` procedures build on (reference [1],
+Apt-Blair-Walker; the perfect model of Przymusinski [20]).  Strata are
+the mutual-recursion classes in dependency order; each stratum is
+closed under its rules by fixpoint iteration, with negated premises
+decided against the already-completed lower strata.
+
+Hypothetical premises are rejected here — they belong to
+:mod:`repro.engine.model` (reference evaluation) and
+:mod:`repro.engine.prove` (the paper's proof procedures).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.ast import Hypothetical, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.terms import Atom, Constant
+from ..core.unify import ground_instances
+from .body import nonlocal_variables, satisfy_body
+from .interpretation import Interpretation
+
+__all__ = ["perfect_model", "stratified_holds"]
+
+
+def _domain_of(rulebase: Rulebase, db: Database) -> list[Constant]:
+    constants = set(rulebase.constants()) | set(db.constants())
+    return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+
+def perfect_model(
+    rulebase: Rulebase,
+    db: Database,
+    domain: Optional[Sequence[Constant]] = None,
+    optimize_joins: bool = True,
+) -> Interpretation:
+    """Compute the perfect model of a stratified Datalog¬ program.
+
+    Raises :class:`StratificationError` (via
+    :func:`~repro.analysis.stratify.negation_strata`) if negation is
+    recursive and :class:`EvaluationError` if a rule has a hypothetical
+    premise.
+    """
+    from ..analysis.stratify import negation_strata
+
+    for item in rulebase:
+        if any(isinstance(premise, Hypothetical) for premise in item.body):
+            raise EvaluationError(
+                f"stratified substrate cannot evaluate hypothetical rule: {item}"
+            )
+
+    if domain is None:
+        domain = _domain_of(rulebase, db)
+    layers = negation_strata(rulebase)
+    interp = Interpretation(db)
+    for layer in layers:
+        layer_rules = [
+            item for predicate in layer for item in rulebase.definition(predicate)
+        ]
+        _close_layer(layer_rules, interp, domain, optimize_joins)
+    return interp
+
+
+def _close_layer(
+    rules: Sequence[Rule],
+    interp: Interpretation,
+    domain: Sequence[Constant],
+    optimize_joins: bool = True,
+) -> None:
+    """Fixpoint of one stratum's rules over a growing interpretation."""
+
+    def reject_hypothetical(premise, binding):  # pragma: no cover - guarded above
+        raise EvaluationError("hypothetical premise in stratified substrate")
+
+    guards = {item: nonlocal_variables(item) for item in rules}
+    changed = True
+    while changed:
+        changed = False
+        pending: list[Atom] = []
+        for item in rules:
+            head_variables = set(item.head.variables())
+            for binding in satisfy_body(
+                item.body,
+                positive=lambda pattern, current: interp.matches(pattern, current),
+                hypothetical=reject_hypothetical,
+                negated=lambda pattern, current: not interp.has_match(
+                    pattern, current
+                ),
+                ground_first=guards[item],
+                domain=domain,
+                optimize=optimize_joins,
+            ):
+                unbound = [var for var in head_variables if var not in binding]
+                if unbound:
+                    for grounded in ground_instances(unbound, domain, binding):
+                        pending.append(item.head.substitute(grounded))
+                else:
+                    pending.append(item.head.substitute(binding))
+        for head in pending:
+            if interp.add(head):
+                changed = True
+
+
+def stratified_holds(rulebase: Rulebase, db: Database, goal: Atom) -> bool:
+    """Convenience wrapper: is a ground goal in the perfect model?
+
+    For patterns with variables, any matching instance counts
+    (existential reading).
+    """
+    model = perfect_model(rulebase, db)
+    if goal.is_ground:
+        return goal in model
+    return model.has_match(goal)

@@ -1,0 +1,279 @@
+"""Tabled top-down evaluator for the full hypothetical language.
+
+The bottom-up reference engine (:mod:`repro.engine.model`) computes the
+*entire* perfect model of every database it touches.  That is the
+cleanest reading of the declarative semantics, but on rulebases like
+Example 3 — where a hypothetical premise re-enters its own predicate at
+an enlarged database — the whole-model strategy materializes models for
+astronomically many databases even though any *particular* query only
+needs a handful of facts.
+
+This engine decides goals instead: ``R, DB |- A`` is evaluated by
+depth-first search over rule choices with
+
+* memoization of proven goals per ``(atom, database)``;
+* cycle cutting — a goal may not feed its own proof with the same
+  database (minimal proofs never need that), and a refutation computed
+  under a cycle cut is *not* cached, which keeps the search complete;
+* negation-as-failure by exhaustively refuting the negated atom's
+  instances.  Soundness needs classic stratified negation (checked at
+  construction): a negated predicate sits strictly below the querying
+  rule, so its decision can never depend on an in-progress goal.
+
+This is the evaluator of choice for rulebases outside the linearly
+stratified fragment (where :class:`~repro.engine.prove.LinearStratifiedProver`
+does not apply): Example 3's joint-degree policy, Example 10, and any
+other PSPACE-fragment program with bounded *goal-directed* behaviour.
+The worst case is of course still exponential — Theorem 1 guarantees
+that much.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.parser import parse_premise
+from ..core.terms import Atom, Constant, Variable
+from ..core.unify import Substitution, ground_instances, match
+from .body import greedy_positive_order, nonlocal_variables, ordered_premises
+
+__all__ = ["TopDownEngine", "TopDownStats"]
+
+Query = Union[str, Atom, Premise]
+
+
+class TopDownStats:
+    """Work counters for a :class:`TopDownEngine`."""
+
+    __slots__ = ("goals", "cache_hits", "cycles_cut", "max_depth")
+
+    def __init__(self) -> None:
+        self.goals = 0
+        self.cache_hits = 0
+        self.cycles_cut = 0
+        self.max_depth = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"TopDownStats({inner})"
+
+
+class TopDownEngine:
+    """Goal-directed evaluator with tabling for hypothetical Datalog¬."""
+
+    def __init__(
+        self,
+        rulebase: Rulebase,
+        *,
+        memoize: bool = True,
+        optimize_joins: bool = True,
+    ) -> None:
+        from ..analysis.stratify import negation_strata
+
+        negation_strata(rulebase)  # raises if negation is recursive
+        self._rulebase = rulebase
+        self._rule_constants = frozenset(rulebase.constants())
+        self._memoize = memoize
+        self._optimize_joins = optimize_joins
+        self._true: set[tuple[Atom, Database]] = set()
+        self._false: set[tuple[Atom, Database]] = set()
+        self._path: set[tuple[Atom, Database]] = set()
+        self._cycle_events = 0
+        self.stats = TopDownStats()
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors the other engines)
+    # ------------------------------------------------------------------
+
+    def domain(self, db: Database) -> list[Constant]:
+        """``dom(R, DB)``."""
+        constants = set(self._rule_constants) | set(db.constants())
+        return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+    def ask(self, db: Database, query: Query) -> bool:
+        """Decide a query (variables existential; ``~A`` is not-exists)."""
+        premise = self._coerce(query)
+        domain = self.domain(db)
+        if isinstance(premise, Negated):
+            return not self._exists(Positive(premise.atom), db, domain)
+        return self._exists(premise, db, domain)
+
+    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+        """All payload tuples making the pattern provable."""
+        if isinstance(pattern, str):
+            premise = parse_premise(pattern)
+            if not isinstance(premise, Positive):
+                raise EvaluationError("answers() needs a plain atom pattern")
+            pattern = premise.atom
+        domain = self.domain(db)
+        variables = list(dict.fromkeys(pattern.variables()))
+        results: set[tuple] = set()
+        for binding in ground_instances(variables, domain):
+            if self._decide(pattern.substitute(binding), db, domain):
+                results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
+        return results
+
+    def clear_caches(self) -> None:
+        self._true.clear()
+        self._false.clear()
+
+    # ------------------------------------------------------------------
+    # The search
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(query: Query) -> Premise:
+        if isinstance(query, str):
+            return parse_premise(query)
+        if isinstance(query, Atom):
+            return Positive(query)
+        return query
+
+    def _exists(self, premise: Premise, db: Database, domain) -> bool:
+        unbound = list(dict.fromkeys(premise.variables()))
+        for binding in ground_instances(unbound, domain):
+            if self._decide_premise(premise.substitute(binding), db, domain):
+                return True
+        return False
+
+    def _decide_premise(self, premise: Premise, db: Database, domain) -> bool:
+        if isinstance(premise, Hypothetical):
+            updated = db.without_facts(*premise.deletions).with_facts(
+                *premise.additions
+            )
+            return self._decide(premise.atom, updated, domain)
+        if isinstance(premise, Negated):
+            return not self._decide(premise.atom, db, domain)
+        return self._decide(premise.atom, db, domain)
+
+    def _decide(self, goal: Atom, db: Database, domain) -> bool:
+        """Is the ground atom derivable at ``db``?"""
+        if goal in db:
+            return True
+        if not self._rulebase.definition(goal.predicate):
+            return False
+        key = (goal, db)
+        if key in self._true:
+            self.stats.cache_hits += 1
+            return True
+        if key in self._false:
+            self.stats.cache_hits += 1
+            return False
+        if key in self._path:
+            self._cycle_events += 1
+            self.stats.cycles_cut += 1
+            return False
+        self.stats.goals += 1
+        self._path.add(key)
+        self.stats.max_depth = max(self.stats.max_depth, len(self._path))
+        cycles_before = self._cycle_events
+        proven = False
+        for item in self._rulebase.definition(goal.predicate):
+            binding = match(item.head, goal)
+            if binding is None:
+                continue
+            body = ordered_premises(item.body)
+            if self._optimize_joins:
+                positives = [p for p in body if isinstance(p, Positive)]
+                rest = [p for p in body if not isinstance(p, Positive)]
+                body = list(greedy_positive_order(positives, binding.keys())) + rest
+            guard = nonlocal_variables(item)
+            if self._satisfy(body, 0, binding, db, domain, guard):
+                proven = True
+                break
+        self._path.discard(key)
+        if proven:
+            if self._memoize:
+                self._true.add(key)
+            return True
+        if self._memoize and self._cycle_events == cycles_before:
+            self._false.add(key)
+        return False
+
+    def _satisfy(
+        self,
+        body: Sequence[Premise],
+        position: int,
+        binding: Substitution,
+        db: Database,
+        domain,
+        guard: Sequence[Variable] = (),
+    ) -> bool:
+        """Can the body from ``position`` on be satisfied under binding?
+
+        ``guard`` lists the rule's non-local variables; any still
+        unbound when the first negated premise is reached are grounded
+        over the domain first (Definition 3 quantifies them outside
+        the negation).
+        """
+        if position == len(body):
+            return True
+        premise = body[position]
+        if isinstance(premise, Positive):
+            for extended in self._match_positive(premise.atom, binding, db, domain):
+                if self._satisfy(body, position + 1, extended, db, domain, guard):
+                    return True
+            return False
+        if isinstance(premise, Hypothetical):
+            unbound = [
+                var
+                for var in dict.fromkeys(premise.variables())
+                if var not in binding
+            ]
+            for grounding in ground_instances(unbound, domain, binding):
+                grounded = premise.substitute(grounding)
+                updated = db.without_facts(*grounded.deletions).with_facts(
+                    *grounded.additions
+                )
+                if self._decide(grounded.atom, updated, domain):
+                    if self._satisfy(body, position + 1, grounding, db, domain, guard):
+                        return True
+            return False
+        # Negated premises: ground the rule's remaining non-local
+        # variables first, then read leftover (truly local) variables
+        # as quantified inside the negation.
+        missing = [var for var in guard if var not in binding]
+        if missing:
+            for grounded in ground_instances(missing, domain, binding):
+                if self._satisfy(body, position, grounded, db, domain, ()):
+                    return True
+            return False
+        pattern = premise.atom.substitute(binding)
+        unbound = list(dict.fromkeys(pattern.variables()))
+        for grounding in ground_instances(unbound, domain):
+            if self._decide(pattern.substitute(grounding), db, domain):
+                return False
+        return self._satisfy(body, position + 1, binding, db, domain, guard)
+
+    def _match_positive(
+        self, pattern: Atom, binding: Substitution, db: Database, domain
+    ) -> Iterator[Substitution]:
+        """Bindings making a positive premise hold: database matches
+        first, then derived instances over the domain."""
+        seen: set[tuple] = set()
+        variables = list(dict.fromkeys(pattern.variables()))
+        for extended in db.matches(pattern, binding):
+            signature = tuple(extended.get(var) for var in variables)
+            if signature not in seen:
+                seen.add(signature)
+                yield extended
+        if not self._rulebase.definition(pattern.predicate):
+            return
+        unbound = [var for var in variables if var not in binding]
+        for grounding in ground_instances(unbound, domain, binding):
+            signature = tuple(grounding.get(var) for var in variables)
+            if signature in seen:
+                continue
+            if self._decide(pattern.substitute(grounding), db, domain):
+                seen.add(signature)
+                yield grounding

@@ -1,0 +1,23 @@
+"""Serialization of rulebases and databases."""
+
+from .serialize import (
+    database_from_dict,
+    database_to_dict,
+    dumps_database,
+    dumps_rulebase,
+    loads_database,
+    loads_rulebase,
+    rulebase_from_dict,
+    rulebase_to_dict,
+)
+
+__all__ = [
+    "rulebase_to_dict",
+    "rulebase_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+    "dumps_rulebase",
+    "loads_rulebase",
+    "dumps_database",
+    "loads_database",
+]

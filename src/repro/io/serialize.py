@@ -1,0 +1,153 @@
+"""JSON serialization of rulebases and databases.
+
+The dict layout is stable and version-tagged so saved artifacts keep
+loading across library versions.  Terms are tagged dictionaries
+(``{"var": "X"}`` / ``{"const": "a"}``); integers survive the round
+trip because JSON distinguishes them from strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import ValidationError
+from ..core.terms import Atom, Constant, Term, Variable
+
+__all__ = [
+    "rulebase_to_dict",
+    "rulebase_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+    "dumps_rulebase",
+    "loads_rulebase",
+    "dumps_database",
+    "loads_database",
+]
+
+_FORMAT = 1
+
+
+def _term_to_dict(term: Term) -> dict[str, Any]:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    return {"const": term.value}
+
+
+def _term_from_dict(data: dict[str, Any]) -> Term:
+    if "var" in data:
+        return Variable(data["var"])
+    if "const" in data:
+        return Constant(data["const"])
+    raise ValidationError(f"not a term: {data!r}")
+
+
+def _atom_to_dict(atom: Atom) -> dict[str, Any]:
+    return {
+        "predicate": atom.predicate,
+        "args": [_term_to_dict(term) for term in atom.args],
+    }
+
+
+def _atom_from_dict(data: dict[str, Any]) -> Atom:
+    return Atom(
+        data["predicate"], tuple(_term_from_dict(term) for term in data["args"])
+    )
+
+
+def _premise_to_dict(premise: Premise) -> dict[str, Any]:
+    if isinstance(premise, Positive):
+        return {"kind": "positive", "atom": _atom_to_dict(premise.atom)}
+    if isinstance(premise, Negated):
+        return {"kind": "negated", "atom": _atom_to_dict(premise.atom)}
+    payload = {
+        "kind": "hypothetical",
+        "atom": _atom_to_dict(premise.atom),
+        "additions": [_atom_to_dict(atom) for atom in premise.additions],
+    }
+    if premise.deletions:
+        payload["deletions"] = [_atom_to_dict(atom) for atom in premise.deletions]
+    return payload
+
+
+def _premise_from_dict(data: dict[str, Any]) -> Premise:
+    kind = data.get("kind")
+    atom = _atom_from_dict(data["atom"])
+    if kind == "positive":
+        return Positive(atom)
+    if kind == "negated":
+        return Negated(atom)
+    if kind == "hypothetical":
+        return Hypothetical(
+            atom,
+            tuple(_atom_from_dict(item) for item in data["additions"]),
+            tuple(_atom_from_dict(item) for item in data.get("deletions", ())),
+        )
+    raise ValidationError(f"unknown premise kind {kind!r}")
+
+
+def rulebase_to_dict(rulebase: Rulebase) -> dict[str, Any]:
+    """A JSON-safe dict for a rulebase."""
+    return {
+        "format": _FORMAT,
+        "rules": [
+            {
+                "head": _atom_to_dict(item.head),
+                "body": [_premise_to_dict(premise) for premise in item.body],
+            }
+            for item in rulebase
+        ],
+    }
+
+
+def rulebase_from_dict(data: dict[str, Any]) -> Rulebase:
+    """Inverse of :func:`rulebase_to_dict`."""
+    if data.get("format") != _FORMAT:
+        raise ValidationError(f"unsupported rulebase format {data.get('format')!r}")
+    return Rulebase(
+        Rule(
+            _atom_from_dict(item["head"]),
+            tuple(_premise_from_dict(premise) for premise in item["body"]),
+        )
+        for item in data["rules"]
+    )
+
+
+def database_to_dict(db: Database) -> dict[str, Any]:
+    """A JSON-safe dict for a database (facts sorted for stability)."""
+    return {
+        "format": _FORMAT,
+        "facts": [
+            _atom_to_dict(item)
+            for item in sorted(db, key=lambda atom: (atom.predicate, str(atom)))
+        ],
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> Database:
+    """Inverse of :func:`database_to_dict`."""
+    if data.get("format") != _FORMAT:
+        raise ValidationError(f"unsupported database format {data.get('format')!r}")
+    return Database(_atom_from_dict(item) for item in data["facts"])
+
+
+def dumps_rulebase(rulebase: Rulebase, **kwargs: Any) -> str:
+    """Rulebase to JSON text."""
+    return json.dumps(rulebase_to_dict(rulebase), **kwargs)
+
+
+def loads_rulebase(text: str) -> Rulebase:
+    """Rulebase from JSON text."""
+    return rulebase_from_dict(json.loads(text))
+
+
+def dumps_database(db: Database, **kwargs: Any) -> str:
+    """Database to JSON text."""
+    return json.dumps(database_to_dict(db), **kwargs)
+
+
+def loads_database(text: str) -> Database:
+    """Database from JSON text."""
+    return database_from_dict(json.loads(text))

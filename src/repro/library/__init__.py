@@ -1,0 +1,52 @@
+"""Ready-made rulebases for every worked example in the paper.
+
+================  =====================================================
+Module            Paper locus
+================  =====================================================
+``university``    Examples 1-3 (hypothetical queries; rule premises)
+``chains``        Examples 4-5 (chained additions; order iteration)
+``coloring``      graph coloring (Example 7's pattern, beyond the paper)
+``parity``        Example 6 (relation parity / EVEN)
+``hamiltonian``   Examples 7-8 (Hamiltonian path; complement)
+``strata``        Examples 9-10 (linear stratification showcases)
+================  =====================================================
+"""
+
+from .chains import addition_chain_rulebase, order_db, order_iteration_rulebase
+from .coloring import coloring_db, coloring_rulebase, is_colorable
+from .hamiltonian import (
+    graph_db,
+    hamiltonian_complement_rulebase,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+)
+from .parity import parity_db, parity_rulebase
+from .strata import example9_rulebase, example10_rulebase, layered_rulebase
+from .university import (
+    degree_db,
+    degree_rulebase,
+    graduation_db,
+    graduation_rulebase,
+)
+
+__all__ = [
+    "graduation_rulebase",
+    "graduation_db",
+    "degree_rulebase",
+    "degree_db",
+    "addition_chain_rulebase",
+    "order_iteration_rulebase",
+    "order_db",
+    "coloring_rulebase",
+    "coloring_db",
+    "is_colorable",
+    "parity_rulebase",
+    "parity_db",
+    "hamiltonian_rulebase",
+    "hamiltonian_complement_rulebase",
+    "graph_db",
+    "has_hamiltonian_path",
+    "example9_rulebase",
+    "example10_rulebase",
+    "layered_rulebase",
+]

@@ -1,0 +1,95 @@
+"""The chained-addition rulebases of Examples 4 and 5.
+
+Example 4 is a chain of ``n`` hypothetical rules::
+
+    A_1 <- A_2[add: B_1]
+    ...
+    A_n <- A_{n+1}[add: B_n]
+    A_{n+1} <- D
+
+so that ``R, DB |- A_i`` iff ``R, DB + {B_i, ..., B_n} |- D``.
+
+Example 5 iterates over a linear order stored in the database, adding
+``B(a_j)`` for every element::
+
+    A <- FIRST(x), A'(x)[add: B(x)]
+    A'(x) <- NEXT(x, y), A'(y)[add: B(y)]
+    A'(x) <- LAST(x), D
+
+so that ``R, DB |- A`` iff ``R, DB + {B(a_1), ..., B(a_n)} |- D``.
+
+In both cases the paper leaves ``D``'s definition abstract ("Horn rules
+defining a predicate D").  The builders here define ``D`` to hold iff
+*every* ``B`` entry of the construction is present, which makes the
+"iff" statements fully checkable: proving ``A_i`` succeeds exactly when
+the chain starting at ``i`` supplies everything ``D`` needs.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Rulebase
+from ..core.database import Database
+from ..core.parser import parse_program
+
+__all__ = [
+    "addition_chain_rulebase",
+    "order_iteration_rulebase",
+    "order_db",
+]
+
+
+def addition_chain_rulebase(n: int) -> Rulebase:
+    """Example 4 with ``D <- B_1, ..., B_n``.
+
+    Predicates are 0-ary: ``a1 ... a{n+1}``, ``b1 ... b{n}``, ``d``.
+    Over the empty database, ``a1`` is provable and ``a2 ... a{n+1}``
+    are not (each skips at least ``b1``); adding ``b1, ..., b_{i-1}``
+    to the database makes ``a_i`` provable.
+    """
+    if n < 1:
+        raise ValueError("addition_chain_rulebase needs n >= 1")
+    lines = [f"a{i} :- a{i + 1}[add: b{i}]." for i in range(1, n + 1)]
+    lines.append(f"a{n + 1} :- d.")
+    body = ", ".join(f"b{i}" for i in range(1, n + 1))
+    lines.append(f"d :- {body}.")
+    return parse_program("\n".join(lines))
+
+
+def order_iteration_rulebase() -> Rulebase:
+    """Example 5 with ``D`` defined to require ``B`` on every element.
+
+    ``d`` walks the stored order checking that ``b`` holds from the
+    first element to the last, so ``a`` is provable on a pure-order
+    database (no ``b`` facts) iff the iteration really visited every
+    element.
+    """
+    return parse_program(
+        """
+        a :- first(X), ap(X)[add: b(X)].
+        ap(X) :- next(X, Y), ap(Y)[add: b(Y)].
+        ap(X) :- last(X), d.
+        d :- first(X), covered(X).
+        covered(X) :- b(X), last(X).
+        covered(X) :- b(X), next(X, Y), covered(Y).
+        """
+    )
+
+
+def order_db(n: int, prefix: str = "a") -> Database:
+    """A stored linear order ``FIRST(a1), NEXT(a1, a2), ..., LAST(an)``.
+
+    This is the database shape of Example 5 (and of the Section 5.1
+    counter, which uses integer constants instead; see
+    :func:`repro.machines.encode.counter_facts`).
+    """
+    if n < 1:
+        raise ValueError("order_db needs n >= 1")
+    names = [f"{prefix}{index}" for index in range(1, n + 1)]
+    relations: dict = {
+        "first": [names[0]],
+        "last": [names[-1]],
+        "next": [(left, right) for left, right in zip(names, names[1:])],
+    }
+    if n == 1:
+        relations["next"] = []
+    return Database.from_relations(relations)

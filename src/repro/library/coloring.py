@@ -1,0 +1,98 @@
+"""Graph coloring by hypothetical assignment.
+
+Not a worked example of the paper, but the same construction pattern
+as Example 7: nondeterministically pick an unprocessed element, record
+a choice by hypothetically inserting a fact, and close the recursion
+with negation-by-failure once nothing is left to process.  Where the
+Hamiltonian rulebase records set membership (``pnode``), this one
+records a *function* (``col(N, C)``) and guards each choice::
+
+    yes :- ~uncolored(N).
+    yes :- uncolored(N), color(C), ok(N, C), yes[add: col(N, C)].
+    uncolored(N) :- node(N), ~has_color(N).
+    has_color(N) :- col(N, C).
+    ok(N, C) :- ~clash(N, C).
+    clash(N, C) :- edge(N, M), col(M, C).
+    clash(N, C) :- edge(M, N), col(M, C).
+
+``R, DB |- yes`` iff the graph is properly colorable with the colors in
+the ``color`` relation.  The rulebase is linear (one recursive premise)
+and classifies as NP — graph k-colorability being the textbook
+NP-complete problem.  Used by the timetabling example and the E15
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.ast import Rulebase
+from ..core.database import Database
+from ..core.parser import parse_program
+
+__all__ = ["coloring_rulebase", "coloring_db", "is_colorable"]
+
+
+def coloring_rulebase() -> Rulebase:
+    """``yes`` iff the ``node``/``edge`` graph is ``color``-colorable."""
+    return parse_program(
+        """
+        yes :- ~uncolored(N).
+        yes :- uncolored(N), color(C), ok(N, C), yes[add: col(N, C)].
+        uncolored(N) :- node(N), ~has_color(N).
+        has_color(N) :- col(N, C).
+        ok(N, C) :- ~clash(N, C).
+        clash(N, C) :- edge(N, M), col(M, C).
+        clash(N, C) :- edge(M, N), col(M, C).
+        """
+    )
+
+
+def coloring_db(
+    nodes: Iterable[str],
+    edges: Iterable[Sequence[str]],
+    colors: Iterable[str],
+) -> Database:
+    """A coloring instance: graph plus available colors."""
+    return Database.from_relations(
+        {
+            "node": list(nodes),
+            "edge": [tuple(edge) for edge in edges],
+            "color": list(colors),
+        }
+    )
+
+
+def is_colorable(
+    nodes: Sequence[str],
+    edges: Iterable[Sequence[str]],
+    colors: Sequence[str],
+) -> bool:
+    """Independent brute-force oracle (backtracking) for validation."""
+    node_list = list(nodes)
+    color_list = list(colors)
+    index = {name: position for position, name in enumerate(node_list)}
+    neighbours: list[set[int]] = [set() for _ in node_list]
+    for source, target in edges:
+        if source in index and target in index and source != target:
+            neighbours[index[source]].add(index[target])
+            neighbours[index[target]].add(index[source])
+
+    assignment: list[int] = [-1] * len(node_list)
+
+    def extend(position: int) -> bool:
+        if position == len(node_list):
+            return True
+        for color in range(len(color_list)):
+            if all(
+                assignment[other] != color for other in neighbours[position]
+            ):
+                assignment[position] = color
+                if extend(position + 1):
+                    return True
+                assignment[position] = -1
+        return False
+
+    if not color_list and node_list:
+        return False
+    return extend(0)

@@ -1,0 +1,99 @@
+"""The Hamiltonian-path rulebases of Examples 7 and 8.
+
+Example 7: over a directed graph stored as ``node``/``edge`` facts,
+
+    yes     :- node(X), path(X)[add: pnode(X)].
+    path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+    path(X) :- ~select(Y).
+    select(Y) :- node(Y), ~pnode(Y).
+
+``R, DB |- yes`` iff the graph has a directed Hamiltonian path — the
+rulebase records visited nodes by hypothetically asserting ``pnode``
+and closes when no unvisited node remains.  This is the paper's
+NP-hardness witness.
+
+Example 8 adds the single non-recursive rule ``no :- ~yes``, making the
+rulebase decide both the problem and its complement (NP and coNP
+behaviour from one rulebase).  The paper's prose says "circuit" for
+``R'`` but adding a non-recursive rule cannot change what ``yes``
+means; we read it as the path problem and its complement (noted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.ast import Rulebase
+from ..core.database import Database
+from ..core.parser import parse_program
+
+__all__ = [
+    "hamiltonian_rulebase",
+    "hamiltonian_complement_rulebase",
+    "graph_db",
+    "has_hamiltonian_path",
+]
+
+_RULES = """
+yes :- node(X), path(X)[add: pnode(X)].
+path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+path(X) :- ~select(Y).
+select(Y) :- node(Y), ~pnode(Y).
+"""
+
+
+def hamiltonian_rulebase() -> Rulebase:
+    """Example 7: ``yes`` iff a directed Hamiltonian path exists."""
+    return parse_program(_RULES)
+
+
+def hamiltonian_complement_rulebase() -> Rulebase:
+    """Example 8: Example 7 plus ``no :- ~yes``."""
+    return parse_program(_RULES + "no :- ~yes.\n")
+
+
+def graph_db(
+    nodes: Iterable[str], edges: Iterable[Sequence[str]]
+) -> Database:
+    """A directed graph as ``node``/``edge`` facts."""
+    return Database.from_relations(
+        {"node": list(nodes), "edge": [tuple(edge) for edge in edges]}
+    )
+
+
+def has_hamiltonian_path(
+    nodes: Sequence[str], edges: Iterable[Sequence[str]]
+) -> bool:
+    """Independent brute-force oracle used to validate the rulebase.
+
+    Held-Karp style dynamic programming over (visited-set, endpoint):
+    exponential, but by a different algorithm than the rulebase, so the
+    two confirm each other.
+    """
+    node_list = list(nodes)
+    if not node_list:
+        return False
+    index = {name: position for position, name in enumerate(node_list)}
+    successors: list[list[int]] = [[] for _ in node_list]
+    for source, target in edges:
+        if source in index and target in index:
+            successors[index[source]].append(index[target])
+    full = (1 << len(node_list)) - 1
+    reachable: set[tuple[int, int]] = {
+        (1 << position, position) for position in range(len(node_list))
+    }
+    frontier = list(reachable)
+    while frontier:
+        visited, endpoint = frontier.pop()
+        if visited == full:
+            return True
+        for target in successors[endpoint]:
+            bit = 1 << target
+            if visited & bit:
+                continue
+            state = (visited | bit, target)
+            if state not in reachable:
+                reachable.add(state)
+                frontier.append(state)
+    return False

@@ -1,0 +1,71 @@
+"""The stratification showcase rulebases of Examples 9 and 10.
+
+Example 9 is a three-stratum rulebase, the i-th stratum defining the
+0-ary predicate ``a_i`` with one linear hypothetical rule and one rule
+that steps down through negation.
+
+Example 10 is H-stratified but *not* linearly stratifiable: its top
+predicate recurses through two hypothetical premises at once — the
+shape of rule (2), whose exclusion is the whole point of linearity.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Rulebase
+from ..core.parser import parse_program
+
+__all__ = ["example9_rulebase", "example10_rulebase", "layered_rulebase"]
+
+
+def example9_rulebase() -> Rulebase:
+    """Example 9: three strata of alternating linearity and negation."""
+    return parse_program(
+        """
+        a3 :- b3, a3[add: c3].
+        a3 :- d3, ~a2.
+        a2 :- b2, a2[add: c2].
+        a2 :- d2, ~a1.
+        a1 :- b1, a1[add: c1].
+        a1 :- d1.
+        """
+    )
+
+
+def example10_rulebase() -> Rulebase:
+    """Example 10: H-stratified but not linearly stratified.
+
+    The first rule has two recursive hypothetical premises, so the
+    mutual-recursion class of ``a2`` has both hypothetical and
+    non-linear recursion — the second Lemma 1 test rejects it.
+    """
+    return parse_program(
+        """
+        a2 :- a2[add: e2], a2[add: f2].
+        a2 :- ~b2.
+        b2 :- ~c2, b2.
+        c2 :- ~d2, c2.
+        d2 :- a1[add: g1].
+        a1 :- a1[add: e1].
+        a1 :- a1[add: f1].
+        a1 :- ~b1.
+        """
+    )
+
+
+def layered_rulebase(k: int) -> Rulebase:
+    """A generalization of Example 9 to ``k`` strata.
+
+    Stratum ``i`` defines ``a{i}`` with a linear hypothetical rule over
+    EDB triggers ``b{i}``/``c{i}`` and a descent rule ``a{i} :- d{i},
+    ~a{i-1}``; the bottom stratum closes with ``a1 :- d1``.  Used by the
+    stratification benches, where ``k`` is the scaling knob.
+    """
+    if k < 1:
+        raise ValueError("layered_rulebase needs k >= 1")
+    lines: list[str] = []
+    for index in range(k, 1, -1):
+        lines.append(f"a{index} :- b{index}, a{index}[add: c{index}].")
+        lines.append(f"a{index} :- d{index}, ~a{index - 1}.")
+    lines.append("a1 :- b1, a1[add: c1].")
+    lines.append("a1 :- d1.")
+    return parse_program("\n".join(lines))

@@ -1,0 +1,106 @@
+"""The university-policy rulebases of Examples 1-3.
+
+Example 1 asks "if Tony took cs452, would he be eligible to graduate?"
+— the object-level query ``grad(tony)[add: take(tony, cs452)]``.
+Example 2 retrieves the students who could graduate if they took one
+more course: ``exists C. grad(S)[add: take(S, C)]``.  Example 3 uses a
+hypothetical query as a rule premise to define a joint math-and-physics
+degree.
+
+The Example 3 rulebase is deliberately *not* linearly stratifiable:
+``grad`` and ``within1`` are mutually recursive, and the ``mathphys``
+rule mentions ``within1`` twice, so the recursion is non-linear while
+``within1`` recurses hypothetically.  (The paper cites [3] for the fact
+that such rules cannot be expressed in Datalog at all.)  The session
+API therefore falls back to the reference PSPACE engine for it — a nice
+live illustration of the Lemma 1 tests.
+"""
+
+from __future__ import annotations
+
+from ..core.database import Database
+from ..core.parser import parse_program
+from ..core.ast import Rulebase
+
+__all__ = [
+    "graduation_rulebase",
+    "graduation_db",
+    "degree_rulebase",
+    "degree_db",
+]
+
+
+def graduation_rulebase() -> Rulebase:
+    """Single-discipline graduation policy (Examples 1 and 2).
+
+    A student graduates after taking his101, eng201, and cs250.
+    ``within_one(S)`` is Example 2 packaged as a rule: students who
+    could graduate if they took one more course.
+    """
+    return parse_program(
+        """
+        grad(S) :- take(S, his101), take(S, eng201), take(S, cs250).
+        within_one(S) :- student(S), grad(S)[add: take(S, C)].
+        """
+    )
+
+
+def graduation_db() -> Database:
+    """Sample enrolment data.
+
+    * tony has two of the three required courses — one course short;
+    * sue has all three — already eligible (and trivially within one);
+    * pat has one course — two short.
+    """
+    return Database.from_relations(
+        {
+            "student": ["tony", "sue", "pat"],
+            "take": [
+                ("tony", "his101"),
+                ("tony", "eng201"),
+                ("sue", "his101"),
+                ("sue", "eng201"),
+                ("sue", "cs250"),
+                ("pat", "his101"),
+            ],
+        }
+    )
+
+
+def degree_rulebase() -> Rulebase:
+    """Example 3: the math-and-physics joint degree policy.
+
+    ``grad(S, D)`` — student S is eligible for a degree in discipline D;
+    ``within1(S, D)`` — S is within one course of a degree in D.
+    """
+    return parse_program(
+        """
+        within1(S, D) :- grad(S, D)[add: take(S, C)].
+        grad(S, mathphys) :- within1(S, math), within1(S, phys).
+        grad(S, math) :- take(S, alg1), take(S, anal1).
+        grad(S, phys) :- take(S, mech1), take(S, em1).
+        """
+    )
+
+
+def degree_db() -> Database:
+    """Sample data for Example 3.
+
+    * ada has alg1 and mech1: one course from math *and* one from
+      physics — eligible for mathphys;
+    * bob has a full math degree but nothing in physics beyond mech1 —
+      also within one of physics, hence mathphys;
+    * cyd has only alg1 — within one of math but two from physics.
+    """
+    return Database.from_relations(
+        {
+            "take": [
+                ("ada", "alg1"),
+                ("ada", "mech1"),
+                ("bob", "alg1"),
+                ("bob", "anal1"),
+                ("bob", "mech1"),
+                ("cyd", "alg1"),
+            ],
+        }
+    )

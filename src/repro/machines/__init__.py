@@ -1,0 +1,46 @@
+"""Turing machines, oracle cascades, and their rulebase encodings (Section 5.1)."""
+
+from .encode import (
+    cascade_database,
+    cascade_rulebase,
+    cell_predicate,
+    control_predicate,
+    counter_facts,
+    encode_and_ask,
+    symbol_name,
+)
+from .library import (
+    contains_one,
+    contains_one_cascade,
+    copy_and_query,
+    even_ones,
+    first_or_second_a,
+    no_ones_cascade,
+    suggested_time_bound,
+    three_level_cascade,
+)
+from .oracle import Cascade
+from .turing import BLANK, Machine, Step, run_machine
+
+__all__ = [
+    "BLANK",
+    "Step",
+    "Machine",
+    "run_machine",
+    "Cascade",
+    "counter_facts",
+    "cascade_database",
+    "cascade_rulebase",
+    "encode_and_ask",
+    "symbol_name",
+    "cell_predicate",
+    "control_predicate",
+    "contains_one",
+    "even_ones",
+    "first_or_second_a",
+    "copy_and_query",
+    "contains_one_cascade",
+    "no_ones_cascade",
+    "three_level_cascade",
+    "suggested_time_bound",
+]

@@ -1,0 +1,446 @@
+"""Encoding oracle-machine cascades as hypothetical rulebases (Section 5.1).
+
+Given a cascade ``M_k, ..., M_1`` this module builds
+
+* ``cascade_database(cascade, s, T)`` — the database ``DB(s)``: a
+  counter ``FIRST(0), NEXT(0,1), ..., LAST(T-1)`` plus the initial tape
+  contents (the input on ``M_k``'s work tape, blanks on the lower
+  tapes), Section 5.1.1;
+* ``cascade_rulebase(cascade)`` — the rulebase ``R(L)``: per level the
+  accept-state rules, one hypothetical rule per transition, the oracle
+  invocation rules (where negation-by-failure encodes a "no" answer),
+  and the frame axioms, Sections 5.1.2-5.1.4.
+
+Formula (3) of the paper then holds computably::
+
+    R(L), DB(s) |- ACCEPT        iff   the cascade accepts s
+
+which experiment E8 checks against the direct simulator in
+:mod:`repro.machines.oracle`.
+
+Counters are abstracted by :class:`CounterScheme` so the same rule
+generators serve two constructions:
+
+* Section 5.1 stores an integer counter in the database
+  (:func:`counter_facts`) — the default scheme of arity 1;
+* Section 6.2.2 *derives* the counter from a hypothetically asserted
+  linear order, indexing time and tape by ``l``-tuples — the
+  expressibility compiler in :mod:`repro.queries.compile` passes a
+  scheme of higher arity with derived FIRST/NEXT/LAST predicates.
+
+Naming scheme (levels count from the bottom, ``M_1`` = level 1):
+
+====================  ============================================
+paper                 predicate
+====================  ============================================
+``CELL_i^c(j, t)``    ``cell{i}_{c}(J.., T..)`` (blank -> ``blank``)
+``CONTROL_i^q``       ``control{i}_{q}(J1.., J2.., T..)``; level 1
+                      has no oracle head: ``control1_{q}(J1.., T..)``
+``ACTIVE_i(j, t)``    ``active{i}(J.., T..)``
+``ACCEPT_i(t)``       ``accept{i}(T..)``
+``ORACLE_i(t)``       ``oracle{i}(T..)``
+``ACCEPT``            ``accept``
+====================  ============================================
+
+One documented deviation: the paper's sample transition rule inserts
+the written symbol at the *moved-to* cell, which leaves the scanned
+cell with no symbol at the next instant (the frame axiom deliberately
+does not propagate it).  We write at the scanned cell — the standard
+machine convention — and the simulator does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
+from ..core.database import Database
+from ..core.errors import MachineError
+from ..core.terms import Atom, Constant, Variable
+from .oracle import Cascade
+from .turing import BLANK, Machine
+
+__all__ = [
+    "CounterScheme",
+    "symbol_name",
+    "cell_predicate",
+    "control_predicate",
+    "counter_facts",
+    "cascade_database",
+    "cascade_rulebase",
+    "encode_and_ask",
+]
+
+
+@dataclass(frozen=True)
+class CounterScheme:
+    """How time and tape positions are counted.
+
+    ``arity`` is the tuple width of one counter value; ``first`` /
+    ``next`` / ``last`` name the predicates providing the counter
+    (``next`` relates two values, so its predicate has ``2 * arity``
+    arguments).  Section 5.1 uses the default: arity 1 with the counter
+    stored as database facts.
+    """
+
+    arity: int = 1
+    first: str = "first"
+    next: str = "next"
+    last: str = "last"
+
+    def variables(self, stem: str) -> tuple[Variable, ...]:
+        """A tuple of distinct variables representing one counter value."""
+        if self.arity == 1:
+            return (Variable(stem),)
+        return tuple(Variable(f"{stem}x{i}") for i in range(1, self.arity + 1))
+
+    def first_premise(self, value: tuple[Variable, ...]) -> Premise:
+        return Positive(Atom(self.first, value))
+
+    def next_premise(
+        self, old: tuple[Variable, ...], new: tuple[Variable, ...]
+    ) -> Premise:
+        return Positive(Atom(self.next, old + new))
+
+
+def symbol_name(symbol: str) -> str:
+    """Predicate-friendly name of a tape symbol (blank -> ``blank``)."""
+    return "blank" if symbol == BLANK else symbol
+
+
+def cell_predicate(level: int, symbol: str) -> str:
+    """``CELL_i^c`` as a predicate name."""
+    return f"cell{level}_{symbol_name(symbol)}"
+
+
+def control_predicate(level: int, state: str) -> str:
+    """``CONTROL_i^q`` as a predicate name."""
+    return f"control{level}_{state}"
+
+
+def _control_atom(level, state, work, oracle, time) -> Atom:
+    """Control atom with the level-appropriate shape (no oracle head at
+    level 1).  ``work``/``oracle``/``time`` are term tuples."""
+    if level == 1:
+        return Atom(control_predicate(level, state), tuple(work) + tuple(time))
+    return Atom(
+        control_predicate(level, state),
+        tuple(work) + tuple(oracle) + tuple(time),
+    )
+
+
+def counter_facts(time_bound: int, scheme: CounterScheme = CounterScheme()) -> list[Atom]:
+    """``FIRST(0), NEXT(0, 1), ..., LAST(T-1)`` with integer constants.
+
+    Only meaningful for arity-1 schemes; higher-arity counters are
+    derived by rules (:func:`repro.queries.order.counter_rules`).
+    """
+    if scheme.arity != 1:
+        raise MachineError("stored counters require an arity-1 scheme")
+    if time_bound < 1:
+        raise MachineError("time_bound must be at least 1")
+    facts = [
+        Atom(scheme.first, (Constant(0),)),
+        Atom(scheme.last, (Constant(time_bound - 1),)),
+    ]
+    for value in range(time_bound - 1):
+        facts.append(Atom(scheme.next, (Constant(value), Constant(value + 1))))
+    return facts
+
+
+def tape_alphabet(cascade: Cascade, level: int) -> frozenset[str]:
+    """Symbols that can ever appear on the level-``level`` tape.
+
+    The tape belongs to machine ``level``; the machine above writes to
+    it with its oracle head; blanks and (for the top tape) the input
+    are the initial contents.
+    """
+    symbols = set(cascade.machine_at_level(level).alphabet)
+    if level < cascade.k:
+        symbols.update(cascade.machine_at_level(level + 1).oracle_alphabet)
+    symbols.add(BLANK)
+    return frozenset(symbols)
+
+
+def cascade_database(
+    cascade: Cascade, input_symbols: Sequence[str], time_bound: int
+) -> Database:
+    """Build ``DB(s)``: counter plus initial tape contents (5.1.1)."""
+    top = cascade.machine_at_level(cascade.k)
+    for symbol in input_symbols:
+        if symbol not in top.alphabet:
+            raise MachineError(
+                f"input symbol {symbol!r} is not in machine "
+                f"{top.name}'s alphabet"
+            )
+    if len(input_symbols) > time_bound:
+        raise MachineError(
+            f"input of length {len(input_symbols)} does not fit a "
+            f"{time_bound}-cell tape"
+        )
+    facts = counter_facts(time_bound)
+    zero = Constant(0)
+    # Top machine: the input, then blanks.
+    for position in range(time_bound):
+        symbol = (
+            input_symbols[position] if position < len(input_symbols) else BLANK
+        )
+        facts.append(
+            Atom(cell_predicate(cascade.k, symbol), (Constant(position), zero))
+        )
+    # Lower machines: all blank.
+    for level in range(1, cascade.k):
+        for position in range(time_bound):
+            facts.append(
+                Atom(cell_predicate(level, BLANK), (Constant(position), zero))
+            )
+    return Database(facts)
+
+
+def cascade_rulebase(
+    cascade: Cascade,
+    accept_predicate: str = "accept",
+    scheme: CounterScheme = CounterScheme(),
+    include_top_rule: bool = True,
+) -> Rulebase:
+    """Build ``R(L)`` (5.1.2-5.1.4): one stratum per machine.
+
+    ``include_top_rule=False`` omits the 0-ary ``ACCEPT`` entry rule —
+    the Section 6 compiler supplies its own entry point after asserting
+    a linear order.
+    """
+    rules: list[Rule] = []
+    for level in range(1, cascade.k + 1):
+        machine = cascade.machine_at_level(level)
+        rules.extend(_accept_state_rules(level, machine, scheme))
+        rules.extend(_transition_rules(level, machine, scheme))
+        if machine.uses_oracle:
+            rules.extend(_oracle_rules(level, machine, cascade, scheme))
+        rules.extend(_frame_rules(cascade, level, scheme))
+    if include_top_rule:
+        rules.append(top_entry_rule(cascade, accept_predicate, scheme))
+    return Rulebase(rules)
+
+
+def _accept_state_rules(
+    level: int, machine: Machine, scheme: CounterScheme
+) -> list[Rule]:
+    """``ACCEPT_i(t) <- CONTROL_i^{qa}(j1, j2, t)`` per accepting state."""
+    time = scheme.variables("T")
+    work = scheme.variables("J1")
+    oracle = scheme.variables("J2")
+    head = Atom(f"accept{level}", time)
+    return [
+        Rule(head, (Positive(_control_atom(level, state, work, oracle, time)),))
+        for state in sorted(machine.accepting)
+    ]
+
+
+def _moved(
+    position: tuple[Variable, ...],
+    moved: tuple[Variable, ...],
+    move: int,
+    scheme: CounterScheme,
+) -> tuple[list[Premise], tuple[Variable, ...]]:
+    """Premises binding the post-move head variables.
+
+    A stay-put move reuses the original variables; otherwise a ``next``
+    premise relates old and new positions (and fails at the counter
+    ends, killing the branch, just as the simulator does).
+    """
+    if move == 0:
+        return [], position
+    if move == 1:
+        return [scheme.next_premise(position, moved)], moved
+    return [scheme.next_premise(moved, position)], moved
+
+
+def _transition_rules(
+    level: int, machine: Machine, scheme: CounterScheme
+) -> list[Rule]:
+    """One hypothetical rule per element of the transition relation."""
+    rules: list[Rule] = []
+    time = scheme.variables("T")
+    time_next = scheme.variables("Tp")
+    work = scheme.variables("J1")
+    work_moved = scheme.variables("J1p")
+    oracle = scheme.variables("J2")
+    oracle_moved = scheme.variables("J2p")
+    head = Atom(f"accept{level}", time)
+    for step in machine.steps:
+        premises: list[Premise] = [
+            scheme.next_premise(time, time_next),
+            Positive(_control_atom(level, step.state, work, oracle, time)),
+            Positive(Atom(cell_predicate(level, step.read), work + time)),
+        ]
+        work_premises, work_new = _moved(work, work_moved, step.move, scheme)
+        premises.extend(work_premises)
+        additions: list[Atom] = []
+        if machine.uses_oracle:
+            oracle_premises, oracle_new = _moved(
+                oracle, oracle_moved, step.oracle_move, scheme
+            )
+            premises.extend(oracle_premises)
+            additions.append(
+                _control_atom(level, step.new_state, work_new, oracle_new, time_next)
+            )
+            additions.append(
+                Atom(cell_predicate(level, step.write), work + time_next)
+            )
+            additions.append(
+                Atom(cell_predicate(level - 1, step.oracle_write), oracle + time_next)
+            )
+        else:
+            additions.append(
+                _control_atom(level, step.new_state, work_new, None, time_next)
+            )
+            additions.append(
+                Atom(cell_predicate(level, step.write), work + time_next)
+            )
+        premises.append(
+            Hypothetical(Atom(f"accept{level}", time_next), tuple(additions))
+        )
+        rules.append(Rule(head, tuple(premises)))
+    return rules
+
+
+def _oracle_rules(
+    level: int, machine: Machine, cascade: Cascade, scheme: CounterScheme
+) -> list[Rule]:
+    """The oracle-invocation mechanism (5.1.2(iii)).
+
+    The negative rule is the stratum boundary: it is the only place
+    negation-by-failure appears above the frame axioms, and it is what
+    lets a stratum observe its oracle answering "no".
+    """
+    time = scheme.variables("T")
+    time_next = scheme.variables("Tp")
+    work = scheme.variables("J1")
+    oracle = scheme.variables("J2")
+    start = scheme.variables("J")
+    head = Atom(f"accept{level}", time)
+    below = level - 1
+    query = Positive(_control_atom(level, machine.query_state, work, oracle, time))
+    step_next = scheme.next_premise(time, time_next)
+    oracle_atom = Atom(f"oracle{below}", time)
+    yes_rule = Rule(
+        head,
+        (
+            step_next,
+            query,
+            Positive(oracle_atom),
+            Hypothetical(
+                Atom(f"accept{level}", time_next),
+                (_control_atom(level, machine.yes_state, work, oracle, time_next),),
+            ),
+        ),
+    )
+    no_rule = Rule(
+        head,
+        (
+            step_next,
+            query,
+            Negated(oracle_atom),
+            Hypothetical(
+                Atom(f"accept{level}", time_next),
+                (_control_atom(level, machine.no_state, work, oracle, time_next),),
+            ),
+        ),
+    )
+    below_machine = cascade.machine_at_level(below)
+    start_rule = Rule(
+        Atom(f"oracle{below}", time),
+        (
+            scheme.first_premise(start),
+            Hypothetical(
+                Atom(f"accept{below}", time),
+                (_control_atom(below, below_machine.initial, start, start, time),),
+            ),
+        ),
+    )
+    return [yes_rule, no_rule, start_rule]
+
+
+def _frame_rules(
+    cascade: Cascade, level: int, scheme: CounterScheme
+) -> list[Rule]:
+    """The frame axiom for the level-``level`` tape (5.1.4)."""
+    rules: list[Rule] = []
+    time = scheme.variables("T")
+    time_next = scheme.variables("Tp")
+    position = scheme.variables("J")
+    other = scheme.variables("J2")
+    active = Atom(f"active{level}", position + time)
+    for symbol in sorted(tape_alphabet(cascade, level)):
+        cell = cell_predicate(level, symbol)
+        rules.append(
+            Rule(
+                Atom(cell, position + time_next),
+                (
+                    scheme.next_premise(time, time_next),
+                    Positive(Atom(cell, position + time)),
+                    Negated(active),
+                ),
+            )
+        )
+    machine = cascade.machine_at_level(level)
+    for state in sorted(machine.states):
+        if state == machine.query_state:
+            continue  # a suspended machine's heads are inactive
+        rules.append(
+            Rule(
+                active,
+                (Positive(_control_atom(level, state, position, other, time)),),
+            )
+        )
+    if level < cascade.k:
+        above = cascade.machine_at_level(level + 1)
+        for state in sorted(above.states):
+            if state == above.query_state:
+                continue
+            rules.append(
+                Rule(
+                    active,
+                    (
+                        Positive(
+                            _control_atom(level + 1, state, other, position, time)
+                        ),
+                    ),
+                )
+            )
+    return rules
+
+
+def top_entry_rule(
+    cascade: Cascade,
+    accept_predicate: str = "accept",
+    scheme: CounterScheme = CounterScheme(),
+) -> Rule:
+    """``ACCEPT <- FIRST(x), ACCEPT_k(x)[add: CONTROL_k^{q0}(x, x, x)]``."""
+    top = cascade.machine_at_level(cascade.k)
+    start = scheme.variables("J")
+    return Rule(
+        Atom(accept_predicate, ()),
+        (
+            scheme.first_premise(start),
+            Hypothetical(
+                Atom(f"accept{cascade.k}", start),
+                (_control_atom(cascade.k, top.initial, start, start, start),),
+            ),
+        ),
+    )
+
+
+def encode_and_ask(
+    cascade: Cascade,
+    input_symbols: Sequence[str],
+    time_bound: int,
+    engine: str = "prove",
+) -> bool:
+    """Build ``R(L)`` and ``DB(s)`` and decide ``ACCEPT`` — formula (3)."""
+    from ..engine.query import Session
+
+    rulebase = cascade_rulebase(cascade)
+    db = cascade_database(cascade, input_symbols, time_bound)
+    return Session(rulebase, engine).ask(db, "accept")

@@ -1,0 +1,146 @@
+"""Small machines and cascades used by tests and the E8 bench.
+
+All machines work over the alphabet ``{0, 1, _}`` (with ``a``/``b`` for
+the nondeterminism demo) and are sized so that encodings stay tractable
+for the bottom-up and goal-directed engines: the Section 5.1 encoding
+is the *hardness* construction, so its instances are intentionally tiny.
+"""
+
+from __future__ import annotations
+
+from .oracle import Cascade
+from .turing import BLANK, Machine, Step
+
+__all__ = [
+    "contains_one",
+    "even_ones",
+    "first_or_second_a",
+    "copy_and_query",
+    "contains_one_cascade",
+    "no_ones_cascade",
+    "three_level_cascade",
+    "suggested_time_bound",
+]
+
+
+def contains_one() -> Machine:
+    """Accepts iff the input contains the symbol ``1``.
+
+    Deterministic left-to-right scan; runs in ``n + 1`` steps.
+    """
+    return Machine(
+        name="containsone",
+        steps=(
+            Step("scan", "1", "acc", "1", 0),
+            Step("scan", "0", "scan", "0", 1),
+        ),
+        initial="scan",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def even_ones() -> Machine:
+    """Accepts iff the input holds an even number of ``1`` symbols.
+
+    A two-state parity scan that accepts at the first blank.
+    """
+    return Machine(
+        name="evenones",
+        steps=(
+            Step("ev", "0", "ev", "0", 1),
+            Step("ev", "1", "od", "1", 1),
+            Step("od", "0", "od", "0", 1),
+            Step("od", "1", "ev", "1", 1),
+            Step("ev", BLANK, "acc", BLANK, 0),
+        ),
+        initial="ev",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def first_or_second_a() -> Machine:
+    """Accepts iff the first or the second input symbol is ``a``.
+
+    Genuinely nondeterministic: from the start state scanning ``a`` the
+    machine may either accept on the spot or gamble on the next cell.
+    """
+    return Machine(
+        name="guessa",
+        steps=(
+            Step("s", "a", "acc", "a", 0),
+            Step("s", "a", "r", "a", 1),
+            Step("s", "b", "r", "b", 1),
+            Step("r", "a", "acc", "a", 0),
+        ),
+        initial="s",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def copy_and_query(accept_on_yes: bool, name: str) -> Machine:
+    """A level-2 machine: copy the input to the oracle tape, query.
+
+    ``accept_on_yes=True`` accepts exactly when the oracle accepts the
+    copied input; ``False`` accepts exactly when the oracle rejects —
+    the complementation that only the negated oracle rule (``~ORACLE``)
+    can express.
+    """
+    yes_target = "acc" if accept_on_yes else "rej"
+    no_target = "rej" if accept_on_yes else "acc"
+    return Machine(
+        name=name,
+        steps=(
+            Step("c", "0", "c", "0", 1, oracle_write="0", oracle_move=1),
+            Step("c", "1", "c", "1", 1, oracle_write="1", oracle_move=1),
+            Step("c", BLANK, "ask", BLANK, 0, oracle_write=BLANK, oracle_move=0),
+        ),
+        initial="c",
+        accepting=frozenset({"acc"}),
+        query_state="ask",
+        yes_state=yes_target,
+        no_state=no_target,
+    )
+
+
+def contains_one_cascade() -> Cascade:
+    """k = 2: top machine copies, bottom decides "contains a 1".
+
+    The composite accepts exactly the inputs containing a ``1`` — the
+    same language as :func:`contains_one`, but through an oracle hop,
+    which makes it the smallest end-to-end exercise of the oracle
+    rules.
+    """
+    return Cascade((copy_and_query(True, "relayyes"), contains_one()))
+
+
+def no_ones_cascade() -> Cascade:
+    """k = 2: the complement — accepts iff the input has *no* ``1``.
+
+    Forces the ``~ORACLE`` rule to fire, i.e. a stratum boundary is
+    genuinely crossed.
+    """
+    return Cascade((copy_and_query(False, "relayno"), contains_one()))
+
+
+def three_level_cascade(accept_on_yes: bool = False) -> Cascade:
+    """k = 3: input -> relay -> relay -> contains-a-1.
+
+    ``M_3`` copies the input to ``M_2``; ``M_2`` relays it to ``M_1``
+    (contains-a-1) and reports the answer upward; ``M_3`` accepts on
+    "yes" or "no" per ``accept_on_yes``.  With the default complement
+    at the top, both oracle boundaries are exercised and the encoding
+    is a Sigma_3^P instance — three strata, per Theorem 1.
+    """
+    top = copy_and_query(accept_on_yes, "top3")
+    middle = copy_and_query(True, "mid2")
+    return Cascade((top, middle, contains_one()))
+
+
+def suggested_time_bound(cascade_depth: int, input_length: int) -> int:
+    """A counter length that comfortably fits the library machines.
+
+    The copying machines take ``n + 2`` steps before querying and the
+    oracle then runs for up to ``n + 2`` more; one extra slot per level
+    covers the resume steps.
+    """
+    return (cascade_depth + 1) * (input_length + 2)

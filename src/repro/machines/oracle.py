@@ -1,0 +1,157 @@
+"""Oracle-machine cascades ``M_k, ..., M_1`` (Section 5.1).
+
+A cascade is a stack of machines in which ``M_i`` uses ``M_{i-1}`` as
+its oracle; ``M_i``'s oracle tape *is* ``M_{i-1}``'s work tape.  The
+direct simulator here is the ground truth for the rulebase encoding in
+:mod:`repro.machines.encode` — the two are checked against each other
+in experiment E8 (formula (3): ``R(L), DB(s) |- ACCEPT iff s in L``).
+
+Simulation semantics, mirroring the encoding exactly:
+
+* All machines share one clock ``0 .. T-1``.  A machine invoked as an
+  oracle at time ``t`` starts computing *at* time ``t`` (the encoding
+  inserts ``CONTROL^{q0}(0, 0, t)``) and may run until the counter ends.
+  The invoker resumes at ``t + 1``.
+* The oracle reads the invoker's oracle tape as its own work tape; its
+  *writes during the call are discarded* when the call returns (they
+  were hypothetical insertions), while the invoker's oracle-tape
+  contents persist across calls.
+* Each oracle invocation starts with the oracle's *own* oracle tape
+  blank — lower machines never retain state between calls (their
+  computations were hypothetical too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import MachineError
+from .turing import BLANK, Machine
+
+__all__ = ["Cascade"]
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """A stack of oracle machines, **top first**: ``machines[0]`` is
+    ``M_k`` (reads the input), ``machines[-1]`` is ``M_1`` (no oracle).
+    """
+
+    machines: tuple[Machine, ...]
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise MachineError("a cascade needs at least one machine")
+        for machine in self.machines[:-1]:
+            if not machine.uses_oracle:
+                raise MachineError(
+                    f"machine {machine.name} is above the bottom of the "
+                    f"cascade but has no oracle interface"
+                )
+        if self.machines[-1].uses_oracle:
+            raise MachineError(
+                f"bottom machine {self.machines[-1].name} must not query "
+                f"an oracle"
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of strata the encoding of this cascade needs."""
+        return len(self.machines)
+
+    def machine_at_level(self, level: int) -> Machine:
+        """Level ``k`` is the top (input) machine, level 1 the bottom."""
+        if not 1 <= level <= self.k:
+            raise MachineError(f"level {level} out of range 1..{self.k}")
+        return self.machines[self.k - level]
+
+    def accepts(self, input_symbols: Sequence[str], time_bound: int) -> bool:
+        """Does the composite machine accept within the shared counter?"""
+        if time_bound < 1:
+            raise MachineError("time_bound must be at least 1")
+        if len(input_symbols) > time_bound:
+            raise MachineError(
+                f"input of length {len(input_symbols)} does not fit a "
+                f"{time_bound}-cell tape"
+            )
+        top_tape = tuple(input_symbols) + (BLANK,) * (
+            time_bound - len(input_symbols)
+        )
+        memo: dict[tuple[int, tuple[str, ...], int], bool] = {}
+        return self._accepting(self.k, top_tape, 0, time_bound, memo)
+
+    def _accepting(
+        self,
+        level: int,
+        work_tape: tuple[str, ...],
+        start_time: int,
+        time_bound: int,
+        memo: dict,
+    ) -> bool:
+        """Is the initial id of the level-``level`` machine accepting?"""
+        key = (level, work_tape, start_time)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        machine = self.machine_at_level(level)
+        oracle_tape = (BLANK,) * time_bound
+        start = (machine.initial, 0, 0, start_time, work_tape, oracle_tape)
+        seen = {start}
+        frontier = [start]
+        accepted = False
+        while frontier and not accepted:
+            state, work_head, oracle_head, time, work, oracle = frontier.pop()
+            if state in machine.accepting:
+                accepted = True
+                break
+            if time + 1 >= time_bound:
+                continue
+            if machine.query_state is not None and state == machine.query_state:
+                answer = self._accepting(
+                    level - 1, oracle, time, time_bound, memo
+                )
+                next_state = machine.yes_state if answer else machine.no_state
+                successor = (
+                    next_state,
+                    work_head,
+                    oracle_head,
+                    time + 1,
+                    work,
+                    oracle,
+                )
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+                continue
+            for step in machine.transitions(state, work[work_head]):
+                new_work_head = work_head + step.move
+                if not 0 <= new_work_head < time_bound:
+                    continue
+                new_oracle_head = oracle_head + step.oracle_move
+                if not 0 <= new_oracle_head < time_bound:
+                    continue
+                new_work = (
+                    work[:work_head] + (step.write,) + work[work_head + 1 :]
+                )
+                if step.oracle_write is not None:
+                    new_oracle = (
+                        oracle[:oracle_head]
+                        + (step.oracle_write,)
+                        + oracle[oracle_head + 1 :]
+                    )
+                else:
+                    new_oracle = oracle
+                successor = (
+                    step.new_state,
+                    new_work_head,
+                    new_oracle_head,
+                    time + 1,
+                    new_work,
+                    new_oracle,
+                )
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        memo[key] = accepted
+        return accepted

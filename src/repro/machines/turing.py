@@ -1,0 +1,206 @@
+"""Nondeterministic Turing machines (the Section 5.1 substrate).
+
+The paper's lower-bound construction encodes NP oracle machines as
+hypothetical rules.  This module provides the machine model itself:
+single-tape nondeterministic machines whose transitions optionally
+also drive a write-only *oracle head* (the extra head of an oracle
+machine, Section 5.1.2(iii)).  Machines at the bottom of a cascade
+carry no oracle components.
+
+Conventions (matching the rulebase encoding in
+:mod:`repro.machines.encode`):
+
+* A machine runs against a counter ``0 .. T-1``: ``T`` bounds both the
+  number of steps and the tape length.  Head moves outside the counter
+  kill the branch (there is no ``NEXT`` beyond the ends).
+* A transition writes at the *scanned* cell and then moves.  (The
+  paper's sample rule writes at the moved-to cell, which under a
+  literal reading leaves the scanned cell with no symbol at the next
+  instant; we use the standard convention and encode it consistently.
+  See DESIGN.md.)
+* A machine accepts iff some reachable configuration is in an
+  accepting control state — the paper's recursive "accepting id".
+* State and symbol names must be identifier-friendly (letters, digits),
+  because the encoder splices them into predicate names.  The blank is
+  written ``_`` and is encoded as ``blank``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.errors import MachineError
+
+__all__ = ["Step", "Machine", "run_machine", "BLANK"]
+
+BLANK = "_"
+
+
+def _check_name(kind: str, name: str) -> None:
+    if name == BLANK:
+        return
+    if not name or not name.isalnum():
+        raise MachineError(
+            f"{kind} name {name!r} must be alphanumeric "
+            f"(it becomes part of a predicate name)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One element of the transition relation.
+
+    In control state ``state`` scanning work symbol ``read``: write
+    ``write`` at the scanned cell, move the work head by ``move``
+    (-1/0/+1), enter ``new_state``; if the machine has an oracle head,
+    also write ``oracle_write`` at the oracle head and move it by
+    ``oracle_move``.
+    """
+
+    state: str
+    read: str
+    new_state: str
+    write: str
+    move: int
+    oracle_write: Optional[str] = None
+    oracle_move: int = 0
+
+    def __post_init__(self) -> None:
+        if self.move not in (-1, 0, 1):
+            raise MachineError(f"work-head move must be -1/0/+1, got {self.move}")
+        if self.oracle_move not in (-1, 0, 1):
+            raise MachineError(
+                f"oracle-head move must be -1/0/+1, got {self.oracle_move}"
+            )
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A nondeterministic Turing machine, optionally with an oracle head.
+
+    ``query_state`` / ``yes_state`` / ``no_state`` are the oracle
+    interface of Section 5.1.2(iii): entering ``query_state`` suspends
+    the machine, runs the oracle on the current oracle-tape contents,
+    and resumes in ``yes_state`` or ``no_state``.  A machine without an
+    oracle leaves them ``None`` and must not set ``oracle_write`` on
+    any step.
+    """
+
+    name: str
+    steps: tuple[Step, ...]
+    initial: str
+    accepting: frozenset[str]
+    query_state: Optional[str] = None
+    yes_state: Optional[str] = None
+    no_state: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        oracle_fields = (self.query_state, self.yes_state, self.no_state)
+        if any(oracle_fields) and not all(oracle_fields):
+            raise MachineError(
+                f"machine {self.name}: query/yes/no states must be set together"
+            )
+        for step in self.steps:
+            if self.uses_oracle and step.oracle_write is None:
+                raise MachineError(
+                    f"machine {self.name}: oracle machines must set "
+                    f"oracle_write on every step ({step})"
+                )
+            if not self.uses_oracle and step.oracle_write is not None:
+                raise MachineError(
+                    f"machine {self.name}: non-oracle machine has an "
+                    f"oracle write ({step})"
+                )
+            if self.query_state is not None and step.state == self.query_state:
+                raise MachineError(
+                    f"machine {self.name}: the query state may not carry "
+                    f"ordinary transitions ({step})"
+                )
+        for state in self.states:
+            _check_name("state", state)
+        for symbol in self.alphabet:
+            _check_name("symbol", symbol)
+
+    @property
+    def uses_oracle(self) -> bool:
+        return self.query_state is not None
+
+    @property
+    def states(self) -> frozenset[str]:
+        found = {self.initial, *self.accepting}
+        for step in self.steps:
+            found.add(step.state)
+            found.add(step.new_state)
+        for state in (self.query_state, self.yes_state, self.no_state):
+            if state is not None:
+                found.add(state)
+        return frozenset(found)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """Work-tape symbols (always includes the blank)."""
+        found = {BLANK}
+        for step in self.steps:
+            found.add(step.read)
+            found.add(step.write)
+        return frozenset(found)
+
+    @property
+    def oracle_alphabet(self) -> frozenset[str]:
+        """Symbols this machine may write onto its oracle tape."""
+        found = {BLANK}
+        for step in self.steps:
+            if step.oracle_write is not None:
+                found.add(step.oracle_write)
+        return frozenset(found)
+
+    def transitions(self, state: str, symbol: str) -> tuple[Step, ...]:
+        """The applicable steps in ``state`` scanning ``symbol``."""
+        return tuple(
+            step
+            for step in self.steps
+            if step.state == state and step.read == symbol
+        )
+
+
+def run_machine(
+    machine: Machine, input_symbols: Sequence[str], time_bound: int
+) -> bool:
+    """Does a *plain* machine accept within the counter ``0 .. T-1``?
+
+    Exhaustive search over the configuration graph; raises
+    :class:`MachineError` for oracle machines (use
+    :class:`repro.machines.oracle.Cascade` for those).
+    """
+    if machine.uses_oracle:
+        raise MachineError(
+            f"machine {machine.name} queries an oracle; simulate it in a Cascade"
+        )
+    if time_bound < 1:
+        raise MachineError("time_bound must be at least 1")
+    if len(input_symbols) > time_bound:
+        raise MachineError(
+            f"input of length {len(input_symbols)} does not fit a "
+            f"{time_bound}-cell tape"
+        )
+    tape = tuple(input_symbols) + (BLANK,) * (time_bound - len(input_symbols))
+    start = (machine.initial, 0, 0, tape)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state, head, time, cells = frontier.pop()
+        if state in machine.accepting:
+            return True
+        if time + 1 >= time_bound:
+            continue
+        for step in machine.transitions(state, cells[head]):
+            new_head = head + step.move
+            if not 0 <= new_head < time_bound:
+                continue
+            new_cells = cells[:head] + (step.write,) + cells[head + 1 :]
+            successor = (step.new_state, new_head, time + 1, new_cells)
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False

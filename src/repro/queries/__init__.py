@@ -1,0 +1,41 @@
+"""Generic queries, hypothetical orders, and the expressibility compiler (Section 6)."""
+
+from .compile import (
+    Signature,
+    bitvector_symbol,
+    compile_typed_query,
+    compile_yes_no_query,
+    initial_rules,
+    query_database,
+    relation_empty_machine,
+    relation_nonempty_machine,
+    time_bound_for,
+    translating_relay_machine,
+)
+from .generic import (
+    RulebaseQuery,
+    check_genericity,
+    domain_permutations,
+    rename_answer,
+)
+from .order import counter_rules, domain_parity_rulebase, order_assertion_rules
+
+__all__ = [
+    "RulebaseQuery",
+    "check_genericity",
+    "domain_permutations",
+    "rename_answer",
+    "order_assertion_rules",
+    "counter_rules",
+    "domain_parity_rulebase",
+    "Signature",
+    "bitvector_symbol",
+    "initial_rules",
+    "compile_yes_no_query",
+    "compile_typed_query",
+    "query_database",
+    "relation_nonempty_machine",
+    "relation_empty_machine",
+    "translating_relay_machine",
+    "time_bound_for",
+]

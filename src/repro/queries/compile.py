@@ -1,0 +1,427 @@
+"""The expressibility compiler (Section 6.2, Lemma 2 and Corollary 2).
+
+Given a generic yes/no query decided by an oracle-machine cascade, this
+module builds the **constant-free** rulebase ``R(psi)`` of Lemma 2:
+
+1. the Section 6.2.1 rules hypothetically assert a linear order
+   (``FIRST1``/``NEXT1``/``LAST1``) over the ``dom`` relation;
+2. the Section 6.2.2 counter rules lift the order to ``L``-tuples,
+   giving derived ``FIRST``/``NEXT``/``LAST`` predicates that index
+   ``n^L`` time steps and tape cells;
+3. bitmap ``INITIAL`` rules encode the database onto the top machine's
+   tape — this is where negation-by-failure writes the ``0`` bits;
+4. the Section 5.1 machine rules (shared with
+   :mod:`repro.machines.encode`) simulate the cascade against the
+   derived counter.
+
+Tape convention
+---------------
+Let ``l`` be the largest relation arity and ``L = l + 1``.  Tape cells
+are indexed by ``L``-tuples ``(x0, x1, ..., xl)`` in lexicographic
+order.  Cells whose *page* component ``x0`` is the first domain element
+form a contiguous prefix of ``n^l`` data cells; all other cells are
+blank.  The data cell ``(first, x1, ..., xl)`` holds a composite symbol
+``s<b1...bm>`` whose ``i``-th bit records whether relation ``i``
+contains the (arity-``a_i``) prefix of ``(x1, ..., xl)``.  Machines are
+written over these composite symbols; :func:`relation_nonempty_machine`
+and :func:`relation_empty_machine` are ready-made scanners.
+
+Because a bit can repeat across cells (a low-arity tuple appears in
+every cell sharing its prefix), machines must treat "some cell with the
+bit set" as membership — which the scanners do.
+
+Limits: the construction needs a domain of size at least 2.  With
+``n = 1`` the derived counter has a single value (``n^L = 1``), so the
+machine cannot take even one step — the paper's ``n^l`` time bound
+degenerates the same way.  End-of-data detection additionally needs a
+blank cell after the data page, which ``n >= 2`` provides.  Documented
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence, Union
+
+from ..core.ast import Negated, Positive, Premise, Rule, Rulebase, Hypothetical
+from ..core.database import Database
+from ..core.errors import CompilationError
+from ..core.terms import Atom, Variable
+from ..machines.encode import (
+    CounterScheme,
+    cascade_rulebase,
+    cell_predicate,
+    top_entry_rule,
+)
+from ..machines.oracle import Cascade
+from ..machines.turing import BLANK, Machine, Step
+from .order import counter_rules, order_assertion_rules
+
+__all__ = [
+    "Signature",
+    "bitvector_symbol",
+    "initial_rules",
+    "compile_yes_no_query",
+    "compile_typed_query",
+    "query_database",
+    "relation_nonempty_machine",
+    "relation_empty_machine",
+    "translating_relay_machine",
+    "time_bound_for",
+]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The database type ``(alpha_1, ..., alpha_m)`` of Definition 12.
+
+    ``relations`` lists ``(name, arity)`` pairs; ``domain_predicate``
+    names the unary relation holding the domain ``D``.
+    """
+
+    relations: tuple[tuple[str, int], ...]
+    domain_predicate: str = "dom"
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise CompilationError("a signature needs at least one relation")
+        for name, arity in self.relations:
+            if arity < 1:
+                raise CompilationError(
+                    f"relation {name!r} must have arity >= 1"
+                )
+
+    @property
+    def data_arity(self) -> int:
+        """``l``: the widest relation."""
+        return max(arity for _, arity in self.relations)
+
+    @property
+    def tape_arity(self) -> int:
+        """``L = l + 1``: one page component plus the data coordinates."""
+        return self.data_arity + 1
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.relations)
+
+    def symbols(self) -> list[str]:
+        """All composite data symbols, most-significant relation first."""
+        return [
+            bitvector_symbol(bits)
+            for bits in product((False, True), repeat=self.bit_count)
+        ]
+
+
+def bitvector_symbol(bits: Sequence[bool]) -> str:
+    """``s101``-style composite symbol for a membership bit vector."""
+    return "s" + "".join("1" if bit else "0" for bit in bits)
+
+
+def time_bound_for(signature: Signature, domain_size: int) -> int:
+    """``n^L``: the counter length the compiled rulebase derives."""
+    return domain_size ** signature.tape_arity
+
+
+def initial_rules(signature: Signature, pages: int = 1) -> list[Rule]:
+    """The bitmap ``INITIAL^c(j)`` rules (Section 6.2.2).
+
+    For every bit vector, one rule whose body tests each relation
+    positively or negatively; plus the blank rules for cells off the
+    data page.  Negation-by-failure writing the zero bits is, as the
+    paper notes, "crucial".
+
+    ``pages`` is the number of leading page components in a cell index
+    (more than one when the counter was widened for deeper cascades —
+    see :func:`compile_yes_no_query`'s ``extra_time_arity``).  Data
+    cells have every page component at the order's first element; a
+    cell is blank iff some page component has a predecessor.
+    """
+    if pages < 1:
+        raise CompilationError("cell indices need at least one page component")
+    l = signature.data_arity
+    page_vars = [Variable(f"P{i}") for i in range(pages)]
+    coords = [Variable(f"X{i}") for i in range(1, l + 1)]
+    head_args = (*page_vars, *coords)
+    rules: list[Rule] = []
+    for bits in product((False, True), repeat=signature.bit_count):
+        symbol = bitvector_symbol(bits)
+        body: list[Premise] = [
+            Positive(Atom("first1", (page,))) for page in page_vars
+        ]
+        body.extend(
+            Positive(Atom(signature.domain_predicate, (coord,)))
+            for coord in coords
+        )
+        for (name, arity), bit in zip(signature.relations, bits):
+            member = Atom(name, tuple(coords[:arity]))
+            body.append(Positive(member) if bit else Negated(member))
+        rules.append(Rule(Atom(f"initial_{symbol}", head_args), tuple(body)))
+    predecessor = Variable("W")
+    for position in range(pages):
+        blank_body: list[Premise] = [
+            Positive(Atom("next1", (predecessor, page_vars[position])))
+        ]
+        blank_body.extend(
+            Positive(Atom(signature.domain_predicate, (page,)))
+            for index, page in enumerate(page_vars)
+            if index != position
+        )
+        blank_body.extend(
+            Positive(Atom(signature.domain_predicate, (coord,)))
+            for coord in coords
+        )
+        rules.append(Rule(Atom("initial_blank", head_args), tuple(blank_body)))
+    return rules
+
+
+def _cell_initialization_rules(
+    cascade: Cascade, signature: Signature, scheme: CounterScheme
+) -> list[Rule]:
+    """Load ``INITIAL`` onto the top tape; blanks on the lower tapes."""
+    position = scheme.variables("J")
+    time = scheme.variables("T")
+    first_time = Positive(Atom(scheme.first, time))
+    rules: list[Rule] = []
+    for symbol in signature.symbols() + [BLANK]:
+        rules.append(
+            Rule(
+                Atom(cell_predicate(cascade.k, symbol), position + time),
+                (
+                    Positive(Atom(f"initial_{_initial_name(symbol)}", position)),
+                    first_time,
+                ),
+            )
+        )
+    for level in range(1, cascade.k):
+        body: list[Premise] = [
+            Positive(Atom(signature.domain_predicate, (coordinate,)))
+            for coordinate in position
+        ]
+        body.append(first_time)
+        rules.append(
+            Rule(
+                Atom(cell_predicate(level, BLANK), position + time),
+                tuple(body),
+            )
+        )
+    return rules
+
+
+def _initial_name(symbol: str) -> str:
+    return "blank" if symbol == BLANK else symbol
+
+
+def compile_yes_no_query(
+    cascade: Cascade,
+    signature: Signature,
+    *,
+    yes_predicate: str = "yes",
+    extra_time_arity: int = 0,
+) -> Rulebase:
+    """Lemma 2: the constant-free rulebase ``R(psi)``.
+
+    ``R(psi), DB |- yes`` iff the cascade accepts the bitmap encoding
+    of ``DB`` (under any — equivalently every — linear order of the
+    domain).  The cascade must be written over the signature's
+    composite symbols and must be insensitive to the order (i.e. decide
+    a generic query); both scanner builders in this module qualify.
+
+    ``extra_time_arity`` widens the counter by that many tuple
+    positions (the paper's free choice of ``l``): a depth-k cascade
+    needs roughly k scans' worth of time, which ``n^(l+1)`` may not
+    provide for small ``n``.  Each extra position multiplies the
+    counter length by ``n``.
+    """
+    scheme = CounterScheme(arity=signature.tape_arity + extra_time_arity)
+    rules: list[Rule] = []
+    rules.extend(
+        order_assertion_rules(
+            Atom("accept", ()),
+            yes_predicate=yes_predicate,
+            domain_predicate=signature.domain_predicate,
+        )
+    )
+    rules.extend(counter_rules(scheme.arity))
+    rules.extend(initial_rules(signature, pages=1 + extra_time_arity))
+    rules.extend(_cell_initialization_rules(cascade, signature, scheme))
+    machine_rules = cascade_rulebase(cascade, scheme=scheme, include_top_rule=False)
+    rules.extend(machine_rules.rules)
+    rules.append(top_entry_rule(cascade, "accept", scheme))
+    rulebase = Rulebase(rules)
+    if not rulebase.is_constant_free:
+        raise CompilationError(
+            "internal error: compiled rulebase mentions constants"
+        )
+    return rulebase
+
+
+def compile_typed_query(
+    cascade: Cascade,
+    signature: Signature,
+    output_arity: int,
+    *,
+    output_predicate: str = "out",
+    marker_predicate: str = "p0",
+    yes_predicate: str = "yes",
+) -> Rulebase:
+    """Corollary 2: lift a yes/no rulebase to a typed query.
+
+    The signature must already include ``(marker_predicate,
+    output_arity)`` — the fresh relation ``P_0`` that carries a
+    candidate output tuple to the machine.  The added rule generates
+    every candidate over the domain and asks the yes/no query with the
+    candidate hypothetically inserted::
+
+        OUT(x) <- D(x1), ..., D(xa), YES[add: P0(x)].
+    """
+    if (marker_predicate, output_arity) not in signature.relations:
+        raise CompilationError(
+            f"signature must include ({marker_predicate!r}, {output_arity}) "
+            f"for the Corollary 2 construction"
+        )
+    base = compile_yes_no_query(
+        cascade, signature, yes_predicate=yes_predicate
+    )
+    coords = tuple(Variable(f"O{i}") for i in range(1, output_arity + 1))
+    body: list[Premise] = [
+        Positive(Atom(signature.domain_predicate, (coord,))) for coord in coords
+    ]
+    body.append(
+        Hypothetical(Atom(yes_predicate, ()), (Atom(marker_predicate, coords),))
+    )
+    out_rule = Rule(Atom(output_predicate, coords), tuple(body))
+    return base + [out_rule]
+
+
+def query_database(
+    signature: Signature,
+    domain: Sequence[Union[str, int]],
+    relations: dict,
+) -> Database:
+    """A database of the signature's type: the domain plus relations.
+
+    ``relations`` maps relation names to row collections (rows as
+    payload tuples, bare payloads for unary relations); missing
+    relations are empty.  All relation entries must stay within the
+    domain — the compiled machinery indexes tape cells by domain
+    elements.
+    """
+    contents = {signature.domain_predicate: list(domain)}
+    known = {name for name, _ in signature.relations}
+    domain_set = set(domain)
+    for name, rows in relations.items():
+        if name not in known:
+            raise CompilationError(
+                f"relation {name!r} is not in the signature"
+            )
+        normalized = []
+        for row in rows:
+            if isinstance(row, (str, int)):
+                row = (row,)
+            for value in row:
+                if value not in domain_set:
+                    raise CompilationError(
+                        f"value {value!r} in {name!r} is outside the domain"
+                    )
+            normalized.append(tuple(row))
+        contents[name] = normalized
+    return Database.from_relations(contents)
+
+
+def relation_nonempty_machine(
+    signature: Signature, relation: str, name: str = "nonempty"
+) -> Machine:
+    """Accepts iff ``relation`` is nonempty.
+
+    Scans the data page left to right and accepts at the first symbol
+    whose bit for ``relation`` is set; rejects by running out of
+    applicable transitions (blank or end of tape).  Works for any
+    domain size >= 1.
+    """
+    bit = _relation_index(signature, relation)
+    steps = []
+    for position, symbol in enumerate(signature.symbols()):
+        if symbol[1 + bit] == "1":
+            steps.append(Step("scan", symbol, "acc", symbol, 0))
+        else:
+            steps.append(Step("scan", symbol, "scan", symbol, 1))
+    return Machine(
+        name=name,
+        steps=tuple(steps),
+        initial="scan",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def relation_empty_machine(
+    signature: Signature, relation: str, name: str = "isempty"
+) -> Machine:
+    """Accepts iff ``relation`` is empty.
+
+    Scans the data page; a set bit kills the run, the first blank
+    (i.e. the end of the data page) accepts.  Needs a domain of size
+    >= 2 so that a blank cell exists after the data page.
+    """
+    bit = _relation_index(signature, relation)
+    steps = [Step("scan", BLANK, "acc", BLANK, 0)]
+    for symbol in signature.symbols():
+        if symbol[1 + bit] == "0":
+            steps.append(Step("scan", symbol, "scan", symbol, 1))
+    return Machine(
+        name=name,
+        steps=tuple(steps),
+        initial="scan",
+        accepting=frozenset({"acc"}),
+    )
+
+
+def translating_relay_machine(
+    signature: Signature,
+    relation: str,
+    accept_on_yes: bool,
+    name: str = "translate",
+) -> Machine:
+    """A level-2 machine for compiled cascades: translate and ask.
+
+    Scans the data page, writing ``1`` to the oracle tape where the
+    ``relation`` bit is set and ``0`` where it is not; at the first
+    blank it queries the oracle and accepts per ``accept_on_yes``.
+    Stacked above :func:`repro.machines.library.contains_one` (and
+    compiled with ``extra_time_arity=1``) this expresses
+    "``relation`` nonempty" or its complement through a genuine oracle
+    boundary — Lemma 2 one level up the hierarchy.
+    """
+    bit = _relation_index(signature, relation)
+    steps = [
+        Step(
+            "scan",
+            symbol,
+            "scan",
+            symbol,
+            1,
+            oracle_write="1" if symbol[1 + bit] == "1" else "0",
+            oracle_move=1,
+        )
+        for symbol in signature.symbols()
+    ]
+    steps.append(
+        Step("scan", BLANK, "ask", BLANK, 0, oracle_write=BLANK, oracle_move=0)
+    )
+    return Machine(
+        name=name,
+        steps=tuple(steps),
+        initial="scan",
+        accepting=frozenset({"acc"}),
+        query_state="ask",
+        yes_state="acc" if accept_on_yes else "rej",
+        no_state="rej" if accept_on_yes else "acc",
+    )
+
+
+def _relation_index(signature: Signature, relation: str) -> int:
+    for index, (name, _) in enumerate(signature.relations):
+        if name == relation:
+            return index
+    raise CompilationError(f"relation {relation!r} is not in the signature")

@@ -1,0 +1,130 @@
+"""Generic database queries (Section 6.1, after Chandra-Harel).
+
+A query is *generic* iff renaming the database constants renames the
+answer the same way (Definition 13's consistency criterion).  The
+paper's expressibility result targets exactly the typed generic
+queries, and genericity is what makes the hypothetical order-assertion
+trick sound: re-ordering the domain is a renaming, so a generic query
+answers the same under every asserted order (Section 6.2.3).
+
+:class:`RulebaseQuery` packages a rulebase with an output predicate as
+a typed query; :func:`check_genericity` empirically tests the
+consistency criterion under sampled domain permutations (constant-free
+rulebases are generic by construction — the check is for validating
+that fact and for testing arbitrary query callables).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Union
+
+from ..core.ast import Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.terms import Atom
+
+__all__ = ["RulebaseQuery", "rename_answer", "check_genericity", "domain_permutations"]
+
+Payload = Union[str, int]
+QueryFunction = Callable[[Database], set[tuple]]
+
+
+class RulebaseQuery:
+    """A typed database query defined by a rulebase + output predicate.
+
+    Calling the query evaluates the rulebase on a database and returns
+    the set of payload tuples derived for the output predicate.  A
+    0-ary output predicate makes it a yes/no query returning ``set()``
+    or ``{()}``.
+    """
+
+    def __init__(
+        self, rulebase: Rulebase, output: str, engine: str = "auto"
+    ) -> None:
+        from ..engine.query import Session
+
+        self._rulebase = rulebase
+        self._output = output
+        self._session = Session(rulebase, engine)
+        arity = rulebase.arity(output)
+        if arity is None:
+            raise EvaluationError(
+                f"output predicate {output!r} does not occur in the rulebase"
+            )
+        self._arity = arity
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    @property
+    def output(self) -> str:
+        return self._output
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def is_constant_free(self) -> bool:
+        """Constant-free rulebases define generic queries (Section 6.1)."""
+        return self._rulebase.is_constant_free
+
+    def __call__(self, db: Database) -> set[tuple]:
+        if self._arity == 0:
+            return {()} if self._session.ask(db, Atom(self._output, ())) else set()
+        variables = ", ".join(f"X{i}" for i in range(1, self._arity + 1))
+        return self._session.answers(db, f"{self._output}({variables})")
+
+    def boolean(self, db: Database) -> bool:
+        """Yes/no reading: is the output nonempty?"""
+        return bool(self(db))
+
+
+def rename_answer(
+    answer: Iterable[tuple], mapping: dict[Payload, Payload]
+) -> set[tuple]:
+    """Apply a constant renaming to a set of answer tuples."""
+    return {
+        tuple(mapping.get(value, value) for value in row) for row in answer
+    }
+
+
+def domain_permutations(
+    db: Database, trials: int, seed: int = 0
+) -> list[dict[Payload, Payload]]:
+    """Sample ``trials`` permutations of the database's constants.
+
+    Permutations map payloads to payloads of the same domain (the
+    identity is never included unless the domain has one element).
+    """
+    payloads = sorted(
+        (constant.value for constant in db.constants()), key=lambda v: (str(type(v)), str(v))
+    )
+    rng = random.Random(seed)
+    permutations = []
+    for _ in range(trials):
+        shuffled = payloads[:]
+        rng.shuffle(shuffled)
+        permutations.append(dict(zip(payloads, shuffled)))
+    return permutations
+
+
+def check_genericity(
+    query: QueryFunction,
+    db: Database,
+    trials: int = 5,
+    seed: int = 0,
+) -> bool:
+    """Empirically test the consistency criterion on one database.
+
+    For each sampled permutation ``h``: ``query(h(DB))`` must equal
+    ``h(query(DB))``.  Returns False at the first counterexample.
+    """
+    baseline = query(db)
+    for mapping in domain_permutations(db, trials, seed):
+        renamed_db = db.rename(mapping)
+        if query(renamed_db) != rename_answer(baseline, mapping):
+            return False
+    return True

@@ -1,0 +1,185 @@
+"""Hypothetical linear orders and tuple counters (Sections 6.2.1-6.2.2).
+
+The expressibility construction needs a counter, and a counter needs a
+linear order on the data domain.  The paper's move: if the domain is
+unordered, *assert* an order hypothetically — every order, one after
+another — and rely on genericity for the answers to agree.
+
+:func:`order_assertion_rules` emits the Section 6.2.1 rules verbatim::
+
+    YES      <- SELECT(x), ORDER(x)[add: FIRST1(x)].
+    ORDER(x) <- SELECT(y), ORDER(y)[add: NEXT1(x, y)].
+    ORDER(x) <- ~SELECT(y), <goal>[add: LAST1(x)].
+    SELECT(y)   <- D(y), ~SELECTED(y).
+    SELECTED(y) <- FIRST1(y).
+    SELECTED(y) <- NEXT1(x, y).
+
+where ``<goal>`` is whatever the caller wants evaluated once an order
+is in place (``ACCEPT`` for the machine encodings).  The rules are
+constant-free and linear, and sit in the top stratum of whatever they
+are combined with.
+
+:func:`counter_rules` emits the Section 6.2.2 Horn rules defining
+``FIRST``/``NEXT``/``LAST`` on ``l``-tuples from the asserted unary
+order — a lexicographic counter from ``0`` to ``n^l - 1``.
+
+:func:`domain_parity_rulebase` is a self-contained demonstration used
+by experiment E10: it decides whether ``|D|`` is even by walking the
+asserted order, a query whose answer provably cannot depend on which
+order was asserted.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Hypothetical, Negated, Positive, Rule, Rulebase
+from ..core.errors import CompilationError
+from ..core.terms import Atom, Variable
+
+__all__ = [
+    "order_assertion_rules",
+    "counter_rules",
+    "domain_parity_rulebase",
+]
+
+
+def order_assertion_rules(
+    goal: Atom,
+    *,
+    yes_predicate: str = "yes",
+    domain_predicate: str = "dom",
+    first1: str = "first1",
+    next1: str = "next1",
+    last1: str = "last1",
+) -> list[Rule]:
+    """The Section 6.2.1 rules, parameterized by the inner goal.
+
+    The goal atom is proved after ``FIRST1``/``NEXT1``/``LAST1`` facts
+    describing a complete linear order over the ``domain_predicate``
+    relation have been hypothetically inserted.  Requires a non-empty
+    domain (the first rule selects the order's first element).
+    """
+    x = Variable("X")
+    y = Variable("Y")
+    select = Atom("select", (y,))
+    return [
+        Rule(
+            Atom(yes_predicate, ()),
+            (
+                Positive(Atom("select", (x,))),
+                Hypothetical(Atom("order", (x,)), (Atom(first1, (x,)),)),
+            ),
+        ),
+        Rule(
+            Atom("order", (x,)),
+            (
+                Positive(select),
+                Hypothetical(Atom("order", (y,)), (Atom(next1, (x, y)),)),
+            ),
+        ),
+        Rule(
+            Atom("order", (x,)),
+            (
+                Negated(select),
+                Hypothetical(goal, (Atom(last1, (x,)),)),
+            ),
+        ),
+        Rule(
+            select,
+            (
+                Positive(Atom(domain_predicate, (y,))),
+                Negated(Atom("selected", (y,))),
+            ),
+        ),
+        Rule(Atom("selected", (y,)), (Positive(Atom(first1, (y,))),)),
+        Rule(Atom("selected", (y,)), (Positive(Atom(next1, (x, y))),)),
+    ]
+
+
+def counter_rules(
+    arity: int,
+    *,
+    first1: str = "first1",
+    next1: str = "next1",
+    last1: str = "last1",
+    first: str = "first",
+    next_name: str = "next",
+    last: str = "last",
+) -> list[Rule]:
+    """A lexicographic counter on ``arity``-tuples (Section 6.2.2).
+
+    Position 1 is the most significant.  ``NEXT`` increments the
+    rightmost position that is not at the end of the base order,
+    rolling every position to its right back to the start::
+
+        FIRST(x1, ..., xl) <- FIRST1(x1), ..., FIRST1(xl).
+        LAST(x1, ..., xl)  <- LAST1(x1), ..., LAST1(xl).
+        # for each increment position p:
+        NEXT(c1.., xp, t.., c1.., yp, s..) <-
+            NEXT1(xp, yp), LAST1(t..each), FIRST1(s..each).
+    """
+    if arity < 1:
+        raise CompilationError("counter arity must be at least 1")
+    xs = [Variable(f"X{i}") for i in range(1, arity + 1)]
+    rules = [
+        Rule(
+            Atom(first, tuple(xs)),
+            tuple(Positive(Atom(first1, (x,))) for x in xs),
+        ),
+        Rule(
+            Atom(last, tuple(xs)),
+            tuple(Positive(Atom(last1, (x,))) for x in xs),
+        ),
+    ]
+    for position in range(arity - 1, -1, -1):
+        prefix = [Variable(f"C{i}") for i in range(position)]
+        old_digit = Variable("Xp")
+        new_digit = Variable("Yp")
+        rolled_old = [Variable(f"T{i}") for i in range(position + 1, arity)]
+        rolled_new = [Variable(f"S{i}") for i in range(position + 1, arity)]
+        old_value = tuple(prefix) + (old_digit,) + tuple(rolled_old)
+        new_value = tuple(prefix) + (new_digit,) + tuple(rolled_new)
+        body = [Positive(Atom(next1, (old_digit, new_digit)))]
+        body.extend(Positive(Atom(last1, (t,))) for t in rolled_old)
+        body.extend(Positive(Atom(first1, (s,))) for s in rolled_new)
+        rules.append(Rule(Atom(next_name, old_value + new_value), tuple(body)))
+    return rules
+
+
+def domain_parity_rulebase(
+    *, yes_predicate: str = "domeven", domain_predicate: str = "dom"
+) -> Rulebase:
+    """Decide whether the domain relation has even cardinality.
+
+    The inner rulebase walks the hypothetically asserted order: the
+    suffix starting at the last element has odd length; each
+    predecessor flips the parity; the domain is even iff the suffix at
+    the first element is even.  All inner rules are Horn — the
+    hypothetical work happens entirely in the order-assertion rules.
+
+    Every one of the ``n!`` asserted orders walks the same number of
+    elements, so the answer is order-independent — the Section 6.2.3
+    argument, executable.  Used by experiment E10.
+    """
+    x = Variable("X")
+    y = Variable("Y")
+    inner = [
+        Rule(
+            Atom("evenwalk", ()),
+            (Positive(Atom("first1", (x,))), Positive(Atom("evenfrom", (x,)))),
+        ),
+        Rule(Atom("oddfrom", (x,)), (Positive(Atom("last1", (x,))),)),
+        Rule(
+            Atom("oddfrom", (x,)),
+            (Positive(Atom("next1", (x, y))), Positive(Atom("evenfrom", (y,)))),
+        ),
+        Rule(
+            Atom("evenfrom", (x,)),
+            (Positive(Atom("next1", (x, y))), Positive(Atom("oddfrom", (y,)))),
+        ),
+    ]
+    outer = order_assertion_rules(
+        Atom("evenwalk", ()),
+        yes_predicate=yes_predicate,
+        domain_predicate=domain_predicate,
+    )
+    return Rulebase(outer + inner)

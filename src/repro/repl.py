@@ -1,0 +1,202 @@
+"""Interactive console for hypothetical Datalog.
+
+Start with ``hypodatalog repl`` (optionally ``RULES`` / ``-d DB``).
+The loop accepts three kinds of input:
+
+* ``?- <premise>.`` — a query.  A plain atom pattern with variables
+  enumerates answers; anything else (ground atoms, hypothetical or
+  negated premises) prints ``yes`` / ``no``.
+* ``<rule>.`` — a rule is added to the rulebase; a ground fact is added
+  to the database.
+* ``:command`` — one of::
+
+      :rules            print the current rulebase
+      :facts            print the current database
+      :classify         Theorem 1 classification
+      :stratify         print the linear stratification
+      :lint             hygiene findings
+      :engine NAME      auto | prove | topdown | model
+      :explain QUERY    print a derivation
+      :load FILE        add rules from a file
+      :db FILE          add facts from a file
+      :reset            drop all rules and facts
+      :help             this text
+      :quit             leave
+
+The engine is rebuilt lazily after every change, so stratification is
+re-analyzed as the rulebase evolves.  The class is I/O-free (feed a
+line, get text back), which is how the tests drive it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from .analysis.classify import classify
+from .analysis.lint import lint
+from .analysis.stratify import linear_stratification
+from .core.ast import Rulebase
+from .core.database import Database
+from .core.errors import HypotheticalDatalogError
+from .core.parser import parse_database, parse_premise, parse_program, parse_rule
+from .core.pretty import format_database, format_stratification
+from .core.ast import Positive
+from .engine.query import Session
+
+__all__ = ["Repl", "run"]
+
+_HELP = __doc__.split(":command`` — one of::", 1)[1].split("The engine", 1)[0]
+
+
+class Repl:
+    """The evaluation loop, one line at a time."""
+
+    def __init__(
+        self,
+        rulebase: Optional[Rulebase] = None,
+        db: Optional[Database] = None,
+        engine: str = "auto",
+    ) -> None:
+        self._rulebase = rulebase if rulebase is not None else Rulebase()
+        self._db = db if db is not None else Database()
+        self._engine_choice = engine
+        self._session: Optional[Session] = None
+        self.done = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def rulebase(self) -> Rulebase:
+        return self._rulebase
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    def _invalidate(self) -> None:
+        self._session = None
+
+    def _require_session(self) -> Session:
+        if self._session is None:
+            self._session = Session(self._rulebase, self._engine_choice)
+        return self._session
+
+    # -- the loop body ----------------------------------------------------
+
+    def feed(self, line: str) -> str:
+        """Process one input line; return the text to display."""
+        text = line.strip()
+        if not text or text.startswith("%") or text.startswith("#"):
+            return ""
+        try:
+            if text.startswith(":"):
+                return self._command(text)
+            if text.startswith("?-"):
+                return self._query(text[2:].strip())
+            return self._assert(text)
+        except HypotheticalDatalogError as error:
+            return f"error: {error}"
+
+    def _query(self, text: str) -> str:
+        if text.endswith("."):
+            text = text[:-1]
+        premise = parse_premise(text)
+        session = self._require_session()
+        variables = list(dict.fromkeys(premise.variables()))
+        if variables and isinstance(premise, Positive):
+            rows = session.answers(self._db, premise.atom)
+            if not rows:
+                return "no"
+            names = [var.name for var in variables]
+            lines = []
+            for row in sorted(rows, key=str):
+                lines.append(
+                    ", ".join(f"{name} = {value}" for name, value in zip(names, row))
+                )
+            return "\n".join(lines)
+        return "yes" if session.ask(self._db, premise) else "no"
+
+    def _assert(self, text: str) -> str:
+        if not text.endswith("."):
+            text += "."
+        rule = parse_rule(text)
+        if rule.is_fact and rule.head.is_ground:
+            self._db = self._db.with_facts(rule.head)
+            self._invalidate()
+            return f"asserted fact {rule.head}"
+        self._rulebase = self._rulebase + [rule]
+        self._invalidate()
+        return f"added rule {rule}"
+
+    def _command(self, text: str) -> str:
+        name, _, argument = text[1:].partition(" ")
+        argument = argument.strip()
+        if name in ("quit", "exit", "q"):
+            self.done = True
+            return "bye"
+        if name == "help":
+            return _HELP.strip("\n")
+        if name == "rules":
+            return str(self._rulebase) if len(self._rulebase) else "(no rules)"
+        if name == "facts":
+            return format_database(self._db) if len(self._db) else "(no facts)"
+        if name == "classify":
+            return str(classify(self._rulebase))
+        if name == "stratify":
+            return format_stratification(linear_stratification(self._rulebase))
+        if name == "lint":
+            findings = lint(self._rulebase)
+            return "\n".join(str(f) for f in findings) if findings else "no findings"
+        if name == "engine":
+            if argument not in ("auto", "prove", "topdown", "model"):
+                return "error: engine must be auto, prove, topdown, or model"
+            self._engine_choice = argument
+            self._invalidate()
+            session = self._require_session()
+            return f"engine: {session.engine_name}"
+        if name == "explain":
+            from .engine.proofs import Explainer, format_proof
+
+            proof = Explainer(self._rulebase).explain(self._db, argument.rstrip("."))
+            return format_proof(proof) if proof is not None else "not provable"
+        if name == "load":
+            with open(argument, encoding="utf-8") as handle:
+                self._rulebase = self._rulebase + parse_program(handle.read()).rules
+            self._invalidate()
+            return f"loaded {argument} ({len(self._rulebase)} rules total)"
+        if name == "db":
+            with open(argument, encoding="utf-8") as handle:
+                self._db = self._db.union(parse_database(handle.read()))
+            self._invalidate()
+            return f"loaded {argument} ({len(self._db)} facts total)"
+        if name == "reset":
+            self._rulebase = Rulebase()
+            self._db = Database()
+            self._invalidate()
+            return "cleared"
+        return f"error: unknown command :{name} (try :help)"
+
+
+def run(
+    rulebase: Optional[Rulebase] = None,
+    db: Optional[Database] = None,
+    stdin=None,
+    stdout=None,
+) -> int:
+    """Run the interactive loop until EOF or ``:quit``."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    interactive = stdin is sys.stdin and stdin.isatty()
+    repl = Repl(rulebase, db)
+    print("hypothetical Datalog — :help for commands, :quit to leave", file=stdout)
+    while not repl.done:
+        if interactive:
+            print("?> ", end="", file=stdout, flush=True)
+        line = stdin.readline()
+        if not line:
+            break
+        output = repl.feed(line)
+        if output:
+            print(output, file=stdout)
+    return 0

@@ -1,0 +1,5 @@
+"""Model-theoretic validation tools."""
+
+from .kripke import KripkeStructure, atom_universe
+
+__all__ = ["KripkeStructure", "atom_universe"]

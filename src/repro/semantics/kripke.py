@@ -1,0 +1,215 @@
+"""Kripke-style intuitionistic semantics for the negation-free fragment.
+
+Section 3 of the paper notes (footnote 3) that the hypothetical
+inference system "has an intuitionistic semantics" [3, 16, 19]:
+databases are possible worlds ordered by inclusion, and the
+hypothetical premise ``A[add: B]`` is the embedded intuitionistic
+implication ``B => A``.
+
+This module makes that claim *checkable* on small instances.  For a
+rulebase ``R`` and base database ``DB`` it materializes the finite
+Kripke structure whose worlds are all databases between ``DB`` and the
+saturated set of ground atoms over ``dom(R, DB)``, with forcing
+``w ||- A`` defined as ``R, w |- A``.  Two theorems of the
+intuitionistic reading are then verified world by world:
+
+* **persistence** (monotonicity): ``w ⊆ w'`` implies
+  ``forced(w) ⊆ forced(w')`` — truth never disappears as knowledge
+  grows;
+* **the implication law**: ``w ||- A[add: B]`` iff *every* world
+  ``w' ⊇ w`` containing ``B`` forces ``A`` — Kripke's clause for
+  ``B => A``, which for atomic ``B`` is equivalent to evaluating at the
+  minimal extension ``w + {B}`` precisely because of persistence.
+
+Both properties hold exactly for the negation-free fragment;
+negation-by-failure breaks persistence (that is its point — Section
+3.1 introduces it to express non-monotonic queries), and
+:func:`KripkeStructure.build` therefore rejects rulebases with
+negation.  The property tests drive these checks over randomized
+rulebases; a failure would mean one of the engines disagrees with the
+intuitionistic semantics.
+
+Worlds grow exponentially with the atom universe, so this is a
+validation tool for small instances, not an evaluator.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional
+
+from ..core.ast import Hypothetical, Rulebase
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.terms import Atom, Constant
+from ..core.unify import ground_instances
+from ..engine.topdown import TopDownEngine
+
+__all__ = ["KripkeStructure", "atom_universe"]
+
+_MAX_WORLDS = 1 << 14
+
+
+def atom_universe(rulebase: Rulebase, db: Database) -> list[Atom]:
+    """All ground atoms over ``dom(R, DB)`` and the joint vocabulary.
+
+    This is the saturation bound of the inference system: no derivation
+    or hypothetical insertion can leave it.
+    """
+    constants = sorted(
+        set(rulebase.constants()) | set(db.constants()),
+        key=lambda c: (str(type(c.value)), str(c.value)),
+    )
+    predicates: dict[str, int] = {}
+    for predicate in rulebase.mentioned_predicates():
+        arity = rulebase.arity(predicate)
+        if arity is not None:
+            predicates[predicate] = arity
+    for fact in db:
+        predicates.setdefault(fact.predicate, fact.arity)
+    atoms: list[Atom] = []
+    for predicate in sorted(predicates):
+        arity = predicates[predicate]
+        if arity == 0:
+            atoms.append(Atom(predicate, ()))
+            continue
+        if not constants:
+            continue
+        from itertools import product
+
+        for args in product(constants, repeat=arity):
+            atoms.append(Atom(predicate, tuple(args)))
+    return atoms
+
+
+class KripkeStructure:
+    """The finite Kripke structure of a rulebase above a base world."""
+
+    def __init__(
+        self,
+        rulebase: Rulebase,
+        base: Database,
+        worlds: tuple[Database, ...],
+        engine: TopDownEngine,
+    ) -> None:
+        self._rulebase = rulebase
+        self._base = base
+        self._worlds = worlds
+        self._engine = engine
+        self._forced: dict[Database, frozenset[Atom]] = {}
+
+    @classmethod
+    def build(cls, rulebase: Rulebase, base: Database) -> "KripkeStructure":
+        """Materialize every world ``base ⊆ w ⊆ saturation``.
+
+        Raises :class:`EvaluationError` for rulebases with negation
+        (persistence fails by design there) and for universes too large
+        to enumerate.
+        """
+        if rulebase.has_negation():
+            raise EvaluationError(
+                "the Kripke semantics covers the negation-free fragment; "
+                "negation-by-failure is deliberately non-monotonic"
+            )
+        universe = atom_universe(rulebase, base)
+        missing = [item for item in universe if item not in base]
+        if 2 ** len(missing) > _MAX_WORLDS:
+            raise EvaluationError(
+                f"{len(missing)} addable atoms would give 2^{len(missing)} "
+                f"worlds; the Kripke checker is for small instances"
+            )
+        worlds = []
+        for size in range(len(missing) + 1):
+            for extra in combinations(missing, size):
+                worlds.append(base.with_facts(*extra))
+        return cls(rulebase, base, tuple(worlds), TopDownEngine(rulebase))
+
+    @property
+    def worlds(self) -> tuple[Database, ...]:
+        return self._worlds
+
+    @property
+    def base(self) -> Database:
+        return self._base
+
+    def forced(self, world: Database) -> frozenset[Atom]:
+        """``{A : R, w |- A}`` — the forcing set of a world."""
+        cached = self._forced.get(world)
+        if cached is None:
+            universe = atom_universe(self._rulebase, self._base)
+            cached = frozenset(
+                item for item in universe if self._engine.ask(world, item)
+            )
+            self._forced[world] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # The two intuitionistic laws
+    # ------------------------------------------------------------------
+
+    def check_persistence(self) -> Optional[tuple[Database, Database, Atom]]:
+        """First failure of monotone forcing, or ``None`` if it holds.
+
+        Checks ``w ⊆ w' -> forced(w) ⊆ forced(w')`` over the covering
+        relation (adding one atom), which implies the full order.
+        """
+        by_size: dict[int, list[Database]] = {}
+        for world in self._worlds:
+            by_size.setdefault(len(world), []).append(world)
+        for world in self._worlds:
+            for successor in by_size.get(len(world) + 1, []):
+                if not world <= successor:
+                    continue
+                lost = self.forced(world) - self.forced(successor)
+                if lost:
+                    return world, successor, next(iter(lost))
+        return None
+
+    def check_implication_law(self) -> Optional[tuple[Database, str]]:
+        """First violation of the Kripke implication clause, or ``None``.
+
+        For every world ``w`` and every ground instance of every
+        hypothetical premise ``A[add: B1..Bm]`` occurring in the rules::
+
+            R, w |- A[add: B..]
+                iff  every w' >= w with {B..} ⊆ w' forces A
+
+        (With several additions the premise is the curried implication
+        ``B1 => ... => Bm => A``; the law quantifies over worlds
+        containing all of them.)
+        """
+        domain = self._engine.domain(self._base)
+        instances = list(self._hypothetical_instances(domain))
+        for world in self._worlds:
+            for premise in instances:
+                direct = self._engine.ask(world, premise)
+                quantified = all(
+                    premise.atom in self.forced(successor)
+                    for successor in self._worlds
+                    if world <= successor
+                    and all(add in successor for add in premise.additions)
+                )
+                if direct != quantified:
+                    return world, (
+                        f"{premise}: inference gives {direct}, Kripke "
+                        f"quantification gives {quantified}"
+                    )
+        return None
+
+    def _hypothetical_instances(self, domain: Iterable[Constant]) -> Iterator[Hypothetical]:
+        seen: set[Hypothetical] = set()
+        constants = list(domain)
+        for item in self._rulebase:
+            for premise in item.body:
+                if not isinstance(premise, Hypothetical):
+                    continue
+                if premise.deletions:
+                    raise EvaluationError(
+                        "the Kripke reading covers additions only"
+                    )
+                variables = list(dict.fromkeys(premise.variables()))
+                for binding in ground_instances(variables, constants):
+                    grounded = premise.substitute(binding)
+                    if grounded not in seen:
+                        seen.add(grounded)
+                        yield grounded

@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.ast (premises, rules, rulebases)."""
+
+import pytest
+
+from repro.core.ast import (
+    Hypothetical,
+    Negated,
+    Positive,
+    Rule,
+    Rulebase,
+    fact,
+    rule,
+)
+from repro.core.errors import ValidationError
+from repro.core.terms import Constant, Variable, atom
+
+
+class TestPremises:
+    def test_positive_str(self):
+        assert str(Positive(atom("take", "S", "cs452"))) == "take(S, cs452)"
+
+    def test_negated_str(self):
+        assert str(Negated(atom("b", "X"))) == "~b(X)"
+
+    def test_hypothetical_str_single(self):
+        premise = Hypothetical(atom("grad", "S"), (atom("take", "S", "C"),))
+        assert str(premise) == "grad(S)[add: take(S, C)]"
+
+    def test_hypothetical_str_multi(self):
+        premise = Hypothetical(atom("a"), (atom("b"), atom("c")))
+        assert str(premise) == "a[add: b, c]"
+
+    def test_hypothetical_requires_additions(self):
+        with pytest.raises(ValidationError):
+            Hypothetical(atom("a"), ())
+
+    def test_hypothetical_variables_include_additions(self):
+        premise = Hypothetical(atom("grad", "S"), (atom("take", "S", "C"),))
+        assert {v.name for v in premise.variables()} == {"S", "C"}
+
+    def test_substitute_hypothetical(self):
+        premise = Hypothetical(atom("grad", "S"), (atom("take", "S", "C"),))
+        bound = premise.substitute({Variable("S"): Constant("tony")})
+        assert bound.atom == atom("grad", "tony")
+        assert bound.additions == (atom("take", "tony", "C"),)
+
+    def test_goal_property(self):
+        assert Positive(atom("p")).goal == atom("p")
+        assert Negated(atom("p")).goal == atom("p")
+        assert Hypothetical(atom("p"), (atom("q"),)).goal == atom("p")
+
+
+class TestRule:
+    def test_fact_has_empty_body(self):
+        assert fact(atom("take", "tony", "cs250")).is_fact
+
+    def test_rule_helper_wraps_atoms(self):
+        built = rule(atom("p", "X"), atom("q", "X"), Negated(atom("r", "X")))
+        assert isinstance(built.body[0], Positive)
+        assert isinstance(built.body[1], Negated)
+
+    def test_variables(self):
+        built = rule(atom("p", "X"), atom("q", "X", "Y"))
+        assert {v.name for v in built.variables()} == {"X", "Y"}
+
+    def test_constants(self):
+        built = rule(atom("p", "X"), atom("q", "X", "cs250"))
+        assert {c.value for c in built.constants()} == {"cs250"}
+
+    def test_body_predicates_kinds(self):
+        built = rule(
+            atom("p"),
+            atom("q"),
+            Negated(atom("r")),
+            Hypothetical(atom("s"), (atom("t"),)),
+        )
+        assert list(built.body_predicates()) == [
+            ("positive", "q"),
+            ("negative", "r"),
+            ("hypothetical", "s"),
+        ]
+
+    def test_added_predicates_not_occurrences(self):
+        built = rule(atom("p"), Hypothetical(atom("s"), (atom("t"),)))
+        assert built.added_predicates() == {"t"}
+        assert ("positive", "t") not in list(built.body_predicates())
+
+    def test_str(self):
+        built = rule(atom("p", "X"), atom("q", "X"))
+        assert str(built) == "p(X) :- q(X)."
+        assert str(fact(atom("p", "a"))) == "p(a)."
+
+    def test_substitute(self):
+        built = rule(atom("p", "X"), atom("q", "X"))
+        ground = built.substitute({Variable("X"): Constant("a")})
+        assert str(ground) == "p(a) :- q(a)."
+
+
+class TestRulebase:
+    def _sample(self):
+        return Rulebase(
+            [
+                rule(atom("grad", "S"), atom("take", "S", "his101")),
+                rule(atom("grad", "S"), atom("take", "S", "eng201")),
+                rule(atom("top"), Negated(atom("grad", "X"))),
+            ]
+        )
+
+    def test_definition(self):
+        assert len(self._sample().definition("grad")) == 2
+
+    def test_definition_of_unknown_is_empty(self):
+        assert self._sample().definition("nope") == ()
+
+    def test_defined_and_edb(self):
+        sample = self._sample()
+        assert sample.defined_predicates() == {"grad", "top"}
+        assert sample.edb_predicates() == {"take"}
+
+    def test_arity_tracking(self):
+        assert self._sample().arity("take") == 2
+        assert self._sample().arity("top") == 0
+        assert self._sample().arity("nope") is None
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(ValidationError):
+            Rulebase([rule(atom("p", "X"), atom("q", "X")),
+                      rule(atom("p", "X", "Y"), atom("q", "X"))])
+
+    def test_arity_conflict_in_additions_rejected(self):
+        with pytest.raises(ValidationError):
+            Rulebase([
+                rule(atom("p"), Hypothetical(atom("q"), (atom("r", "X"),))),
+                rule(atom("r"), atom("q")),
+            ])
+
+    def test_constant_free(self):
+        assert not self._sample().is_constant_free  # his101, eng201
+        free = Rulebase([rule(atom("p", "X"), atom("q", "X"))])
+        assert free.is_constant_free
+
+    def test_has_negation_and_hypotheses(self):
+        sample = self._sample()
+        assert sample.has_negation()
+        assert not sample.has_hypotheses()
+        assert sample.is_horn
+
+    def test_concatenation(self):
+        extra = rule(atom("extra"), atom("top"))
+        combined = self._sample() + [extra]
+        assert len(combined) == 4
+        assert combined.definition("extra") == (extra,)
+
+    def test_equality_and_hash(self):
+        assert self._sample() == self._sample()
+        assert hash(self._sample()) == hash(self._sample())
+
+    def test_iteration_preserves_order(self):
+        sample = self._sample()
+        assert list(sample)[0].head == atom("grad", "S")
+
+    def test_mentioned_includes_added(self):
+        sample = Rulebase([rule(atom("p"), Hypothetical(atom("q"), (atom("r"),)))])
+        assert sample.mentioned_predicates() == {"p", "q", "r"}

@@ -1,0 +1,66 @@
+"""Tests for the benchmark report generator (benchmarks/report.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+_spec = importlib.util.spec_from_file_location("bench_report", _REPORT_PATH)
+report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(report)
+
+
+@pytest.fixture
+def sample_json(tmp_path):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": "benchmarks/bench_e1_chain.py::test_chain[8]",
+                "stats": {"median": 0.00042},
+                "extra_info": {"chain_length": 8, "sigma_goals": 19},
+            },
+            {
+                "fullname": "benchmarks/bench_e1_chain.py::test_chain[4]",
+                "stats": {"median": 0.0002},
+                "extra_info": {"chain_length": 4},
+            },
+            {
+                "fullname": "benchmarks/bench_e5_hamiltonian.py::test_x[3]",
+                "stats": {"median": 1.25},
+                "extra_info": {},
+            },
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestReport:
+    def test_groups_by_experiment_file(self, sample_json, capsys):
+        assert report.main(sample_json) == 0
+        out = capsys.readouterr().out
+        assert "== bench_e1_chain.py ==" in out
+        assert "== bench_e5_hamiltonian.py ==" in out
+
+    def test_rows_sorted_and_annotated(self, sample_json, capsys):
+        report.main(sample_json)
+        out = capsys.readouterr().out
+        # Parameter annotations from extra_info appear on the row.
+        assert "chain_length=8" in out and "sigma_goals=19" in out
+        # Rows are sorted by name within an experiment.
+        assert out.index("test_chain[4]") < out.index("test_chain[8]")
+
+    def test_time_formatting(self):
+        assert report._format_seconds(2.5e-7).strip().endswith("us")
+        assert report._format_seconds(0.0042).strip().endswith("ms")
+        assert report._format_seconds(3.2).strip().endswith("s")
+
+    def test_empty_payload(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        assert report.main(str(path)) == 0
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,160 @@
+"""Unit tests for the shared rule-body machinery."""
+
+from repro.core.ast import Hypothetical, Negated, Positive
+from repro.core.terms import Constant, Variable, atom
+from repro.engine.body import ordered_premises, satisfy_body
+from repro.engine.interpretation import Interpretation
+
+
+class TestOrdering:
+    def test_positives_then_hypotheticals_then_negations(self):
+        body = (
+            Negated(atom("n1")),
+            Hypothetical(atom("h1"), (atom("x"),)),
+            Positive(atom("p1")),
+            Negated(atom("n2")),
+            Positive(atom("p2")),
+        )
+        ordered = ordered_premises(body)
+        kinds = [type(premise).__name__ for premise in ordered]
+        assert kinds == ["Positive", "Positive", "Hypothetical", "Negated", "Negated"]
+
+    def test_stable_within_category(self):
+        body = (Positive(atom("p1")), Positive(atom("p2")))
+        assert [str(p) for p in ordered_premises(body)] == ["p1", "p2"]
+
+
+class TestGreedyJoinOrder:
+    def test_most_bound_first(self):
+        from repro.engine.body import greedy_positive_order
+        from repro.core.terms import Variable
+
+        body = [
+            Positive(atom("wide", "Y")),        # 1 unbound
+            Positive(atom("link", "X", "Y")),   # 2 unbound
+            Positive(atom("anchor", "X")),      # 1 unbound
+        ]
+        ordered = greedy_positive_order(body, ())
+        # wide(Y) and anchor(X) tie at 1 unbound; textual order picks
+        # wide(Y), after which link(X, Y) ties with anchor(X) at one
+        # unbound each and textual order decides again.  The cross
+        # product (link before anything binds) never happens.
+        assert [str(p) for p in ordered] == ["wide(Y)", "link(X, Y)", "anchor(X)"]
+
+    def test_cross_product_deferred(self):
+        from repro.engine.body import greedy_positive_order
+
+        body = [
+            Positive(atom("link", "X", "Y")),   # 2 unbound: deferred
+            Positive(atom("anchor", "X")),
+        ]
+        ordered = greedy_positive_order(body, ())
+        assert [str(p) for p in ordered] == ["anchor(X)", "link(X, Y)"]
+
+    def test_seed_binding_changes_plan(self):
+        from repro.engine.body import greedy_positive_order
+        from repro.core.terms import Variable
+
+        body = [
+            Positive(atom("wide", "Y")),
+            Positive(atom("link", "X", "Y")),
+        ]
+        ordered = greedy_positive_order(body, [Variable("X"), Variable("Y")])
+        # Everything bound: textual order preserved.
+        assert [str(p) for p in ordered] == ["wide(Y)", "link(X, Y)"]
+
+    def test_same_answers_either_way(self):
+        from repro.core.parser import parse_program
+        from repro.core.database import Database
+        from repro.engine.topdown import TopDownEngine
+
+        rules = parse_program("hit(X) :- wide(Y), anchor(X), link(X, Y).")
+        db = Database.from_relations(
+            {
+                "wide": [f"w{index}" for index in range(6)],
+                "anchor": ["a", "b"],
+                "link": [("a", "w0")],
+            }
+        )
+        greedy = TopDownEngine(rules, optimize_joins=True)
+        textual = TopDownEngine(rules, optimize_joins=False)
+        assert greedy.answers(db, "hit(X)") == textual.answers(db, "hit(X)") == {("a",)}
+
+
+class TestSatisfyBody:
+    def _callbacks(self, interp):
+        return {
+            "positive": lambda pattern, binding: interp.matches(pattern, binding),
+            "hypothetical": lambda premise, binding: iter(()),
+            "negated": lambda pattern, binding: not interp.has_match(
+                pattern, binding
+            ),
+        }
+
+    def test_join_two_positives(self):
+        interp = Interpretation(
+            [atom("e", "a", "b"), atom("e", "b", "c"), atom("e", "c", "d")]
+        )
+        body = (Positive(atom("e", "X", "Y")), Positive(atom("e", "Y", "Z")))
+        results = list(satisfy_body(body, **self._callbacks(interp)))
+        chains = {
+            (binding[Variable("X")].value, binding[Variable("Z")].value)
+            for binding in results
+        }
+        assert chains == {("a", "c"), ("b", "d")}
+
+    def test_negation_sees_bindings_from_positives(self):
+        interp = Interpretation([atom("p", "a"), atom("p", "b"), atom("q", "a")])
+        body = (Positive(atom("p", "X")), Negated(atom("q", "X")))
+        results = list(satisfy_body(body, **self._callbacks(interp)))
+        assert {binding[Variable("X")].value for binding in results} == {"b"}
+
+    def test_negation_local_variable_is_not_exists(self):
+        interp = Interpretation([atom("p", "a"), atom("q", "z")])
+        body = (Positive(atom("p", "X")), Negated(atom("q", "Y")))
+        # q has a tuple, so ~q(Y) fails outright regardless of X.
+        assert list(satisfy_body(body, **self._callbacks(interp))) == []
+
+    def test_empty_body_yields_once(self):
+        interp = Interpretation()
+        results = list(satisfy_body((), **self._callbacks(interp)))
+        assert results == [{}]
+
+    def test_initial_binding_respected(self):
+        interp = Interpretation([atom("p", "a"), atom("p", "b")])
+        body = (Positive(atom("p", "X")),)
+        results = list(
+            satisfy_body(
+                body,
+                binding={Variable("X"): Constant("b")},
+                **self._callbacks(interp),
+            )
+        )
+        assert len(results) == 1
+        assert results[0][Variable("X")] == Constant("b")
+
+    def test_hypothetical_callback_drives_bindings(self):
+        interp = Interpretation([atom("p", "a")])
+        calls = []
+
+        def hypothetical(premise, binding):
+            calls.append(premise)
+            extended = dict(binding)
+            extended[Variable("H")] = Constant("h")
+            yield extended
+
+        body = (
+            Positive(atom("p", "X")),
+            Hypothetical(atom("goal", "H"), (atom("mark", "H"),)),
+        )
+        results = list(
+            satisfy_body(
+                body,
+                positive=lambda pattern, binding: interp.matches(pattern, binding),
+                hypothetical=hypothetical,
+                negated=lambda pattern, binding: True,
+            )
+        )
+        assert len(results) == 1
+        assert results[0][Variable("H")] == Constant("h")
+        assert len(calls) == 1

@@ -1,0 +1,65 @@
+"""Unit tests for Theorem 1 complexity classification."""
+
+from repro.analysis.classify import classify
+from repro.core.parser import parse_program
+from repro.library import (
+    degree_rulebase,
+    example9_rulebase,
+    example10_rulebase,
+    hamiltonian_complement_rulebase,
+    hamiltonian_rulebase,
+)
+
+
+class TestClassify:
+    def test_pure_horn_is_p(self):
+        report = classify(parse_program("p(X) :- q(X)."))
+        assert report.class_name == "P"
+        assert report.well_defined
+
+    def test_stratified_horn_is_p(self):
+        report = classify(parse_program("p(X) :- q(X), ~r(X)."))
+        assert report.class_name == "P"
+        assert "stratified negation" in report.notes[0]
+
+    def test_nonlinear_horn_still_p(self):
+        # Linearity does not affect Horn data-complexity (introduction).
+        report = classify(
+            parse_program("t(X, Y) :- t(X, Z), t(Z, Y). t(X, Y) :- e(X, Y).")
+        )
+        assert report.class_name == "P"
+
+    def test_one_stratum_is_np(self):
+        report = classify(hamiltonian_rulebase())
+        assert report.class_name == "NP"
+        assert report.strata == 1
+
+    def test_complement_rule_adds_a_stratum(self):
+        # Example 8: a single non-recursive negation on top of Example 7.
+        report = classify(hamiltonian_complement_rulebase())
+        assert report.class_name == "Sigma_2^P"
+        assert report.strata == 2
+
+    def test_example9_three_strata(self):
+        report = classify(example9_rulebase())
+        assert report.class_name == "Sigma_3^P"
+        assert report.strata == 3
+
+    def test_example10_is_pspace(self):
+        report = classify(example10_rulebase())
+        assert report.class_name == "PSPACE"
+        assert not report.linearly_stratified
+        assert report.well_defined
+
+    def test_degree_rulebase_is_pspace(self):
+        # Example 3: grad/within1 mutual recursion is non-linear.
+        assert classify(degree_rulebase()).class_name == "PSPACE"
+
+    def test_recursion_through_negation_undefined(self):
+        report = classify(parse_program("a :- ~b. b :- ~a."))
+        assert report.class_name == "undefined"
+        assert not report.well_defined
+
+    def test_str_rendering(self):
+        text = str(classify(example9_rulebase()))
+        assert "Sigma_3^P" in text and "strata: 3" in text

@@ -1,0 +1,147 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+HAMILTONIAN = """
+yes :- node(X), path(X)[add: pnode(X)].
+path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+path(X) :- ~select(Y).
+select(Y) :- node(Y), ~pnode(Y).
+"""
+
+GRAPH = """
+node(a). node(b). node(c).
+edge(a, b). edge(b, c).
+"""
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.dl"
+    path.write_text(HAMILTONIAN)
+    return str(path)
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "graph.dl"
+    path.write_text(GRAPH)
+    return str(path)
+
+
+class TestClassify:
+    def test_reports_np(self, rules_file, capsys):
+        assert main(["classify", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "NP" in out
+
+    def test_undefined_rulebase(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text("a :- ~b. b :- ~a.")
+        assert main(["classify", str(path)]) == 0
+        assert "undefined" in capsys.readouterr().out
+
+
+class TestStratify:
+    def test_prints_segments(self, rules_file, capsys):
+        assert main(["stratify", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "Sigma_1" in out and "Delta_1" in out
+
+    def test_error_on_unstratifiable(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text("a :- a[add: b], a[add: c].")
+        assert main(["stratify", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_yes(self, rules_file, db_file, capsys):
+        assert main(["query", rules_file, "yes", "-d", db_file]) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_no_exit_code(self, rules_file, tmp_path, capsys):
+        graph = tmp_path / "star.dl"
+        graph.write_text("node(a). node(b). node(c). edge(a, b). edge(a, c).")
+        assert main(["query", rules_file, "yes", "-d", str(graph)]) == 1
+        assert capsys.readouterr().out.strip() == "no"
+
+    def test_engine_flag(self, rules_file, db_file, capsys):
+        assert main(["query", rules_file, "yes", "-d", db_file, "-e", "model"]) == 0
+
+    def test_missing_db_means_empty(self, rules_file, capsys):
+        assert main(["query", rules_file, "yes"]) == 1
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.dl"
+        path.write_text("p(a")
+        assert main(["query", str(path), "p(a)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["query", "/nonexistent/rules.dl", "p"]) == 2
+
+
+class TestAnswers:
+    def test_enumerates_sorted(self, rules_file, db_file, capsys):
+        assert main(["answers", rules_file, "select(Y)", "-d", db_file]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines == ["a", "b", "c"]
+
+
+class TestGraph:
+    def test_emits_dot(self, rules_file, capsys):
+        assert main(["graph", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"yes" -> "path" [style=dotted, label="[add]"];' in out
+
+
+class TestLint:
+    def test_findings_printed(self, rules_file, capsys):
+        code = main(["lint", rules_file])
+        out = capsys.readouterr().out
+        assert "unsafe-head" in out  # path(X) :- ~select(Y).
+        assert code == 1  # warnings present
+
+    def test_clean_rulebase(self, tmp_path, capsys):
+        path = tmp_path / "clean.dl"
+        path.write_text("p(X) :- q(X).")
+        assert main(["lint", str(path)]) == 0
+
+
+class TestExplain:
+    def test_prints_derivation(self, rules_file, db_file, capsys):
+        assert main(["explain", rules_file, "yes", "-d", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "[by rule:" in out and "pnode" in out
+
+    def test_not_provable(self, rules_file, capsys):
+        assert main(["explain", rules_file, "yes"]) == 1
+        assert "not provable" in capsys.readouterr().out
+
+
+class TestRepl:
+    def test_scripted(self, rules_file, db_file, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("?- yes.\n:quit\n")
+        )
+        assert main(["repl", rules_file, "-d", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out and "bye" in out
+
+
+class TestModel:
+    def test_prints_model(self, tmp_path, capsys):
+        rules = tmp_path / "tc.dl"
+        rules.write_text("path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).")
+        db = tmp_path / "edges.dl"
+        db.write_text("edge(a, b). edge(b, c).")
+        assert main(["model", str(rules), "-d", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "path(a, c)." in out

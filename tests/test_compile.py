@@ -1,0 +1,278 @@
+"""Unit tests for the expressibility compiler (Lemma 2 / Corollary 2)."""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.core.errors import CompilationError
+from repro.engine.query import Session
+from repro.machines.oracle import Cascade
+from repro.machines.turing import BLANK, Machine, Step
+from repro.queries.compile import (
+    Signature,
+    bitvector_symbol,
+    compile_typed_query,
+    compile_yes_no_query,
+    initial_rules,
+    query_database,
+    relation_empty_machine,
+    relation_nonempty_machine,
+    time_bound_for,
+)
+from repro.queries.generic import check_genericity
+
+
+@pytest.fixture(scope="module")
+def unary_signature():
+    return Signature((("p", 1),))
+
+
+@pytest.fixture(scope="module")
+def nonempty_rulebase(unary_signature):
+    machine = relation_nonempty_machine(unary_signature, "p")
+    return compile_yes_no_query(Cascade((machine,)), unary_signature)
+
+
+@pytest.fixture(scope="module")
+def empty_rulebase(unary_signature):
+    machine = relation_empty_machine(unary_signature, "p")
+    return compile_yes_no_query(Cascade((machine,)), unary_signature)
+
+
+class TestSignature:
+    def test_arities(self, unary_signature):
+        assert unary_signature.data_arity == 1
+        assert unary_signature.tape_arity == 2
+
+    def test_symbols(self):
+        sig = Signature((("p", 1), ("q", 2)))
+        assert sig.symbols() == ["s00", "s01", "s10", "s11"]
+        assert sig.data_arity == 2
+
+    def test_bitvector_symbol(self):
+        assert bitvector_symbol((True, False, True)) == "s101"
+
+    def test_rejects_empty_signature(self):
+        with pytest.raises(CompilationError):
+            Signature(())
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(CompilationError):
+            Signature((("p", 0),))
+
+    def test_time_bound(self, unary_signature):
+        assert time_bound_for(unary_signature, 3) == 9
+
+
+class TestInitialRules:
+    def test_one_rule_per_bitvector_plus_blank(self, unary_signature):
+        rules = initial_rules(unary_signature)
+        heads = {item.head.predicate for item in rules}
+        assert heads == {"initial_s0", "initial_s1", "initial_blank"}
+
+    def test_negation_writes_zero_bits(self, unary_signature):
+        from repro.core.ast import Negated
+
+        rules = initial_rules(unary_signature)
+        zero_rule = next(
+            item for item in rules if item.head.predicate == "initial_s0"
+        )
+        assert any(isinstance(premise, Negated) for premise in zero_rule.body)
+
+
+class TestQueryDatabase:
+    def test_builds_domain_and_relations(self, unary_signature):
+        db = query_database(unary_signature, ["a", "b"], {"p": ["a"]})
+        assert db.rows("dom") == {("a",), ("b",)}
+        assert db.rows("p") == {("a",)}
+
+    def test_rejects_foreign_relation(self, unary_signature):
+        with pytest.raises(CompilationError):
+            query_database(unary_signature, ["a"], {"ghost": ["a"]})
+
+    def test_rejects_values_outside_domain(self, unary_signature):
+        with pytest.raises(CompilationError):
+            query_database(unary_signature, ["a"], {"p": ["z"]})
+
+
+class TestLemma2:
+    def test_compiled_rulebase_is_constant_free(self, nonempty_rulebase):
+        assert nonempty_rulebase.is_constant_free
+
+    def test_strata_match_cascade_depth(self, nonempty_rulebase):
+        report = classify(nonempty_rulebase)
+        assert report.class_name == "NP"
+        assert report.strata == 1
+
+    @pytest.mark.parametrize(
+        "domain,rows,expected",
+        [
+            (["a", "b"], [], False),
+            (["a", "b"], ["a"], True),
+            (["a", "b"], ["b"], True),
+            (["a", "b"], ["a", "b"], True),
+            (["a", "b", "c"], ["c"], True),
+            (["a", "b", "c"], [], False),
+        ],
+    )
+    def test_nonempty_query(self, nonempty_rulebase, unary_signature, domain, rows, expected):
+        db = query_database(unary_signature, domain, {"p": rows})
+        assert Session(nonempty_rulebase, "prove").ask(db, "yes") is expected
+
+    @pytest.mark.parametrize(
+        "domain,rows,expected",
+        [
+            (["a", "b"], [], True),
+            (["a", "b"], ["a"], False),
+            (["a", "b", "c"], [], True),
+            (["a", "b", "c"], ["b", "c"], False),
+        ],
+    )
+    def test_empty_query_needs_end_detection(
+        self, empty_rulebase, unary_signature, domain, rows, expected
+    ):
+        db = query_database(unary_signature, domain, {"p": rows})
+        assert Session(empty_rulebase, "prove").ask(db, "yes") is expected
+
+    def test_genericity_of_compiled_query(self, nonempty_rulebase, unary_signature):
+        session = Session(nonempty_rulebase, "prove")
+
+        def query(db):
+            return {()} if session.ask(db, "yes") else set()
+
+        db = query_database(unary_signature, ["a", "b"], {"p": ["b"]})
+        assert check_genericity(query, db, trials=3)
+
+    def test_single_element_domain_degenerates(self, nonempty_rulebase, unary_signature):
+        # Documented limitation: with n = 1 the derived counter has one
+        # value, so no machine step can happen and 'yes' is unprovable.
+        db = query_database(unary_signature, ["a"], {"p": ["a"]})
+        assert not Session(nonempty_rulebase, "prove").ask(db, "yes")
+
+
+class TestBinarySignature:
+    """l = 2, L = 3: the tuple counters and page scheme at higher arity."""
+
+    @pytest.fixture(scope="class")
+    def binary_rulebase(self):
+        signature = Signature((("p", 2),))
+        machine = relation_nonempty_machine(signature, "p")
+        return signature, compile_yes_no_query(Cascade((machine,)), signature)
+
+    def test_arities(self):
+        signature = Signature((("p", 2),))
+        assert signature.data_arity == 2
+        assert signature.tape_arity == 3
+        assert time_bound_for(signature, 2) == 8
+
+    @pytest.mark.parametrize(
+        "rows,expected",
+        [([], False), ([("a", "b")], True), ([("b", "b")], True),
+         ([("a", "a"), ("b", "a")], True)],
+    )
+    def test_nonempty_binary(self, binary_rulebase, rows, expected):
+        signature, rulebase = binary_rulebase
+        db = query_database(signature, ["a", "b"], {"p": rows})
+        assert Session(rulebase, "prove").ask(db, "yes") is expected
+
+    def test_constant_free_and_np(self, binary_rulebase):
+        _, rulebase = binary_rulebase
+        assert rulebase.is_constant_free
+        assert classify(rulebase).class_name == "NP"
+
+
+class TestCorollary2:
+    @pytest.fixture(scope="class")
+    def membership_query(self):
+        """out(x) iff p(x): machine accepts when some cell has both the
+        p0 (candidate) and p bits set."""
+        signature = Signature((("p0", 1), ("p", 1)))
+        steps = []
+        for symbol in signature.symbols():
+            if symbol == "s11":
+                steps.append(Step("scan", symbol, "acc", symbol, 0))
+            else:
+                steps.append(Step("scan", symbol, "scan", symbol, 1))
+        machine = Machine(
+            "both", tuple(steps), "scan", frozenset({"acc"})
+        )
+        rulebase = compile_typed_query(Cascade((machine,)), signature, 1)
+        return signature, rulebase
+
+    def test_out_rule_semantics(self, membership_query):
+        signature, rulebase = membership_query
+        db = query_database(signature, ["a", "b"], {"p": ["b"]})
+        assert Session(rulebase, "prove").answers(db, "out(X)") == {("b",)}
+
+    def test_marker_must_be_in_signature(self):
+        signature = Signature((("p", 1),))
+        machine = relation_nonempty_machine(signature, "p")
+        with pytest.raises(CompilationError):
+            compile_typed_query(Cascade((machine,)), signature, 1)
+
+
+class TestSigma2Expressibility:
+    """Lemma 2 one level up: a Sigma_2^P compiled query with a genuine
+    oracle boundary ("relation p is empty" via a complemented relay)."""
+
+    @pytest.fixture(scope="class")
+    def sigma2_rulebase(self):
+        from repro.machines.library import contains_one
+        from repro.queries.compile import translating_relay_machine
+
+        signature = Signature((("p", 1),))
+        top = translating_relay_machine(signature, "p", accept_on_yes=False)
+        cascade = Cascade((top, contains_one()))
+        rulebase = compile_yes_no_query(
+            cascade, signature, extra_time_arity=1
+        )
+        return signature, rulebase
+
+    def test_classified_sigma2(self, sigma2_rulebase):
+        _, rulebase = sigma2_rulebase
+        report = classify(rulebase)
+        assert report.class_name == "Sigma_2^P"
+        assert report.strata == 2
+        assert rulebase.is_constant_free
+
+    @pytest.mark.parametrize(
+        "rows,expected",
+        [([], True), (["a"], False), (["b"], False), (["a", "b"], False)],
+    )
+    def test_empty_via_oracle(self, sigma2_rulebase, rows, expected):
+        signature, rulebase = sigma2_rulebase
+        db = query_database(signature, ["a", "b"], {"p": rows})
+        assert Session(rulebase, "prove").ask(db, "yes") is expected
+
+    def test_relay_machine_shape(self):
+        from repro.queries.compile import translating_relay_machine
+
+        signature = Signature((("p", 1),))
+        machine = translating_relay_machine(signature, "p", True)
+        assert machine.uses_oracle
+        assert machine.oracle_alphabet >= {"0", "1"}
+
+    def test_initial_rules_multi_page(self):
+        signature = Signature((("p", 1),))
+        rules = initial_rules(signature, pages=2)
+        data_rule = next(
+            item for item in rules if item.head.predicate == "initial_s1"
+        )
+        assert data_rule.head.arity == 3  # two pages + one coordinate
+        blank_rules = [
+            item for item in rules if item.head.predicate == "initial_blank"
+        ]
+        assert len(blank_rules) == 2  # one per page position
+
+    def test_pages_must_be_positive(self):
+        with pytest.raises(CompilationError):
+            initial_rules(Signature((("p", 1),)), pages=0)
+
+
+class TestScannerMachines:
+    def test_unknown_relation_rejected(self, unary_signature):
+        with pytest.raises(CompilationError):
+            relation_nonempty_machine(unary_signature, "ghost")
+
+    def test_scanners_are_plain_machines(self, unary_signature):
+        assert not relation_nonempty_machine(unary_signature, "p").uses_oracle
+        assert not relation_empty_machine(unary_signature, "p").uses_oracle

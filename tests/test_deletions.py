@@ -1,0 +1,151 @@
+"""Tests for the hypothetical-deletion extension (``A[del: B]``).
+
+The paper's introduction cites its companion [4] for the fact that
+allowing hypothetical deletions raises data-complexity from PSPACE to
+EXPTIME.  The extension is supported end to end: syntax, top-down
+evaluation, and classification; the add-only engines and the linear
+stratification analysis reject it explicitly.
+"""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.analysis.stratify import is_linearly_stratified
+from repro.core.ast import Hypothetical
+from repro.core.database import Database
+from repro.core.errors import EvaluationError, ParseError, ValidationError
+from repro.core.parser import parse_premise, parse_program, parse_rule
+from repro.core.terms import atom
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.query import Session
+from repro.engine.topdown import TopDownEngine
+
+
+class TestSyntax:
+    def test_parse_deletion(self):
+        premise = parse_premise("a[del: b]")
+        assert premise == Hypothetical(atom("a"), (), (atom("b"),))
+
+    def test_parse_add_and_del(self):
+        premise = parse_premise("a[add: b, c][del: d]")
+        assert premise.additions == (atom("b"), atom("c"))
+        assert premise.deletions == (atom("d"),)
+
+    def test_del_before_add(self):
+        premise = parse_premise("a[del: d][add: b]")
+        assert premise.additions == (atom("b"),)
+        assert premise.deletions == (atom("d"),)
+
+    def test_duplicate_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_premise("a[add: b][add: c]")
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_premise("a[mod: b]")
+
+    def test_empty_hypothetical_rejected(self):
+        with pytest.raises(ValidationError):
+            Hypothetical(atom("a"), (), ())
+
+    def test_round_trip(self):
+        rule = parse_rule("p(X) :- q(X)[add: r(X)][del: s(X)].")
+        assert parse_rule(str(rule)) == rule
+
+    def test_variables_include_deletions(self):
+        premise = parse_premise("a[del: b(X, Y)]")
+        assert {v.name for v in premise.variables()} == {"X", "Y"}
+
+
+class TestSemantics:
+    def test_deletion_removes_a_fact(self):
+        # q holds at DB; q[del: f] evaluates at DB - {f}.
+        engine = TopDownEngine(parse_program("q :- f. test :- q[del: f]."))
+        db = Database([atom("f")])
+        assert engine.ask(db, "q")
+        assert not engine.ask(db, "test")
+
+    def test_deletion_of_absent_fact_is_noop(self):
+        engine = TopDownEngine(parse_program("test :- q[del: f]. q :- g."))
+        db = Database([atom("g")])
+        assert engine.ask(db, "test")
+
+    def test_deletions_apply_before_additions(self):
+        # a[del: f][add: f]: f is present afterwards.
+        engine = TopDownEngine(parse_program("test :- q[del: f][add: f]. q :- f."))
+        assert engine.ask(Database(), "test")
+        assert engine.ask(Database([atom("f")]), "test")
+
+    def test_counterfactual_toggle(self):
+        # "Would the alarm still fire without the main sensor?"
+        rules = parse_program(
+            """
+            alarm :- sensor_a.
+            alarm :- sensor_b.
+            redundant :- alarm, alarm[del: sensor_a].
+            """
+        )
+        engine = TopDownEngine(rules)
+        both = Database([atom("sensor_a"), atom("sensor_b")])
+        only_a = Database([atom("sensor_a")])
+        assert engine.ask(both, "redundant")
+        assert not engine.ask(only_a, "redundant")
+
+    def test_deletion_with_variables(self):
+        rules = parse_program(
+            """
+            isolated(X) :- node(X), reach(X)[del: edge(X, Y)].
+            reach(X) :- edge(X, Z).
+            """
+        )
+        engine = TopDownEngine(rules)
+        db = Database.from_relations(
+            {"node": ["a", "b"], "edge": [("a", "b"), ("a", "a")]}
+        )
+        # a still reaches something after deleting ONE of its edges.
+        assert engine.ask(db, "isolated(a)")
+        assert not engine.ask(db, "isolated(b)")
+
+    def test_add_then_query_then_delete_chain(self):
+        rules = parse_program(
+            """
+            flip :- flop[add: m1].
+            flop :- m1, done[del: m1].
+            done :- ~m1.
+            """
+        )
+        engine = TopDownEngine(rules)
+        assert engine.ask(Database(), "flip")
+
+
+class TestIntegrationWithAnalysis:
+    def test_classified_exptime(self):
+        rules = parse_program("p :- q[del: f].")
+        report = classify(rules)
+        assert report.class_name == "EXPTIME"
+        assert report.well_defined
+
+    def test_not_linearly_stratified(self):
+        rules = parse_program("p :- q[del: f].")
+        assert not is_linearly_stratified(rules)
+
+    def test_session_auto_routes_to_topdown(self):
+        rules = parse_program("p :- q[del: f]. q :- g.")
+        session = Session(rules)
+        assert session.engine_name == "topdown"
+        assert session.ask(Database([atom("g")]), "p")
+
+    def test_model_engine_rejects(self):
+        with pytest.raises(EvaluationError):
+            PerfectModelEngine(parse_program("p :- q[del: f]."))
+
+    def test_prove_engine_rejects(self):
+        with pytest.raises(EvaluationError):
+            LinearStratifiedProver(parse_program("p :- q[del: f]."))
+
+    def test_serialization_round_trip(self):
+        from repro.io.serialize import dumps_rulebase, loads_rulebase
+
+        rules = parse_program("p(X) :- q(X)[add: r(X)][del: s(X)].")
+        assert loads_rulebase(dumps_rulebase(rules)) == rules

@@ -1,0 +1,102 @@
+"""Unit tests for the predicate dependency graph."""
+
+import pytest
+
+from repro.analysis.depgraph import DependencyGraph, Edge
+from repro.core.parser import parse_program
+
+
+def graph_of(text):
+    return DependencyGraph.from_rulebase(parse_program(text))
+
+
+class TestEdges:
+    def test_edge_kinds(self):
+        graph = graph_of("p(X) :- q(X), ~r(X), s(X)[add: t(X)].")
+        kinds = {(e.target, e.kind) for e in graph.edges}
+        assert kinds == {
+            ("q", "positive"),
+            ("r", "negative"),
+            ("s", "hypothetical"),
+        }
+
+    def test_additions_do_not_create_edges(self):
+        graph = graph_of("p :- q[add: t].")
+        assert all(edge.target != "t" for edge in graph.edges)
+        # ... but t is still a node (it is part of the vocabulary).
+        assert "t" in graph.nodes
+
+    def test_nodes_include_edb(self):
+        graph = graph_of("p(X) :- q(X).")
+        assert graph.nodes == {"p", "q"}
+
+    def test_successors(self):
+        graph = graph_of("p :- q, r. q :- s.")
+        assert graph.successors("p") == {"q", "r"}
+        assert graph.successors("s") == frozenset()
+
+
+class TestSCCs:
+    def test_mutual_recursion_single_component(self):
+        graph = graph_of("even :- odd. odd :- even.")
+        assert graph.component_of("even") == {"even", "odd"}
+
+    def test_components_in_dependency_order(self):
+        graph = graph_of("top :- mid. mid :- bottom.")
+        components = graph.sccs()
+        order = {next(iter(c)): i for i, c in enumerate(components)}
+        assert order["bottom"] < order["mid"] < order["top"]
+
+    def test_self_loop(self):
+        graph = graph_of("p :- p.")
+        assert graph.component_of("p") == {"p"}
+        assert graph.internal_edge_kinds(frozenset({"p"})) == {"positive"}
+
+    def test_hypothetical_recursion_detected(self):
+        graph = graph_of("path(X) :- path(X)[add: pnode(X)].")
+        assert graph.internal_edge_kinds(graph.component_of("path")) == {
+            "hypothetical"
+        }
+
+    def test_unknown_predicate(self):
+        graph = graph_of("p :- q.")
+        with pytest.raises(KeyError):
+            graph.component_of("ghost")
+
+    def test_has_cycle_through(self):
+        negative_cycle = graph_of("a :- ~b. b :- ~a.")
+        assert negative_cycle.has_cycle_through("negative")
+        acyclic = graph_of("a :- ~b. b :- c.")
+        assert not acyclic.has_cycle_through("negative")
+
+    def test_long_chain_does_not_recurse_python(self):
+        # 2000-deep chain: iterative Tarjan must not hit the recursion limit.
+        lines = [f"p{i} :- p{i + 1}." for i in range(2000)]
+        graph = graph_of("\n".join(lines))
+        assert len(graph.sccs()) == 2001
+
+    def test_two_separate_cycles(self):
+        graph = graph_of("a :- b. b :- a. c :- d. d :- c.")
+        assert graph.component_of("a") == {"a", "b"}
+        assert graph.component_of("c") == {"c", "d"}
+
+
+class TestDotExport:
+    def test_edge_styles(self):
+        graph = graph_of("p(X) :- q(X), ~r(X), s(X)[add: t(X)].")
+        dot = graph.to_dot()
+        assert dot.startswith("digraph dependencies {")
+        assert '"p" -> "q";' in dot
+        assert '"p" -> "r" [style=dashed, label="~"];' in dot
+        assert '"p" -> "s" [style=dotted, label="[add]"];' in dot
+
+    def test_mutual_recursion_cluster(self):
+        graph = graph_of("even :- odd. odd :- even.")
+        dot = graph.to_dot()
+        assert "subgraph cluster_" in dot
+        assert "mutually recursive" in dot
+
+    def test_duplicate_edges_collapse(self):
+        graph = graph_of("p :- q. p :- q.")
+        dot = graph.to_dot()
+        assert dot.count('"p" -> "q"') == 1

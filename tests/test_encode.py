@@ -1,0 +1,189 @@
+"""Unit tests for the Section 5.1 machine-to-rulebase encoding."""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.analysis.stratify import linear_stratification
+from repro.core.errors import MachineError
+from repro.core.terms import Atom, Constant, atom
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.machines.encode import (
+    cascade_database,
+    cascade_rulebase,
+    cell_predicate,
+    control_predicate,
+    counter_facts,
+    encode_and_ask,
+    symbol_name,
+)
+from repro.machines.library import (
+    contains_one,
+    contains_one_cascade,
+    even_ones,
+    first_or_second_a,
+    no_ones_cascade,
+    suggested_time_bound,
+)
+from repro.machines.oracle import Cascade
+from repro.machines.turing import BLANK
+
+
+class TestNaming:
+    def test_symbol_name_blank(self):
+        assert symbol_name(BLANK) == "blank"
+        assert symbol_name("1") == "1"
+
+    def test_predicate_names(self):
+        assert cell_predicate(2, "1") == "cell2_1"
+        assert cell_predicate(1, BLANK) == "cell1_blank"
+        assert control_predicate(3, "scan") == "control3_scan"
+
+
+class TestCounterFacts:
+    def test_shape(self):
+        facts = counter_facts(3)
+        assert atom("first", 0) in facts
+        assert atom("last", 2) in facts
+        assert atom("next", 0, 1) in facts
+        assert atom("next", 1, 2) in facts
+        assert len(facts) == 4
+
+    def test_singleton_counter(self):
+        facts = counter_facts(1)
+        assert atom("first", 0) in facts
+        assert atom("last", 0) in facts
+        assert len(facts) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(MachineError):
+            counter_facts(0)
+
+
+class TestDatabase:
+    def test_input_and_blanks(self):
+        cascade = Cascade((contains_one(),))
+        db = cascade_database(cascade, ["0", "1"], 4)
+        assert atom("cell1_0", 0, 0) in db
+        assert atom("cell1_1", 1, 0) in db
+        assert atom("cell1_blank", 2, 0) in db
+        assert atom("cell1_blank", 3, 0) in db
+
+    def test_lower_tapes_blank(self):
+        cascade = contains_one_cascade()
+        db = cascade_database(cascade, ["1"], 5)
+        # Top is level 2; level 1 is all blank.
+        assert atom("cell1_blank", 0, 0) in db
+        assert atom("cell2_1", 0, 0) in db
+
+    def test_polynomial_size(self):
+        # |DB(s)| is O(k * T): counter + one cell atom per tape position.
+        cascade = contains_one_cascade()
+        for bound in (4, 8, 16):
+            db = cascade_database(cascade, ["1"], bound)
+            # counter: (bound + 1) facts; two tapes: 2 * bound cells.
+            assert len(db) == 3 * bound + 1
+
+    def test_rejects_foreign_symbols(self):
+        cascade = Cascade((contains_one(),))
+        with pytest.raises(MachineError):
+            cascade_database(cascade, ["z"], 4)
+
+    def test_rejects_oversized_input(self):
+        cascade = Cascade((contains_one(),))
+        with pytest.raises(MachineError):
+            cascade_database(cascade, ["0"] * 9, 4)
+
+
+class TestRulebaseShape:
+    def test_k_strata(self):
+        for cascade, expected in [
+            (Cascade((contains_one(),)), 1),
+            (contains_one_cascade(), 2),
+        ]:
+            rulebase = cascade_rulebase(cascade)
+            assert linear_stratification(rulebase).k == expected
+
+    def test_classification_matches_theorem1(self):
+        assert classify(cascade_rulebase(Cascade((contains_one(),)))).class_name == "NP"
+        assert classify(cascade_rulebase(no_ones_cascade())).class_name == "Sigma_2^P"
+
+    def test_constant_free(self):
+        assert cascade_rulebase(no_ones_cascade()).is_constant_free
+
+    def test_negation_only_at_oracle_and_frame(self):
+        from repro.core.ast import Negated
+
+        rulebase = cascade_rulebase(contains_one_cascade())
+        negated = [
+            premise.atom.predicate
+            for item in rulebase
+            for premise in item.body
+            if isinstance(premise, Negated)
+        ]
+        assert set(negated) <= {"oracle1", "active1", "active2"}
+        assert "oracle1" in negated
+
+
+class TestFormula3:
+    """R(L), DB(s) |- ACCEPT iff the cascade accepts s."""
+
+    @pytest.mark.parametrize("text", ["", "0", "1", "01", "10"])
+    def test_k1_deterministic(self, text):
+        cascade = Cascade((contains_one(),))
+        bound = len(text) + 2
+        expected = cascade.accepts(list(text), bound)
+        assert encode_and_ask(cascade, list(text), bound) is expected
+        assert expected == ("1" in text)
+
+    @pytest.mark.parametrize("text", ["a", "b", "ab", "ba", "bb"])
+    def test_k1_nondeterministic(self, text):
+        cascade = Cascade((first_or_second_a(),))
+        bound = len(text) + 2
+        assert encode_and_ask(cascade, list(text), bound) == ("a" in text[:2])
+
+    @pytest.mark.parametrize("text", ["", "11", "101"])
+    def test_k1_even_ones(self, text):
+        cascade = Cascade((even_ones(),))
+        bound = len(text) + 2
+        assert encode_and_ask(cascade, list(text), bound) == (
+            text.count("1") % 2 == 0
+        )
+
+    @pytest.mark.parametrize("text", ["", "0", "1", "01"])
+    def test_k2_yes_relay(self, text):
+        cascade = contains_one_cascade()
+        bound = suggested_time_bound(2, len(text))
+        expected = cascade.accepts(list(text), bound)
+        assert encode_and_ask(cascade, list(text), bound) is expected
+
+    @pytest.mark.parametrize("text", ["", "0", "1", "01"])
+    def test_k2_complement_relay(self, text):
+        cascade = no_ones_cascade()
+        bound = suggested_time_bound(2, len(text))
+        assert encode_and_ask(cascade, list(text), bound) == ("1" not in text)
+
+    def test_both_engines_agree(self):
+        cascade = Cascade((contains_one(),))
+        for text in ["1", "0"]:
+            bound = len(text) + 2
+            prove = encode_and_ask(cascade, list(text), bound, engine="prove")
+            model = encode_and_ask(cascade, list(text), bound, engine="model")
+            assert prove == model == ("1" in text)
+
+    @pytest.mark.parametrize("text", ["", "0", "1"])
+    def test_k3_double_relay(self, text):
+        from repro.machines.library import three_level_cascade
+
+        cascade = three_level_cascade()
+        bound = suggested_time_bound(3, len(text))
+        expected = cascade.accepts(list(text), bound)
+        assert encode_and_ask(cascade, list(text), bound) is expected
+        assert expected == ("1" not in text)
+
+    def test_k3_classification(self):
+        from repro.machines.library import three_level_cascade
+
+        rulebase = cascade_rulebase(three_level_cascade())
+        assert classify(rulebase).class_name == "Sigma_3^P"
+        assert linear_stratification(rulebase).k == 3

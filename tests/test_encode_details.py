@@ -1,0 +1,138 @@
+"""Fine-grained tests of the Section 5.1 rule generators."""
+
+import pytest
+
+from repro.core.ast import Hypothetical, Negated, Positive
+from repro.core.terms import Variable
+from repro.machines.encode import (
+    CounterScheme,
+    cascade_rulebase,
+    tape_alphabet,
+    top_entry_rule,
+)
+from repro.machines.library import (
+    contains_one,
+    contains_one_cascade,
+    no_ones_cascade,
+)
+from repro.machines.oracle import Cascade
+from repro.machines.turing import BLANK
+
+
+@pytest.fixture(scope="module")
+def k1():
+    return Cascade((contains_one(),))
+
+
+@pytest.fixture(scope="module")
+def k2():
+    return no_ones_cascade()
+
+
+class TestCounterScheme:
+    def test_default_variables(self):
+        scheme = CounterScheme()
+        assert scheme.variables("T") == (Variable("T"),)
+
+    def test_tuple_variables(self):
+        scheme = CounterScheme(arity=3)
+        names = [v.name for v in scheme.variables("T")]
+        assert names == ["Tx1", "Tx2", "Tx3"]
+
+    def test_next_premise_arity(self):
+        scheme = CounterScheme(arity=2)
+        old = scheme.variables("T")
+        new = scheme.variables("Tp")
+        premise = scheme.next_premise(old, new)
+        assert premise.atom.predicate == "next"
+        assert premise.atom.arity == 4
+
+
+class TestRuleShapes:
+    def test_accept_rule_per_accepting_state(self, k1):
+        rulebase = cascade_rulebase(k1)
+        accept_rules = [
+            item
+            for item in rulebase.definition("accept1")
+            if len(item.body) == 1
+        ]
+        # contains_one has one accepting state -> one detection rule.
+        assert len(accept_rules) == 1
+        assert accept_rules[0].body[0].atom.predicate == "control1_acc"
+
+    def test_transition_rule_per_step(self, k1):
+        rulebase = cascade_rulebase(k1)
+        hypothetical_rules = [
+            item
+            for item in rulebase.definition("accept1")
+            if any(isinstance(premise, Hypothetical) for premise in item.body)
+        ]
+        # one per machine step
+        assert len(hypothetical_rules) == len(contains_one().steps)
+
+    def test_level1_control_is_binary(self, k1):
+        rulebase = cascade_rulebase(k1)
+        assert rulebase.arity("control1_scan") == 2
+
+    def test_level2_control_is_ternary(self, k2):
+        rulebase = cascade_rulebase(k2)
+        assert rulebase.arity("control2_c") == 3
+
+    def test_frame_rules_cover_tape_alphabet(self, k2):
+        rulebase = cascade_rulebase(k2)
+        for level in (1, 2):
+            for symbol in tape_alphabet(k2, level):
+                from repro.machines.encode import cell_predicate
+
+                cell = cell_predicate(level, symbol)
+                frame = [
+                    item
+                    for item in rulebase.definition(cell)
+                    if any(isinstance(p, Negated) for p in item.body)
+                ]
+                assert frame, f"no frame rule for {cell}"
+
+    def test_oracle_tape_alphabet_feeds_lower_frame(self, k2):
+        # level-1 tape symbols include what the level-2 machine writes.
+        symbols = tape_alphabet(k2, 1)
+        assert k2.machine_at_level(2).oracle_alphabet <= symbols
+
+    def test_query_state_is_not_active(self, k2):
+        rulebase = cascade_rulebase(k2)
+        active_controls = {
+            item.body[0].atom.predicate
+            for item in rulebase.definition("active2")
+        }
+        query = k2.machine_at_level(2).query_state
+        assert f"control2_{query}" not in active_controls
+
+    def test_oracle_rules_pair_yes_and_no(self, k2):
+        rulebase = cascade_rulebase(k2)
+        oracle_premises = [
+            premise
+            for item in rulebase.definition("accept2")
+            for premise in item.body
+            if premise.goal.predicate == "oracle1"
+        ]
+        kinds = {type(premise).__name__ for premise in oracle_premises}
+        assert kinds == {"Positive", "Negated"}
+
+    def test_top_entry_rule_shape(self, k2):
+        entry = top_entry_rule(k2)
+        assert entry.head.predicate == "accept"
+        assert entry.head.arity == 0
+        first, hypothetical = entry.body
+        assert isinstance(first, Positive) and first.atom.predicate == "first"
+        assert isinstance(hypothetical, Hypothetical)
+        assert hypothetical.atom.predicate == "accept2"
+
+    def test_include_top_rule_false(self, k2):
+        without = cascade_rulebase(k2, include_top_rule=False)
+        assert "accept" not in without.defined_predicates()
+
+    def test_high_arity_scheme_rules_parse_back(self, k1):
+        from repro.core.parser import parse_rule
+
+        rulebase = cascade_rulebase(k1, scheme=CounterScheme(arity=2))
+        for item in rulebase:
+            assert parse_rule(str(item)) == item

@@ -1,0 +1,32 @@
+"""Every script in examples/ must run clean (they assert internally)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "graph_analysis",
+        "parity_counting",
+        "machine_encoding",
+        "legal_reasoning",
+        "explanations",
+        "timetabling",
+        "expressibility_tour",
+    } <= names

@@ -1,0 +1,243 @@
+"""Integration tests: every worked example of the paper, end to end.
+
+Each example is exercised on both engines (the reference perfect-model
+evaluator and the Section 5.2 PROVE cascade) whenever the rulebase is
+linearly stratified; Examples 3 and 10 are outside the linear fragment
+and run on the reference engine only.
+"""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.analysis.stratify import (
+    is_linearly_stratified,
+    linear_stratification,
+)
+from repro.core.database import Database
+from repro.core.terms import atom
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.topdown import TopDownEngine
+from repro.library import (
+    addition_chain_rulebase,
+    degree_db,
+    degree_rulebase,
+    example9_rulebase,
+    example10_rulebase,
+    graduation_db,
+    graduation_rulebase,
+    graph_db,
+    hamiltonian_complement_rulebase,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+    order_db,
+    order_iteration_rulebase,
+    parity_db,
+    parity_rulebase,
+)
+
+BOTH_ENGINES = [PerfectModelEngine, LinearStratifiedProver, TopDownEngine]
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExamples1And2:
+    """University policy: hypothetical queries (Examples 1-2)."""
+
+    def test_example1_tony_with_cs250(self, engine_class):
+        engine = engine_class(graduation_rulebase())
+        assert engine.ask(graduation_db(), "grad(tony)[add: take(tony, cs250)]")
+
+    def test_example1_wrong_course_does_not_help(self, engine_class):
+        engine = engine_class(graduation_rulebase())
+        assert not engine.ask(
+            graduation_db(), "grad(pat)[add: take(pat, basketweaving)]"
+        )
+
+    def test_example2_within_one_course(self, engine_class):
+        engine = engine_class(graduation_rulebase())
+        # "Retrieve those students who could graduate if they took one
+        # more course": tony (misses cs250) and sue (already done).
+        assert engine.answers(graduation_db(), "within_one(S)") == {
+            ("tony",),
+            ("sue",),
+        }
+
+    def test_example2_as_existential_query(self, engine_class):
+        engine = engine_class(graduation_rulebase())
+        assert engine.ask(graduation_db(), "grad(tony)[add: take(tony, C)]")
+        assert not engine.ask(graduation_db(), "grad(pat)[add: take(pat, C)]")
+
+
+class TestExample3:
+    """The math-and-physics degree (hypothetical premises in rules).
+
+    Outside the linearly stratified fragment (within1/grad are mutually
+    recursive, non-linearly), so it runs on the goal-directed
+    :class:`TopDownEngine`: the bottom-up reference engine would have
+    to materialize whole models for unboundedly many enlarged
+    databases (see its docstring).
+    """
+
+    def test_not_linearly_stratifiable(self):
+        assert not is_linearly_stratified(degree_rulebase())
+        assert classify(degree_rulebase()).class_name == "PSPACE"
+
+    def test_joint_degree(self):
+        engine = TopDownEngine(degree_rulebase())
+        rows = engine.answers(degree_db(), "grad(S, mathphys)")
+        assert ("ada",) in rows
+        assert ("bob",) in rows
+        assert ("cyd",) not in rows
+
+    def test_within1_semantics(self):
+        engine = TopDownEngine(degree_rulebase())
+        assert engine.ask(degree_db(), "within1(ada, math)")
+        assert engine.ask(degree_db(), "within1(ada, phys)")
+        assert not engine.ask(degree_db(), "within1(cyd, phys)")
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExample4:
+    """Chained additions: R, DB |- A_i iff R, DB + {B_i..B_n} |- D."""
+
+    def test_a1_provable_from_empty(self, engine_class):
+        engine = engine_class(addition_chain_rulebase(4))
+        assert engine.ask(Database(), "a1")
+
+    def test_later_entries_need_earlier_additions(self, engine_class):
+        engine = engine_class(addition_chain_rulebase(4))
+        for index in (2, 3, 4, 5):
+            assert not engine.ask(Database(), f"a{index}")
+
+    def test_iff_with_primed_database(self, engine_class):
+        engine = engine_class(addition_chain_rulebase(3))
+        db = Database([atom("b1"), atom("b2")])
+        assert engine.ask(db, "a3")
+        assert engine.ask(db, "a1")
+        assert not engine.ask(Database([atom("b2")]), "a3")
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExample5:
+    """Iteration along a stored linear order."""
+
+    def test_iterates_whole_order(self, engine_class):
+        engine = engine_class(order_iteration_rulebase())
+        assert engine.ask(order_db(4), "a")
+
+    def test_partial_iteration_fails(self, engine_class):
+        # Starting in the middle of the order skips b(a1).
+        engine = engine_class(order_iteration_rulebase())
+        assert not engine.ask(order_db(3), "ap(a2)")
+
+    def test_singleton_order(self, engine_class):
+        engine = engine_class(order_iteration_rulebase())
+        assert engine.ask(order_db(1), "a")
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExample6:
+    """EVEN iff |A| is even."""
+
+    @pytest.mark.parametrize("size", range(7))
+    def test_parity(self, engine_class, size):
+        engine = engine_class(parity_rulebase())
+        db = parity_db([f"x{i}" for i in range(size)])
+        assert engine.ask(db, "even") is (size % 2 == 0)
+        assert engine.ask(db, "odd") is (size % 2 == 1)
+
+    def test_binary_relation_parity(self, engine_class):
+        engine = engine_class(parity_rulebase(arity=2))
+        db = Database.from_relations({"a": [("x", "y"), ("y", "x"), ("x", "x")]})
+        assert engine.ask(db, "odd")
+
+    def test_order_independence_under_renaming(self, engine_class):
+        # Example 6's key property: every copying order gives the same
+        # answer; renaming the domain must not change it.
+        engine = engine_class(parity_rulebase())
+        db = parity_db(["a", "b", "c", "d"])
+        renamed = db.rename({"a": "d", "d": "a", "b": "c", "c": "b"})
+        assert engine.ask(db, "even") == engine.ask(renamed, "even")
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExample7:
+    """YES iff the graph has a directed Hamiltonian path."""
+
+    CASES = [
+        (["a"], []),
+        (["a", "b"], []),
+        (["a", "b"], [("a", "b")]),
+        (["a", "b", "c"], [("a", "b"), ("b", "c")]),
+        (["a", "b", "c"], [("a", "b"), ("a", "c")]),
+        (["a", "b", "c"], [("a", "b"), ("b", "a"), ("b", "c")]),
+        (["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]),
+        (["a", "b", "c", "d"], [("a", "b"), ("c", "d")]),
+    ]
+
+    @pytest.mark.parametrize("nodes,edges", CASES)
+    def test_against_independent_oracle(self, engine_class, nodes, edges):
+        engine = engine_class(hamiltonian_rulebase())
+        expected = has_hamiltonian_path(nodes, edges)
+        assert engine.ask(graph_db(nodes, edges), "yes") is expected
+
+    def test_classified_np(self, engine_class):
+        assert classify(hamiltonian_rulebase()).class_name == "NP"
+
+
+@pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+class TestExample8:
+    """NO <- ~YES decides the complement."""
+
+    def test_no_iff_not_yes(self, engine_class):
+        engine = engine_class(hamiltonian_complement_rulebase())
+        for nodes, edges in TestExample7.CASES:
+            db = graph_db(nodes, edges)
+            expected = has_hamiltonian_path(nodes, edges)
+            assert engine.ask(db, "yes") is expected
+            assert engine.ask(db, "no") is (not expected)
+
+    def test_one_extra_rule_one_extra_stratum(self, engine_class):
+        assert classify(hamiltonian_rulebase()).strata == 1
+        assert classify(hamiltonian_complement_rulebase()).strata == 2
+
+
+class TestExample9:
+    """Three strata of alternating linear recursion and negation."""
+
+    def test_three_strata(self):
+        assert linear_stratification(example9_rulebase()).k == 3
+
+    @pytest.mark.parametrize("engine_class", BOTH_ENGINES)
+    def test_semantics_of_the_cascade(self, engine_class):
+        engine = engine_class(example9_rulebase())
+        # With nothing in the database: a1 fails (needs d1 or b1 path),
+        # so ~a1 holds, so a2 needs d2; etc.
+        assert not engine.ask(Database(), "a1")
+        assert not engine.ask(Database(), "a2")
+        # d1 makes a1 true.
+        assert engine.ask(Database([atom("d1")]), "a1")
+        # d2 alone: a1 false so ~a1 holds, a2 true.
+        assert engine.ask(Database([atom("d2")]), "a2")
+        # d2 with d1: a1 true, so a2's negation rule fails.
+        assert not engine.ask(Database([atom("d1"), atom("d2")]), "a2")
+        # a3 via d3 requires ~a2.
+        assert engine.ask(Database([atom("d3")]), "a3")
+        assert not engine.ask(Database([atom("d3"), atom("d2")]), "a3")
+        # And the linear hypothetical rules: b1 + c1-chain closes a1.
+        assert engine.ask(Database([atom("b1"), atom("c1"), atom("d1")]), "a1")
+
+
+class TestExample10:
+    """H-stratified but not linearly stratified."""
+
+    def test_rejected_by_lemma1(self):
+        assert not is_linearly_stratified(example10_rulebase())
+
+    def test_still_evaluable_by_reference_engine(self):
+        engine = PerfectModelEngine(example10_rulebase())
+        # a1 :- ~b1 with b1 absent: a1 holds.
+        assert engine.ask(Database(), "a1")
+
+    def test_classified_pspace(self):
+        assert classify(example10_rulebase()).class_name == "PSPACE"

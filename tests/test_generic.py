@@ -1,0 +1,78 @@
+"""Unit tests for genericity checking (Section 6.1)."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import EvaluationError
+from repro.core.parser import parse_program
+from repro.queries.generic import (
+    RulebaseQuery,
+    check_genericity,
+    domain_permutations,
+    rename_answer,
+)
+
+
+class TestRulebaseQuery:
+    def test_typed_query(self):
+        rb = parse_program("reach(Y) :- edge(X, Y). ")
+        query = RulebaseQuery(rb, "reach")
+        db = Database.from_relations({"edge": [("a", "b"), ("b", "c")]})
+        assert query(db) == {("b",), ("c",)}
+        assert query.arity == 1
+
+    def test_yes_no_query(self):
+        rb = parse_program("nonempty :- p(X).")
+        query = RulebaseQuery(rb, "nonempty")
+        assert query.boolean(Database.from_relations({"p": ["a"]}))
+        assert not query.boolean(Database.from_relations({"q": ["a"]}))
+        assert query(Database.from_relations({"p": ["a"]})) == {()}
+
+    def test_unknown_output_rejected(self):
+        rb = parse_program("p(X) :- q(X).")
+        with pytest.raises(EvaluationError):
+            RulebaseQuery(rb, "ghost")
+
+    def test_constant_free_flag(self):
+        assert RulebaseQuery(
+            parse_program("p(X) :- q(X)."), "p"
+        ).is_constant_free
+        assert not RulebaseQuery(
+            parse_program("p(X) :- q(X, special)."), "p"
+        ).is_constant_free
+
+
+class TestRenaming:
+    def test_rename_answer(self):
+        assert rename_answer({("a", "b")}, {"a": "x"}) == {("x", "b")}
+
+    def test_domain_permutations_are_bijections(self):
+        db = Database.from_relations({"p": ["a", "b", "c"]})
+        for mapping in domain_permutations(db, trials=4, seed=1):
+            assert sorted(mapping) == sorted(mapping.values())
+
+
+class TestCheckGenericity:
+    def test_constant_free_query_is_generic(self):
+        rb = parse_program("reach(Y) :- edge(X, Y).")
+        query = RulebaseQuery(rb, "reach")
+        db = Database.from_relations({"edge": [("a", "b"), ("b", "c")]})
+        assert check_genericity(query, db, trials=6)
+
+    def test_constant_mentioning_query_is_not_generic(self):
+        # 'special' is treated specially: renaming breaks consistency.
+        rb = parse_program("hit(X) :- edge(X, special).")
+        query = RulebaseQuery(rb, "hit")
+        db = Database.from_relations(
+            {"edge": [("a", "special"), ("special", "b")]}
+        )
+        assert not check_genericity(query, db, trials=8)
+
+    def test_parity_rulebase_is_generic(self):
+        from repro.library import parity_rulebase
+
+        query = RulebaseQuery(parity_rulebase(), "even")
+        db = Database.from_relations({"a": ["x", "y", "z"]})
+        assert check_genericity(
+            lambda d: {()} if query.boolean(d) else set(), db, trials=4
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import ValidationError
+from repro.core.parser import parse_program
+from repro.io.serialize import (
+    database_from_dict,
+    database_to_dict,
+    dumps_database,
+    dumps_rulebase,
+    loads_database,
+    loads_rulebase,
+    rulebase_from_dict,
+    rulebase_to_dict,
+)
+from repro.library import example9_rulebase, graduation_db, hamiltonian_rulebase
+from repro.machines.encode import cascade_database, cascade_rulebase
+from repro.machines.library import contains_one_cascade
+
+
+class TestRulebaseRoundTrip:
+    CASES = [
+        "p(a).",
+        "grad(S) :- take(S, his101), take(S, eng201).",
+        "even :- ~select(X).",
+        "p :- q[add: r, s(X)].",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_single_rules(self, text):
+        rb = parse_program(text)
+        assert loads_rulebase(dumps_rulebase(rb)) == rb
+
+    def test_paper_rulebases(self):
+        for rb in (example9_rulebase(), hamiltonian_rulebase()):
+            assert rulebase_from_dict(rulebase_to_dict(rb)) == rb
+
+    def test_machine_encoding_with_integers(self):
+        rb = cascade_rulebase(contains_one_cascade())
+        assert loads_rulebase(dumps_rulebase(rb)) == rb
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValidationError):
+            rulebase_from_dict({"format": 99, "rules": []})
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(dumps_rulebase(example9_rulebase()))
+        assert isinstance(payload["rules"], list)
+
+
+class TestDatabaseRoundTrip:
+    def test_university_db(self):
+        db = graduation_db()
+        assert loads_database(dumps_database(db)) == db
+
+    def test_integer_constants_survive(self):
+        db = cascade_database(contains_one_cascade(), ["1"], 4)
+        restored = loads_database(dumps_database(db))
+        assert restored == db
+        # Integers stayed integers (0 != "0").
+        assert any(
+            isinstance(constant.value, int) for constant in restored.constants()
+        )
+
+    def test_empty_database(self):
+        assert loads_database(dumps_database(Database())) == Database()
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValidationError):
+            database_from_dict({"format": 0, "facts": []})
+
+    def test_facts_sorted_for_stable_diffs(self):
+        db = graduation_db()
+        first = dumps_database(db)
+        second = dumps_database(loads_database(first))
+        assert first == second

@@ -1,0 +1,91 @@
+"""Tests for the intuitionistic (Kripke) semantics checker."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import EvaluationError
+from repro.core.parser import parse_program
+from repro.core.terms import atom
+from repro.semantics.kripke import KripkeStructure, atom_universe
+
+
+class TestAtomUniverse:
+    def test_covers_vocabulary_and_domain(self):
+        rb = parse_program("p(X) :- q(X, a).")
+        db = Database.from_relations({"q": [("b", "a")]})
+        universe = atom_universe(rb, db)
+        names = {str(item) for item in universe}
+        assert "p(a)" in names and "p(b)" in names
+        assert "q(a, b)" in names and "q(b, a)" in names
+
+    def test_zero_ary_predicates(self):
+        rb = parse_program("yes :- no.")
+        universe = atom_universe(rb, Database())
+        assert {str(item) for item in universe} == {"yes", "no"}
+
+
+class TestBuild:
+    def test_world_count(self):
+        rb = parse_program("a :- b.")
+        structure = KripkeStructure.build(rb, Database())
+        # universe {a, b}, base empty -> 4 worlds.
+        assert len(structure.worlds) == 4
+
+    def test_base_world_included(self):
+        rb = parse_program("a :- b.")
+        base = Database([atom("b")])
+        structure = KripkeStructure.build(rb, base)
+        assert base in structure.worlds
+
+    def test_rejects_negation(self):
+        rb = parse_program("a :- ~b.")
+        with pytest.raises(EvaluationError):
+            KripkeStructure.build(rb, Database())
+
+    def test_rejects_huge_universes(self):
+        rb = parse_program("p(X, Y, Z) :- q(X, Y, Z).")
+        db = Database.from_relations({"q": [(f"c{i}", "c0", "c0") for i in range(4)]})
+        with pytest.raises(EvaluationError):
+            KripkeStructure.build(rb, db)
+
+
+class TestIntuitionisticLaws:
+    CASES = [
+        "a :- b, c. outer :- inner[add: b]. inner :- a[add: c].",
+        "p(X) :- q(X)[add: r(X)]. q(X) :- r(X), s(X).",
+        "even :- sel, odd[add: m]. odd :- sel, even[add: m]. ",
+        "chain :- mid[add: b1]. mid :- goal[add: b2]. goal :- b1, b2.",
+    ]
+
+    @pytest.mark.parametrize("program", CASES)
+    def test_persistence(self, program):
+        rb = parse_program(program)
+        structure = KripkeStructure.build(rb, Database())
+        assert structure.check_persistence() is None
+
+    @pytest.mark.parametrize("program", CASES)
+    def test_implication_law(self, program):
+        rb = parse_program(program)
+        structure = KripkeStructure.build(rb, Database())
+        assert structure.check_implication_law() is None
+
+    def test_with_nonempty_base(self):
+        rb = parse_program("p(X) :- q(X)[add: r(X)]. q(X) :- r(X), s(X).")
+        base = Database.from_relations({"s": ["u"]})
+        structure = KripkeStructure.build(rb, base)
+        assert structure.check_persistence() is None
+        assert structure.check_implication_law() is None
+        assert atom("p", "u") in structure.forced(base)
+
+    def test_forced_grows_along_the_order(self):
+        rb = parse_program("a :- b.")
+        structure = KripkeStructure.build(rb, Database())
+        empty = Database()
+        with_b = Database([atom("b")])
+        assert structure.forced(empty) < structure.forced(with_b)
+
+    def test_deletions_rejected(self):
+        rb = parse_program("p :- q[del: f]. q :- g.")
+        structure = KripkeStructure.build(rb, Database())
+        with pytest.raises(EvaluationError):
+            structure.check_implication_law()

@@ -1,0 +1,107 @@
+"""Unit tests for the paper-example library builders."""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.core.ast import Hypothetical
+from repro.library import (
+    addition_chain_rulebase,
+    graph_db,
+    graduation_db,
+    graduation_rulebase,
+    hamiltonian_complement_rulebase,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+    order_db,
+    order_iteration_rulebase,
+    parity_db,
+    parity_rulebase,
+)
+
+
+class TestBuilders:
+    def test_chain_size(self):
+        rb = addition_chain_rulebase(5)
+        # 5 chain rules + bottom rule + d definition.
+        assert len(rb) == 7
+        assert rb.defined_predicates() >= {"a1", "a6", "d"}
+
+    def test_chain_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            addition_chain_rulebase(0)
+
+    def test_order_db_shape(self):
+        db = order_db(3)
+        assert db.rows("first") == {("a1",)}
+        assert db.rows("last") == {("a3",)}
+        assert db.rows("next") == {("a1", "a2"), ("a2", "a3")}
+
+    def test_order_db_singleton(self):
+        db = order_db(1)
+        assert db.rows("first") == db.rows("last") == {("a1",)}
+        assert db.rows("next") == set()
+
+    def test_order_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            order_db(0)
+
+    def test_parity_arities(self):
+        assert parity_rulebase(1).arity("a") == 1
+        assert parity_rulebase(3).arity("a") == 3
+        with pytest.raises(ValueError):
+            parity_rulebase(0)
+
+    def test_parity_db(self):
+        db = parity_db(["u", "v"])
+        assert db.rows("a") == {("u",), ("v",)}
+
+    def test_graph_db(self):
+        db = graph_db(["a"], [("a", "a")])
+        assert db.rows("node") == {("a",)}
+        assert db.rows("edge") == {("a", "a")}
+
+    def test_complement_adds_one_rule(self):
+        assert len(hamiltonian_complement_rulebase()) == len(hamiltonian_rulebase()) + 1
+
+    def test_graduation_db_contents(self):
+        db = graduation_db()
+        assert ("sue", "cs250") in db.rows("take")
+
+
+class TestHamiltonianOracle:
+    def test_path_exists(self):
+        assert has_hamiltonian_path(["a", "b", "c"], [("a", "b"), ("b", "c")])
+
+    def test_no_path(self):
+        assert not has_hamiltonian_path(["a", "b", "c"], [("a", "b")])
+
+    def test_single_node(self):
+        assert has_hamiltonian_path(["a"], [])
+
+    def test_empty_graph(self):
+        assert not has_hamiltonian_path([], [])
+
+    def test_direction_matters(self):
+        # b -> a is a Hamiltonian path; with only a -> a it is not.
+        assert has_hamiltonian_path(["a", "b"], [("b", "a")])
+        assert not has_hamiltonian_path(["a", "b"], [("a", "a")])
+
+    def test_ignores_foreign_edges(self):
+        assert has_hamiltonian_path(["a", "b"], [("a", "b"), ("x", "y")])
+
+
+class TestClassifications:
+    def test_library_complexity_map(self):
+        assert classify(graduation_rulebase()).class_name == "NP"
+        assert classify(parity_rulebase()).class_name == "NP"
+        assert classify(order_iteration_rulebase()).class_name == "NP"
+        assert classify(addition_chain_rulebase(3)).class_name == "NP"
+
+    def test_hypotheses_present(self):
+        for rb in (parity_rulebase(), hamiltonian_rulebase()):
+            assert rb.has_hypotheses()
+            assert any(
+                isinstance(premise, Hypothetical)
+                for item in rb
+                for premise in item.body
+            )

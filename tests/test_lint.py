@@ -1,0 +1,96 @@
+"""Tests for the rulebase linter."""
+
+import pytest
+
+from repro.analysis.lint import LintFinding, lint
+from repro.core.parser import parse_program
+from repro.library import (
+    example10_rulebase,
+    graduation_rulebase,
+    hamiltonian_rulebase,
+    parity_rulebase,
+)
+
+
+def codes(rulebase, severity=None):
+    findings = lint(rulebase)
+    if severity is not None:
+        findings = [f for f in findings if f.severity == severity]
+    return [f.code for f in findings]
+
+
+class TestFindings:
+    def test_clean_rulebase(self):
+        rb = parse_program("p(X) :- q(X), ~r(X).")
+        assert codes(rb, "warning") == []
+
+    def test_unsafe_head(self):
+        rb = parse_program("p(X) :- marker.")
+        assert "unsafe-head" in codes(rb)
+
+    def test_unsafe_head_names_variables(self):
+        rb = parse_program("p(X, Y) :- q(X).")
+        finding = next(f for f in lint(rb) if f.code == "unsafe-head")
+        assert "Y" in finding.message and "X" not in finding.message.split("not")[0].split("(s)")[1]
+
+    def test_floating_hypothesis(self):
+        rb = parse_program("p :- q(X)[add: r(X)].")
+        assert "floating-hypothesis" in codes(rb)
+
+    def test_anchored_hypothesis_is_fine(self):
+        rb = parse_program("p :- d(X), q(X)[add: r(X)].")
+        assert "floating-hypothesis" not in codes(rb)
+
+    def test_ground_hypothesis_is_fine(self):
+        # No variables at all: nothing to enumerate.
+        rb = parse_program("p :- q[add: r].")
+        assert "floating-hypothesis" not in codes(rb)
+
+    def test_unused_predicate_is_info(self):
+        rb = parse_program("helper(X) :- q(X). main :- q(z).")
+        assert "unused-predicate" in codes(rb, "info")
+        assert "unused-predicate" not in codes(rb, "warning")
+
+    def test_zero_ary_entry_points_not_flagged(self):
+        rb = parse_program("yes :- q(X).")
+        assert "unused-predicate" not in codes(rb)
+
+    def test_undefined_reference_is_info(self):
+        rb = parse_program("p(X) :- edb_relation(X).")
+        findings = [f for f in lint(rb) if f.code == "undefined-reference"]
+        assert findings and all(f.severity == "info" for f in findings)
+
+    def test_inserted_predicates_not_undefined(self):
+        rb = parse_program("p :- q[add: marker]. q :- marker.")
+        assert "undefined-reference" not in codes(rb)
+
+    def test_constant_symbols_info(self):
+        findings = [
+            f for f in lint(graduation_rulebase()) if f.code == "constant-symbols"
+        ]
+        assert findings and findings[0].severity == "info"
+
+    def test_negation_cycle_warning(self):
+        rb = parse_program("a :- ~b. b :- ~a.")
+        assert "negation-cycle" in codes(rb, "warning")
+
+    def test_not_linearly_stratified_info(self):
+        assert "not-linearly-stratified" in codes(example10_rulebase(), "info")
+
+    def test_str_rendering(self):
+        rb = parse_program("p(X) :- marker.")
+        text = str(lint(rb)[0])
+        assert text.startswith("[warning:unsafe-head]")
+        assert "p(X) :- marker." in text
+
+
+class TestPaperRulebases:
+    def test_hamiltonian_flags_its_deliberate_unsafe_rule(self):
+        # path(X) :- ~select(Y). is deliberately unsafe in the paper.
+        findings = lint(hamiltonian_rulebase())
+        unsafe = [f for f in findings if f.code == "unsafe-head"]
+        assert len(unsafe) == 1
+        assert "path" in str(unsafe[0].rule)
+
+    def test_parity_rulebase_is_warning_clean(self):
+        assert codes(parity_rulebase(), "warning") == []

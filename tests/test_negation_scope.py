@@ -1,0 +1,136 @@
+"""Regression tests: which variables are local to a negated premise?
+
+A variable is quantified *inside* a negation only when it occurs in
+exactly one negated premise and nowhere else in the rule.  Variables
+shared with the head (``ok(N, C) :- ~clash(N, C)``), with another
+premise, or with a second negation are ordinary rule variables that
+Definition 3 grounds over the domain before the negation is tested.
+
+This distinction produced a real bug (all-engines disagreement on the
+graph-coloring rulebase), so every case is pinned here on all engines.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.parser import parse_program, parse_rule
+from repro.core.terms import Variable, atom
+from repro.engine.body import nonlocal_variables
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.topdown import TopDownEngine
+
+ENGINES = [PerfectModelEngine, LinearStratifiedProver, TopDownEngine]
+
+
+class TestNonlocalVariables:
+    def names(self, text):
+        return {var.name for var in nonlocal_variables(parse_rule(text))}
+
+    def test_truly_local_variable(self):
+        # Y occurs only inside the negation: local.
+        assert self.names("p(X) :- q(X), ~r(Y).") == {"X"}
+
+    def test_head_variable_is_not_local(self):
+        assert self.names("ok(N, C) :- ~clash(N, C).") == {"N", "C"}
+
+    def test_variable_shared_with_positive_is_not_local(self):
+        assert self.names("p(X) :- q(Y), ~r(Y).") == {"X", "Y"}
+
+    def test_variable_shared_between_negations_is_not_local(self):
+        assert self.names("p :- ~q(Y), ~r(Y).") == {"Y"}
+
+    def test_variable_shared_with_hypothetical_is_not_local(self):
+        assert self.names("p :- q[add: m(Y)], ~r(Y).") == {"Y"}
+
+    def test_repeated_in_same_negation_is_local(self):
+        # Y twice inside ONE negated premise, nowhere else: still local.
+        assert self.names("p(X) :- q(X), ~r(Y, Y).") == {"X"}
+
+
+@pytest.mark.parametrize("engine_class", ENGINES)
+class TestSemantics:
+    def test_head_variable_under_negation(self, engine_class):
+        # ok(N, C) holds for each (N, C) pair without a clash — NOT
+        # "ok of everything iff no clash exists anywhere".
+        rules = parse_program(
+            """
+            ok(N, C) :- ~clash(N, C).
+            clash(N, C) :- edge(N, M), col(M, C).
+            """
+        )
+        engine = engine_class(rules)
+        db = Database.from_relations(
+            {
+                "edge": [("a", "b")],
+                "col": [("b", "red")],
+                "dom": ["green"],
+            }
+        )
+        assert not engine.ask(db, "ok(a, red)")  # a's neighbour is red
+        assert engine.ask(db, "ok(a, green)")
+        assert engine.ask(db, "ok(b, red)")  # b has no outgoing edge
+
+    def test_truly_local_variable_is_not_exists(self, engine_class):
+        rules = parse_program("lonely(X) :- node(X), ~edge(X, Y).")
+        engine = engine_class(rules)
+        db = Database.from_relations(
+            {"node": ["a", "b"], "edge": [("a", "b")]}
+        )
+        assert engine.answers(db, "lonely(X)") == {("b",)}
+
+    def test_shared_variable_across_negations(self, engine_class):
+        # p(Y) :- d(Y), ~q(Y), ~r(Y): one Y, outside both negations.
+        rules = parse_program("p(Y) :- d(Y), ~q(Y), ~r(Y).")
+        engine = engine_class(rules)
+        db = Database.from_relations(
+            {"d": ["a", "b", "c"], "q": ["a"], "r": ["b"]}
+        )
+        assert engine.answers(db, "p(Y)") == {("c",)}
+
+    def test_negation_only_rule_with_head_variable(self, engine_class):
+        # No positive premises at all: the head variable still ranges
+        # over the whole domain, tested pointwise.
+        rules = parse_program("fresh(X) :- ~used(X).")
+        engine = engine_class(rules)
+        db = Database.from_relations({"used": ["a"], "d": ["b"]})
+        assert engine.ask(db, "fresh(b)")
+        assert not engine.ask(db, "fresh(a)")
+
+    def test_coloring_rulebase_agreement(self, engine_class):
+        from repro.library import coloring_db, coloring_rulebase, is_colorable
+
+        rulebase = coloring_rulebase()
+        engine = engine_class(rulebase)
+        cases = [
+            (["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")], ["red", "green"]),
+            (
+                ["a", "b", "c"],
+                [("a", "b"), ("b", "c"), ("a", "c")],
+                ["red", "green", "blue"],
+            ),
+            (["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], ["red", "green"]),
+        ]
+        for nodes, edges, colors in cases:
+            db = coloring_db(nodes, edges, colors)
+            assert engine.ask(db, "yes") is is_colorable(nodes, edges, colors)
+
+
+class TestProofsRespectScope:
+    def test_explain_head_variable_negation(self):
+        from repro.engine.proofs import Explainer, verify_proof
+
+        rules = parse_program(
+            """
+            ok(N, C) :- ~clash(N, C).
+            clash(N, C) :- edge(N, M), col(M, C).
+            """
+        )
+        db = Database.from_relations(
+            {"edge": [("a", "b")], "col": [("b", "red")], "dom": ["green"]}
+        )
+        explainer = Explainer(rules)
+        proof = explainer.explain(db, "ok(a, green)")
+        assert proof is not None
+        assert verify_proof(rules, proof)
+        assert explainer.explain(db, "ok(a, red)") is None

@@ -1,0 +1,141 @@
+"""Unit tests for oracle-machine cascades (direct simulation)."""
+
+import pytest
+
+from repro.core.errors import MachineError
+from repro.machines.library import (
+    contains_one,
+    contains_one_cascade,
+    copy_and_query,
+    no_ones_cascade,
+    suggested_time_bound,
+)
+from repro.machines.oracle import Cascade
+from repro.machines.turing import BLANK, Machine, Step
+
+
+class TestValidation:
+    def test_bottom_must_not_use_oracle(self):
+        with pytest.raises(MachineError):
+            Cascade((copy_and_query(True, "m"),))
+
+    def test_upper_machines_must_use_oracle(self):
+        with pytest.raises(MachineError):
+            Cascade((contains_one(), contains_one()))
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(MachineError):
+            Cascade(())
+
+    def test_level_indexing(self):
+        cascade = contains_one_cascade()
+        assert cascade.k == 2
+        assert cascade.machine_at_level(2).uses_oracle
+        assert not cascade.machine_at_level(1).uses_oracle
+        with pytest.raises(MachineError):
+            cascade.machine_at_level(3)
+
+
+class TestSingleLevel:
+    def test_k1_cascade_equals_run_machine(self):
+        from repro.machines.turing import run_machine
+
+        cascade = Cascade((contains_one(),))
+        for text in ["", "0", "1", "01", "10", "001"]:
+            bound = len(text) + 2
+            assert cascade.accepts(list(text), bound) == run_machine(
+                contains_one(), list(text), bound
+            )
+
+
+class TestTwoLevels:
+    @pytest.mark.parametrize("text", ["", "0", "1", "00", "01", "10", "11"])
+    def test_relay_yes(self, text):
+        cascade = contains_one_cascade()
+        bound = suggested_time_bound(2, len(text))
+        assert cascade.accepts(list(text), bound) == ("1" in text)
+
+    @pytest.mark.parametrize("text", ["", "0", "1", "00", "01", "10", "11"])
+    def test_relay_no_uses_complement(self, text):
+        cascade = no_ones_cascade()
+        bound = suggested_time_bound(2, len(text))
+        assert cascade.accepts(list(text), bound) == ("1" not in text)
+
+    def test_time_bound_too_small(self):
+        cascade = contains_one_cascade()
+        # Copying alone exhausts a tight counter before the query.
+        assert not cascade.accepts(list("1"), 2)
+
+    def test_input_must_fit(self):
+        with pytest.raises(MachineError):
+            contains_one_cascade().accepts(["0"] * 10, 4)
+
+
+class TestThreeLevels:
+    @pytest.mark.parametrize("text", ["", "0", "1", "01", "10"])
+    def test_double_relay_complement(self, text):
+        from repro.machines.library import suggested_time_bound, three_level_cascade
+
+        cascade = three_level_cascade()
+        bound = suggested_time_bound(3, len(text))
+        assert cascade.accepts(list(text), bound) == ("1" not in text)
+
+    @pytest.mark.parametrize("text", ["", "0", "1"])
+    def test_double_relay_straight(self, text):
+        from repro.machines.library import suggested_time_bound, three_level_cascade
+
+        cascade = three_level_cascade(accept_on_yes=True)
+        bound = suggested_time_bound(3, len(text))
+        assert cascade.accepts(list(text), bound) == ("1" in text)
+
+    def test_k_property(self):
+        from repro.machines.library import three_level_cascade
+
+        assert three_level_cascade().k == 3
+
+
+class TestOracleSemantics:
+    def _double_query_machine(self) -> Machine:
+        """Writes a 1, queries, and on YES queries again then accepts
+        only if the second answer is also YES — exercising persistence
+        of the invoker's oracle tape across calls."""
+        return Machine(
+            name="twice",
+            steps=(
+                Step("w", BLANK, "ask", "x", 0, oracle_write="1", oracle_move=0),
+            ),
+            initial="w",
+            accepting=frozenset({"acc"}),
+            query_state="ask",
+            yes_state="acc",
+            no_state="rej",
+        )
+
+    def test_oracle_reads_what_invoker_wrote(self):
+        cascade = Cascade((self._double_query_machine(), contains_one()))
+        # The invoker writes "1" onto the oracle tape; contains_one says yes.
+        assert cascade.accepts([], 6)
+
+    def test_oracle_own_tape_starts_blank(self):
+        # The invoker writes only blanks, so the oracle (contains_one)
+        # sees a blank tape and answers NO; the no-state is accepting.
+        writer = Machine(
+            name="silent",
+            steps=(
+                Step("w", BLANK, "ask", "x", 0, oracle_write=BLANK, oracle_move=0),
+            ),
+            initial="w",
+            accepting=frozenset({"acc"}),
+            query_state="ask",
+            yes_state="rej",
+            no_state="acc",
+        )
+        cascade = Cascade((writer, contains_one()))
+        assert cascade.accepts([], 6)
+
+    def test_memoization_consistency(self):
+        # Repeated accepts() calls with fresh memo are deterministic.
+        cascade = no_ones_cascade()
+        first = cascade.accepts(list("01"), suggested_time_bound(2, 2))
+        second = cascade.accepts(list("01"), suggested_time_bound(2, 2))
+        assert first == second == False

@@ -1,0 +1,161 @@
+"""Unit tests for the textual language parser."""
+
+import pytest
+
+from repro.core.ast import Hypothetical, Negated, Positive
+from repro.core.errors import ParseError
+from repro.core.parser import (
+    parse_atom,
+    parse_database,
+    parse_premise,
+    parse_program,
+    parse_rule,
+)
+from repro.core.terms import Constant, Variable, atom
+
+
+class TestAtoms:
+    def test_simple(self):
+        assert parse_atom("take(tony, cs452)") == atom("take", "tony", "cs452")
+
+    def test_zero_ary(self):
+        assert parse_atom("even") == atom("even")
+
+    def test_variables_and_constants(self):
+        parsed = parse_atom("take(S, cs452)")
+        assert parsed.args == (Variable("S"), Constant("cs452"))
+
+    def test_integers(self):
+        parsed = parse_atom("next(0, 1)")
+        assert parsed.args == (Constant(0), Constant(1))
+
+    def test_negative_integers(self):
+        assert parse_atom("val(-3)").args == (Constant(-3),)
+
+    def test_quoted_constants(self):
+        parsed = parse_atom("name('Tony B', x)")
+        assert parsed.args[0] == Constant("Tony B")
+
+    def test_underscore_variable(self):
+        assert parse_atom("p(_x)").args == (Variable("_x"),)
+
+    def test_trailing_dot_allowed(self):
+        assert parse_atom("p(a).") == atom("p", "a")
+
+    def test_empty_argument_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p()")
+
+
+class TestPremises:
+    def test_positive(self):
+        assert parse_premise("grad(tony)") == Positive(atom("grad", "tony"))
+
+    def test_negated_tilde(self):
+        assert parse_premise("~b(X)") == Negated(atom("b", "X"))
+
+    def test_negated_not_keyword(self):
+        assert parse_premise("not b(X)") == Negated(atom("b", "X"))
+
+    def test_hypothetical_single(self):
+        parsed = parse_premise("grad(tony)[add: take(tony, cs452)]")
+        assert parsed == Hypothetical(
+            atom("grad", "tony"), (atom("take", "tony", "cs452"),)
+        )
+
+    def test_hypothetical_multi(self):
+        parsed = parse_premise("a[add: b, c(X)]")
+        assert parsed.additions == (atom("b"), atom("c", "X"))
+
+    def test_negated_hypothetical_rejected(self):
+        with pytest.raises(ParseError):
+            parse_premise("~a[add: b]")
+
+
+class TestRules:
+    def test_fact(self):
+        parsed = parse_rule("take(tony, cs250).")
+        assert parsed.is_fact
+
+    def test_rule(self):
+        parsed = parse_rule("grad(S) :- take(S, his101), take(S, eng201).")
+        assert parsed.head == atom("grad", "S")
+        assert len(parsed.body) == 2
+
+    def test_mixed_body(self):
+        parsed = parse_rule("p(X) :- q(X), ~r(X), s(X)[add: t(X)].")
+        kinds = [type(premise).__name__ for premise in parsed.body]
+        assert kinds == ["Positive", "Negated", "Hypothetical"]
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+
+class TestPrograms:
+    def test_multiple_rules(self):
+        program = parse_program(
+            """
+            grad(S) :- take(S, his101).
+            take(tony, his101).
+            """
+        )
+        assert len(program) == 2
+
+    def test_comments(self):
+        program = parse_program(
+            """
+            % percent comment
+            p(a).   # hash comment
+            q(b).
+            """
+        )
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_parse_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("p(a)\nq(b).")
+        assert "line 2" in str(info.value)
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            parse_program("p('oops).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a) ?- q(a).")
+
+
+class TestDatabases:
+    def test_facts_only(self):
+        db = parse_database("take(tony, cs250). node(a).")
+        assert atom("take", "tony", "cs250") in db
+
+    def test_rules_rejected(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X) :- q(X).")
+
+    def test_non_ground_rejected(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            parse_database("p(X).")
+
+
+class TestRoundTrip:
+    CASES = [
+        "grad(S) :- take(S, his101), take(S, eng201).",
+        "within1(S, D) :- grad(S, D)[add: take(S, C)].",
+        "even :- ~select(X).",
+        "a2 :- a2[add: e2], a2[add: f2].",
+        "p :- q[add: r, s(X)], ~t(X).",
+        "next(0, 1).",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_print_parse_identity(self, text):
+        parsed = parse_rule(text)
+        assert parse_rule(str(parsed)) == parsed

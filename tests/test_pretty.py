@@ -1,0 +1,48 @@
+"""Unit tests for the pretty-printer."""
+
+from repro.analysis.stratify import linear_stratification
+from repro.core.parser import parse_program, parse_rule
+from repro.core.pretty import (
+    format_database,
+    format_program,
+    format_rule,
+    format_stratification,
+)
+from repro.library import example9_rulebase, graduation_db
+
+
+class TestFormatting:
+    def test_format_rule_is_parseable(self):
+        rule = parse_rule("p(X) :- q(X), ~r(X), s(X)[add: t(X)].")
+        assert parse_rule(format_rule(rule)) == rule
+
+    def test_format_program_plain(self):
+        rb = parse_program("p(a). q(b).")
+        assert format_program(rb) == "p(a).\nq(b)."
+
+    def test_format_program_grouped(self):
+        rb = parse_program("p :- q. r :- s. p :- t.")
+        grouped = format_program(rb, group_by_predicate=True)
+        lines = grouped.splitlines()
+        assert lines[0] == "% --- p ---"
+        # Both p rules appear together despite being interleaved.
+        assert lines[1] == "p :- q."
+        assert lines[2] == "p :- t."
+
+    def test_format_database_sorted(self):
+        text = format_database(graduation_db())
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+
+    def test_format_stratification_layout(self):
+        stratification = linear_stratification(example9_rulebase())
+        text = format_stratification(stratification)
+        assert "% ===== stratum 3 =====" in text
+        assert "% Sigma_1" in text and "% Delta_1" in text
+        # Strata listed top-down.
+        assert text.index("stratum 3") < text.index("stratum 1")
+
+    def test_format_stratification_reparses(self):
+        stratification = linear_stratification(example9_rulebase())
+        reparsed = parse_program(format_stratification(stratification))
+        assert set(reparsed.rules) == set(example9_rulebase().rules)

@@ -1,0 +1,97 @@
+"""Unit tests for the Session / ask / answers API."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import EvaluationError
+from repro.core.parser import parse_program
+from repro.engine.model import PerfectModelEngine
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.query import Session, answers, ask
+from repro.engine.topdown import TopDownEngine
+from repro.library import (
+    degree_rulebase,
+    example10_rulebase,
+    graduation_db,
+    graduation_rulebase,
+)
+
+
+class TestEngineSelection:
+    def test_auto_picks_prover_for_linear_rulebases(self):
+        session = Session(graduation_rulebase())
+        assert session.engine_name == "prove"
+        assert isinstance(session.engine, LinearStratifiedProver)
+
+    def test_auto_falls_back_to_topdown_engine(self):
+        session = Session(example10_rulebase())
+        assert session.engine_name == "topdown"
+        assert isinstance(session.engine, TopDownEngine)
+
+    def test_explicit_model(self):
+        session = Session(graduation_rulebase(), "model")
+        assert isinstance(session.engine, PerfectModelEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EvaluationError):
+            Session(graduation_rulebase(), "magic")
+
+
+class TestQueries:
+    def test_ask_text_query(self):
+        session = Session(graduation_rulebase())
+        assert session.ask(graduation_db(), "grad(sue)")
+        assert not session.ask(graduation_db(), "grad(pat)")
+
+    def test_ask_atom_object(self):
+        from repro.core.terms import atom
+
+        session = Session(graduation_rulebase())
+        assert session.ask(graduation_db(), atom("grad", "sue"))
+
+    def test_ask_premise_object(self):
+        from repro.core.ast import Hypothetical
+        from repro.core.terms import atom
+
+        session = Session(graduation_rulebase())
+        premise = Hypothetical(
+            atom("grad", "tony"), (atom("take", "tony", "cs250"),)
+        )
+        assert session.ask(graduation_db(), premise)
+
+    def test_answers(self):
+        session = Session(graduation_rulebase())
+        assert session.answers(graduation_db(), "within_one(S)") == {
+            ("tony",),
+            ("sue",),
+        }
+
+    def test_classify_passthrough(self):
+        assert Session(degree_rulebase()).classify().class_name == "PSPACE"
+
+    def test_one_shot_helpers(self):
+        rb = graduation_rulebase()
+        db = graduation_db()
+        assert ask(rb, db, "grad(sue)")
+        assert ("sue",) in answers(rb, db, "grad(S)")
+
+    def test_session_explain(self):
+        from repro.engine.proofs import verify_proof
+
+        session = Session(graduation_rulebase())
+        proof = session.explain(
+            graduation_db(), "grad(tony)[add: take(tony, cs250)]"
+        )
+        assert proof is not None
+        assert verify_proof(graduation_rulebase(), proof)
+        assert session.explain(graduation_db(), "grad(pat)") is None
+
+    def test_engines_agree_on_example3(self):
+        # The degree rulebase only runs on the model engine; check the
+        # expected answers directly.
+        session = Session(degree_rulebase())
+        from repro.library import degree_db
+
+        rows = session.answers(degree_db(), "grad(S, mathphys)")
+        assert ("ada",) in rows and ("bob",) in rows
+        assert ("cyd",) not in rows

@@ -1,0 +1,82 @@
+"""Unit tests for linearity (Definition 8)."""
+
+from repro.analysis.recursion import (
+    is_linear_rule,
+    is_linear_ruleset,
+    is_recursive_rule,
+    mutual_recursion_classes,
+    nonlinear_rules,
+    recursive_premise_count,
+)
+from repro.core.parser import parse_program
+
+
+class TestDefinition8:
+    def test_nonrecursive_rule_is_linear(self):
+        rb = parse_program("p(X) :- q(X), r(X).")
+        classes = mutual_recursion_classes(rb)
+        rule = rb.rules[0]
+        assert not is_recursive_rule(rule, classes)
+        assert is_linear_rule(rule, classes)
+
+    def test_single_recursion_is_linear(self):
+        rb = parse_program("path(X, Y) :- edge(X, Z), path(Z, Y).")
+        classes = mutual_recursion_classes(rb)
+        assert recursive_premise_count(rb.rules[0], classes) == 1
+        assert is_linear_rule(rb.rules[0], classes)
+
+    def test_double_recursion_is_not_linear(self):
+        rb = parse_program("path(X, Y) :- path(X, Z), path(Z, Y).")
+        classes = mutual_recursion_classes(rb)
+        assert recursive_premise_count(rb.rules[0], classes) == 2
+        assert not is_linear_rule(rb.rules[0], classes)
+
+    def test_rule_2_shape_not_linear(self):
+        # The paper's rule (2): multiple recursive hypothetical premises.
+        rb = parse_program("a :- b, a[add: c1], a[add: c2].")
+        classes = mutual_recursion_classes(rb)
+        assert recursive_premise_count(rb.rules[0], classes) == 2
+        assert nonlinear_rules(rb) == [rb.rules[0]]
+
+    def test_mutual_recursion_counts(self):
+        # EVEN/ODD of Example 6: mutually recursive but linear.
+        rb = parse_program(
+            """
+            even :- select(X), odd[add: b(X)].
+            odd :- select(X), even[add: b(X)].
+            even :- ~select(X).
+            select(X) :- a(X), ~b(X).
+            """
+        )
+        classes = mutual_recursion_classes(rb)
+        assert classes["even"] == {"even", "odd"}
+        assert is_linear_ruleset(rb.rules, classes)
+
+    def test_indirect_nonlinearity_through_auxiliaries(self):
+        # The paper's n+1-rule example: each rule looks linear but the
+        # set implies rule (2).  With n = 2:
+        rb = parse_program(
+            """
+            a :- b, d1, d2.
+            d1 :- a[add: c1].
+            d2 :- a[add: c2].
+            """
+        )
+        classes = mutual_recursion_classes(rb)
+        # a, d1, d2 are all mutually recursive...
+        assert classes["a"] == {"a", "d1", "d2"}
+        # ...so the first rule has two recursive premises.
+        assert recursive_premise_count(rb.rules[0], classes) == 2
+        assert not is_linear_ruleset(rb.rules, classes)
+
+    def test_negated_premise_counts_as_occurrence(self):
+        rb = parse_program("p :- q, ~p.")
+        classes = mutual_recursion_classes(rb)
+        assert recursive_premise_count(rb.rules[0], classes) == 1
+
+    def test_addition_does_not_count(self):
+        # p recursive via the goal only, not via the added atom.
+        rb = parse_program("p :- q[add: p].")
+        classes = mutual_recursion_classes(rb)
+        assert classes["p"] == {"p"}
+        assert not is_recursive_rule(rb.rules[0], classes)

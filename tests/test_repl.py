@@ -1,0 +1,152 @@
+"""Tests for the interactive console."""
+
+import io
+
+import pytest
+
+from repro.repl import Repl, run
+
+
+@pytest.fixture
+def repl():
+    return Repl()
+
+
+class TestAssertions:
+    def test_add_rule(self, repl):
+        out = repl.feed("grad(S) :- take(S, m1).")
+        assert "added rule" in out
+        assert len(repl.rulebase) == 1
+
+    def test_missing_dot_is_tolerated(self, repl):
+        repl.feed("grad(S) :- take(S, m1)")
+        assert len(repl.rulebase) == 1
+
+    def test_assert_fact(self, repl):
+        out = repl.feed("take(ann, m1).")
+        assert "asserted fact" in out
+        assert len(repl.db) == 1
+
+    def test_non_ground_fact_becomes_rule(self, repl):
+        repl.feed("always(X).")
+        assert len(repl.rulebase) == 1
+        assert len(repl.db) == 0
+
+    def test_blank_and_comment_lines(self, repl):
+        assert repl.feed("") == ""
+        assert repl.feed("   % nothing") == ""
+
+    def test_parse_error_reported(self, repl):
+        out = repl.feed("p(a")
+        assert out.startswith("error:")
+
+
+class TestQueries:
+    def _setup(self, repl):
+        repl.feed("grad(S) :- take(S, m1), take(S, m2).")
+        repl.feed("take(ann, m1).")
+        repl.feed("take(ben, m1).")
+        repl.feed("take(ben, m2).")
+
+    def test_ground_query(self, repl):
+        self._setup(repl)
+        assert repl.feed("?- grad(ben).") == "yes"
+        assert repl.feed("?- grad(ann).") == "no"
+
+    def test_hypothetical_query(self, repl):
+        self._setup(repl)
+        assert repl.feed("?- grad(ann)[add: take(ann, m2)].") == "yes"
+
+    def test_pattern_query_enumerates_bindings(self, repl):
+        self._setup(repl)
+        out = repl.feed("?- grad(S).")
+        assert out == "S = ben"
+
+    def test_pattern_query_no_answers(self, repl):
+        self._setup(repl)
+        assert repl.feed("?- grad2(S).") == "no"
+
+    def test_negated_query(self, repl):
+        self._setup(repl)
+        assert repl.feed("?- ~grad(ann).") == "yes"
+
+    def test_session_rebuilt_after_assertions(self, repl):
+        self._setup(repl)
+        assert repl.feed("?- grad(ann).") == "no"
+        repl.feed("take(ann, m2).")
+        assert repl.feed("?- grad(ann).") == "yes"
+
+
+class TestCommands:
+    def test_quit(self, repl):
+        assert repl.feed(":quit") == "bye"
+        assert repl.done
+
+    def test_help(self, repl):
+        assert ":classify" in repl.feed(":help")
+
+    def test_rules_and_facts_listing(self, repl):
+        assert repl.feed(":rules") == "(no rules)"
+        assert repl.feed(":facts") == "(no facts)"
+        repl.feed("p :- q.")
+        repl.feed("q.")
+        assert "p :- q." in repl.feed(":rules")
+        assert "q." in repl.feed(":facts")
+
+    def test_classify(self, repl):
+        repl.feed("p :- p[add: h].")
+        assert "NP" in repl.feed(":classify")
+
+    def test_stratify(self, repl):
+        repl.feed("p :- p[add: h].")
+        assert "Sigma_1" in repl.feed(":stratify")
+
+    def test_lint(self, repl):
+        repl.feed("p(X) :- marker.")
+        assert "unsafe-head" in repl.feed(":lint")
+
+    def test_engine_switching(self, repl):
+        repl.feed("p :- q.")
+        assert repl.feed(":engine topdown") == "engine: topdown"
+        assert repl.feed(":engine bogus").startswith("error:")
+
+    def test_explain(self, repl):
+        repl.feed("p :- q.")
+        repl.feed("q.")
+        out = repl.feed(":explain p")
+        assert "[by rule: p :- q.]" in out
+        assert repl.feed(":explain nope") == "not provable"
+
+    def test_load_and_db(self, repl, tmp_path):
+        rules = tmp_path / "r.dl"
+        rules.write_text("p(X) :- q(X).")
+        facts = tmp_path / "f.dl"
+        facts.write_text("q(a).")
+        assert "1 rules total" in repl.feed(f":load {rules}")
+        assert "1 facts total" in repl.feed(f":db {facts}")
+        assert repl.feed("?- p(a).") == "yes"
+
+    def test_reset(self, repl):
+        repl.feed("p :- q.")
+        repl.feed("q.")
+        assert repl.feed(":reset") == "cleared"
+        assert repl.feed("?- p.") == "no"
+
+    def test_unknown_command(self, repl):
+        assert "unknown command" in repl.feed(":frobnicate")
+
+
+class TestRunLoop:
+    def test_scripted_session(self):
+        stdin = io.StringIO("q.\np :- q.\n?- p.\n:quit\nignored\n")
+        stdout = io.StringIO()
+        assert run(stdin=stdin, stdout=stdout) == 0
+        output = stdout.getvalue()
+        assert "yes" in output
+        assert "bye" in output
+        assert "ignored" not in output
+
+    def test_eof_terminates(self):
+        stdin = io.StringIO("?- nothing.\n")
+        stdout = io.StringIO()
+        assert run(stdin=stdin, stdout=stdout) == 0

@@ -1,0 +1,73 @@
+"""Unit tests for the source-to-source rewrites."""
+
+from repro.core.ast import Hypothetical, Rule, Rulebase
+from repro.core.database import Database
+from repro.core.parser import parse_program
+from repro.core.rewrite import negate_hypothetical, single_addition_form
+from repro.core.terms import atom
+from repro.engine.model import PerfectModelEngine
+
+
+class TestNegateHypothetical:
+    def test_produces_auxiliary_rule(self):
+        premise = Hypothetical(atom("grad", "S"), (atom("take", "S", "C"),))
+        negated, auxiliary = negate_hypothetical(premise)
+        assert negated.atom.predicate == auxiliary.head.predicate
+        assert auxiliary.body == (premise,)
+
+    def test_variables_flow_through_head(self):
+        premise = Hypothetical(atom("grad", "S"), (atom("take", "S", "C"),))
+        negated, auxiliary = negate_hypothetical(premise)
+        assert {v.name for v in auxiliary.head.variables()} == {"S", "C"}
+
+    def test_workaround_semantics(self):
+        # ~ (a[add: b]) via the auxiliary: holds iff a NOT provable at DB+b.
+        base = parse_program("a :- b, blocker.")
+        premise = Hypothetical(atom("a"), (atom("b"),))
+        negated, auxiliary = negate_hypothetical(premise)
+        extended = base + [auxiliary, Rule(atom("query"), (negated,))]
+        engine = PerfectModelEngine(extended)
+        assert engine.ask(Database(), "query")  # blocker missing
+        assert not engine.ask(Database([atom("blocker")]), "query")
+
+
+class TestSingleAdditionForm:
+    def test_leaves_single_additions_alone(self):
+        rb = parse_program("p :- q[add: r].")
+        assert single_addition_form(rb).rules == rb.rules
+
+    def test_splits_multi_additions(self):
+        rb = parse_program("p :- q[add: r, s].")
+        rewritten = single_addition_form(rb)
+        assert len(rewritten) == 2
+        for item in rewritten:
+            for premise in item.body:
+                if isinstance(premise, Hypothetical):
+                    assert len(premise.additions) == 1
+
+    def test_semantics_preserved(self):
+        rb = parse_program(
+            """
+            goal :- inner[add: m1, m2, m3].
+            inner :- m1, m2, m3.
+            """
+        )
+        rewritten = single_addition_form(rb)
+        original = PerfectModelEngine(rb)
+        transformed = PerfectModelEngine(rewritten)
+        for db in (Database(), Database([atom("m1")])):
+            assert original.ask(db, "goal") == transformed.ask(db, "goal")
+        assert original.ask(Database(), "goal")
+
+    def test_semantics_preserved_with_variables(self):
+        rb = parse_program(
+            """
+            ok(X) :- probe(X)[add: f(X), g(X)].
+            probe(X) :- f(X), g(X).
+            """
+        )
+        rewritten = single_addition_form(rb)
+        db = Database.from_relations({"d": ["a", "b"]})
+        original = PerfectModelEngine(rb)
+        transformed = PerfectModelEngine(rewritten)
+        assert original.answers(db, "ok(X)") == transformed.answers(db, "ok(X)")

@@ -1,0 +1,74 @@
+"""Tests for program slicing (dependency cones)."""
+
+import pytest
+
+from repro.analysis.slicing import dependency_cone, slice_rulebase
+from repro.core.database import Database
+from repro.core.parser import parse_program
+from repro.engine.topdown import TopDownEngine
+from repro.library import (
+    graph_db,
+    hamiltonian_complement_rulebase,
+    parity_db,
+    parity_rulebase,
+)
+
+
+class TestCone:
+    def test_transitive_reachability(self):
+        rb = parse_program("a :- b. b :- c. unrelated :- d.")
+        assert dependency_cone(rb, ["a"]) == {"a", "b", "c"}
+
+    def test_hypothetical_goal_edges_count(self):
+        rb = parse_program("a :- b[add: m]. b :- m.")
+        assert dependency_cone(rb, ["a"]) == {"a", "b", "m"}
+
+    def test_negative_edges_count(self):
+        rb = parse_program("a :- ~b. b :- c.")
+        assert dependency_cone(rb, ["a"]) == {"a", "b", "c"}
+
+    def test_undefined_goal(self):
+        rb = parse_program("a :- b.")
+        assert dependency_cone(rb, ["ghost"]) == {"ghost"}
+
+    def test_multiple_goals(self):
+        rb = parse_program("a :- b. x :- y.")
+        assert dependency_cone(rb, ["a", "x"]) == {"a", "b", "x", "y"}
+
+
+class TestSliceSemantics:
+    def test_drops_unrelated_rules(self):
+        rb = parse_program("a :- b. b :- c. unrelated :- d.")
+        result = slice_rulebase(rb, ["a"])
+        assert result.dropped_rules == 1
+        assert len(result.rulebase) == 2
+
+    def test_constants_preserved_flag(self):
+        rb = parse_program("a :- b(k). other :- c(z).")
+        result = slice_rulebase(rb, ["a"])
+        assert not result.constants_preserved  # z was dropped
+        full = slice_rulebase(rb, ["a", "other"])
+        assert full.constants_preserved
+
+    def test_answers_unchanged_on_parity(self):
+        rb = parity_rulebase() + parse_program("noise :- static(X).")
+        result = slice_rulebase(rb, ["even", "odd"])
+        assert result.dropped_rules == 1
+        assert result.constants_preserved
+        db = parity_db(["x", "y", "z"])
+        full = TopDownEngine(rb)
+        sliced = TopDownEngine(result.rulebase)
+        for goal in ("even", "odd"):
+            assert full.ask(db, goal) == sliced.ask(db, goal)
+
+    def test_answers_unchanged_on_hamiltonian_complement(self):
+        rb = hamiltonian_complement_rulebase()
+        result = slice_rulebase(rb, ["no"])
+        # 'no' depends on 'yes' and everything below: nothing droppable.
+        assert result.dropped_rules == 0
+        partial = slice_rulebase(rb, ["select"])
+        assert partial.dropped_rules == 4  # keeps only the select rule
+        db = graph_db(["a", "b"], [("a", "b")])
+        assert TopDownEngine(partial.rulebase).answers(db, "select(Y)") == (
+            TopDownEngine(rb).answers(db, "select(Y)")
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for stratification analysis (Section 4, Lemma 1)."""
+
+import pytest
+
+from repro.analysis.stratify import (
+    h_stratification,
+    h_stratification_violations,
+    is_h_stratified,
+    is_linearly_stratified,
+    linear_stratification,
+    negation_strata,
+)
+from repro.core.errors import StratificationError
+from repro.core.parser import parse_program
+from repro.library import example9_rulebase, example10_rulebase, layered_rulebase
+
+
+class TestNegationStrata:
+    def test_recursion_through_negation_rejected(self):
+        rb = parse_program("a :- ~b. b :- ~a.")
+        with pytest.raises(StratificationError):
+            negation_strata(rb)
+
+    def test_self_negation_rejected(self):
+        rb = parse_program("a :- ~a.")
+        with pytest.raises(StratificationError):
+            negation_strata(rb)
+
+    def test_layers_in_dependency_order(self):
+        rb = parse_program("top :- ~mid. mid :- ~bottom. bottom :- base.")
+        layers = negation_strata(rb)
+        order = {next(iter(layer)): i for i, layer in enumerate(layers)}
+        assert order["bottom"] < order["mid"] < order["top"]
+
+    def test_hypothetical_recursion_allowed(self):
+        rb = parse_program("p(X) :- p(X)[add: q(X)].")
+        negation_strata(rb)  # must not raise
+
+
+class TestLemma1Tests:
+    def test_example9_is_linearly_stratified(self):
+        assert is_linearly_stratified(example9_rulebase())
+
+    def test_example10_is_not(self):
+        assert not is_linearly_stratified(example10_rulebase())
+
+    def test_example10_error_mentions_the_class(self):
+        with pytest.raises(StratificationError) as info:
+            linear_stratification(example10_rulebase())
+        assert "a2" in str(info.value)
+
+    def test_negation_recursion_fails_test1(self):
+        rb = parse_program("a :- ~b, a[add: c]. b :- ~a.")
+        with pytest.raises(StratificationError) as info:
+            linear_stratification(rb)
+        assert "negation" in str(info.value)
+
+    def test_nonlinear_horn_without_hypotheses_is_fine(self):
+        # Non-linear recursion is only fatal combined with hypothetical
+        # recursion in the same class.
+        rb = parse_program("path(X, Y) :- path(X, Z), path(Z, Y). path(X, Y) :- edge(X, Y).")
+        stratification = linear_stratification(rb)
+        assert stratification.k == 1
+        assert stratification.segment_of("path") == 1  # Delta_1
+
+    def test_indirect_rule2_rejected(self):
+        rb = parse_program(
+            """
+            a :- b, d1, d2.
+            d1 :- a[add: c1].
+            d2 :- a[add: c2].
+            """
+        )
+        assert not is_linearly_stratified(rb)
+
+
+class TestStratificationShape:
+    def test_example9_three_strata(self):
+        stratification = linear_stratification(example9_rulebase())
+        assert stratification.k == 3
+        # a_i defined in Sigma_i.
+        for index in (1, 2, 3):
+            assert stratification.segment_of(f"a{index}") == 2 * index
+            assert stratification.in_sigma(f"a{index}")
+        heads = {item.head.predicate for item in stratification.sigma(2)}
+        assert heads == {"a2"}
+
+    def test_edb_predicates_at_segment_zero(self):
+        stratification = linear_stratification(example9_rulebase())
+        assert stratification.segment_of("b1") == 0
+        assert stratification.level_of("b1") == 0
+        assert not stratification.in_sigma("b1")
+
+    def test_pure_horn_single_delta(self):
+        rb = parse_program("p(X) :- q(X). q(X) :- r(X).")
+        stratification = linear_stratification(rb)
+        assert stratification.k == 1
+        assert stratification.sigma(1) == ()
+        assert len(stratification.delta(1)) == 2
+
+    def test_hypothetical_recursion_lands_in_sigma(self):
+        rb = parse_program("p(X) :- p(X)[add: q(X)].")
+        stratification = linear_stratification(rb)
+        assert stratification.segment_of("p") == 2
+
+    def test_negation_below_sigma(self):
+        # ~q inside a Sigma rule forces q strictly below.
+        rb = parse_program(
+            """
+            p :- ~q, p[add: h].
+            q :- r.
+            """
+        )
+        stratification = linear_stratification(rb)
+        assert stratification.segment_of("p") == 2
+        assert stratification.segment_of("q") == 1
+
+    def test_negation_on_sigma_predicate_opens_new_stratum(self):
+        # Example 8's shape: no :- ~yes with yes hypothetical.
+        rb = parse_program(
+            """
+            yes :- yes[add: h].
+            no :- ~yes.
+            """
+        )
+        stratification = linear_stratification(rb)
+        assert stratification.k == 2
+        assert stratification.segment_of("yes") == 2
+        assert stratification.segment_of("no") == 3  # Delta_2
+
+    def test_layered_rulebase_strata(self):
+        for k in (1, 2, 5):
+            assert linear_stratification(layered_rulebase(k)).k == k
+
+    def test_relaxation_minimality(self):
+        # Independent predicates all stay in segment 1.
+        rb = parse_program("p :- e1. q :- e2. r :- p, q.")
+        stratification = linear_stratification(rb)
+        assert set(stratification.part.values()) == {1}
+
+    def test_predicates_in_segment(self):
+        stratification = linear_stratification(example9_rulebase())
+        assert stratification.predicates_in_segment(2) == {"a1"}
+
+    def test_empty_rulebase(self):
+        from repro.core.ast import Rulebase
+
+        stratification = linear_stratification(Rulebase())
+        assert stratification.k == 0
+
+    def test_example10_h_partition_matches_the_paper(self):
+        # The paper's Example 10 layout: Sigma_1 = {a1} (segment 2),
+        # Delta_2 = {b2, c2, d2} (segment 3), Sigma_2 = {a2} (segment 4).
+        part = h_stratification(example10_rulebase())
+        assert part == {"a1": 2, "d2": 2, "b2": 3, "c2": 3, "a2": 4}
+        assert h_stratification_violations(part, example10_rulebase()) == []
+
+    def test_h_stratification_does_not_exclude_negation_cycles(self):
+        # Quoting Section 4: "H-stratification, however, does not
+        # exclude recursion through negation, nor does it exclude rules
+        # of the form (2)".
+        negation_cycle = parse_program("a :- ~b. b :- ~a.")
+        assert is_h_stratified(negation_cycle)
+        assert not is_linearly_stratified(negation_cycle)
+
+    def test_violations_reported_for_bad_partition(self):
+        rb = parse_program("p :- p[add: h].")
+        bad = {"p": 1}  # hypothetical occurrence in an odd segment
+        messages = h_stratification_violations(bad, rb)
+        assert messages and "hypothetical" in messages[0]
+
+    def test_linear_implies_h(self):
+        for rb in (example9_rulebase(), layered_rulebase(3)):
+            assert is_h_stratified(rb)
+
+    def test_mutual_hypothetical_recursion_same_segment(self):
+        rb = parse_program(
+            """
+            even :- select(X), odd[add: b(X)].
+            odd :- select(X), even[add: b(X)].
+            even :- ~select(X).
+            select(X) :- a(X), ~b(X).
+            """
+        )
+        stratification = linear_stratification(rb)
+        assert stratification.segment_of("even") == stratification.segment_of("odd") == 2
+        assert stratification.segment_of("select") == 1
+        assert stratification.k == 1

@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    Atom,
+    Constant,
+    Variable,
+    atom,
+    fresh_variable,
+    term,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Who")) == "Who"
+
+
+class TestConstant:
+    def test_string_payload(self):
+        assert Constant("tony").value == "tony"
+
+    def test_int_payload(self):
+        assert Constant(3).value == 3
+
+    def test_int_and_string_distinct(self):
+        assert Constant(3) != Constant("3")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+
+class TestTermCoercion:
+    def test_uppercase_is_variable(self):
+        assert term("X") == Variable("X")
+
+    def test_underscore_is_variable(self):
+        assert term("_gap") == Variable("_gap")
+
+    def test_lowercase_is_constant(self):
+        assert term("tony") == Constant("tony")
+
+    def test_int_is_constant(self):
+        assert term(7) == Constant(7)
+
+    def test_terms_pass_through(self):
+        original = Variable("X")
+        assert term(original) is original
+
+
+class TestAtom:
+    def test_arity(self):
+        assert atom("take", "S", "cs452").arity == 2
+
+    def test_zero_ary(self):
+        even = atom("even")
+        assert even.arity == 0
+        assert even.is_ground
+        assert str(even) == "even"
+
+    def test_is_ground(self):
+        assert atom("take", "tony", "cs452").is_ground
+        assert not atom("take", "S", "cs452").is_ground
+
+    def test_variables_in_order_with_repeats(self):
+        names = [v.name for v in atom("p", "X", "a", "Y", "X").variables()]
+        assert names == ["X", "Y", "X"]
+
+    def test_constants(self):
+        values = [c.value for c in atom("p", "X", "a", 3).constants()]
+        assert values == ["a", 3]
+
+    def test_substitute_partial(self):
+        pattern = atom("take", "S", "C")
+        bound = pattern.substitute({Variable("S"): Constant("tony")})
+        assert bound == atom("take", "tony", "C")
+
+    def test_substitute_noop_returns_self(self):
+        ground = atom("take", "tony", "cs452")
+        assert ground.substitute({Variable("S"): Constant("x")}) is ground
+
+    def test_values_of_ground_atom(self):
+        assert atom("take", "tony", 3).values() == ("tony", 3)
+
+    def test_values_raises_on_variables(self):
+        with pytest.raises(ValueError):
+            atom("take", "S").values()
+
+    def test_str_roundtrippable_shape(self):
+        assert str(atom("take", "S", "cs452")) == "take(S, cs452)"
+
+    def test_hashable_as_dict_key(self):
+        table = {atom("p", "a"): 1}
+        assert table[atom("p", "a")] == 1
+
+
+class TestFreshVariable:
+    def test_distinct_each_call(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_cannot_collide_with_parsed_names(self):
+        assert "#" in fresh_variable("X").name

@@ -1,0 +1,127 @@
+"""Unit tests for the Turing-machine substrate."""
+
+import pytest
+
+from repro.core.errors import MachineError
+from repro.machines.turing import BLANK, Machine, Step, run_machine
+from repro.machines.library import contains_one, even_ones, first_or_second_a
+
+
+class TestValidation:
+    def test_move_must_be_unit(self):
+        with pytest.raises(MachineError):
+            Step("s", "0", "s", "0", 2)
+
+    def test_oracle_move_must_be_unit(self):
+        with pytest.raises(MachineError):
+            Step("s", "0", "s", "0", 0, oracle_write="0", oracle_move=5)
+
+    def test_oracle_states_all_or_nothing(self):
+        with pytest.raises(MachineError):
+            Machine(
+                name="m",
+                steps=(),
+                initial="s",
+                accepting=frozenset(),
+                query_state="ask",
+            )
+
+    def test_oracle_machine_needs_oracle_writes(self):
+        with pytest.raises(MachineError):
+            Machine(
+                name="m",
+                steps=(Step("s", "0", "s", "0", 1),),
+                initial="s",
+                accepting=frozenset(),
+                query_state="ask",
+                yes_state="y",
+                no_state="n",
+            )
+
+    def test_plain_machine_rejects_oracle_writes(self):
+        with pytest.raises(MachineError):
+            Machine(
+                name="m",
+                steps=(Step("s", "0", "s", "0", 1, oracle_write="0"),),
+                initial="s",
+                accepting=frozenset(),
+            )
+
+    def test_query_state_may_not_transition(self):
+        with pytest.raises(MachineError):
+            Machine(
+                name="m",
+                steps=(Step("ask", "0", "s", "0", 1, oracle_write="0"),),
+                initial="s",
+                accepting=frozenset(),
+                query_state="ask",
+                yes_state="y",
+                no_state="n",
+            )
+
+    def test_symbol_names_must_be_identifier_friendly(self):
+        with pytest.raises(MachineError):
+            Machine(
+                name="m",
+                steps=(Step("s", "@", "s", "@", 1),),
+                initial="s",
+                accepting=frozenset(),
+            )
+
+    def test_derived_properties(self):
+        machine = contains_one()
+        assert machine.states == {"scan", "acc"}
+        assert machine.alphabet == {"0", "1", BLANK}
+        assert not machine.uses_oracle
+        assert len(machine.transitions("scan", "0")) == 1
+        assert machine.transitions("scan", BLANK) == ()
+
+
+class TestRunMachine:
+    @pytest.mark.parametrize("text", ["", "0", "1", "01", "000", "0001"])
+    def test_contains_one(self, text):
+        accepted = run_machine(contains_one(), list(text), len(text) + 2)
+        assert accepted == ("1" in text)
+
+    @pytest.mark.parametrize("text", ["", "1", "11", "101", "0110", "111"])
+    def test_even_ones(self, text):
+        accepted = run_machine(even_ones(), list(text), len(text) + 2)
+        assert accepted == (text.count("1") % 2 == 0)
+
+    @pytest.mark.parametrize("text", ["a", "b", "ab", "ba", "bb", "bab"])
+    def test_nondeterministic_guess(self, text):
+        accepted = run_machine(first_or_second_a(), list(text), len(text) + 2)
+        assert accepted == ("a" in text[:2])
+
+    def test_time_bound_limits_acceptance(self):
+        # contains_one on "01" needs 2 steps; a 2-cell counter allows 1.
+        assert not run_machine(contains_one(), ["0", "1"], 2)
+
+    def test_head_cannot_leave_the_counter(self):
+        # A machine that always moves left dies immediately.
+        machine = Machine(
+            name="leftward",
+            steps=(Step("s", BLANK, "s", BLANK, -1),),
+            initial="s",
+            accepting=frozenset({"never"}),
+        )
+        assert not run_machine(machine, [], 5)
+
+    def test_rejects_oracle_machines(self):
+        from repro.machines.library import copy_and_query
+
+        with pytest.raises(MachineError):
+            run_machine(copy_and_query(True, "m"), [], 5)
+
+    def test_input_must_fit(self):
+        with pytest.raises(MachineError):
+            run_machine(contains_one(), ["0"] * 5, 3)
+
+    def test_accept_state_as_initial(self):
+        machine = Machine(
+            name="trivial",
+            steps=(),
+            initial="acc",
+            accepting=frozenset({"acc"}),
+        )
+        assert run_machine(machine, [], 1)

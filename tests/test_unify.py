@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.unify."""
+
+from repro.core.terms import Constant, Variable, atom
+from repro.core.unify import (
+    ground_instances,
+    match,
+    match_args,
+    rename_rule_apart,
+    unify,
+)
+
+
+class TestMatch:
+    def test_basic(self):
+        binding = match(atom("edge", "X", "Y"), atom("edge", "a", "b"))
+        assert binding == {Variable("X"): Constant("a"), Variable("Y"): Constant("b")}
+
+    def test_predicate_mismatch(self):
+        assert match(atom("p", "X"), atom("q", "a")) is None
+
+    def test_arity_mismatch(self):
+        assert match(atom("p", "X"), atom("p", "a", "b")) is None
+
+    def test_constant_must_agree(self):
+        assert match(atom("p", "a"), atom("p", "a")) == {}
+        assert match(atom("p", "a"), atom("p", "b")) is None
+
+    def test_repeated_variable(self):
+        assert match(atom("p", "X", "X"), atom("p", "a", "a")) is not None
+        assert match(atom("p", "X", "X"), atom("p", "a", "b")) is None
+
+    def test_existing_binding_respected(self):
+        binding = {Variable("X"): Constant("a")}
+        assert match(atom("p", "X"), atom("p", "b"), binding) is None
+        extended = match(atom("p", "X"), atom("p", "a"), binding)
+        assert extended == binding
+
+    def test_does_not_mutate_input_binding(self):
+        binding = {}
+        match(atom("p", "X"), atom("p", "a"), binding)
+        assert binding == {}
+
+    def test_match_args_zero_arity(self):
+        assert match_args((), ()) == {}
+
+
+class TestUnify:
+    def test_var_to_var(self):
+        binding = unify(atom("p", "X"), atom("p", "Y"))
+        assert binding is not None
+        # X and Y end up identified one way or the other.
+        assert len(binding) == 1
+
+    def test_var_to_constant_both_directions(self):
+        assert unify(atom("p", "X"), atom("p", "a")) == {
+            Variable("X"): Constant("a")
+        }
+        assert unify(atom("p", "a"), atom("p", "X")) == {
+            Variable("X"): Constant("a")
+        }
+
+    def test_clash(self):
+        assert unify(atom("p", "a"), atom("p", "b")) is None
+
+    def test_chained(self):
+        binding = unify(atom("p", "X", "X"), atom("p", "Y", "a"))
+        # Following bindings must give X -> a.
+        value = binding[Variable("X")]
+        while isinstance(value, Variable):
+            value = binding[value]
+        assert value == Constant("a")
+
+
+class TestGroundInstances:
+    def test_enumerates_product(self):
+        domain = [Constant("a"), Constant("b")]
+        results = list(ground_instances([Variable("X"), Variable("Y")], domain))
+        assert len(results) == 4
+
+    def test_empty_variables_yields_base(self):
+        assert list(ground_instances([], [Constant("a")])) == [{}]
+
+    def test_empty_domain_with_variables_yields_nothing(self):
+        assert list(ground_instances([Variable("X")], [])) == []
+
+    def test_respects_existing_binding(self):
+        domain = [Constant("a"), Constant("b")]
+        binding = {Variable("X"): Constant("a")}
+        results = list(
+            ground_instances([Variable("X"), Variable("Y")], domain, binding)
+        )
+        assert len(results) == 2
+        assert all(item[Variable("X")] == Constant("a") for item in results)
+
+    def test_duplicate_variables_counted_once(self):
+        domain = [Constant("a"), Constant("b")]
+        results = list(
+            ground_instances([Variable("X"), Variable("X")], domain)
+        )
+        assert len(results) == 2
+
+    def test_yields_independent_dicts(self):
+        domain = [Constant("a"), Constant("b")]
+        results = list(ground_instances([Variable("X")], domain))
+        results[0][Variable("Z")] = Constant("z")
+        assert Variable("Z") not in results[1]
+
+
+class TestRenameApart:
+    def test_fresh_names(self):
+        renaming = rename_rule_apart([Variable("X"), Variable("Y")])
+        assert len(renaming) == 2
+        assert all("#" in target.name for target in renaming.values())

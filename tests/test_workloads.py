@@ -1,0 +1,86 @@
+"""Unit tests for the benchmark workload generators."""
+
+from repro.analysis.stratify import linear_stratification
+from repro.bench.workloads import (
+    chain_edges_db,
+    cycle_graph,
+    path_graph,
+    random_database,
+    random_graph,
+    random_layered_rulebase,
+    transitive_closure_rules,
+)
+
+
+class TestGraphs:
+    def test_random_graph_deterministic(self):
+        assert random_graph(6, 0.4, seed=7) == random_graph(6, 0.4, seed=7)
+
+    def test_random_graph_seed_matters(self):
+        assert random_graph(8, 0.5, seed=1) != random_graph(8, 0.5, seed=2)
+
+    def test_random_graph_no_self_loops(self):
+        _, edges = random_graph(6, 1.0, seed=0)
+        assert all(source != target for source, target in edges)
+        assert len(edges) == 30  # complete directed graph minus loops
+
+    def test_path_graph(self):
+        nodes, edges = path_graph(4)
+        assert len(nodes) == 4
+        assert edges == [("v0", "v1"), ("v1", "v2"), ("v2", "v3")]
+
+    def test_cycle_graph(self):
+        nodes, edges = cycle_graph(3)
+        assert ("v2", "v0") in edges
+        assert len(edges) == 3
+
+    def test_single_node_cycle(self):
+        _, edges = cycle_graph(1)
+        assert edges == []
+
+
+class TestDatabases:
+    def test_chain_edges(self):
+        db = chain_edges_db(4)
+        assert db.rows("edge") == {("v0", "v1"), ("v1", "v2"), ("v2", "v3")}
+
+    def test_random_database_counts(self):
+        db = random_database([("p", 2), ("q", 1)], 10, 5, seed=3)
+        assert len(db.rows("p")) == 5
+        assert len(db.rows("q")) == 5
+
+    def test_random_database_deterministic(self):
+        first = random_database([("p", 2)], 8, 6, seed=9)
+        second = random_database([("p", 2)], 8, 6, seed=9)
+        assert first == second
+
+
+class TestLayeredRulebases:
+    def test_requested_strata(self):
+        for strata in (1, 2, 3, 5):
+            rb = random_layered_rulebase(20, strata, seed=11)
+            assert linear_stratification(rb).k == strata
+
+    def test_deterministic(self):
+        assert (
+            random_layered_rulebase(12, 3, seed=4).rules
+            == random_layered_rulebase(12, 3, seed=4).rules
+        )
+
+    def test_scales_with_predicates(self):
+        small = random_layered_rulebase(10, 2, seed=1)
+        large = random_layered_rulebase(40, 2, seed=1)
+        assert len(large) > len(small)
+
+    def test_needs_enough_predicates(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_layered_rulebase(2, 5, seed=0)
+
+
+class TestTransitiveClosure:
+    def test_rules_shape(self):
+        rb = transitive_closure_rules()
+        assert len(rb) == 2
+        assert rb.defined_predicates() == {"path"}
