@@ -2,7 +2,25 @@
 
 from .bounds import AppendixABound, proof_sequence_bound
 from .classify import ComplexityReport, classify
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticConfig,
+    check,
+    check_source,
+    render_text,
+    to_json,
+    to_sarif,
+    worst_severity,
+)
 from .lint import LintFinding, lint
+from .modes import ModeReport, RuleDataflow, adorn, analyze_modes, rule_dataflow
+from .planner import (
+    cost_aware_positive_order,
+    estimate_matches,
+    greedy_positive_order,
+    join_mode,
+)
 from .slicing import Slice, dependency_cone, slice_rulebase
 from .depgraph import DependencyGraph, Edge
 from .recursion import (
@@ -45,6 +63,24 @@ __all__ = [
     "proof_sequence_bound",
     "LintFinding",
     "lint",
+    "CODES",
+    "Diagnostic",
+    "DiagnosticConfig",
+    "check",
+    "check_source",
+    "render_text",
+    "to_json",
+    "to_sarif",
+    "worst_severity",
+    "ModeReport",
+    "RuleDataflow",
+    "adorn",
+    "analyze_modes",
+    "rule_dataflow",
+    "cost_aware_positive_order",
+    "estimate_matches",
+    "greedy_positive_order",
+    "join_mode",
     "Slice",
     "dependency_cone",
     "slice_rulebase",

@@ -1,29 +1,29 @@
-"""Static hygiene checks for rulebases.
+"""Legacy linting interface, now a thin wrapper over the diagnostics
+pipeline (:mod:`repro.analysis.diagnostics`).
 
-Definition 3's domain-grounding semantics makes several patterns legal
-that are almost always mistakes in practice; this linter flags them
-without changing any semantics:
+:func:`lint` keeps its historical contract — the seven hygiene codes
+below, severities capped at ``warning`` — while the findings
+themselves are produced by the binding-mode dataflow analysis, so
+``unsafe-head`` and ``floating-hypothesis`` now report exactly what
+the engines will do (a variable bound by an earlier hypothetical
+premise no longer counts as floating, for instance).
 
-* ``unsafe-head`` — a head variable not bound by any positive premise:
-  the rule derives its head for *every* domain value of that variable.
-  (Deliberate in a few paper rules — Example 7's ``path(X) :- ~select(Y)``
-  — hence a warning, not an error.)
+Legacy codes:
+
+* ``unsafe-head`` — a head variable no premise binds: the rule derives
+  its head for *every* domain value of that variable.
 * ``floating-hypothesis`` — a hypothetical premise none of whose
-  variables is bound by a positive premise: the engines will enumerate
-  the full domain product for it.
-* ``unused-predicate`` — defined but never referenced (and not an
-  obvious entry point like a 0-ary predicate); informational, since
-  unreferenced heads are usually the rulebase's outputs.
-* ``undefined-reference`` — referenced but neither defined nor ever
-  insertable (not mentioned in any ``add``), so it can only come from
-  the database; listed so typos surface.
-* ``constant-symbols`` — the rulebase mentions constants, so the query
-  it defines is not guaranteed generic (Section 6.1).
+  variables is bound when it is evaluated: the engines enumerate the
+  full domain product for it.
+* ``unused-predicate`` / ``undefined-reference`` / ``constant-symbols``
+  — reference hygiene and genericity (informational).
 * ``negation-cycle`` / ``not-linearly-stratified`` — the structural
-  conditions, surfaced as lint findings with the analyzer's messages.
+  conditions (the former is an *error* under ``check``; ``lint`` keeps
+  its historical warning severity).
 
-Each finding carries a code, a message, and the rule it points at
-(when applicable).  ``hypodatalog lint`` prints them.
+For the full catalogue — blowup estimates, adornment findings, parse
+errors — use :func:`repro.analysis.diagnostics.check` or the
+``hypodatalog check`` command.
 """
 
 from __future__ import annotations
@@ -31,128 +31,89 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.ast import Hypothetical, Positive, Rule, Rulebase
-from ..core.errors import StratificationError
-from .stratify import linear_stratification, negation_strata
+from ..core.ast import Rule, Rulebase
+from ..core.spans import Span
+from .diagnostics import Diagnostic, DiagnosticConfig, check
 
-__all__ = ["LintFinding", "lint"]
+__all__ = ["LEGACY_CODES", "LintFinding", "lint"]
+
+#: The codes ``lint()`` has always emitted, in report order.
+LEGACY_CODES = (
+    "unsafe-head",
+    "floating-hypothesis",
+    "unused-predicate",
+    "undefined-reference",
+    "constant-symbols",
+    "negation-cycle",
+    "not-linearly-stratified",
+)
+
+_RULE_LOCAL = ("unsafe-head", "floating-hypothesis")
+_STRUCTURE = ("unused-predicate", "undefined-reference", "constant-symbols")
+_STRATIFICATION = ("negation-cycle", "not-linearly-stratified")
 
 
 @dataclass(frozen=True)
 class LintFinding:
-    """One finding: a stable code, severity, message, optional rule.
+    """One finding: a stable code, severity, message, optional source.
 
     ``severity`` is ``"warning"`` (probably a mistake) or ``"info"``
     (worth knowing, often deliberate — e.g. EDB references).
+    ``span`` locates the finding in the source text when the rulebase
+    was parsed from text; :meth:`render` appends the rule itself only
+    in verbose mode (``hypodatalog lint --verbose``).
     """
 
     code: str
     message: str
     rule: Optional[Rule] = None
     severity: str = "warning"
+    span: Optional[Span] = None
+
+    @property
+    def location(self) -> Optional[str]:
+        """``file:line:col`` when the source position is known."""
+        if self.span is not None:
+            return self.span.location
+        return None
+
+    def render(self, verbose: bool = False) -> str:
+        where = f" at {self.location}" if self.location else ""
+        text = f"[{self.severity}:{self.code}] {self.message}{where}"
+        if verbose and self.rule is not None:
+            text += f"\n    in: {self.rule}"
+        return text
 
     def __str__(self) -> str:
-        location = f"  in: {self.rule}" if self.rule is not None else ""
-        return f"[{self.severity}:{self.code}] {self.message}{location}"
+        return self.render()
 
 
-def _positive_variables(item: Rule) -> set:
-    bound = set()
-    for premise in item.body:
-        if isinstance(premise, Positive):
-            bound.update(premise.atom.variables())
-    return bound
+def _to_finding(diag: Diagnostic) -> LintFinding:
+    severity = "warning" if diag.severity == "error" else diag.severity
+    return LintFinding(
+        code=diag.code,
+        message=diag.message,
+        rule=diag.rule,
+        severity=severity,
+        span=diag.span,
+    )
 
 
 def lint(rulebase: Rulebase) -> list[LintFinding]:
-    """All findings for a rulebase, stable order (rule order, then code)."""
-    findings: list[LintFinding] = []
+    """All legacy findings for a rulebase, stable order.
 
-    for item in rulebase:
-        bound = _positive_variables(item)
-        unsafe = [var for var in set(item.head.variables()) if var not in bound]
-        if unsafe:
-            names = ", ".join(sorted(var.name for var in unsafe))
-            findings.append(
-                LintFinding(
-                    "unsafe-head",
-                    f"head variable(s) {names} not bound by a positive "
-                    f"premise; the rule fires for every domain value",
-                    item,
-                )
-            )
-        for premise in item.body:
-            if isinstance(premise, Hypothetical):
-                premise_vars = set(premise.variables())
-                if premise_vars and not premise_vars & bound:
-                    findings.append(
-                        LintFinding(
-                            "floating-hypothesis",
-                            f"hypothetical premise {premise} shares no "
-                            f"variable with a positive premise; the full "
-                            f"domain product will be enumerated",
-                            item,
-                        )
-                    )
-
-    defined = rulebase.defined_predicates()
-    referenced: set[str] = set()
-    insertable: set[str] = set()
-    for item in rulebase:
-        for _, predicate in item.body_predicates():
-            referenced.add(predicate)
-        insertable.update(item.added_predicates())
-        for premise in item.body:
-            if isinstance(premise, Hypothetical):
-                insertable.update(a.predicate for a in premise.deletions)
-    for predicate in sorted(defined - referenced):
-        if rulebase.arity(predicate) == 0:
-            continue  # 0-ary heads are natural entry points (yes, accept)
-        findings.append(
-            LintFinding(
-                "unused-predicate",
-                f"predicate {predicate!r} is defined but never referenced — "
-                f"an output predicate, or dead code",
-                severity="info",
-            )
-        )
-    for predicate in sorted(referenced - defined - insertable):
-        findings.append(
-            LintFinding(
-                "undefined-reference",
-                f"predicate {predicate!r} is referenced but never defined "
-                f"or inserted; it can only be satisfied by database facts",
-                severity="info",
-            )
-        )
-
-    if not rulebase.is_constant_free:
-        constants = ", ".join(
-            sorted(str(constant) for constant in rulebase.constants())[:6]
-        )
-        findings.append(
-            LintFinding(
-                "constant-symbols",
-                f"rulebase mentions constants ({constants}...); the query "
-                f"it defines need not be generic (Section 6.1)",
-                severity="info",
-            )
-        )
-
-    try:
-        negation_strata(rulebase)
-    except StratificationError as error:
-        findings.append(LintFinding("negation-cycle", str(error)))
-    else:
-        try:
-            linear_stratification(rulebase)
-        except StratificationError as error:
-            findings.append(
-                LintFinding(
-                    "not-linearly-stratified",
-                    f"{error} — the PROVE engine will refuse this rulebase; "
-                    f"the top-down engine still evaluates it",
-                    severity="info",
-                )
-            )
-    return findings
+    Report order matches the historical linter: rule-local warnings
+    first (rule order), then reference hygiene, then stratification.
+    """
+    config = DiagnosticConfig(severities={"negation-cycle": "warning"})
+    diags = check(rulebase, config)
+    groups = {code: [] for code in ("local", "structure", "strata")}
+    for diag in diags:
+        if diag.code in _RULE_LOCAL:
+            groups["local"].append(diag)
+        elif diag.code in _STRUCTURE:
+            groups["structure"].append(diag)
+        elif diag.code in _STRATIFICATION:
+            groups["strata"].append(diag)
+    ordered = groups["local"] + groups["structure"] + groups["strata"]
+    return [_to_finding(diag) for diag in ordered]

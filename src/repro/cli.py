@@ -7,7 +7,10 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
 * ``query RULES -d DB "premise"`` — decide a query;
 * ``answers RULES -d DB "pattern"`` — enumerate answers;
 * ``model RULES -d DB`` — print the full perfect model;
-* ``lint RULES`` — static hygiene warnings;
+* ``lint RULES`` — static hygiene warnings (legacy codes);
+* ``check RULES...`` — full diagnostics: source spans, binding-mode
+  findings, cost estimates; ``--format {text,json,sarif}`` and a
+  ``--fail-on`` severity gate for CI;
 * ``graph RULES`` — Graphviz DOT of the dependency graph;
 * ``explain RULES -d DB "query"`` — print a derivation;
 * ``repl [RULES] [-d DB]`` — interactive console.
@@ -89,6 +92,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="static hygiene warnings for a rulebase"
     )
     lint_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    lint_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "sarif"),
+        help="output format (default: text)",
+    )
+    lint_cmd.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include the offending rule text in text output",
+    )
+
+    check_cmd = commands.add_parser(
+        "check",
+        help="full diagnostics: spans, binding modes, cost estimates",
+    )
+    check_cmd.add_argument(
+        "rules", nargs="+", help="rulebase file(s) ('-' for stdin)"
+    )
+    check_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json", "sarif"),
+        help="output format (default: text)",
+    )
+    check_cmd.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include rule text and fix hints in text output",
+    )
+    check_cmd.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help="override a code's severity (repeatable), "
+        "e.g. --severity cost-blowup=error",
+    )
+    check_cmd.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="suppress a diagnostic code (repeatable)",
+    )
+    check_cmd.add_argument(
+        "--fail-on",
+        default="error",
+        choices=("none", "info", "warning", "error"),
+        help="mildest severity that fails the run (default: error)",
+    )
+    check_cmd.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="entry-point query seeding the binding-mode analysis "
+        "(repeatable); defaults to all output predicates, all-free",
+    )
 
     explain_cmd = commands.add_parser(
         "explain", help="print a derivation of a provable query"
@@ -130,7 +195,10 @@ def _dispatch(options: argparse.Namespace) -> int:
             parse_program(_read(options.rules)) if options.rules else None
         )
         return run(rulebase, _load_db(options.db))
-    rulebase = parse_program(_read(options.rules))
+    if options.command == "check":
+        return _run_check(options)
+    label = "<stdin>" if options.rules == "-" else options.rules
+    rulebase = parse_program(_read(options.rules), label)
     if options.command == "classify":
         report = classify(rulebase)
         print(report)
@@ -162,13 +230,28 @@ def _dispatch(options: argparse.Namespace) -> int:
         print(DependencyGraph.from_rulebase(rulebase).to_dot())
         return 0
     if options.command == "lint":
+        from .analysis.diagnostics import Diagnostic, to_json, to_sarif
         from .analysis.lint import lint
 
         findings = lint(rulebase)
-        for finding in findings:
-            print(finding)
-        if not findings:
-            print("no findings")
+        if options.format == "text":
+            for finding in findings:
+                print(finding.render(verbose=options.verbose))
+            if not findings:
+                print("no findings")
+        else:
+            diags = [
+                Diagnostic(
+                    code=f.code,
+                    message=f.message,
+                    severity=f.severity,
+                    span=f.span,
+                    rule=f.rule,
+                )
+                for f in findings
+            ]
+            emit = to_json if options.format == "json" else to_sarif
+            print(emit(diags))
         warnings = [f for f in findings if f.severity == "warning"]
         return 1 if warnings else 0
     if options.command == "explain":
@@ -181,6 +264,66 @@ def _dispatch(options: argparse.Namespace) -> int:
         print(format_proof(proof))
         return 0
     raise AssertionError(f"unhandled command {options.command!r}")
+
+
+def _run_check(options: argparse.Namespace) -> int:
+    """The ``check`` command: diagnostics over one or more rule files.
+
+    Exit status: 0 when no surviving diagnostic reaches ``--fail-on``,
+    1 when one does, 2 on usage errors (bad code names, unreadable
+    files).  Parse failures are diagnostics, not crashes, so a broken
+    file fails the gate rather than aborting the run.
+    """
+    from .analysis.diagnostics import (
+        DiagnosticConfig,
+        check_source,
+        render_text,
+        severity_rank,
+        to_json,
+        to_sarif,
+        worst_severity,
+    )
+
+    overrides: dict[str, str] = {}
+    for pair in options.severity:
+        code, _, level = pair.partition("=")
+        if not level:
+            print(
+                f"error: --severity needs CODE=LEVEL, got {pair!r}",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[code] = level
+    try:
+        config = DiagnosticConfig(
+            severities=overrides,
+            disabled=frozenset(options.disable),
+            fail_on="error" if options.fail_on == "none" else options.fail_on,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    diagnostics = []
+    for path in options.rules:
+        label = "<stdin>" if path == "-" else path
+        _, found = check_source(
+            _read(path), label, config, queries=options.query
+        )
+        diagnostics.extend(found)
+
+    if options.format == "json":
+        print(to_json(diagnostics))
+    elif options.format == "sarif":
+        print(to_sarif(diagnostics))
+    else:
+        print(render_text(diagnostics, verbose=options.verbose))
+
+    if options.fail_on == "none":
+        return 0
+    gate = severity_rank(options.fail_on)
+    worst = worst_severity(diagnostics)
+    return 1 if worst != "none" and severity_rank(worst) >= gate else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,10 +22,11 @@ provided by :func:`negate_hypothetical` in :mod:`repro.core.rewrite`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Union
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Union
 
 from .errors import ValidationError
+from .spans import Span
 from .terms import Atom, Constant, Term, Variable
 
 __all__ = [
@@ -45,9 +46,10 @@ class Positive:
     """An atomic premise ``A``."""
 
     atom: Atom
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def substitute(self, binding: Mapping[Variable, Term]) -> "Positive":
-        return Positive(self.atom.substitute(binding))
+        return Positive(self.atom.substitute(binding), span=self.span)
 
     def variables(self) -> Iterator[Variable]:
         yield from self.atom.variables()
@@ -76,9 +78,10 @@ class Negated:
     """
 
     atom: Atom
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def substitute(self, binding: Mapping[Variable, Term]) -> "Negated":
-        return Negated(self.atom.substitute(binding))
+        return Negated(self.atom.substitute(binding), span=self.span)
 
     def variables(self) -> Iterator[Variable]:
         yield from self.atom.variables()
@@ -110,6 +113,7 @@ class Hypothetical:
     atom: Atom
     additions: tuple[Atom, ...] = ()
     deletions: tuple[Atom, ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.additions and not self.deletions:
@@ -123,6 +127,7 @@ class Hypothetical:
             self.atom.substitute(binding),
             tuple(add.substitute(binding) for add in self.additions),
             tuple(rem.substitute(binding) for rem in self.deletions),
+            span=self.span,
         )
 
     def variables(self) -> Iterator[Variable]:
@@ -163,6 +168,7 @@ class Rule:
 
     head: Atom
     body: tuple[Premise, ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def is_fact(self) -> bool:
@@ -188,6 +194,7 @@ class Rule:
         return Rule(
             self.head.substitute(binding),
             tuple(premise.substitute(binding) for premise in self.body),
+            span=self.span,
         )
 
     def body_predicates(self) -> Iterator[tuple[str, str]]:

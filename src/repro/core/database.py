@@ -153,6 +153,10 @@ class Database:
         """Predicates with at least one fact."""
         return frozenset(self._index)
 
+    def count(self, predicate: str) -> int:
+        """How many stored facts use ``predicate`` (0 when absent)."""
+        return len(self._index.get(predicate, ()))
+
     def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
         """The set of argument tuples stored under ``predicate``."""
         return self._index.get(predicate, frozenset())

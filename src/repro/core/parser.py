@@ -29,9 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from typing import Optional
+
 from .ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
 from .database import Database
 from .errors import ParseError
+from .spans import Span
 from .terms import Atom, Constant, Term, Variable
 
 __all__ = [
@@ -51,6 +54,7 @@ class _Token:
     text: str
     line: int
     column: int
+    width: int = 1  # source characters consumed (quotes included)
 
 
 def _tokenize(source: str) -> Iterator[_Token]:
@@ -75,7 +79,7 @@ def _tokenize(source: str) -> Iterator[_Token]:
             continue
         start_column = column
         if source.startswith(":-", index):
-            yield _Token("arrow", ":-", line, start_column)
+            yield _Token("arrow", ":-", line, start_column, 2)
             index += 2
             column += 2
             continue
@@ -95,7 +99,7 @@ def _tokenize(source: str) -> Iterator[_Token]:
                 raise ParseError("unterminated quoted constant", line, start_column)
             text = source[index + 1 : end]
             consumed = end - index + 1
-            yield _Token("string", text, line, start_column)
+            yield _Token("string", text, line, start_column, consumed)
             index += consumed
             column += consumed
             continue
@@ -104,7 +108,7 @@ def _tokenize(source: str) -> Iterator[_Token]:
             while end < length and source[end].isdigit():
                 end += 1
             text = source[index:end]
-            yield _Token("int", text, line, start_column)
+            yield _Token("int", text, line, start_column, end - index)
             column += end - index
             index = end
             continue
@@ -114,20 +118,27 @@ def _tokenize(source: str) -> Iterator[_Token]:
                 end += 1
             text = source[index:end]
             kind = "var" if text[0].isupper() or text[0] == "_" else "ident"
-            yield _Token(kind, text, line, start_column)
+            yield _Token(kind, text, line, start_column, end - index)
             column += end - index
             index = end
             continue
         raise ParseError(f"unexpected character {char!r}", line, start_column)
-    yield _Token("eof", "", line, column)
+    yield _Token("eof", "", line, column, 0)
 
 
 class _Parser:
-    """Recursive-descent parser over the token stream."""
+    """Recursive-descent parser over the token stream.
 
-    def __init__(self, source: str):
+    ``filename`` (when given) is recorded in the spans attached to the
+    rules, premises, and atoms produced, so diagnostics can point at
+    ``file:line:col``.
+    """
+
+    def __init__(self, source: str, filename: Optional[str] = None):
         self._tokens = list(_tokenize(source))
         self._position = 0
+        self._filename = filename
+        self._last = self._tokens[0]
 
     # -- token plumbing -------------------------------------------------
 
@@ -139,7 +150,19 @@ class _Parser:
         token = self._current
         if token.kind != "eof":
             self._position += 1
+        self._last = token
         return token
+
+    def _span_from(self, start: _Token) -> Span:
+        """The span from ``start`` through the last consumed token."""
+        end = self._last if self._last.kind != "eof" else start
+        return Span(
+            start.line,
+            start.column,
+            end.line,
+            end.column + max(end.width, 1),
+            self._filename,
+        )
 
     def _expect(self, kind: str, text: str | None = None) -> _Token:
         token = self._current
@@ -197,7 +220,7 @@ class _Parser:
                 self._advance()
                 args.append(self.parse_term())
             self._expect("punct", ")")
-        return Atom(predicate, tuple(args))
+        return Atom(predicate, tuple(args), self._span_from(token))
 
     def parse_premise(self) -> Premise:
         token = self._current
@@ -212,7 +235,7 @@ class _Parser:
                     token.line,
                     token.column,
                 )
-            return Negated(inner)
+            return Negated(inner, span=self._span_from(token))
         head = self.parse_atom()
         additions: list[Atom] = []
         deletions: list[Atom] = []
@@ -242,8 +265,13 @@ class _Parser:
                 target.append(self.parse_atom())
             self._expect("punct", "]")
         if additions or deletions:
-            return Hypothetical(head, tuple(additions), tuple(deletions))
-        return Positive(head)
+            return Hypothetical(
+                head,
+                tuple(additions),
+                tuple(deletions),
+                span=self._span_from(token),
+            )
+        return Positive(head, span=head.span)
 
     def _peek_is_atom_start(self) -> bool:
         """After a ``not`` token: does an atom follow?
@@ -255,6 +283,7 @@ class _Parser:
         return nxt.kind in ("ident", "string")
 
     def parse_rule(self) -> Rule:
+        start = self._current
         head = self.parse_atom()
         body: list[Premise] = []
         if self._current.kind == "arrow":
@@ -264,7 +293,7 @@ class _Parser:
                 self._advance()
                 body.append(self.parse_premise())
         self._expect("punct", ".")
-        return Rule(head, tuple(body))
+        return Rule(head, tuple(body), span=self._span_from(start))
 
     def parse_program(self) -> Rulebase:
         rules: list[Rule] = []
@@ -280,26 +309,29 @@ class _Parser:
             )
 
 
-def parse_program(source: str) -> Rulebase:
+def parse_program(source: str, filename: Optional[str] = None) -> Rulebase:
     """Parse a whole program (a sequence of rules and facts).
+
+    ``filename`` (optional) is recorded in the spans of the resulting
+    rules, so diagnostics can point at ``file:line:col``.
 
     >>> rb = parse_program("grad(S) :- take(S, his101), take(S, eng201).")
     >>> len(rb)
     1
     """
-    parser = _Parser(source)
+    parser = _Parser(source, filename)
     program = parser.parse_program()
     parser.expect_eof()
     return program
 
 
-def parse_database(source: str) -> Database:
+def parse_database(source: str, filename: Optional[str] = None) -> Database:
     """Parse a database: ground facts only, one per ``.``-terminated atom.
 
     Raises :class:`~repro.core.errors.ParseError` on rules and
     :class:`~repro.core.errors.ValidationError` on non-ground facts.
     """
-    program = parse_program(source)
+    program = parse_program(source, filename)
     facts = []
     for item in program:
         if not item.is_fact:
@@ -308,9 +340,9 @@ def parse_database(source: str) -> Database:
     return Database(facts)
 
 
-def parse_rule(source: str) -> Rule:
+def parse_rule(source: str, filename: Optional[str] = None) -> Rule:
     """Parse exactly one rule (or fact)."""
-    parser = _Parser(source)
+    parser = _Parser(source, filename)
     result = parser.parse_rule()
     parser.expect_eof()
     return result

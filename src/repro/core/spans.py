@@ -1,0 +1,64 @@
+"""Source spans: where a parsed object came from.
+
+Every AST node built by :mod:`repro.core.parser` carries a
+:class:`Span` — file name (when known), start line/column, and end
+line/column, all 1-based, with the end column exclusive.  Nodes built
+programmatically (the :func:`~repro.core.ast.rule` helper, the
+Section 5/6 encoders, the library rulebases that call
+``parse_program`` without a file name) have ``source=None`` or no span
+at all; everything that consumes spans treats them as optional.
+
+Spans deliberately do **not** participate in equality or hashing of
+the nodes that carry them: two parses of the same rule text are the
+same rule wherever they came from, atoms with and without positions
+collide in databases and memo tables, and the engines stay oblivious.
+The span is metadata for diagnostics, nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Span"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A contiguous source region ``[start, end)`` with optional file name.
+
+    Lines and columns are 1-based (the lexer's convention);
+    ``end_column`` is exclusive, so a one-character token at line 1,
+    column 1 spans ``1:1-1:2``.
+    """
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.end_line <= 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_column <= 0:
+            object.__setattr__(self, "end_column", self.column + 1)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1], self.source or other.source)
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` (or ``line:col`` when the file is unknown)."""
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+    def __str__(self) -> str:
+        return self.location

@@ -19,8 +19,10 @@ Conventions
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Union
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+from .spans import Span
 
 __all__ = [
     "Variable",
@@ -68,10 +70,15 @@ class Atom:
 
     ``args`` may be empty: the paper uses 0-ary predicates freely
     (``EVEN``, ``YES``, ``ACCEPT``).
+
+    ``span`` records where the atom was parsed from; it is excluded
+    from equality and hashing (see :mod:`repro.core.spans`), so parsed
+    and programmatic atoms interoperate freely.
     """
 
     predicate: str
     args: tuple[Term, ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def arity(self) -> int:
@@ -109,7 +116,7 @@ class Atom:
         )
         if new_args == self.args:
             return self
-        return Atom(self.predicate, new_args)
+        return Atom(self.predicate, new_args, self.span)
 
     def values(self) -> tuple[Union[str, int], ...]:
         """Return the payload tuple of a ground atom.

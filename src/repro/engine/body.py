@@ -23,90 +23,50 @@ negation is tested.  :func:`nonlocal_variables` computes that set per
 rule, and :func:`satisfy_body` grounds whatever of it is still unbound
 right before the first negated premise.
 
-Premises are reordered positives -> hypotheticals -> negations;
-within a category the textual order is kept, so evaluation is
-deterministic.
+Premises are reordered positives -> hypotheticals -> negations; within
+a category the textual order is kept by default, so evaluation is
+deterministic.  The *positive* premises may additionally be reordered
+by a join planner: either the legacy greedy most-bound-first policy
+(``optimize=True`` with no ``plan``) or an engine-supplied ``plan``
+callback, typically the selectivity-based
+:func:`~repro.analysis.planner.cost_aware_positive_order` closed over
+live relation sizes.  The ordering policies themselves live in
+:mod:`repro.analysis.planner` (they are shared with the static
+binding-mode analyzer); this module re-exports them so existing
+imports keep working.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
+from ..analysis.planner import (
+    cost_aware_positive_order,
+    estimate_matches,
+    greedy_positive_order,
+    join_mode,
+    nonlocal_variables,
+    ordered_premises,
+)
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances
 from .interpretation import Interpretation
 
-__all__ = ["satisfy_body", "ordered_premises", "nonlocal_variables"]
+__all__ = [
+    "satisfy_body",
+    "ordered_premises",
+    "nonlocal_variables",
+    "greedy_positive_order",
+    "cost_aware_positive_order",
+    "estimate_matches",
+    "join_mode",
+]
 
 HypotheticalExpander = Callable[[Hypothetical, Substitution], Iterator[Substitution]]
 NegatedTest = Callable[[Atom, Substitution], bool]
 PositiveExpander = Callable[[Atom, Substitution], Iterator[Substitution]]
-
-
-def ordered_premises(body: Sequence[Premise]) -> list[Premise]:
-    """Reorder a body: positives, then hypotheticals, then negations."""
-    positives = [item for item in body if isinstance(item, Positive)]
-    hypotheticals = [item for item in body if isinstance(item, Hypothetical)]
-    negations = [item for item in body if isinstance(item, Negated)]
-    return positives + hypotheticals + negations
-
-
-def greedy_positive_order(
-    positives: Sequence[Positive], bound: Iterable[Variable]
-) -> list[Positive]:
-    """Most-bound-first join order for positive premises.
-
-    Repeatedly picks the premise with the fewest variables not yet
-    bound (ties broken by textual order), then treats its variables as
-    bound.  Classic greedy join planning: it never changes the set of
-    satisfying substitutions, only how fast the search narrows.
-    """
-    bound_vars = set(bound)
-    remaining = list(positives)
-    ordered: list[Positive] = []
-    while remaining:
-        best_index = min(
-            range(len(remaining)),
-            key=lambda position: len(
-                set(remaining[position].atom.variables()) - bound_vars
-            ),
-        )
-        best = remaining.pop(best_index)
-        ordered.append(best)
-        bound_vars.update(best.atom.variables())
-    return ordered
-
-
-def nonlocal_variables(item: Rule) -> tuple[Variable, ...]:
-    """The rule variables Definition 3 must ground before negations.
-
-    Everything except variables occurring in exactly one negated
-    premise and nowhere else — those (and only those) are quantified
-    inside their negation.
-    """
-    head_vars = set(item.head.variables())
-    occurrence_count: dict[Variable, int] = {}
-    negated_only: dict[Variable, bool] = {}
-    for premise in item.body:
-        for var in set(premise.variables()):
-            occurrence_count[var] = occurrence_count.get(var, 0) + 1
-            negated_only[var] = (
-                negated_only.get(var, True) and isinstance(premise, Negated)
-            )
-    result = []
-    for var in dict.fromkeys(
-        list(item.head.variables())
-        + [v for premise in item.body for v in premise.variables()]
-    ):
-        local = (
-            var not in head_vars
-            and occurrence_count.get(var, 0) == 1
-            and negated_only.get(var, False)
-        )
-        if not local:
-            result.append(var)
-    return tuple(result)
+PositivePlanner = Callable[[Sequence[Positive], Iterable[Variable]], Sequence[Positive]]
 
 
 def satisfy_body(
@@ -119,6 +79,7 @@ def satisfy_body(
     ground_first: Sequence[Variable] = (),
     domain: Optional[Iterable[Constant]] = None,
     optimize: bool = False,
+    plan: Optional[PositivePlanner] = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions under which every premise holds.
 
@@ -133,15 +94,20 @@ def satisfy_body(
     tested; those still unbound once positives and hypotheticals are
     done are enumerated over ``domain``.
 
-    ``optimize`` applies :func:`greedy_positive_order` to the positive
-    premises, seeded with the variables already bound on entry.
+    ``plan`` reorders the positive premises given the variables bound
+    on entry (the engines pass a cost-aware planner closed over live
+    relation statistics); ``optimize`` without a ``plan`` falls back to
+    :func:`greedy_positive_order`.
     """
     ordered = ordered_premises(body)
-    if optimize:
+    if plan is not None or optimize:
         positives = [item for item in ordered if isinstance(item, Positive)]
         rest = [item for item in ordered if not isinstance(item, Positive)]
         seed = binding.keys() if binding else ()
-        ordered = list(greedy_positive_order(positives, seed)) + rest
+        if plan is not None:
+            ordered = list(plan(positives, seed)) + rest
+        else:
+            ordered = list(greedy_positive_order(positives, seed)) + rest
     first_negation = next(
         (index for index, premise in enumerate(ordered)
          if isinstance(premise, Negated)),

@@ -39,7 +39,12 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances
-from .body import nonlocal_variables, satisfy_body
+from .body import (
+    cost_aware_positive_order,
+    join_mode,
+    nonlocal_variables,
+    satisfy_body,
+)
 from .interpretation import Interpretation
 
 __all__ = ["PerfectModelEngine", "EngineStats"]
@@ -86,8 +91,11 @@ class PerfectModelEngine:
         Disable to measure the cost of memoization for the E13 ablation
         bench; leave enabled otherwise.
     optimize_joins:
-        Greedy most-bound-first ordering of positive premises (E16
-        ablation); semantics-neutral.
+        Join-planning policy for positive premises (E16 ablation);
+        semantics-neutral.  ``True``/``"cost"`` orders by estimated
+        binding selectivity against live relation sizes, ``"greedy"``
+        keeps the legacy most-bound-first policy, ``False`` evaluates
+        in textual order.
     """
 
     def __init__(
@@ -96,7 +104,7 @@ class PerfectModelEngine:
         *,
         max_databases: int = 200_000,
         memoize: bool = True,
-        optimize_joins: bool = True,
+        optimize_joins: bool | str = True,
     ) -> None:
         from ..analysis.stratify import negation_strata
 
@@ -120,7 +128,7 @@ class PerfectModelEngine:
         self._cache: dict[Database, frozenset[Atom]] = {}
         self._max_databases = max_databases
         self._memoize = memoize
-        self._optimize_joins = optimize_joins
+        self._join_mode = join_mode(optimize_joins)
         self.stats = EngineStats()
 
     @property
@@ -241,6 +249,15 @@ class PerfectModelEngine:
         db: Database,
         domain: Sequence[Constant],
     ) -> None:
+        plan = None
+        if self._join_mode == "cost":
+            domain_size = len(domain)
+
+            def plan(positives, bound):
+                return cost_aware_positive_order(
+                    positives, bound, interp.count, domain_size
+                )
+
         changed = True
         while changed:
             changed = False
@@ -261,7 +278,8 @@ class PerfectModelEngine:
                     ),
                     ground_first=nonlocal_variables(item),
                     domain=domain,
-                    optimize=self._optimize_joins,
+                    optimize=self._join_mode == "greedy",
+                    plan=plan,
                 )
                 for binding in bindings:
                     unbound = [

@@ -47,7 +47,13 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
-from .body import nonlocal_variables, satisfy_body
+from ..analysis.planner import idb_aware_sizes
+from .body import (
+    cost_aware_positive_order,
+    join_mode,
+    nonlocal_variables,
+    satisfy_body,
+)
 from .interpretation import Interpretation
 
 __all__ = ["LinearStratifiedProver", "ProverStats"]
@@ -105,7 +111,7 @@ class LinearStratifiedProver:
         stratification: Optional[LinearStratification] = None,
         *,
         memoize: bool = True,
-        optimize_joins: bool = True,
+        optimize_joins: bool | str = True,
     ) -> None:
         if rulebase.has_deletions():
             raise EvaluationError(
@@ -116,7 +122,7 @@ class LinearStratifiedProver:
         self._strat = stratification or linear_stratification(rulebase)
         self._rule_constants = frozenset(rulebase.constants())
         self._memoize = memoize
-        self._optimize_joins = optimize_joins
+        self._join_mode = join_mode(optimize_joins)
         # Delta segments, split into their internal negation layers.
         self._delta_layers: dict[int, list[tuple[Rule, ...]]] = {}
         for stratum in range(1, self._strat.k + 1):
@@ -139,6 +145,7 @@ class LinearStratifiedProver:
         self._path: set[tuple[Atom, Database]] = set()
         self._cycle_events = 0
         self._delta_in_progress: set[tuple[int, Database]] = set()
+        self._plan_cache: dict[Database, object] = {}
         self.stats = ProverStats()
 
     @property
@@ -189,6 +196,7 @@ class LinearStratifiedProver:
         self._sigma_true.clear()
         self._sigma_false.clear()
         self._delta_cache.clear()
+        self._plan_cache.clear()
 
     # ------------------------------------------------------------------
     # Dispatch (the PROVE cascade)
@@ -201,6 +209,29 @@ class LinearStratifiedProver:
         if isinstance(query, Atom):
             return Positive(query)
         return query
+
+    def _cost_plan(self, db: Database, domain: Sequence[Constant]):
+        """Cost-aware positive-premise planner for the current database.
+
+        IDB predicates are penalized with a domain**arity size so the
+        planner prefers stored relations when selectivity ties.  Plans
+        are cached per database: the prover revisits the same enlarged
+        databases many times during a search.
+        """
+        if self._join_mode != "cost":
+            return None
+        plan = self._plan_cache.get(db)
+        if plan is None:
+            sizes = idb_aware_sizes(self._rulebase, db.count, len(domain))
+            domain_size = len(domain)
+
+            def plan(positives, bound):
+                return cost_aware_positive_order(
+                    positives, bound, sizes, domain_size
+                )
+
+            self._plan_cache[db] = plan
+        return plan
 
     def _exists(self, premise: Premise, db: Database, domain) -> bool:
         unbound = list(dict.fromkeys(premise.variables()))
@@ -291,7 +322,8 @@ class LinearStratifiedProver:
             binding=binding,
             ground_first=nonlocal_variables(item),
             domain=domain,
-            optimize=self._optimize_joins,
+            optimize=self._join_mode == "greedy",
+            plan=self._cost_plan(db, domain),
             positive=lambda pattern, current: self._match_atom(
                 pattern, current, db, domain
             ),
@@ -448,7 +480,8 @@ class LinearStratifiedProver:
                         negated=negated,
                         ground_first=nonlocal_variables(item),
                         domain=domain,
-                        optimize=self._optimize_joins,
+                        optimize=self._join_mode == "greedy",
+                        plan=self._cost_plan(db, domain),
                     ):
                         unbound = [
                             var for var in head_variables if var not in current

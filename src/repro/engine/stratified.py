@@ -21,7 +21,12 @@ from ..core.database import Database
 from ..core.errors import EvaluationError
 from ..core.terms import Atom, Constant
 from ..core.unify import ground_instances
-from .body import nonlocal_variables, satisfy_body
+from .body import (
+    cost_aware_positive_order,
+    join_mode,
+    nonlocal_variables,
+    satisfy_body,
+)
 from .interpretation import Interpretation
 
 __all__ = ["perfect_model", "stratified_holds"]
@@ -36,7 +41,7 @@ def perfect_model(
     rulebase: Rulebase,
     db: Database,
     domain: Optional[Sequence[Constant]] = None,
-    optimize_joins: bool = True,
+    optimize_joins: bool | str = True,
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -69,12 +74,22 @@ def _close_layer(
     rules: Sequence[Rule],
     interp: Interpretation,
     domain: Sequence[Constant],
-    optimize_joins: bool = True,
+    optimize_joins: bool | str = True,
 ) -> None:
     """Fixpoint of one stratum's rules over a growing interpretation."""
 
     def reject_hypothetical(premise, binding):  # pragma: no cover - guarded above
         raise EvaluationError("hypothetical premise in stratified substrate")
+
+    mode = join_mode(optimize_joins)
+    plan = None
+    if mode == "cost":
+        domain_size = len(domain)
+
+        def plan(positives, bound):
+            return cost_aware_positive_order(
+                positives, bound, interp.count, domain_size
+            )
 
     guards = {item: nonlocal_variables(item) for item in rules}
     changed = True
@@ -92,7 +107,8 @@ def _close_layer(
                 ),
                 ground_first=guards[item],
                 domain=domain,
-                optimize=optimize_joins,
+                optimize=mode == "greedy",
+                plan=plan,
             ):
                 unbound = [var for var in head_variables if var not in binding]
                 if unbound:

@@ -38,7 +38,14 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
-from .body import greedy_positive_order, nonlocal_variables, ordered_premises
+from ..analysis.planner import idb_aware_sizes
+from .body import (
+    cost_aware_positive_order,
+    greedy_positive_order,
+    join_mode,
+    nonlocal_variables,
+    ordered_premises,
+)
 
 __all__ = ["TopDownEngine", "TopDownStats"]
 
@@ -72,7 +79,7 @@ class TopDownEngine:
         rulebase: Rulebase,
         *,
         memoize: bool = True,
-        optimize_joins: bool = True,
+        optimize_joins: bool | str = True,
     ) -> None:
         from ..analysis.stratify import negation_strata
 
@@ -80,11 +87,14 @@ class TopDownEngine:
         self._rulebase = rulebase
         self._rule_constants = frozenset(rulebase.constants())
         self._memoize = memoize
-        self._optimize_joins = optimize_joins
+        self._join_mode = join_mode(optimize_joins)
         self._true: set[tuple[Atom, Database]] = set()
         self._false: set[tuple[Atom, Database]] = set()
         self._path: set[tuple[Atom, Database]] = set()
         self._cycle_events = 0
+        self._domain_set: frozenset[Constant] = frozenset()
+        self._size_oracles: dict[Database, object] = {}
+        self._order_cache: dict[tuple, list[Premise]] = {}
         self.stats = TopDownStats()
 
     @property
@@ -98,6 +108,7 @@ class TopDownEngine:
     def domain(self, db: Database) -> list[Constant]:
         """``dom(R, DB)``."""
         constants = set(self._rule_constants) | set(db.constants())
+        self._domain_set = frozenset(constants)
         return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
 
     def ask(self, db: Database, query: Query) -> bool:
@@ -126,6 +137,8 @@ class TopDownEngine:
     def clear_caches(self) -> None:
         self._true.clear()
         self._false.clear()
+        self._size_oracles.clear()
+        self._order_cache.clear()
 
     # ------------------------------------------------------------------
     # The search
@@ -162,6 +175,13 @@ class TopDownEngine:
             return True
         if not self._rulebase.definition(goal.predicate):
             return False
+        # Definition 3 grounds rules over dom(R, DB): every rule-derived
+        # atom draws its constants from the domain, so a goal mentioning
+        # an out-of-domain constant can only come from the database
+        # (checked above).  Without this guard a fact schema like
+        # ``p(X).`` would "prove" p(c) for constants no model contains.
+        if any(value not in self._domain_set for value in goal.constants()):
+            return False
         key = (goal, db)
         if key in self._true:
             self.stats.cache_hits += 1
@@ -182,11 +202,7 @@ class TopDownEngine:
             binding = match(item.head, goal)
             if binding is None:
                 continue
-            body = ordered_premises(item.body)
-            if self._optimize_joins:
-                positives = [p for p in body if isinstance(p, Positive)]
-                rest = [p for p in body if not isinstance(p, Positive)]
-                body = list(greedy_positive_order(positives, binding.keys())) + rest
+            body = self._plan_body(item, binding, db, domain)
             guard = nonlocal_variables(item)
             if self._satisfy(body, 0, binding, db, domain, guard):
                 proven = True
@@ -199,6 +215,41 @@ class TopDownEngine:
         if self._memoize and self._cycle_events == cycles_before:
             self._false.add(key)
         return False
+
+    def _plan_body(
+        self, item, binding: Substitution, db: Database, domain
+    ) -> list[Premise]:
+        """The body in evaluation order under the active join policy.
+
+        Cost plans are memoized per (rule, bound variables, database):
+        the search decides the same goal shape at the same database
+        many times, and the plan depends on nothing else.
+        """
+        body = ordered_premises(item.body)
+        if self._join_mode == "textual":
+            return body
+        positives = [p for p in body if isinstance(p, Positive)]
+        rest = [p for p in body if not isinstance(p, Positive)]
+        if self._join_mode != "cost":
+            return list(greedy_positive_order(positives, binding.keys())) + rest
+        key = (id(item), frozenset(binding.keys()), db)
+        cached = self._order_cache.get(key)
+        if cached is not None:
+            return cached
+        sizes = self._size_oracles.get(db)
+        if sizes is None:
+            sizes = idb_aware_sizes(self._rulebase, db.count, len(domain))
+            self._size_oracles[db] = sizes
+        planned = (
+            list(
+                cost_aware_positive_order(
+                    positives, binding.keys(), sizes, len(domain)
+                )
+            )
+            + rest
+        )
+        self._order_cache[key] = planned
+        return planned
 
     def _satisfy(
         self,

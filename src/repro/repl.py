@@ -14,7 +14,8 @@ The loop accepts three kinds of input:
       :facts            print the current database
       :classify         Theorem 1 classification
       :stratify         print the linear stratification
-      :lint             hygiene findings
+      :lint             hygiene findings (legacy codes)
+      :check [FORMAT]   full diagnostics; FORMAT: text | json | sarif
       :engine NAME      auto | prove | topdown | model
       :explain QUERY    print a derivation
       :load FILE        add rules from a file
@@ -148,6 +149,23 @@ class Repl:
         if name == "lint":
             findings = lint(self._rulebase)
             return "\n".join(str(f) for f in findings) if findings else "no findings"
+        if name == "check":
+            from .analysis.diagnostics import (
+                check,
+                render_text,
+                to_json,
+                to_sarif,
+            )
+
+            fmt = argument or "text"
+            if fmt not in ("text", "json", "sarif"):
+                return "error: format must be text, json, or sarif"
+            diags = check(self._rulebase)
+            if fmt == "json":
+                return to_json(diags)
+            if fmt == "sarif":
+                return to_sarif(diags)
+            return render_text(diags, verbose=True)
         if name == "engine":
             if argument not in ("auto", "prove", "topdown", "model"):
                 return "error: engine must be auto, prove, topdown, or model"

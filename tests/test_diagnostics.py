@@ -1,0 +1,276 @@
+"""The unified diagnostics pipeline: codes, config, spans, emitters."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticConfig,
+    check,
+    check_source,
+    render_text,
+    severity_rank,
+    to_json,
+    to_sarif,
+    worst_severity,
+)
+from repro.core.parser import parse_program
+
+
+def codes_of(diags):
+    return [d.code for d in diags]
+
+
+class TestCatalogue:
+    def test_every_code_has_a_valid_default_severity(self):
+        for info in CODES.values():
+            assert severity_rank(info.default_severity) >= 1
+
+    def test_legacy_codes_are_present(self):
+        for code in (
+            "unsafe-head",
+            "floating-hypothesis",
+            "unused-predicate",
+            "undefined-reference",
+            "constant-symbols",
+            "negation-cycle",
+            "not-linearly-stratified",
+        ):
+            assert code in CODES
+
+    def test_new_codes_are_present(self):
+        for code in (
+            "parse-error",
+            "invalid-program",
+            "cost-blowup",
+            "domain-grounded-variable",
+            "free-recursive-call",
+            "duplicate-rule",
+        ):
+            assert code in CODES
+
+
+class TestCheck:
+    def test_clean_rulebase_yields_no_warnings(self):
+        rb = parse_program("out(X) :- q(X), ~r(X).")
+        diags = check(rb)
+        assert worst_severity(diags) in ("none", "info")
+
+    def test_unsafe_head_has_span(self):
+        rb = parse_program("p(X) :- marker.", filename="f.dl")
+        diag = next(d for d in check(rb) if d.code == "unsafe-head")
+        assert diag.severity == "warning"
+        assert diag.location == "f.dl:1:1"
+
+    def test_cost_blowup_at_exponent_two(self):
+        rb = parse_program("p :- q(X)[add: r(Y)].")
+        diags = check(rb)
+        assert "cost-blowup" in codes_of(diags)
+        assert "floating-hypothesis" in codes_of(diags)
+
+    def test_no_cost_blowup_at_exponent_one(self):
+        rb = parse_program("p(X) :- ~q(X).")
+        assert "cost-blowup" not in codes_of(check(rb))
+
+    def test_domain_grounded_variable_reported(self):
+        rb = parse_program("p :- q(X)[add: r(X)].")
+        diag = next(
+            d for d in check(rb) if d.code == "domain-grounded-variable"
+        )
+        assert "X" in diag.message
+
+    def test_duplicate_rule_points_at_second_occurrence(self):
+        rb = parse_program("p(X) :- q(X).\np(X) :- q(X).", filename="d.dl")
+        diag = next(d for d in check(rb) if d.code == "duplicate-rule")
+        assert diag.span.line == 2
+        assert "first at d.dl:1:1" in diag.message
+
+    def test_free_recursive_call(self):
+        rb = parse_program("same(X, Y) :- same(Y, X).")
+        assert "free-recursive-call" in codes_of(check(rb))
+
+    def test_bound_recursion_not_flagged(self):
+        rb = parse_program(
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Y) :- reach(X, Z), edge(Z, Y).\n"
+        )
+        assert "free-recursive-call" not in codes_of(check(rb))
+
+    def test_negation_cycle_is_error(self):
+        rb = parse_program("a :- ~b. b :- ~a.")
+        diag = next(d for d in check(rb) if d.code == "negation-cycle")
+        assert diag.severity == "error"
+
+    def test_every_diagnostic_resolves_to_line_col(self):
+        rb = parse_program(
+            "p(X) :- marker.\nq :- r(Y)[add: s(Z)].", filename="all.dl"
+        )
+        for diag in check(rb):
+            if diag.span is not None:
+                assert diag.location.startswith("all.dl:")
+                assert diag.span.line >= 1 and diag.span.column >= 1
+
+
+class TestConfig:
+    def test_severity_override(self):
+        rb = parse_program("p(X) :- marker.")
+        config = DiagnosticConfig(severities={"unsafe-head": "error"})
+        diag = next(d for d in check(rb, config) if d.code == "unsafe-head")
+        assert diag.severity == "error"
+
+    def test_disable_drops_code(self):
+        rb = parse_program("p(X) :- marker.")
+        config = DiagnosticConfig(disabled=frozenset({"unsafe-head"}))
+        assert "unsafe-head" not in codes_of(check(rb, config))
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticConfig(severities={"no-such-code": "error"})
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticConfig(severities={"unsafe-head": "fatal"})
+
+
+class TestCheckSource:
+    def test_parse_error_becomes_diagnostic(self):
+        rulebase, diags = check_source("p(X :- q(X).", "bad.dl")
+        assert rulebase is None
+        assert codes_of(diags) == ["parse-error"]
+        assert diags[0].severity == "error"
+        assert diags[0].span.source == "bad.dl"
+
+    def test_invalid_program_becomes_diagnostic(self):
+        # Inconsistent arity is a ValidationError, not a ParseError.
+        rulebase, diags = check_source("p(X) :- q(X), q(X, Y).", "bad.dl")
+        assert rulebase is None
+        assert codes_of(diags) == ["invalid-program"]
+
+    def test_good_source_round_trips(self):
+        rulebase, diags = check_source("out(X) :- q(X).", "ok.dl")
+        assert rulebase is not None
+        assert worst_severity(diags) in ("none", "info")
+
+
+class TestEmitters:
+    def _sample(self):
+        rb = parse_program("p(X) :- marker.", filename="s.dl")
+        return check(rb)
+
+    def test_render_text_one_line_per_finding(self):
+        diags = self._sample()
+        lines = render_text(diags).splitlines()
+        assert len(lines) == len(diags)
+        assert any("s.dl:1:1" in line for line in lines)
+
+    def test_render_text_verbose_adds_rule(self):
+        text = render_text(self._sample(), verbose=True)
+        assert "p(X) :- marker." in text
+
+    def test_render_text_empty(self):
+        assert render_text([]) == "no findings"
+
+    def test_json_is_valid_and_complete(self):
+        payload = json.loads(to_json(self._sample()))
+        assert isinstance(payload, list) and payload
+        for entry in payload:
+            assert set(entry) == {
+                "code",
+                "severity",
+                "message",
+                "location",
+                "span",
+                "rule",
+                "suggestion",
+            }
+            assert entry["code"] in CODES
+
+    def test_json_validates_against_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["code", "severity", "message", "location"],
+                "properties": {
+                    "code": {"type": "string"},
+                    "severity": {"enum": ["info", "warning", "error"]},
+                    "message": {"type": "string"},
+                    "location": {"type": "string"},
+                    "span": {"type": ["object", "null"]},
+                    "rule": {"type": ["string", "null"]},
+                    "suggestion": {"type": ["string", "null"]},
+                },
+            },
+        }
+        jsonschema.validate(json.loads(to_json(self._sample())), schema)
+
+    def test_sarif_shape(self):
+        log = json.loads(to_sarif(self._sample()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "hypodatalog"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(CODES)
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("note", "warning", "error")
+
+    def test_sarif_region_matches_span(self):
+        diags = self._sample()
+        log = json.loads(to_sarif(diags))
+        spanned = [d for d in diags if d.span is not None]
+        located = [
+            r for r in log["runs"][0]["results"] if "locations" in r
+        ]
+        assert len(located) == len(spanned)
+        region = located[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_sarif_validates_against_minimal_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["ruleId", "message"],
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(json.loads(to_sarif(self._sample())), schema)
+
+
+class TestDiagnosticType:
+    def test_str_format(self):
+        diag = Diagnostic(
+            code="unsafe-head",
+            message="boom",
+            severity="warning",
+        )
+        assert str(diag) == "<rulebase>: warning[unsafe-head] boom"
+
+    def test_worst_severity_ordering(self):
+        mk = lambda sev: Diagnostic(code="unsafe-head", message="m", severity=sev)
+        assert worst_severity([mk("info"), mk("error"), mk("warning")]) == "error"
+        assert worst_severity([]) == "none"

@@ -1,0 +1,114 @@
+"""Golden-file tests: exact diagnostic codes and spans, frozen.
+
+Every rulebase shipped in :mod:`repro.library` and every ``.dl`` file
+in ``examples/rulebases/`` has a golden file under ``tests/golden/``
+listing, one per line, the ``line:col severity[code]`` of each
+diagnostic ``check`` produces.  A change to the analyzer that alters
+any code or span for the shipped programs must update these files
+deliberately.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/test_golden_diagnostics.py --regenerate
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.library as library
+from repro.analysis.diagnostics import check, check_source
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples" / "rulebases"
+
+LIBRARY_RULEBASES = {
+    "library_graduation": lambda: library.graduation_rulebase(),
+    "library_hamiltonian": lambda: library.hamiltonian_rulebase(),
+    "library_hamiltonian_complement": (
+        lambda: library.hamiltonian_complement_rulebase()
+    ),
+    "library_parity": lambda: library.parity_rulebase(),
+    "library_coloring": lambda: library.coloring_rulebase(),
+    "library_degree": lambda: library.degree_rulebase(),
+    "library_example9": lambda: library.example9_rulebase(),
+    "library_example10": lambda: library.example10_rulebase(),
+    "library_addition_chain": lambda: library.addition_chain_rulebase(3),
+    "library_order_iteration": lambda: library.order_iteration_rulebase(),
+}
+
+
+def summarize(diags):
+    """``line:col severity[code]`` per diagnostic (file names stripped)."""
+    lines = []
+    for diag in diags:
+        if diag.span is not None:
+            loc = f"{diag.span.line}:{diag.span.column}"
+        else:
+            loc = "-"
+        lines.append(f"{loc} {diag.severity}[{diag.code}]")
+    return lines
+
+
+def golden_lines(name):
+    path = GOLDEN_DIR / f"{name}.txt"
+    assert path.exists(), f"golden file missing: {path}"
+    return path.read_text().splitlines()
+
+
+def example_files():
+    return sorted(EXAMPLES_DIR.glob("*.dl"))
+
+
+class TestLibraryGoldens:
+    @pytest.mark.parametrize("name", sorted(LIBRARY_RULEBASES))
+    def test_codes_and_spans_match(self, name):
+        diags = check(LIBRARY_RULEBASES[name]())
+        assert summarize(diags) == golden_lines(name)
+
+
+class TestExampleGoldens:
+    def test_every_example_has_a_golden(self):
+        assert example_files(), "no example rulebases found"
+        for path in example_files():
+            assert (GOLDEN_DIR / f"examples_{path.stem}.txt").exists()
+
+    @pytest.mark.parametrize(
+        "path", example_files(), ids=lambda p: p.stem
+    )
+    def test_codes_and_spans_match(self, path):
+        rulebase, diags = check_source(path.read_text(), path.name)
+        assert rulebase is not None, f"{path} failed to parse"
+        assert summarize(diags) == golden_lines(f"examples_{path.stem}")
+
+    @pytest.mark.parametrize(
+        "path", example_files(), ids=lambda p: p.stem
+    )
+    def test_no_example_has_errors(self, path):
+        _, diags = check_source(path.read_text(), path.name)
+        assert all(d.severity != "error" for d in diags)
+
+
+def _regenerate():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in LIBRARY_RULEBASES.items():
+        lines = summarize(check(build()))
+        (GOLDEN_DIR / f"{name}.txt").write_text(
+            "\n".join(lines) + "\n" if lines else ""
+        )
+    for path in example_files():
+        _, diags = check_source(path.read_text(), path.name)
+        lines = summarize(diags)
+        (GOLDEN_DIR / f"examples_{path.stem}.txt").write_text(
+            "\n".join(lines) + "\n" if lines else ""
+        )
+    print(f"regenerated goldens in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -77,11 +77,23 @@ class TestFindings:
     def test_not_linearly_stratified_info(self):
         assert "not-linearly-stratified" in codes(example10_rulebase(), "info")
 
-    def test_str_rendering(self):
+    def test_str_rendering_uses_line_col_not_rule_text(self):
         rb = parse_program("p(X) :- marker.")
-        text = str(lint(rb)[0])
+        finding = next(f for f in lint(rb) if f.code == "unsafe-head")
+        text = str(finding)
         assert text.startswith("[warning:unsafe-head]")
-        assert "p(X) :- marker." in text
+        assert "at 1:1" in text
+        assert "p(X) :- marker." not in text
+
+    def test_verbose_rendering_includes_rule_text(self):
+        rb = parse_program("p(X) :- marker.")
+        finding = next(f for f in lint(rb) if f.code == "unsafe-head")
+        assert "p(X) :- marker." in finding.render(verbose=True)
+
+    def test_findings_carry_file_spans(self):
+        rb = parse_program("p(X) :- marker.", filename="prog.dl")
+        finding = next(f for f in lint(rb) if f.code == "unsafe-head")
+        assert finding.location == "prog.dl:1:1"
 
 
 class TestPaperRulebases:

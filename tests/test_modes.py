@@ -1,0 +1,121 @@
+"""Binding-mode (adornment) abstract interpretation."""
+
+from repro.analysis.modes import (
+    ALL_FREE,
+    adorn,
+    analyze_modes,
+    rule_dataflow,
+)
+from repro.core.parser import parse_program, parse_rule
+from repro.core.terms import Variable, atom
+
+
+class TestAdorn:
+    def test_all_free(self):
+        assert adorn(atom("edge", "X", "Y"), []) == "ff"
+
+    def test_bound_variable(self):
+        assert adorn(atom("edge", "X", "Y"), [Variable("X")]) == "bf"
+
+    def test_constant_is_bound(self):
+        assert adorn(atom("take", "S", "cs452"), []) == "fb"
+
+    def test_repeat_within_atom_is_bound(self):
+        assert adorn(atom("edge", "X", "X"), []) == "fb"
+
+    def test_zero_ary(self):
+        assert adorn(atom("marker"), []) == ""
+
+
+class TestRuleDataflow:
+    def test_safe_rule_has_no_blowup(self):
+        flow = rule_dataflow(parse_rule("p(X) :- q(X), r(X)."))
+        assert flow.blowup_exponent == 0
+        assert flow.grounded_variables == ()
+
+    def test_unsafe_head_is_grounded(self):
+        flow = rule_dataflow(parse_rule("p(X) :- marker."))
+        assert [v.name for v in flow.head_grounded] == ["X"]
+        assert flow.blowup_exponent == 1
+
+    def test_negation_grounds_nonlocal_variables(self):
+        # X is non-local (in the head); Y is local to the negation.
+        flow = rule_dataflow(parse_rule("p(X) :- ~select(Y)."))
+        assert [v.name for v in flow.grounded_variables] == ["X"]
+        assert flow.blowup_exponent == 1
+
+    def test_hypothetical_grounds_unbound_variables(self):
+        flow = rule_dataflow(parse_rule("p :- q(X)[add: r(Y)]."))
+        assert sorted(v.name for v in flow.grounded_variables) == ["X", "Y"]
+        assert flow.blowup_exponent == 2
+
+    def test_anchored_hypothetical_is_free(self):
+        flow = rule_dataflow(parse_rule("p :- d(X), q(X)[add: r(X)]."))
+        assert flow.blowup_exponent == 0
+
+    def test_bound_head_adornment_binds_variables(self):
+        flow = rule_dataflow(parse_rule("p(X) :- ~q(X)."), "b")
+        assert flow.blowup_exponent == 0
+
+    def test_cost_estimate_is_domain_power(self):
+        flow = rule_dataflow(parse_rule("p :- q(X)[add: r(Y)]."))
+        assert flow.cost_estimate(10) == 100.0
+
+    def test_modes_follow_planner_order(self):
+        rb = parse_program(
+            "hit(X) :- wide(Y), anchor(X), link(X, Y).\n"
+        )
+        flow = rule_dataflow(rb.rules[0], rulebase=rb)
+        order = [m.premise.goal.predicate for m in flow.modes]
+        # The planner may pick any EDB guard first, but link must see
+        # at least one bound position once a unary guard has run.
+        assert set(order) == {"wide", "anchor", "link"}
+        link_mode = next(m for m in flow.modes if m.premise.goal.predicate == "link")
+        assert "b" in link_mode.adornment
+
+
+class TestAnalyzeModes:
+    def test_entry_points_default_to_outputs_all_free(self):
+        rb = parse_program("out(X) :- helper(X). helper(X) :- base(X).")
+        report = analyze_modes(rb)
+        assert ("out", "f") in report.entry_points
+        assert report.adornments["out"] == {"f"}
+
+    def test_explicit_query_seeds_bound_positions(self):
+        rb = parse_program("reach(X, Y) :- edge(X, Y).")
+        report = analyze_modes(rb, queries=["reach(a, Y)"])
+        assert report.adornments["reach"] == {"bf"}
+
+    def test_recursive_call_propagates_adornment(self):
+        rb = parse_program(
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Y) :- reach(X, Z), edge(Z, Y).\n"
+        )
+        report = analyze_modes(rb, queries=["reach(a, Y)"])
+        assert "bf" in report.adornments["reach"]
+
+    def test_unreachable_predicates_still_analyzed(self):
+        # 'same' is referenced only by itself, so it is not an output;
+        # the fixpoint must still cover its rule.
+        rb = parse_program("same(X, Y) :- same(Y, X).")
+        report = analyze_modes(rb)
+        assert report.for_rule(rb.rules[0])
+
+    def test_worst_exponent(self):
+        rb = parse_program("p(X) :- ~q(Y).")
+        report = analyze_modes(rb)
+        assert report.worst_exponent(rb.rules[0]) == 1
+
+    def test_fixpoint_terminates_on_mutual_recursion(self):
+        rb = parse_program(
+            "even(X) :- zero(X).\n"
+            "even(X) :- succ(Y, X), odd(Y).\n"
+            "odd(X) :- succ(Y, X), even(Y).\n"
+        )
+        report = analyze_modes(rb, queries=["even(a)"])
+        assert report.adornments["even"] and report.adornments["odd"]
+
+    def test_all_free_normalization(self):
+        rb = parse_program("p(X, Y) :- q(X, Y).")
+        flow = rule_dataflow(rb.rules[0], ALL_FREE, rulebase=rb)
+        assert flow.adornment == "ff"

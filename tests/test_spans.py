@@ -1,0 +1,88 @@
+"""Source spans: the lexer/parser thread positions into every AST node."""
+
+from repro.core.ast import Negated, Positive, Rule
+from repro.core.parser import parse_program, parse_rule
+from repro.core.spans import Span
+from repro.core.terms import atom
+
+
+class TestSpanType:
+    def test_point_span_defaults_to_one_character(self):
+        span = Span(3, 7)
+        assert (span.end_line, span.end_column) == (3, 8)
+
+    def test_location_without_source(self):
+        assert Span(2, 5).location == "2:5"
+
+    def test_location_with_source(self):
+        assert Span(2, 5, source="prog.dl").location == "prog.dl:2:5"
+
+    def test_str_is_location(self):
+        assert str(Span(1, 1, source="f.dl")) == "f.dl:1:1"
+
+    def test_merge_covers_both(self):
+        merged = Span(1, 4, 1, 9).merge(Span(2, 1, 2, 6))
+        assert (merged.line, merged.column) == (1, 4)
+        assert (merged.end_line, merged.end_column) == (2, 6)
+
+
+class TestParserSpans:
+    def test_rule_span_starts_at_head(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.span is not None
+        assert (rule.span.line, rule.span.column) == (1, 1)
+
+    def test_second_rule_has_second_line(self):
+        rb = parse_program("p(X) :- q(X).\nr(Y) :- s(Y).")
+        assert rb.rules[1].span.line == 2
+
+    def test_filename_is_threaded(self):
+        rb = parse_program("p(X) :- q(X).", filename="prog.dl")
+        assert rb.rules[0].span.source == "prog.dl"
+        assert rb.rules[0].span.location == "prog.dl:1:1"
+
+    def test_premise_spans_point_at_premises(self):
+        rule = parse_rule("p(X) :- q(X), ~r(X).")
+        positive, negated = rule.body
+        assert positive.span.column == 9
+        assert negated.span.column == 15
+
+    def test_atom_spans(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.head.span.column == 1
+        assert rule.body[0].atom.span.column == 9
+
+    def test_hypothetical_span_covers_brackets(self):
+        rule = parse_rule("p(X) :- d(X), q(X)[add: r(X)].")
+        hyp = rule.body[1]
+        assert hyp.span.column == 15
+        assert hyp.span.end_column > hyp.span.column
+
+    def test_rule_end_column_covers_period_atom(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.span.end_column >= 13
+
+
+class TestSpansAreMetadata:
+    """Spans must never affect equality, hashing, or substitution."""
+
+    def test_parsed_and_programmatic_rules_compare_equal(self):
+        parsed = parse_rule("p(X) :- q(X).")
+        built = Rule(atom("p", "X"), (Positive(atom("q", "X")),))
+        assert parsed == built
+        assert hash(parsed) == hash(built)
+
+    def test_premises_interoperate_in_sets(self):
+        parsed = parse_rule("p(X) :- ~q(X).").body[0]
+        built = Negated(atom("q", "X"))
+        assert {parsed} == {built}
+
+    def test_substitute_preserves_span(self):
+        rule = parse_rule("p(X) :- q(X).", filename="f.dl")
+        grounded = rule.substitute({})
+        assert grounded.span == rule.span
+        assert grounded.body[0].span is not None
+
+    def test_repr_omits_span(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert "span" not in repr(rule)
