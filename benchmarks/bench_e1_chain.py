@@ -19,20 +19,22 @@ LENGTHS = [4, 8, 16, 32, 64]
 
 
 @pytest.mark.parametrize("n", LENGTHS)
-def test_chain_prove_engine(benchmark, n):
+def test_chain_prove_engine(benchmark, n, attach_metrics):
     rulebase = addition_chain_rulebase(n)
 
     def run():
         prover = LinearStratifiedProver(rulebase)
         result = prover.ask(Database(), "a1")
-        return result, prover.stats.sigma_goals
+        return result, prover
 
-    result, goals = benchmark(run)
+    result, prover = benchmark(run)
+    goals = prover.stats.sigma_goals
     assert result is True
     # Linear recursion => goal count linear in n (with a small constant).
     assert goals <= 4 * n + 8
     benchmark.extra_info["sigma_goals"] = goals
     benchmark.extra_info["chain_length"] = n
+    attach_metrics(benchmark, prover.metrics)
 
 
 @pytest.mark.parametrize("n", LENGTHS)

@@ -1,0 +1,65 @@
+"""Obs overhead guard: disabled tracing must be (near) free.
+
+The tracing layer (``repro.obs``) is threaded through every engine hot
+path, guarded by ``tracer.enabled`` checks against the shared no-op
+``NULL_TRACER``.  These benchmarks pin the cost of that guard: the
+untraced series here is directly comparable with the historical E1/E9
+numbers (same workloads), and the traced series shows what turning the
+tracer on actually costs — useful context, not a regression gate.
+
+Correctness is asserted inline as usual: traced and untraced runs must
+return the same answer and derive identical counter values (the
+counters are always on; only span construction is gated).
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.engine.prove import LinearStratifiedProver
+from repro.library import addition_chain_rulebase, order_db, order_iteration_rulebase
+from repro.obs.trace import Tracer
+
+N_CHAIN = 32
+
+
+def test_disabled_tracer_counters_match_traced(attach_metrics, benchmark):
+    """Counters are tracer-independent: identical deltas either way."""
+    rulebase = addition_chain_rulebase(N_CHAIN)
+
+    def run():
+        untraced = LinearStratifiedProver(rulebase)
+        untraced.ask(Database(), "a1")
+        traced = LinearStratifiedProver(rulebase, tracer=Tracer())
+        traced.ask(Database(), "a1")
+        return untraced, traced
+
+    untraced, traced = benchmark(run)
+    assert untraced.metrics.snapshot() == traced.metrics.snapshot()
+    attach_metrics(benchmark, untraced.metrics)
+
+
+@pytest.mark.parametrize("traced", [False, True], ids=["off", "on"])
+def test_chain_tracing_cost(benchmark, traced):
+    rulebase = addition_chain_rulebase(N_CHAIN)
+
+    def run():
+        tracer = Tracer() if traced else None
+        prover = LinearStratifiedProver(rulebase, tracer=tracer)
+        return prover.ask(Database(), "a1")
+
+    assert benchmark(run) is True
+    benchmark.extra_info["traced"] = traced
+
+
+@pytest.mark.parametrize("traced", [False, True], ids=["off", "on"])
+def test_order_walk_tracing_cost(benchmark, traced):
+    rulebase = order_iteration_rulebase()
+    db = order_db(8)
+
+    def run():
+        tracer = Tracer() if traced else None
+        prover = LinearStratifiedProver(rulebase, tracer=tracer)
+        return prover.ask(db, "a")
+
+    assert benchmark(run) is True
+    benchmark.extra_info["traced"] = traced

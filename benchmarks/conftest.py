@@ -35,3 +35,22 @@ def engine_factory(name: str):
 def any_engine(request):
     """Parametrize a bench over all three engines."""
     return request.param, engine_factory(request.param)
+
+
+def attach_metrics(benchmark, metrics, *, key: str = "metrics") -> None:
+    """Stash an engine's metric snapshot on a benchmark row.
+
+    ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry` (every
+    engine exposes one as ``.metrics``).  The non-zero values land in
+    ``benchmark.extra_info[key]``, which pytest-benchmark writes into
+    its JSON dump — ``report.py --merge-into`` then carries them into
+    the cumulative ``BENCH_*.json``.
+    """
+    benchmark.extra_info[key] = metrics.snapshot(zeros=False)
+
+
+@pytest.fixture(name="attach_metrics")
+def attach_metrics_fixture():
+    """The :func:`attach_metrics` helper as a fixture, so bench files
+    need no cross-conftest import."""
+    return attach_metrics

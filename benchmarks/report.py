@@ -4,10 +4,22 @@ Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/report.py bench.json
+    python benchmarks/report.py bench.json --merge-into BENCH_ALL.json
 
 Prints, per experiment file, one row per benchmark with its sweep
 parameters (from ``benchmark.extra_info``) and the median time — the
 "series" each EXPERIMENTS.md row describes, regenerated from raw data.
+Benchmarks that attach no parameters are annotated
+``(unparameterized)`` so a missing ``extra_info`` is visible rather
+than silently blank.
+
+``--merge-into FILE`` additionally folds the run into a cumulative
+``BENCH_*.json``: each invocation appends one entry to the file's
+``runs`` list carrying the source path, the dump's timestamp, and per
+benchmark the median plus the full ``extra_info`` (including any
+engine-metric snapshot attached via
+``benchmarks.conftest.attach_metrics``).  This is how longitudinal
+numbers survive individual bench.json files being overwritten.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from __future__ import annotations
 import json
 import sys
 from collections import defaultdict
+from typing import Optional
 
 
 def _format_seconds(value: float) -> str:
@@ -25,7 +38,52 @@ def _format_seconds(value: float) -> str:
     return f"{value:8.2f}s "
 
 
-def main(path: str) -> int:
+def _extra_text(extras: dict) -> str:
+    """Render extra_info for a table row; flag missing parameters."""
+    if not extras:
+        return "(unparameterized)"
+    parts = []
+    for key, value in sorted(extras.items()):
+        if isinstance(value, dict):
+            # e.g. an attached metrics snapshot — summarize, don't dump.
+            parts.append(f"{key}[{len(value)}]")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def merge_runs(payload: dict, source: str, merge_path: str) -> None:
+    """Append this dump's medians + extra_info to a cumulative file.
+
+    The cumulative file is ``{"runs": [...]}``; unknown existing
+    content is preserved (we only append to ``runs``).
+    """
+    try:
+        with open(merge_path, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        merged = {}
+    runs = merged.setdefault("runs", [])
+    runs.append(
+        {
+            "source": source,
+            "datetime": payload.get("datetime"),
+            "benchmarks": [
+                {
+                    "fullname": bench["fullname"],
+                    "median": bench["stats"]["median"],
+                    "extra_info": bench.get("extra_info") or {},
+                }
+                for bench in payload.get("benchmarks", [])
+            ],
+        }
+    )
+    with open(merge_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(path: str, merge_into: Optional[str] = None) -> int:
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
 
@@ -43,16 +101,28 @@ def main(path: str) -> int:
             name = bench["fullname"].split("::")[-1]
             median = bench["stats"]["median"]
             extras = bench.get("extra_info") or {}
-            extra_text = " ".join(
-                f"{key}={value}" for key, value in sorted(extras.items())
+            print(
+                f"  {name:<55} {_format_seconds(median)}  {_extra_text(extras)}"
             )
-            print(f"  {name:<55} {_format_seconds(median)}  {extra_text}")
         print()
+
+    if merge_into:
+        merge_runs(payload, path, merge_into)
+        print(f"merged into {merge_into}", file=sys.stderr)
     return 0
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        print(__doc__)
-        sys.exit(2)
-    sys.exit(main(sys.argv[1]))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("path", help="pytest-benchmark JSON dump")
+    parser.add_argument(
+        "--merge-into",
+        metavar="FILE",
+        default=None,
+        help="append this run's medians and extra_info to a "
+        "cumulative BENCH_*.json",
+    )
+    options = parser.parse_args()
+    sys.exit(main(options.path, merge_into=options.merge_into))

@@ -42,6 +42,7 @@ __all__ = [
     "nonlocal_variables",
     "greedy_positive_order",
     "cost_aware_positive_order",
+    "annotate_plan",
     "estimate_matches",
     "idb_aware_sizes",
     "join_mode",
@@ -191,6 +192,30 @@ def idb_aware_sizes(rulebase, count: Callable[[str], int], domain_size: int):
         return stored
 
     return size
+
+
+def annotate_plan(
+    order: Sequence[Positive],
+    bound: Iterable[Variable],
+    sizes: SizeOracle,
+    domain_size: int,
+) -> list[dict[str, object]]:
+    """Per-premise cost annotations for an already-chosen join order.
+
+    Replays the planner's binding propagation over ``order`` and
+    records, for each premise, the :func:`estimate_matches` value it
+    had *at choice time*.  This is what trace plan-choice events carry,
+    so a bad E16/E17 plan is diagnosable from the trace alone.
+    """
+    bound_vars = set(bound)
+    annotated: list[dict[str, object]] = []
+    for premise in order:
+        estimate = estimate_matches(premise, bound_vars, sizes, domain_size)
+        annotated.append(
+            {"predicate": premise.atom.predicate, "est_cost": round(estimate, 2)}
+        )
+        bound_vars.update(premise.atom.variables())
+    return annotated
 
 
 def cost_aware_positive_order(

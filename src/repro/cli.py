@@ -7,6 +7,10 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
 * ``query RULES -d DB "premise"`` — decide a query;
 * ``answers RULES -d DB "pattern"`` — enumerate answers;
 * ``model RULES -d DB`` — print the full perfect model;
+* ``profile RULES -q QUERY [-d DB]`` — run one query with tracing on
+  and print the span tree plus a metrics table; ``--trace-out FILE``
+  writes a Chrome ``trace_event`` file (chrome://tracing / Perfetto)
+  and ``--jsonl-out FILE`` a JSON-lines trace;
 * ``lint RULES`` — static hygiene warnings (legacy codes);
 * ``check RULES...`` — full diagnostics: source spans, binding-mode
   findings, cost estimates; ``--format {text,json,sarif}`` and a
@@ -75,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument(
         "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model")
     )
+    query_cmd.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also record a Chrome trace_event file of the evaluation",
+    )
 
     answers_cmd = commands.add_parser("answers", help="enumerate answers")
     answers_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
@@ -83,10 +92,61 @@ def _build_parser() -> argparse.ArgumentParser:
     answers_cmd.add_argument(
         "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model")
     )
+    answers_cmd.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also record a Chrome trace_event file of the evaluation",
+    )
 
     model_cmd = commands.add_parser("model", help="print the perfect model")
     model_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
     model_cmd.add_argument("-d", "--db", help="database file")
+    model_cmd.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also record a Chrome trace_event file of the evaluation",
+    )
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run one query with tracing on; print spans and metrics",
+    )
+    profile_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    profile_cmd.add_argument(
+        "-q",
+        "--query",
+        required=True,
+        metavar="QUERY",
+        help="query text, e.g. 'grad(S)' or "
+        "'grad(tony)[add: take(tony, cs452)]'",
+    )
+    profile_cmd.add_argument("-d", "--db", help="database file")
+    profile_cmd.add_argument(
+        "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model")
+    )
+    profile_cmd.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON file "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    profile_cmd.add_argument(
+        "--jsonl-out",
+        metavar="FILE",
+        help="write the trace as JSON-lines (one span/event per line)",
+    )
+    profile_cmd.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="clip the printed span tree at depth N (exports are full)",
+    )
+    profile_cmd.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="omit durations from the printed tree (stable output)",
+    )
 
     lint_cmd = commands.add_parser(
         "lint", help="static hygiene warnings for a rulebase"
@@ -209,21 +269,29 @@ def _dispatch(options: argparse.Namespace) -> int:
         print(format_stratification(linear_stratification(rulebase)))
         return 0
     if options.command == "query":
-        session = Session(rulebase, options.engine)
+        tracer, metrics = _trace_targets(options)
+        session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
         result = session.ask(_load_db(options.db), options.premise)
+        _write_trace_out(options, tracer, metrics)
         print("yes" if result else "no")
         return 0 if result else 1
     if options.command == "answers":
-        session = Session(rulebase, options.engine)
+        tracer, metrics = _trace_targets(options)
+        session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
         rows = session.answers(_load_db(options.db), options.pattern)
+        _write_trace_out(options, tracer, metrics)
         for row in sorted(rows, key=str):
             print(", ".join(str(value) for value in row))
         return 0
     if options.command == "model":
-        engine = PerfectModelEngine(rulebase)
+        tracer, metrics = _trace_targets(options)
+        engine = PerfectModelEngine(rulebase, metrics=metrics, tracer=tracer)
         model = engine.model(_load_db(options.db))
+        _write_trace_out(options, tracer, metrics)
         print(format_database(Database(model)))
         return 0
+    if options.command == "profile":
+        return _run_profile(options, rulebase)
     if options.command == "graph":
         from .analysis.depgraph import DependencyGraph
 
@@ -264,6 +332,60 @@ def _dispatch(options: argparse.Namespace) -> int:
         print(format_proof(proof))
         return 0
     raise AssertionError(f"unhandled command {options.command!r}")
+
+
+def _trace_targets(options: argparse.Namespace):
+    """A (tracer, metrics) pair: live when ``--trace-out`` was given,
+    the no-op tracer (and no registry) otherwise, so untraced runs pay
+    nothing."""
+    if getattr(options, "trace_out", None):
+        from .obs.metrics import MetricsRegistry
+        from .obs.trace import Tracer
+
+        return Tracer(), MetricsRegistry()
+    return None, None
+
+
+def _write_trace_out(options: argparse.Namespace, tracer, metrics) -> None:
+    if tracer is None:
+        return
+    from .obs.export import write_chrome_trace
+
+    tracer.finish()
+    write_chrome_trace(options.trace_out, tracer.root, metrics=metrics)
+    print(f"trace written to {options.trace_out}", file=sys.stderr)
+
+
+def _run_profile(options: argparse.Namespace, rulebase) -> int:
+    """The ``profile`` command: one traced query, three outputs.
+
+    Always prints the human report (span tree + metrics table);
+    ``--trace-out`` adds a Chrome trace_event file and ``--jsonl-out``
+    a JSON-lines trace.  Exit status is 0 whenever evaluation
+    succeeded — a "no" answer is still a successful profile.
+    """
+    from .obs.export import to_jsonl, write_chrome_trace
+    from .obs.profile import profile_query
+
+    report = profile_query(
+        rulebase,
+        _load_db(options.db),
+        options.query,
+        engine=options.engine,
+    )
+    print(
+        report.render(
+            max_depth=options.max_depth, timings=not options.no_timings
+        )
+    )
+    if options.trace_out:
+        write_chrome_trace(options.trace_out, report.root, metrics=report.metrics)
+        print(f"trace written to {options.trace_out}", file=sys.stderr)
+    if options.jsonl_out:
+        with open(options.jsonl_out, "w", encoding="utf-8") as handle:
+            handle.write(to_jsonl(report.root, metrics=report.metrics))
+        print(f"trace written to {options.jsonl_out}", file=sys.stderr)
+    return 0
 
 
 def _run_check(options: argparse.Namespace) -> int:

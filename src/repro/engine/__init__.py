@@ -13,6 +13,11 @@
 * :mod:`repro.engine.proofs` — proof objects: explanations with an
   independent Definition 3 checker.
 * :mod:`repro.engine.query` — engine-agnostic session API.
+
+All engines accept ``metrics=`` (a
+:class:`~repro.obs.metrics.MetricsRegistry`) and ``tracer=`` (a
+:class:`~repro.obs.trace.Tracer`) keyword arguments; see
+:mod:`repro.obs` and ``docs/OBSERVABILITY.md``.
 """
 
 from .datalog import FixpointStats, naive_least_fixpoint, seminaive_least_fixpoint

@@ -17,32 +17,45 @@ over ``dom(R, DB)``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.ast import Positive, Rule
 from ..core.errors import EvaluationError
 from ..core.terms import Atom, Constant
 from ..core.unify import Substitution, ground_instances
+from ..obs.metrics import Counter, MetricsRegistry, StatsView
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .interpretation import Interpretation
 
 __all__ = ["naive_least_fixpoint", "seminaive_least_fixpoint", "FixpointStats"]
 
 
-class FixpointStats:
-    """Counters describing a fixpoint run (rounds, rule firings)."""
+class FixpointStats(StatsView):
+    """Deprecated: counters for a fixpoint run, now a thin view over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``fixpoint.*``)."""
 
-    __slots__ = ("rounds", "firings", "derived")
+    _counter_fields = {
+        "rounds": "fixpoint.rounds",
+        "firings": "fixpoint.firings",
+        "derived": "fixpoint.derived",
+    }
 
-    def __init__(self) -> None:
-        self.rounds = 0
-        self.firings = 0
-        self.derived = 0
 
-    def __repr__(self) -> str:
-        return (
-            f"FixpointStats(rounds={self.rounds}, firings={self.firings}, "
-            f"derived={self.derived})"
-        )
+Stats = Union[FixpointStats, MetricsRegistry]
+
+
+def _fixpoint_counters(
+    stats: Optional[Stats],
+) -> Optional[tuple[Counter, Counter, Counter]]:
+    """Resolve the three fixpoint counters once, outside the hot loop."""
+    if stats is None:
+        return None
+    registry = stats if isinstance(stats, MetricsRegistry) else stats.registry
+    return (
+        registry.counter("fixpoint.rounds"),
+        registry.counter("fixpoint.firings"),
+        registry.counter("fixpoint.derived"),
+    )
 
 
 def _positive_atoms(item: Rule) -> list[Atom]:
@@ -104,35 +117,46 @@ def naive_least_fixpoint(
     rules: Iterable[Rule],
     facts: Iterable[Atom],
     domain: Optional[Sequence[Constant]] = None,
-    stats: Optional[FixpointStats] = None,
+    stats: Optional[Stats] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Interpretation:
     """Least fixpoint by naive iteration.
 
     Every round applies every rule against the full interpretation;
     stops when a round adds nothing.  Simple and obviously correct —
-    the baseline for experiment E12.
+    the baseline for experiment E12.  ``stats`` may be a legacy
+    :class:`FixpointStats` or a :class:`~repro.obs.metrics.MetricsRegistry`.
     """
     rule_list = list(rules)
     interp = Interpretation(facts)
     if domain is None:
         domain = _domain_of(rule_list, interp)
     bodies = [_positive_atoms(item) for item in rule_list]
+    counters = _fixpoint_counters(stats)
     changed = True
+    round_index = 0
     while changed:
         changed = False
-        if stats is not None:
-            stats.rounds += 1
-        pending: list[Atom] = []
-        for item, body in zip(rule_list, bodies):
-            for head in _derive_heads(item, body, interp, domain):
-                if stats is not None:
-                    stats.firings += 1
-                pending.append(head)
-        for head in pending:
-            if interp.add(head):
-                changed = True
-                if stats is not None:
-                    stats.derived += 1
+        round_index += 1
+        if counters is not None:
+            counters[0].value += 1
+        ctx = (
+            tracer.span("round", str(round_index), args={"strategy": "naive"})
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            pending: list[Atom] = []
+            for item, body in zip(rule_list, bodies):
+                for head in _derive_heads(item, body, interp, domain):
+                    if counters is not None:
+                        counters[1].value += 1
+                    pending.append(head)
+            for head in pending:
+                if interp.add(head):
+                    changed = True
+                    if counters is not None:
+                        counters[2].value += 1
     return interp
 
 
@@ -140,7 +164,8 @@ def seminaive_least_fixpoint(
     rules: Iterable[Rule],
     facts: Iterable[Atom],
     domain: Optional[Sequence[Constant]] = None,
-    stats: Optional[FixpointStats] = None,
+    stats: Optional[Stats] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Interpretation:
     """Least fixpoint by semi-naive (differential) iteration.
 
@@ -154,38 +179,51 @@ def seminaive_least_fixpoint(
     if domain is None:
         domain = _domain_of(rule_list, interp)
     bodies = [_positive_atoms(item) for item in rule_list]
+    counters = _fixpoint_counters(stats)
     delta = interp.copy()
     first_round = True
+    round_index = 0
     while len(delta) or first_round:
-        if stats is not None:
-            stats.rounds += 1
-        next_delta = Interpretation()
-        for item, body in zip(rule_list, bodies):
-            if not body:
-                # Bodiless rules fire once, on the first round.
-                if first_round:
-                    for head in _derive_heads(item, body, interp, domain):
-                        if stats is not None:
-                            stats.firings += 1
+        round_index += 1
+        if counters is not None:
+            counters[0].value += 1
+        ctx = (
+            tracer.span(
+                "round",
+                str(round_index),
+                args={"strategy": "seminaive", "delta": len(delta)},
+            )
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            next_delta = Interpretation()
+            for item, body in zip(rule_list, bodies):
+                if not body:
+                    # Bodiless rules fire once, on the first round.
+                    if first_round:
+                        for head in _derive_heads(item, body, interp, domain):
+                            if counters is not None:
+                                counters[1].value += 1
+                            if head not in interp:
+                                next_delta.add(head)
+                    continue
+                delta_positions = [
+                    index
+                    for index, pattern in enumerate(body)
+                    if delta.count(pattern.predicate)
+                ]
+                for index in delta_positions:
+                    for head in _derive_heads(
+                        item, body, interp, domain, required_delta=(index, delta)
+                    ):
+                        if counters is not None:
+                            counters[1].value += 1
                         if head not in interp:
                             next_delta.add(head)
-                continue
-            delta_positions = [
-                index
-                for index, pattern in enumerate(body)
-                if delta.count(pattern.predicate)
-            ]
-            for index in delta_positions:
-                for head in _derive_heads(
-                    item, body, interp, domain, required_delta=(index, delta)
-                ):
-                    if stats is not None:
-                        stats.firings += 1
-                    if head not in interp:
-                        next_delta.add(head)
-        if stats is not None:
-            stats.derived += len(next_delta)
-        interp.update(next_delta)
-        delta = next_delta
-        first_round = False
+            if counters is not None:
+                counters[2].value += len(next_delta)
+            interp.update(next_delta)
+            delta = next_delta
+            first_round = False
     return interp

@@ -31,7 +31,7 @@ as Theorem 1 says it must be, but not factorial.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
 from ..core.database import Database
@@ -39,6 +39,8 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances
+from ..obs.metrics import MetricsRegistry, StatsView
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import (
     cost_aware_positive_order,
     join_mode,
@@ -52,23 +54,17 @@ __all__ = ["PerfectModelEngine", "EngineStats"]
 Query = Union[str, Atom, Premise]
 
 
-class EngineStats:
-    """Counters describing the work a :class:`PerfectModelEngine` did."""
+class EngineStats(StatsView):
+    """Deprecated: work counters of a :class:`PerfectModelEngine`, now a
+    thin view over a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``model.*``); read the registry directly in new code."""
 
-    __slots__ = ("models_computed", "cache_hits", "rule_rounds", "atoms_derived")
-
-    def __init__(self) -> None:
-        self.models_computed = 0
-        self.cache_hits = 0
-        self.rule_rounds = 0
-        self.atoms_derived = 0
-
-    def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
-        return f"EngineStats({inner})"
+    _counter_fields = {
+        "models_computed": "model.models_computed",
+        "cache_hits": "model.cache_hits",
+        "rule_rounds": "model.rule_rounds",
+        "atoms_derived": "model.atoms_derived",
+    }
 
 
 class PerfectModelEngine:
@@ -105,6 +101,8 @@ class PerfectModelEngine:
         max_databases: int = 200_000,
         memoize: bool = True,
         optimize_joins: bool | str = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from ..analysis.stratify import negation_strata
 
@@ -129,7 +127,20 @@ class PerfectModelEngine:
         self._max_databases = max_databases
         self._memoize = memoize
         self._join_mode = join_mode(optimize_joins)
-        self.stats = EngineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = EngineStats(self.metrics)
+        # Counters are bound once; hot paths do a slots-attribute
+        # increment, the same cost as the old stats-struct fields.
+        counter = self.metrics.counter
+        self._n_models = counter("model.models_computed")
+        self._n_cache_hits = counter("model.cache_hits")
+        self._n_cache_misses = counter("model.cache_misses")
+        self._n_rounds = counter("model.rule_rounds")
+        self._n_derived = counter("model.atoms_derived")
+        self._n_negation = counter("model.negation_tests")
+        self._n_hypo = counter("model.hypothesis_expansions")
+        self._h_model_size = self.metrics.histogram("model.model_size")
 
     @property
     def rulebase(self) -> Rulebase:
@@ -212,11 +223,19 @@ class PerfectModelEngine:
                 return goal in model
             return Interpretation(model).has_match(goal)
         if isinstance(premise, Hypothetical):
+            trace = self._tracer
             unbound = list(dict.fromkeys(premise.variables()))
             for binding in ground_instances(unbound, domain):
                 grounded = premise.substitute(binding)
                 db2 = db.with_facts(*grounded.additions)
-                model = self._model(db2, domain)
+                self._n_hypo.value += 1
+                ctx = (
+                    trace.span("hypothesis", str(grounded), src=premise.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with ctx:
+                    model = self._model(db2, domain)
                 if grounded.atom in model:
                     return True
             return False
@@ -225,7 +244,7 @@ class PerfectModelEngine:
     def _model(self, db: Database, domain: Sequence[Constant]) -> frozenset[Atom]:
         cached = self._cache.get(db)
         if cached is not None:
-            self.stats.cache_hits += 1
+            self._n_cache_hits.value += 1
             return cached
         if len(self._cache) >= self._max_databases:
             raise EvaluationError(
@@ -233,11 +252,26 @@ class PerfectModelEngine:
                 f"{self._max_databases} databases; raise max_databases "
                 f"if this is intended"
             )
-        self.stats.models_computed += 1
-        interp = Interpretation(db)
-        for rules in self._layer_rules:
-            self._close_layer(rules, interp, db, domain)
-        result = interp.to_frozenset()
+        self._n_cache_misses.value += 1
+        self._n_models.value += 1
+        trace = self._tracer
+        ctx = (
+            trace.span("model", f"db[{len(db)}]")
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            interp = Interpretation(db)
+            for index, rules in enumerate(self._layer_rules):
+                stratum_ctx = (
+                    trace.span("stratum", str(index), args={"rules": len(rules)})
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with stratum_ctx:
+                    self._close_layer(rules, interp, db, domain)
+            result = interp.to_frozenset()
+        self._h_model_size.observe(len(result))
         if self._memoize:
             self._cache[db] = result
         return result
@@ -258,42 +292,57 @@ class PerfectModelEngine:
                     positives, bound, interp.count, domain_size
                 )
 
+        trace = self._tracer
+        n_negation = self._n_negation
+
+        def negated(pattern: Atom, current: Substitution) -> bool:
+            n_negation.value += 1
+            return not interp.has_match(pattern, current)
+
         changed = True
         while changed:
             changed = False
-            self.stats.rule_rounds += 1
+            self._n_rounds.value += 1
             pending: list[Atom] = []
             for item in rules:
-                head_variables = set(item.head.variables())
-                bindings = satisfy_body(
-                    item.body,
-                    positive=lambda pattern, current: interp.matches(
-                        pattern, current
-                    ),
-                    hypothetical=lambda premise, current: self._expand_hypothetical(
-                        premise, current, db, interp, domain
-                    ),
-                    negated=lambda pattern, current: not interp.has_match(
-                        pattern, current
-                    ),
-                    ground_first=nonlocal_variables(item),
-                    domain=domain,
-                    optimize=self._join_mode == "greedy",
-                    plan=plan,
+                rule_ctx = (
+                    trace.span(
+                        "rule", item.head.predicate, src=item.span
+                    )
+                    if trace.enabled
+                    else NULL_SPAN
                 )
-                for binding in bindings:
-                    unbound = [
-                        var for var in head_variables if var not in binding
-                    ]
-                    if unbound:
-                        for grounded in ground_instances(unbound, domain, binding):
-                            pending.append(item.head.substitute(grounded))
-                    else:
-                        pending.append(item.head.substitute(binding))
+                with rule_ctx:
+                    head_variables = set(item.head.variables())
+                    bindings = satisfy_body(
+                        item.body,
+                        positive=lambda pattern, current: interp.matches(
+                            pattern, current
+                        ),
+                        hypothetical=lambda premise, current: self._expand_hypothetical(
+                            premise, current, db, interp, domain
+                        ),
+                        negated=negated,
+                        ground_first=nonlocal_variables(item),
+                        domain=domain,
+                        optimize=self._join_mode == "greedy",
+                        plan=plan,
+                    )
+                    for binding in bindings:
+                        unbound = [
+                            var for var in head_variables if var not in binding
+                        ]
+                        if unbound:
+                            for grounded in ground_instances(
+                                unbound, domain, binding
+                            ):
+                                pending.append(item.head.substitute(grounded))
+                        else:
+                            pending.append(item.head.substitute(binding))
             for head in pending:
                 if interp.add(head):
                     changed = True
-                    self.stats.atoms_derived += 1
+                    self._n_derived.value += 1
 
     def _expand_hypothetical(
         self,
@@ -310,6 +359,7 @@ class PerfectModelEngine:
         premise collapses to ``A`` inside the current fixpoint; when
         they are new the engine recurses into the enlarged database.
         """
+        trace = self._tracer
         unbound = [
             var for var in dict.fromkeys(premise.variables()) if var not in binding
         ]
@@ -320,6 +370,13 @@ class PerfectModelEngine:
                 if grounded.atom in interp:
                     yield grounding
             else:
-                model = self._model(db2, domain)
+                self._n_hypo.value += 1
+                ctx = (
+                    trace.span("hypothesis", str(grounded), src=premise.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with ctx:
+                    model = self._model(db2, domain)
                 if grounded.atom in model:
                     yield grounding

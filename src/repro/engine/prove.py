@@ -47,7 +47,9 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
-from ..analysis.planner import idb_aware_sizes
+from ..analysis.planner import annotate_plan, idb_aware_sizes
+from ..obs.metrics import MetricsRegistry, StatsView
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import (
     cost_aware_positive_order,
     join_mode,
@@ -61,32 +63,19 @@ __all__ = ["LinearStratifiedProver", "ProverStats"]
 Query = Union[str, Atom, Premise]
 
 
-class ProverStats:
-    """Work counters for a :class:`LinearStratifiedProver`."""
+class ProverStats(StatsView):
+    """Deprecated: work counters of a :class:`LinearStratifiedProver`,
+    now a thin view over a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``prove.*``); read the registry directly in new code."""
 
-    __slots__ = (
-        "sigma_goals",
-        "sigma_cache_hits",
-        "delta_models",
-        "delta_cache_hits",
-        "cycles_cut",
-        "max_depth",
-    )
-
-    def __init__(self) -> None:
-        self.sigma_goals = 0
-        self.sigma_cache_hits = 0
-        self.delta_models = 0
-        self.delta_cache_hits = 0
-        self.cycles_cut = 0
-        self.max_depth = 0
-
-    def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
-        return f"ProverStats({inner})"
+    _counter_fields = {
+        "sigma_goals": "prove.sigma_goals",
+        "sigma_cache_hits": "prove.sigma_cache_hits",
+        "delta_models": "prove.delta_models",
+        "delta_cache_hits": "prove.delta_cache_hits",
+        "cycles_cut": "prove.cycles_cut",
+    }
+    _gauge_fields = {"max_depth": "prove.max_depth"}
 
 
 class LinearStratifiedProver:
@@ -112,6 +101,8 @@ class LinearStratifiedProver:
         *,
         memoize: bool = True,
         optimize_joins: bool | str = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if rulebase.has_deletions():
             raise EvaluationError(
@@ -146,7 +137,20 @@ class LinearStratifiedProver:
         self._cycle_events = 0
         self._delta_in_progress: set[tuple[int, Database]] = set()
         self._plan_cache: dict[Database, object] = {}
-        self.stats = ProverStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = ProverStats(self.metrics)
+        counter = self.metrics.counter
+        self._n_sigma_goals = counter("prove.sigma_goals")
+        self._n_sigma_cache_hits = counter("prove.sigma_cache_hits")
+        self._n_delta_models = counter("prove.delta_models")
+        self._n_delta_cache_hits = counter("prove.delta_cache_hits")
+        self._n_cycles_cut = counter("prove.cycles_cut")
+        self._n_plan_hits = counter("prove.plan_cache_hits")
+        self._n_plan_misses = counter("prove.plan_cache_misses")
+        self._n_negation = counter("prove.negation_tests")
+        self._n_hypo = counter("prove.hypothesis_expansions")
+        self._g_max_depth = self.metrics.gauge("prove.max_depth")
 
     @property
     def rulebase(self) -> Rulebase:
@@ -221,16 +225,29 @@ class LinearStratifiedProver:
         if self._join_mode != "cost":
             return None
         plan = self._plan_cache.get(db)
-        if plan is None:
-            sizes = idb_aware_sizes(self._rulebase, db.count, len(domain))
-            domain_size = len(domain)
+        if plan is not None:
+            self._n_plan_hits.value += 1
+            return plan
+        self._n_plan_misses.value += 1
+        sizes = idb_aware_sizes(self._rulebase, db.count, len(domain))
+        domain_size = len(domain)
+        trace = self._tracer
 
-            def plan(positives, bound):
-                return cost_aware_positive_order(
-                    positives, bound, sizes, domain_size
+        def plan(positives, bound):
+            order = cost_aware_positive_order(
+                positives, bound, sizes, domain_size
+            )
+            if trace.enabled and order:
+                trace.event(
+                    "plan",
+                    " ".join(p.atom.predicate for p in order),
+                    args={
+                        "order": annotate_plan(order, bound, sizes, domain_size)
+                    },
                 )
+            return order
 
-            self._plan_cache[db] = plan
+        self._plan_cache[db] = plan
         return plan
 
     def _exists(self, premise: Premise, db: Database, domain) -> bool:
@@ -270,33 +287,48 @@ class LinearStratifiedProver:
         """Exhaustive realization of the nondeterministic goal search."""
         key = (goal, db)
         if key in self._sigma_true:
-            self.stats.sigma_cache_hits += 1
+            self._n_sigma_cache_hits.value += 1
             return True
         if key in self._sigma_false:
-            self.stats.sigma_cache_hits += 1
+            self._n_sigma_cache_hits.value += 1
             return False
         if key in self._path:
             # A goal may not feed its own proof: cut this branch.  The
             # result is not cached — another branch may still prove it.
             self._cycle_events += 1
-            self.stats.cycles_cut += 1
+            self._n_cycles_cut.value += 1
             return False
 
-        self.stats.sigma_goals += 1
+        self._n_sigma_goals.value += 1
         self._path.add(key)
-        self.stats.max_depth = max(self.stats.max_depth, len(self._path))
+        self._g_max_depth.set_max(len(self._path))
         cycles_before = self._cycle_events
         domain = self.domain(db)
         proven = False
-        for item in self._rulebase.definition(goal.predicate):
-            binding = match(item.head, goal)
-            if binding is None:
-                continue
-            for _ in self._sigma_body(stratum, item, binding, db, domain):
-                proven = True
-                break
-            if proven:
-                break
+        trace = self._tracer
+        goal_ctx = (
+            trace.span(
+                "goal", str(goal), args={"stratum": stratum, "db": len(db)}
+            )
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with goal_ctx:
+            for item in self._rulebase.definition(goal.predicate):
+                binding = match(item.head, goal)
+                if binding is None:
+                    continue
+                rule_ctx = (
+                    trace.span("rule", item.head.predicate, src=item.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with rule_ctx:
+                    for _ in self._sigma_body(stratum, item, binding, db, domain):
+                        proven = True
+                        break
+                if proven:
+                    break
         self._path.discard(key)
         if proven:
             if self._memoize:
@@ -389,12 +421,21 @@ class LinearStratifiedProver:
         domain: Sequence[Constant],
     ) -> Iterator[Substitution]:
         """Ground the premise and decide it at the enlarged database."""
+        trace = self._tracer
         unbound = [
             var for var in dict.fromkeys(premise.variables()) if var not in binding
         ]
         for grounding in ground_instances(unbound, domain, binding):
             grounded = premise.substitute(grounding)
-            if self._decide(grounded, db):
+            self._n_hypo.value += 1
+            ctx = (
+                trace.span("hypothesis", str(grounded), src=premise.span)
+                if trace.enabled
+                else NULL_SPAN
+            )
+            with ctx:
+                decided = self._decide(grounded, db)
+            if decided:
                 yield grounding
 
     def _test_negated(
@@ -405,6 +446,7 @@ class LinearStratifiedProver:
         domain: Sequence[Constant],
     ) -> bool:
         """Negation as failure with local variables inside the negation."""
+        self._n_negation.value += 1
         if db.has_match(pattern, binding):
             return False
         segment = self._strat.segment_of(pattern.predicate)
@@ -436,7 +478,7 @@ class LinearStratifiedProver:
         key = (stratum, db)
         cached = self._delta_cache.get(key)
         if cached is not None:
-            self.stats.delta_cache_hits += 1
+            self._n_delta_cache_hits.value += 1
             return cached
         if key in self._delta_in_progress:  # pragma: no cover - guarded by H-strat
             raise EvaluationError(
@@ -444,7 +486,7 @@ class LinearStratifiedProver:
                 f"stratification is inconsistent"
             )
         self._delta_in_progress.add(key)
-        self.stats.delta_models += 1
+        self._n_delta_models.value += 1
         domain = self.domain(db)
         segment = 2 * stratum - 1
         own = self._strat.predicates_in_segment(segment)
@@ -466,12 +508,57 @@ class LinearStratifiedProver:
         ) -> Iterator[Substitution]:
             return self._expand_hypothetical(premise, current, db, domain)
 
-        for group in self._delta_layers.get(stratum, []):
-            changed = True
-            while changed:
-                changed = False
-                pending: list[Atom] = []
-                for item in group:
+        trace = self._tracer
+        delta_ctx = (
+            trace.span(
+                "delta", f"Delta_{stratum}", args={"db": len(db)}
+            )
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with delta_ctx:
+            self._close_delta_layers(
+                stratum, interp, db, domain, positive, negated, hypothetical
+            )
+        self._delta_in_progress.discard(key)
+        if self._memoize:
+            self._delta_cache[key] = interp
+        return interp
+
+    def _close_delta_layers(
+        self, stratum, interp, db, domain, positive, negated, hypothetical
+    ) -> None:
+        """Fixpoint of each negation layer of ``Delta_stratum``."""
+        trace = self._tracer
+        for layer_index, group in enumerate(self._delta_layers.get(stratum, [])):
+            layer_ctx = (
+                trace.span(
+                    "stratum", str(layer_index), args={"rules": len(group)}
+                )
+                if trace.enabled
+                else NULL_SPAN
+            )
+            with layer_ctx:
+                self._close_delta_group(
+                    group, interp, db, domain, positive, negated, hypothetical
+                )
+
+    def _close_delta_group(
+        self, group, interp, db, domain, positive, negated, hypothetical
+    ) -> None:
+        """Fixpoint of one negation layer's rules (plus TEST0 oracles)."""
+        trace = self._tracer
+        changed = True
+        while changed:
+            changed = False
+            pending: list[Atom] = []
+            for item in group:
+                rule_ctx = (
+                    trace.span("rule", item.head.predicate, src=item.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with rule_ctx:
                     head_variables = set(item.head.variables())
                     for current in satisfy_body(
                         item.body,
@@ -493,10 +580,6 @@ class LinearStratifiedProver:
                                 pending.append(item.head.substitute(grounded))
                         else:
                             pending.append(item.head.substitute(current))
-                for head in pending:
-                    if interp.add(head):
-                        changed = True
-        self._delta_in_progress.discard(key)
-        if self._memoize:
-            self._delta_cache[key] = interp
-        return interp
+            for head in pending:
+                if interp.add(head):
+                    changed = True

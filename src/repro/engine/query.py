@@ -17,7 +17,7 @@ shared.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from ..analysis.classify import ComplexityReport, classify
 from ..analysis.stratify import is_linearly_stratified
@@ -25,6 +25,8 @@ from ..core.ast import Premise, Rulebase
 from ..core.database import Database
 from ..core.errors import EvaluationError
 from ..core.terms import Atom
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .model import PerfectModelEngine
 from .prove import LinearStratifiedProver
 from .topdown import TopDownEngine
@@ -50,16 +52,27 @@ class Session:
       recursion touches very many databases).
     """
 
-    def __init__(self, rulebase: Rulebase, engine: str = "auto") -> None:
+    def __init__(
+        self,
+        rulebase: Rulebase,
+        engine: str = "auto",
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self._rulebase = rulebase
         if engine == "auto":
             engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
         if engine == "prove":
-            self._engine: Engine = LinearStratifiedProver(rulebase)
+            self._engine: Engine = LinearStratifiedProver(
+                rulebase, metrics=metrics, tracer=tracer
+            )
         elif engine == "topdown":
-            self._engine = TopDownEngine(rulebase)
+            self._engine = TopDownEngine(rulebase, metrics=metrics, tracer=tracer)
         elif engine == "model":
-            self._engine = PerfectModelEngine(rulebase)
+            self._engine = PerfectModelEngine(
+                rulebase, metrics=metrics, tracer=tracer
+            )
         else:
             raise EvaluationError(
                 f"unknown engine {engine!r}; use 'auto', 'prove', "
@@ -78,6 +91,11 @@ class Session:
     @property
     def engine_name(self) -> str:
         return self._engine_name
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The engine's metrics registry (``repro.obs``)."""
+        return self._engine.metrics
 
     def ask(self, db: Database, query: Query) -> bool:
         """Decide a query: ``R, DB |- query``?

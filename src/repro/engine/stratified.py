@@ -21,6 +21,8 @@ from ..core.database import Database
 from ..core.errors import EvaluationError
 from ..core.terms import Atom, Constant
 from ..core.unify import ground_instances
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import (
     cost_aware_positive_order,
     join_mode,
@@ -42,13 +44,16 @@ def perfect_model(
     db: Database,
     domain: Optional[Sequence[Constant]] = None,
     optimize_joins: bool | str = True,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
     Raises :class:`StratificationError` (via
     :func:`~repro.analysis.stratify.negation_strata`) if negation is
     recursive and :class:`EvaluationError` if a rule has a hypothetical
-    premise.
+    premise.  ``metrics`` collects ``stratified.*`` counters; ``tracer``
+    records per-stratum and per-round spans.
     """
     from ..analysis.stratify import negation_strata
 
@@ -62,11 +67,19 @@ def perfect_model(
         domain = _domain_of(rulebase, db)
     layers = negation_strata(rulebase)
     interp = Interpretation(db)
-    for layer in layers:
+    if metrics is not None:
+        metrics.counter("stratified.strata").value += len(layers)
+    for index, layer in enumerate(layers):
         layer_rules = [
             item for predicate in layer for item in rulebase.definition(predicate)
         ]
-        _close_layer(layer_rules, interp, domain, optimize_joins)
+        ctx = (
+            tracer.span("stratum", str(index), args={"rules": len(layer_rules)})
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            _close_layer(layer_rules, interp, domain, optimize_joins, metrics)
     return interp
 
 
@@ -75,6 +88,7 @@ def _close_layer(
     interp: Interpretation,
     domain: Sequence[Constant],
     optimize_joins: bool | str = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     """Fixpoint of one stratum's rules over a growing interpretation."""
 
@@ -91,10 +105,16 @@ def _close_layer(
                 positives, bound, interp.count, domain_size
             )
 
+    n_rounds = n_derived = None
+    if metrics is not None:
+        n_rounds = metrics.counter("stratified.rule_rounds")
+        n_derived = metrics.counter("stratified.atoms_derived")
     guards = {item: nonlocal_variables(item) for item in rules}
     changed = True
     while changed:
         changed = False
+        if n_rounds is not None:
+            n_rounds.value += 1
         pending: list[Atom] = []
         for item in rules:
             head_variables = set(item.head.variables())
@@ -119,6 +139,8 @@ def _close_layer(
         for head in pending:
             if interp.add(head):
                 changed = True
+                if n_derived is not None:
+                    n_derived.value += 1
 
 
 def stratified_holds(rulebase: Rulebase, db: Database, goal: Atom) -> bool:

@@ -30,7 +30,7 @@ that much.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rulebase
 from ..core.database import Database
@@ -38,7 +38,9 @@ from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
-from ..analysis.planner import idb_aware_sizes
+from ..analysis.planner import annotate_plan, idb_aware_sizes
+from ..obs.metrics import MetricsRegistry, StatsView
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import (
     cost_aware_positive_order,
     greedy_positive_order,
@@ -52,23 +54,17 @@ __all__ = ["TopDownEngine", "TopDownStats"]
 Query = Union[str, Atom, Premise]
 
 
-class TopDownStats:
-    """Work counters for a :class:`TopDownEngine`."""
+class TopDownStats(StatsView):
+    """Deprecated: work counters of a :class:`TopDownEngine`, now a
+    thin view over a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``topdown.*``); read the registry directly in new code."""
 
-    __slots__ = ("goals", "cache_hits", "cycles_cut", "max_depth")
-
-    def __init__(self) -> None:
-        self.goals = 0
-        self.cache_hits = 0
-        self.cycles_cut = 0
-        self.max_depth = 0
-
-    def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
-        return f"TopDownStats({inner})"
+    _counter_fields = {
+        "goals": "topdown.goals",
+        "cache_hits": "topdown.cache_hits",
+        "cycles_cut": "topdown.cycles_cut",
+    }
+    _gauge_fields = {"max_depth": "topdown.max_depth"}
 
 
 class TopDownEngine:
@@ -80,6 +76,8 @@ class TopDownEngine:
         *,
         memoize: bool = True,
         optimize_joins: bool | str = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from ..analysis.stratify import negation_strata
 
@@ -95,7 +93,18 @@ class TopDownEngine:
         self._domain_set: frozenset[Constant] = frozenset()
         self._size_oracles: dict[Database, object] = {}
         self._order_cache: dict[tuple, list[Premise]] = {}
-        self.stats = TopDownStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = TopDownStats(self.metrics)
+        counter = self.metrics.counter
+        self._n_goals = counter("topdown.goals")
+        self._n_cache_hits = counter("topdown.cache_hits")
+        self._n_cycles_cut = counter("topdown.cycles_cut")
+        self._n_plan_hits = counter("topdown.plan_cache_hits")
+        self._n_plan_misses = counter("topdown.plan_cache_misses")
+        self._n_negation = counter("topdown.negation_tests")
+        self._n_hypo = counter("topdown.hypothesis_expansions")
+        self._g_max_depth = self.metrics.gauge("topdown.max_depth")
 
     @property
     def rulebase(self) -> Rulebase:
@@ -164,8 +173,17 @@ class TopDownEngine:
             updated = db.without_facts(*premise.deletions).with_facts(
                 *premise.additions
             )
-            return self._decide(premise.atom, updated, domain)
+            self._n_hypo.value += 1
+            trace = self._tracer
+            ctx = (
+                trace.span("hypothesis", str(premise), src=premise.span)
+                if trace.enabled
+                else NULL_SPAN
+            )
+            with ctx:
+                return self._decide(premise.atom, updated, domain)
         if isinstance(premise, Negated):
+            self._n_negation.value += 1
             return not self._decide(premise.atom, db, domain)
         return self._decide(premise.atom, db, domain)
 
@@ -184,29 +202,43 @@ class TopDownEngine:
             return False
         key = (goal, db)
         if key in self._true:
-            self.stats.cache_hits += 1
+            self._n_cache_hits.value += 1
             return True
         if key in self._false:
-            self.stats.cache_hits += 1
+            self._n_cache_hits.value += 1
             return False
         if key in self._path:
             self._cycle_events += 1
-            self.stats.cycles_cut += 1
+            self._n_cycles_cut.value += 1
             return False
-        self.stats.goals += 1
+        self._n_goals.value += 1
         self._path.add(key)
-        self.stats.max_depth = max(self.stats.max_depth, len(self._path))
+        self._g_max_depth.set_max(len(self._path))
         cycles_before = self._cycle_events
         proven = False
-        for item in self._rulebase.definition(goal.predicate):
-            binding = match(item.head, goal)
-            if binding is None:
-                continue
-            body = self._plan_body(item, binding, db, domain)
-            guard = nonlocal_variables(item)
-            if self._satisfy(body, 0, binding, db, domain, guard):
-                proven = True
-                break
+        trace = self._tracer
+        goal_ctx = (
+            trace.span("goal", str(goal), args={"db": len(db)})
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with goal_ctx:
+            for item in self._rulebase.definition(goal.predicate):
+                binding = match(item.head, goal)
+                if binding is None:
+                    continue
+                body = self._plan_body(item, binding, db, domain)
+                guard = nonlocal_variables(item)
+                rule_ctx = (
+                    trace.span("rule", item.head.predicate, src=item.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with rule_ctx:
+                    satisfied = self._satisfy(body, 0, binding, db, domain, guard)
+                if satisfied:
+                    proven = True
+                    break
         self._path.discard(key)
         if proven:
             if self._memoize:
@@ -235,19 +267,29 @@ class TopDownEngine:
         key = (id(item), frozenset(binding.keys()), db)
         cached = self._order_cache.get(key)
         if cached is not None:
+            self._n_plan_hits.value += 1
             return cached
+        self._n_plan_misses.value += 1
         sizes = self._size_oracles.get(db)
         if sizes is None:
             sizes = idb_aware_sizes(self._rulebase, db.count, len(domain))
             self._size_oracles[db] = sizes
-        planned = (
-            list(
-                cost_aware_positive_order(
-                    positives, binding.keys(), sizes, len(domain)
-                )
-            )
-            + rest
+        order = cost_aware_positive_order(
+            positives, binding.keys(), sizes, len(domain)
         )
+        trace = self._tracer
+        if trace.enabled and order:
+            trace.event(
+                "plan",
+                " ".join(p.atom.predicate for p in order),
+                src=item.span,
+                args={
+                    "order": annotate_plan(
+                        order, binding.keys(), sizes, len(domain)
+                    )
+                },
+            )
+        planned = list(order) + rest
         self._order_cache[key] = planned
         return planned
 
@@ -281,12 +323,21 @@ class TopDownEngine:
                 for var in dict.fromkeys(premise.variables())
                 if var not in binding
             ]
+            trace = self._tracer
             for grounding in ground_instances(unbound, domain, binding):
                 grounded = premise.substitute(grounding)
                 updated = db.without_facts(*grounded.deletions).with_facts(
                     *grounded.additions
                 )
-                if self._decide(grounded.atom, updated, domain):
+                self._n_hypo.value += 1
+                ctx = (
+                    trace.span("hypothesis", str(grounded), src=premise.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with ctx:
+                    decided = self._decide(grounded.atom, updated, domain)
+                if decided:
                     if self._satisfy(body, position + 1, grounding, db, domain, guard):
                         return True
             return False
@@ -299,6 +350,7 @@ class TopDownEngine:
                 if self._satisfy(body, position, grounded, db, domain, ()):
                     return True
             return False
+        self._n_negation.value += 1
         pattern = premise.atom.substitute(binding)
         unbound = list(dict.fromkeys(pattern.variables()))
         for grounding in ground_instances(unbound, domain):

@@ -1,0 +1,53 @@
+"""Observability: unified tracing and metrics for the evaluators.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of named
+  counters/gauges/histograms; the single home for every engine's work
+  counters (the historical per-engine stats structs are thin views).
+* :mod:`repro.obs.trace` — :class:`Tracer` with nestable spans
+  (stratum/rule/hypothesis/goal) carrying wall time and source spans;
+  :data:`NULL_TRACER` is the zero-overhead disabled default.
+* :mod:`repro.obs.export` — tree summary, JSON-lines, and Chrome
+  ``trace_event`` exporters plus a structural validator.
+* :mod:`repro.obs.profile` — glue for ``hypodatalog profile`` and the
+  REPL ``:profile`` command (imported lazily; pulls in the engines).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from .export import (
+    render_tree,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, StatsView
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    TraceSpan,
+    Tracer,
+    walk,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsView",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "TraceSpan",
+    "TraceEvent",
+    "walk",
+    "render_tree",
+    "to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

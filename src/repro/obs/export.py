@@ -1,0 +1,268 @@
+"""Trace exporters: tree summary, JSON-lines, Chrome ``trace_event``.
+
+Three views over one :class:`~repro.obs.trace.Tracer` run:
+
+* :func:`render_tree` — an indented human-readable summary for
+  terminals (the ``hypodatalog profile`` default output);
+* :func:`to_jsonl` — one JSON object per span/event, depth-annotated,
+  for machine consumption and golden tests (``redact_timings=True``
+  zeroes the clock fields so the output is stable across runs);
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` "JSON object
+  format" (``{"traceEvents": [...]}``) with complete (``ph="X"``) and
+  instant (``ph="i"``) events, loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev.
+
+:func:`validate_chrome_trace` checks the emitted structure against the
+subset of the trace-event spec we rely on — a zero-dependency schema
+check used by the tests and the CI smoke step
+(``python -m repro.obs.validate FILE``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import TraceEvent, TraceSpan, Tracer, walk
+
+__all__ = [
+    "render_tree",
+    "to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_Root = Union[Tracer, TraceSpan]
+
+
+def _root_of(trace: _Root) -> TraceSpan:
+    if isinstance(trace, Tracer):
+        return trace.finish()
+    return trace
+
+
+def _format_ns(ns: int) -> str:
+    if ns < 1_000:
+        return f"{ns}ns"
+    if ns < 1_000_000:
+        return f"{ns / 1e3:.1f}us"
+    if ns < 1_000_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e9:.2f}s"
+
+
+def _args_text(args: dict) -> str:
+    return " ".join(f"{key}={value}" for key, value in args.items())
+
+
+def render_tree(
+    trace: _Root,
+    *,
+    max_depth: Optional[int] = None,
+    max_children: int = 24,
+    timings: bool = True,
+) -> str:
+    """Indented text tree of the span hierarchy.
+
+    ``max_children`` elides the tail of very wide levels (a fixpoint
+    can apply thousands of rule instances) behind a ``... (+N more)``
+    line; ``max_depth`` truncates deep recursions.
+    """
+    lines: list[str] = []
+
+    def emit(node: Union[TraceSpan, TraceEvent], depth: int) -> None:
+        indent = "  " * depth
+        if max_depth is not None and depth > max_depth:
+            return
+        if node.is_span:
+            clock = f"  {_format_ns(node.duration_ns)}" if timings else ""
+            extra = _args_text(node.args)
+            src = f"  [{node.src.location}]" if node.src is not None else ""
+            label = f" {node.label}" if node.label else ""
+            extra_text = f"  {extra}" if extra else ""
+            lines.append(f"{indent}{node.kind}{label}{clock}{extra_text}{src}")
+            children = node.children
+            shown = children[:max_children]
+            for child in shown:
+                emit(child, depth + 1)
+            if len(children) > len(shown):
+                lines.append(
+                    f"{indent}  ... (+{len(children) - len(shown)} more)"
+                )
+        else:
+            extra = _args_text(node.args)
+            extra_text = f"  {extra}" if extra else ""
+            lines.append(f"{indent}@{node.kind} {node.label}{extra_text}")
+
+    emit(_root_of(trace), 0)
+    return "\n".join(lines)
+
+
+def to_jsonl(
+    trace: _Root,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    redact_timings: bool = False,
+) -> str:
+    """One JSON object per line: spans, events, then a metrics record.
+
+    Span lines: ``{"type": "span", "kind", "label", "depth",
+    "start_us", "dur_us", "src", "args"}``; event lines replace the
+    timing pair with ``"ts_us"``.  With ``redact_timings=True`` all
+    clock fields are 0, making the stream a pure structural record
+    suitable for golden tests.
+    """
+    root = _root_of(trace)
+    origin = root.start_ns
+    lines: list[str] = []
+    for depth, node in walk(root):
+        record: dict[str, object] = {
+            "type": "span" if node.is_span else "event",
+            "kind": node.kind,
+            "label": node.label,
+            "depth": depth,
+        }
+        if node.is_span:
+            record["start_us"] = (
+                0 if redact_timings else round((node.start_ns - origin) / 1e3, 3)
+            )
+            record["dur_us"] = (
+                0 if redact_timings else round(node.duration_ns / 1e3, 3)
+            )
+        else:
+            record["ts_us"] = (
+                0 if redact_timings else round((node.ts_ns - origin) / 1e3, 3)
+            )
+        if node.src is not None:
+            record["src"] = node.src.location
+        if node.args:
+            record["args"] = node.args
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    if metrics is not None:
+        lines.append(
+            json.dumps(
+                {"type": "metrics", "values": metrics.snapshot(zeros=False)},
+                sort_keys=True,
+                default=str,
+            )
+        )
+    return "\n".join(lines)
+
+
+def to_chrome_trace(
+    trace: _Root,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    redact_timings: bool = False,
+) -> dict:
+    """The Chrome ``trace_event`` JSON-object payload.
+
+    Spans become complete events (``ph="X"``) with microsecond ``ts``
+    (relative to the trace start) and ``dur``; instant events become
+    ``ph="i"`` with thread scope.  The metrics snapshot, when given,
+    rides along in ``otherData`` so one file carries the whole profile.
+    """
+    root = _root_of(trace)
+    origin = root.start_ns
+    events: list[dict] = []
+    for _, node in walk(root):
+        args = {str(key): value for key, value in node.args.items()}
+        if node.src is not None:
+            args["src"] = node.src.location
+        name = f"{node.kind}:{node.label}" if node.label else node.kind
+        if node.is_span:
+            events.append(
+                {
+                    "name": name,
+                    "cat": node.kind,
+                    "ph": "X",
+                    "ts": 0 if redact_timings else (node.start_ns - origin) / 1e3,
+                    "dur": 0 if redact_timings else node.duration_ns / 1e3,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": name,
+                    "cat": node.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": 0 if redact_timings else (node.ts_ns - origin) / 1e3,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+    payload: dict = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "hypodatalog"},
+    }
+    if metrics is not None:
+        payload["otherData"]["metrics"] = metrics.snapshot(zeros=False)
+    return payload
+
+
+def write_chrome_trace(
+    path: str,
+    trace: _Root,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    redact_timings: bool = False,
+) -> None:
+    payload = to_chrome_trace(
+        trace, metrics=metrics, redact_timings=redact_timings
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, default=str)
+        handle.write("\n")
+
+
+_PHASE_REQUIRED = {
+    "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid"),
+    "i": ("name", "cat", "ph", "ts", "s", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(payload: object) -> list[str]:
+    """Structural check of a Chrome-trace payload; returns problems.
+
+    An empty list means the payload conforms to the subset of the
+    ``trace_event`` format this package emits (JSON object format,
+    ``X`` and ``i`` phases, numeric timestamps, string names).
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASE_REQUIRED:
+            problems.append(f"{where}.ph must be 'X' or 'i', got {phase!r}")
+            continue
+        for key in _PHASE_REQUIRED[phase]:
+            if key not in event:
+                problems.append(f"{where} missing required key {key!r}")
+        for key in ("name", "cat"):
+            if key in event and not isinstance(event[key], str):
+                problems.append(f"{where}.{key} must be a string")
+        for key in ("ts", "dur"):
+            if key in event and not isinstance(event[key], (int, float)):
+                problems.append(f"{where}.{key} must be a number")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                problems.append(f"{where}.{key} must be an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}.args must be an object")
+    return problems

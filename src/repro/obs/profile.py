@@ -1,0 +1,117 @@
+"""Profiling glue: run one query with tracing on, package the results.
+
+This is what ``hypodatalog profile`` and the REPL's ``:profile``
+command call: build a traced :class:`~repro.engine.query.Session`,
+decide the query, and return a :class:`ProfileReport` bundling the
+answer, the span tree, and the metrics snapshot.  Exporting to a file
+format is the caller's choice (:mod:`repro.obs.export`).
+
+Imported lazily by the CLI/REPL so that merely importing
+:mod:`repro.obs` never pulls in the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..core.ast import Positive, Premise
+from ..core.database import Database
+from ..core.parser import parse_premise
+from ..core.terms import Atom
+from .export import render_tree
+from .metrics import MetricsRegistry
+from .trace import Tracer, TraceSpan
+
+__all__ = ["ProfileReport", "profile_query"]
+
+Query = Union[str, Atom, Premise]
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled query produced."""
+
+    query: str
+    engine_name: str
+    result: Union[bool, set]
+    tracer: Tracer
+    metrics: MetricsRegistry
+    wall_ns: int = 0
+
+    @property
+    def root(self) -> TraceSpan:
+        return self.tracer.root
+
+    def result_text(self) -> str:
+        if isinstance(self.result, bool):
+            return "yes" if self.result else "no"
+        if not self.result:
+            return "no"
+        rows = sorted(self.result, key=str)
+        return "\n".join(
+            ", ".join(str(value) for value in row) for row in rows
+        )
+
+    def render(
+        self, *, max_depth: Optional[int] = None, timings: bool = True
+    ) -> str:
+        """The terminal report: header, span tree, metrics table."""
+        header = (
+            f"profile: {self.query}\n"
+            f"engine:  {self.engine_name}\n"
+            f"answer:  {self.result_text()}\n"
+            f"wall:    {self.wall_ns / 1e6:.2f}ms"
+        )
+        tree = render_tree(self.root, max_depth=max_depth, timings=timings)
+        table = self.metrics.render_table()
+        return (
+            f"{header}\n\n-- spans "
+            + "-" * 32
+            + f"\n{tree}\n\n-- metrics "
+            + "-" * 30
+            + f"\n{table}"
+        )
+
+
+def profile_query(
+    rulebase,
+    db: Database,
+    query: Query,
+    *,
+    engine: str = "auto",
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ProfileReport:
+    """Decide ``query`` at ``db`` with tracing enabled.
+
+    A plain atom pattern with variables is profiled as an ``answers``
+    enumeration (mirroring the REPL's query behaviour); everything
+    else as a yes/no ``ask``.
+    """
+    from ..engine.query import Session
+
+    tracer = tracer if tracer is not None else Tracer()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    session = Session(rulebase, engine, metrics=metrics, tracer=tracer)
+    premise = parse_premise(query) if isinstance(query, str) else query
+    if isinstance(premise, Atom):
+        premise = Positive(premise)
+    text = str(premise)
+    variables = list(dict.fromkeys(premise.variables()))
+    start = tracer._clock()
+    with tracer.span("query", text):
+        if variables and isinstance(premise, Positive):
+            result: Union[bool, set] = session.answers(db, premise.atom)
+        else:
+            result = session.ask(db, premise)
+    wall = tracer._clock() - start
+    tracer.finish()
+    return ProfileReport(
+        query=text,
+        engine_name=session.engine_name,
+        result=result,
+        tracer=tracer,
+        metrics=metrics,
+        wall_ns=wall,
+    )

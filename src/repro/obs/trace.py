@@ -1,0 +1,266 @@
+"""Structured inference tracing: nestable spans over the evaluators.
+
+A :class:`Tracer` records a tree of :class:`TraceSpan` — one per unit
+of inference work (a stratum fixpoint, a rule application, a
+hypothetical sub-derivation, a goal expansion) — plus instant
+:class:`TraceEvent` markers (plan choices, cache outcomes).  Spans
+carry wall-clock nanoseconds, free-form ``args``, and optionally the
+:class:`~repro.core.spans.Span` of the rule or premise that caused the
+work, so trace views can point back at ``file:line:col``.
+
+The span taxonomy (``query`` > ``goal``/``model``/``delta`` >
+``stratum`` > ``rule`` > ``hypothesis`` > ...) is documented in
+``docs/OBSERVABILITY.md``; exporters live in :mod:`repro.obs.export`.
+
+Tracing is **off by default**.  Engines hold :data:`NULL_TRACER`, a
+singleton whose ``span``/``event`` do nothing and allocate nothing —
+``span`` returns one shared context manager, so a disabled hot path
+pays a truthiness test or one no-op call, never an allocation.  Hot
+call sites follow the pattern::
+
+    trace = self._tracer
+    ctx = trace.span("goal", str(goal)) if trace.enabled else NULL_SPAN
+    with ctx:
+        ...
+
+which keeps a single code path while ensuring label formatting only
+happens when a real tracer is attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, Optional, Union
+
+from ..core.spans import Span as SourceSpan
+
+__all__ = [
+    "TraceSpan",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "walk",
+]
+
+
+class TraceSpan:
+    """A timed, nestable unit of work."""
+
+    __slots__ = ("kind", "label", "start_ns", "end_ns", "src", "args", "children")
+
+    def __init__(
+        self,
+        kind: str,
+        label: str = "",
+        start_ns: int = 0,
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.kind = kind
+        self.label = label
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.src = src
+        self.args = args if args is not None else {}
+        self.children: list[Union["TraceSpan", "TraceEvent"]] = []
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def is_span(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSpan({self.kind}:{self.label}, "
+            f"{self.duration_ns / 1e6:.3f}ms, {len(self.children)} children)"
+        )
+
+
+class TraceEvent:
+    """An instant marker attached to the enclosing span."""
+
+    __slots__ = ("kind", "label", "ts_ns", "src", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        label: str = "",
+        ts_ns: int = 0,
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.kind = kind
+        self.label = label
+        self.ts_ns = ts_ns
+        self.src = src
+        self.args = args if args is not None else {}
+
+    @property
+    def is_span(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.kind}:{self.label})"
+
+
+class _SpanContext:
+    """Context manager opening one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_kind", "_label", "_src", "_args", "_span")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        kind: str,
+        label: str,
+        src: Optional[SourceSpan],
+        args: Optional[dict],
+    ) -> None:
+        self._tracer = tracer
+        self._kind = kind
+        self._label = label
+        self._src = src
+        self._args = args
+
+    def __enter__(self) -> TraceSpan:
+        tracer = self._tracer
+        span = TraceSpan(
+            self._kind, self._label, tracer._clock(), self._src, self._args
+        )
+        tracer._stack[-1].children.append(span)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        self._span.end_ns = tracer._clock()
+        # Pop back to this span even if a nested span leaked open
+        # (e.g. a generator abandoned mid-iteration).
+        stack = tracer._stack
+        while len(stack) > 1 and stack[-1] is not self._span:
+            stack[-1].end_ns = self._span.end_ns
+            stack.pop()
+        if len(stack) > 1:
+            stack.pop()
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager: ``NULL_TRACER.span(...)`` and
+    the ``NULL_SPAN`` fast-path constant both resolve to one instance,
+    so disabled tracing performs no per-call allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Records a span tree; one per profiled run.
+
+    ``clock`` is injectable (nanosecond callable) so tests can produce
+    deterministic timings; it defaults to :func:`time.perf_counter_ns`.
+    """
+
+    enabled = True
+
+    def __init__(self, *, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self.root = TraceSpan("trace", "session", clock())
+        self._stack: list[TraceSpan] = [self.root]
+
+    def span(
+        self,
+        kind: str,
+        label: str = "",
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> _SpanContext:
+        """Open a nested span: ``with tracer.span("rule", "grad") as sp:``."""
+        return _SpanContext(self, kind, label, src, args)
+
+    def event(
+        self,
+        kind: str,
+        label: str = "",
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Attach an instant event to the currently open span."""
+        self._stack[-1].children.append(
+            TraceEvent(kind, label, self._clock(), src, args)
+        )
+
+    @property
+    def current(self) -> TraceSpan:
+        return self._stack[-1]
+
+    def finish(self) -> TraceSpan:
+        """Close any open spans (including the root) and return the root."""
+        now = self._clock()
+        while len(self._stack) > 1:
+            self._stack[-1].end_ns = now
+            self._stack.pop()
+        if self.root.end_ns is None:
+            self.root.end_ns = now
+        return self.root
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so call sites can skip label formatting;
+    ``span`` returns the shared :data:`NULL_SPAN` context manager.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(
+        self,
+        kind: str,
+        label: str = "",
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> _NullSpanContext:
+        return NULL_SPAN
+
+    def event(
+        self,
+        kind: str,
+        label: str = "",
+        src: Optional[SourceSpan] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def walk(
+    node: Union[TraceSpan, TraceEvent], depth: int = 0
+) -> Iterator[tuple[int, Union[TraceSpan, TraceEvent]]]:
+    """Depth-first traversal yielding ``(depth, node)`` pairs."""
+    yield depth, node
+    if node.is_span:
+        for child in node.children:  # type: ignore[union-attr]
+            yield from walk(child, depth + 1)

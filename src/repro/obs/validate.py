@@ -1,0 +1,45 @@
+"""Validate emitted Chrome-trace files: ``python -m repro.obs.validate FILE...``.
+
+Exit status 0 when every file conforms to the subset of the
+``trace_event`` format :mod:`repro.obs.export` emits, 1 when any file
+has structural problems, 2 on unreadable/unparseable input.  Used by
+the CI profile smoke step to gate the ``hypodatalog profile`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional, Sequence
+
+from .export import validate_chrome_trace
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print(__doc__)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{path}: unreadable: {error}", file=sys.stderr)
+            return 2
+        problems = validate_chrome_trace(payload)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            events = len(payload.get("traceEvents", []))
+            print(f"{path}: ok ({events} events)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

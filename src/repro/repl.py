@@ -18,6 +18,8 @@ The loop accepts three kinds of input:
       :check [FORMAT]   full diagnostics; FORMAT: text | json | sarif
       :engine NAME      auto | prove | topdown | model
       :explain QUERY    print a derivation
+      :profile QUERY    run one query traced; print spans + metrics
+      :stats [reset]    cumulative engine metrics for this session
       :load FILE        add rules from a file
       :db FILE          add facts from a file
       :reset            drop all rules and facts
@@ -59,10 +61,16 @@ class Repl:
         db: Optional[Database] = None,
         engine: str = "auto",
     ) -> None:
+        from .obs.metrics import MetricsRegistry
+
         self._rulebase = rulebase if rulebase is not None else Rulebase()
         self._db = db if db is not None else Database()
         self._engine_choice = engine
         self._session: Optional[Session] = None
+        # One registry for the whole sitting: sessions are rebuilt after
+        # every rulebase change, but their counters land here, so
+        # ``:stats`` reports cumulative work.
+        self._metrics = MetricsRegistry()
         self.done = False
 
     # -- state ----------------------------------------------------------
@@ -80,7 +88,9 @@ class Repl:
 
     def _require_session(self) -> Session:
         if self._session is None:
-            self._session = Session(self._rulebase, self._engine_choice)
+            self._session = Session(
+                self._rulebase, self._engine_choice, metrics=self._metrics
+            )
         return self._session
 
     # -- the loop body ----------------------------------------------------
@@ -178,6 +188,25 @@ class Repl:
 
             proof = Explainer(self._rulebase).explain(self._db, argument.rstrip("."))
             return format_proof(proof) if proof is not None else "not provable"
+        if name == "profile":
+            if not argument:
+                return "error: usage: :profile QUERY"
+            from .obs.profile import profile_query
+
+            report = profile_query(
+                self._rulebase,
+                self._db,
+                argument.rstrip("."),
+                engine=self._engine_choice,
+            )
+            return report.render()
+        if name == "stats":
+            if argument == "reset":
+                self._metrics.reset()
+                return "metrics reset"
+            if argument:
+                return "error: usage: :stats [reset]"
+            return self._metrics.render_table()
         if name == "load":
             with open(argument, encoding="utf-8") as handle:
                 self._rulebase = self._rulebase + parse_program(handle.read()).rules

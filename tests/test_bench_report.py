@@ -64,3 +64,60 @@ class TestReport:
         path.write_text(json.dumps({"benchmarks": []}))
         assert report.main(str(path)) == 0
         assert capsys.readouterr().out == ""
+
+    def test_missing_extra_info_annotated(self, sample_json, capsys):
+        """A benchmark without parameters says so instead of a blank."""
+        report.main(sample_json)
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "test_x[3]" in l)
+        assert "(unparameterized)" in line
+
+    def test_nested_extra_info_summarized(self, tmp_path, capsys):
+        payload = {
+            "benchmarks": [
+                {
+                    "fullname": "benchmarks/bench_a.py::test_m",
+                    "stats": {"median": 0.1},
+                    "extra_info": {"metrics": {"prove.sigma_goals": 4, "x": 1}},
+                }
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        report.main(str(path))
+        assert "metrics[2]" in capsys.readouterr().out
+
+
+class TestMerge:
+    def test_merge_creates_and_appends(self, sample_json, tmp_path, capsys):
+        merged_path = tmp_path / "BENCH_ALL.json"
+        assert report.main(sample_json, merge_into=str(merged_path)) == 0
+        assert report.main(sample_json, merge_into=str(merged_path)) == 0
+        merged = json.loads(merged_path.read_text())
+        assert len(merged["runs"]) == 2
+        run = merged["runs"][0]
+        assert run["source"] == sample_json
+        names = [bench["fullname"] for bench in run["benchmarks"]]
+        assert "benchmarks/bench_e1_chain.py::test_chain[8]" in names
+
+    def test_merge_preserves_extra_info(self, sample_json, tmp_path):
+        merged_path = tmp_path / "BENCH_ALL.json"
+        report.merge_runs(
+            json.loads(Path(sample_json).read_text()),
+            sample_json,
+            str(merged_path),
+        )
+        merged = json.loads(merged_path.read_text())
+        by_name = {
+            bench["fullname"]: bench
+            for bench in merged["runs"][0]["benchmarks"]
+        }
+        chain8 = by_name["benchmarks/bench_e1_chain.py::test_chain[8]"]
+        assert chain8["extra_info"] == {"chain_length": 8, "sigma_goals": 19}
+        assert chain8["median"] == 0.00042
+
+    def test_merge_tolerates_corrupt_target(self, sample_json, tmp_path):
+        merged_path = tmp_path / "BENCH_ALL.json"
+        merged_path.write_text("not json {")
+        assert report.main(sample_json, merge_into=str(merged_path)) == 0
+        assert len(json.loads(merged_path.read_text())["runs"]) == 1

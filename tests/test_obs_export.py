@@ -1,0 +1,152 @@
+"""Tests for trace exporters (repro.obs.export)."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.spans import Span
+from repro.obs.export import (
+    render_tree,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    ticker = itertools.count(0, 1000)
+    tracer = Tracer(clock=lambda: next(ticker))
+    src = Span(3, 1, source="rules.dl")
+    with tracer.span("goal", "p(a)", args={"stratum": 1}):
+        with tracer.span("rule", "p", src=src):
+            tracer.event("plan", "q r", args={"order": [{"predicate": "q"}]})
+    tracer.finish()
+    return tracer
+
+
+class TestRenderTree:
+    def test_basic_shape(self, tracer):
+        text = render_tree(tracer.root)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace session")
+        assert "goal p(a)" in lines[1] and "stratum=1" in lines[1]
+        assert "[rules.dl:3:1]" in lines[2]
+        assert lines[3].lstrip().startswith("@plan q r")
+
+    def test_timings_toggle(self, tracer):
+        assert "us" in render_tree(tracer.root)
+        assert "us" not in render_tree(tracer.root, timings=False)
+
+    def test_max_depth(self, tracer):
+        text = render_tree(tracer.root, max_depth=1)
+        assert "goal p(a)" in text and "@plan" not in text
+
+    def test_wide_level_elided(self):
+        tracer = Tracer(clock=lambda: 0)
+        with tracer.span("stratum", "0"):
+            for index in range(30):
+                with tracer.span("rule", f"r{index}"):
+                    pass
+        text = render_tree(tracer.finish(), max_children=24)
+        assert "... (+6 more)" in text
+
+
+class TestJsonl:
+    def test_structure(self, tracer):
+        registry = MetricsRegistry()
+        registry.counter("prove.sigma_goals").inc(2)
+        lines = [
+            json.loads(line)
+            for line in to_jsonl(tracer.root, metrics=registry).splitlines()
+        ]
+        assert [record["type"] for record in lines] == [
+            "span",
+            "span",
+            "span",
+            "event",
+            "metrics",
+        ]
+        goal = lines[1]
+        assert goal["kind"] == "goal" and goal["depth"] == 1
+        assert lines[2]["src"] == "rules.dl:3:1"
+        assert lines[-1]["values"] == {"prove.sigma_goals": 2}
+
+    def test_redact_timings(self, tracer):
+        lines = [
+            json.loads(line)
+            for line in to_jsonl(tracer.root, redact_timings=True).splitlines()
+        ]
+        for record in lines:
+            for key in ("start_us", "dur_us", "ts_us"):
+                if key in record:
+                    assert record[key] == 0
+
+    def test_unredacted_timings_nonzero(self, tracer):
+        lines = [
+            json.loads(line) for line in to_jsonl(tracer.root).splitlines()
+        ]
+        assert any(record.get("dur_us") for record in lines)
+
+
+class TestChromeTrace:
+    def test_valid_payload(self, tracer):
+        payload = to_chrome_trace(tracer.root)
+        assert validate_chrome_trace(payload) == []
+        phases = [event["ph"] for event in payload["traceEvents"]]
+        assert phases == ["X", "X", "X", "i"]
+        assert payload["otherData"]["generator"] == "hypodatalog"
+
+    def test_names_and_src(self, tracer):
+        events = to_chrome_trace(tracer.root)["traceEvents"]
+        assert events[1]["name"] == "goal:p(a)"
+        assert events[2]["args"]["src"] == "rules.dl:3:1"
+
+    def test_metrics_ride_along(self, tracer):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        payload = to_chrome_trace(tracer.root, metrics=registry)
+        assert payload["otherData"]["metrics"] == {"c": 1}
+
+    def test_write_roundtrip(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer.root)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_accepts_tracer_directly(self, tracer):
+        assert validate_chrome_trace(to_chrome_trace(tracer)) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_rejects_bad_phase(self):
+        payload = {"traceEvents": [{"ph": "B", "name": "x"}]}
+        problems = validate_chrome_trace(payload)
+        assert any("ph must be" in problem for problem in problems)
+
+    def test_rejects_missing_keys(self):
+        payload = {"traceEvents": [{"ph": "X", "name": "x"}]}
+        problems = validate_chrome_trace(payload)
+        assert any("missing required key" in problem for problem in problems)
+
+    def test_rejects_bad_types(self):
+        event = {
+            "ph": "X",
+            "name": 7,
+            "cat": "goal",
+            "ts": "soon",
+            "dur": 1,
+            "pid": 1.5,
+            "tid": 1,
+            "args": [],
+        }
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert len(problems) >= 4

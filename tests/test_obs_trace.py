@@ -1,0 +1,128 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import itertools
+
+from repro.core.database import Database
+from repro.core.parser import parse_program
+from repro.engine.prove import LinearStratifiedProver
+from repro.engine.topdown import TopDownEngine
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Tracer, walk
+
+
+def fake_clock(step: int = 100):
+    """A deterministic nanosecond clock advancing ``step`` per call."""
+    ticker = itertools.count(0, step)
+    return lambda: next(ticker)
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("goal", "p(a)"):
+            with tracer.span("rule", "p"):
+                pass
+            tracer.event("plan", "q r")
+        root = tracer.finish()
+        (goal,) = root.children
+        assert goal.kind == "goal" and goal.label == "p(a)"
+        rule, plan = goal.children
+        assert rule.is_span and rule.kind == "rule"
+        assert not plan.is_span and plan.kind == "plan"
+
+    def test_deterministic_clock(self):
+        tracer = Tracer(clock=fake_clock(100))
+        with tracer.span("a"):
+            pass
+        root = tracer.finish()
+        (span,) = root.children
+        assert span.start_ns == 100
+        assert span.duration_ns == 100
+
+    def test_finish_closes_leaked_spans(self):
+        tracer = Tracer(clock=fake_clock())
+        context = tracer.span("goal", "leaked")
+        context.__enter__()  # never exited — e.g. abandoned generator
+        root = tracer.finish()
+        assert root.end_ns is not None
+        assert root.children[0].end_ns is not None
+
+    def test_exit_pops_past_leaked_children(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer"):
+            tracer.span("inner").__enter__()  # leaked
+        root = tracer.finish()
+        (outer,) = root.children
+        (inner,) = outer.children
+        assert inner.end_ns == outer.end_ns
+
+    def test_walk_depths(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("e")
+        nodes = list(walk(tracer.finish()))
+        assert [(depth, node.kind) for depth, node in nodes] == [
+            (0, "trace"),
+            (1, "a"),
+            (2, "b"),
+            (3, "e"),
+        ]
+
+    def test_current_property(self):
+        tracer = Tracer(clock=fake_clock())
+        assert tracer.current is tracer.root
+        with tracer.span("a") as span:
+            assert tracer.current is span
+
+
+class TestNullTracer:
+    def test_disabled_and_allocation_free(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(clock=fake_clock()).enabled is True
+        # span() returns one shared context manager — no allocation.
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+        assert NULL_TRACER.span("x") is NULL_SPAN
+
+    def test_noop_protocol(self):
+        with NULL_TRACER.span("goal", "p"):
+            NULL_TRACER.event("plan")
+        assert NULL_TRACER.finish() is None
+
+    def test_slots(self):
+        assert not hasattr(NullTracer(), "__dict__")
+
+
+class TestOverheadParity:
+    """Counters are tracer-independent: a traced run and an untraced
+    run of the same workload must produce identical metric deltas (the
+    ISSUE's disabled-overhead guarantee, checked on counters)."""
+
+    RULES = """
+    grad(S) :- take(S, cs452), take(S, cs312).
+    elig(S) :- grad(S)[add: take(S, cs312)].
+    """
+
+    def _run(self, engine_cls, tracer):
+        rulebase = parse_program(self.RULES)
+        db = Database.from_relations({"take": [("tony", "cs452")]})
+        engine = engine_cls(rulebase, tracer=tracer)
+        engine.ask(db, "elig(tony)")
+        return engine.metrics.snapshot()
+
+    def test_prove_counters_identical(self):
+        assert self._run(LinearStratifiedProver, None) == self._run(
+            LinearStratifiedProver, Tracer()
+        )
+
+    def test_topdown_counters_identical(self):
+        assert self._run(TopDownEngine, None) == self._run(
+            TopDownEngine, Tracer()
+        )
+
+    def test_traced_run_produced_spans(self):
+        tracer = Tracer()
+        self_rules = parse_program(self.RULES)
+        prover = LinearStratifiedProver(self_rules, tracer=tracer)
+        prover.ask(Database.from_relations({"take": [("tony", "cs452")]}), "elig(tony)")
+        kinds = {node.kind for _, node in walk(tracer.finish())}
+        assert "goal" in kinds and "hypothesis" in kinds
