@@ -1,0 +1,126 @@
+"""E18 — differential evaluation: semi-naive strata + lattice reuse.
+
+PR 3 replaced the model engine's naive per-stratum fixpoints with
+delta-driven (semi-naive) iteration and added lattice model reuse
+(children of ``model(DB + {B...})`` seed from the parent's monotone
+prefix).  This bench pins the two claims that justify the machinery:
+
+* **strictly fewer firings** — on the E4 parity lattice (|A| = 6) and
+  the E5 Hamiltonian workload (n = 7) the differential engine fires
+  strictly fewer rule instances than the naive engine while producing
+  the *identical* perfect model;
+* **the lattice is reused** — ``model.models_seeded`` > 0 on the
+  parity lattice (children enter the incremental path), and on a
+  negation-free workload (graduation, Example 2) the children inherit
+  actual derived atoms (``model.atoms_seeded`` total > 0).
+
+All shape assertions are on deterministic counters, never wall-clock,
+so this file doubles as the CI perf guard (run with
+``--benchmark-disable``).  Timing series ride along for the
+BENCH_*.json record.
+"""
+
+import pytest
+
+from repro.bench.workloads import random_graph
+from repro.engine.model import PerfectModelEngine
+from repro.library import (
+    graduation_db,
+    graduation_rulebase,
+    graph_db,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+    parity_db,
+    parity_rulebase,
+)
+
+SEED = 2026
+PARITY_SIZES = [4, 6]
+HAMILTONIAN_SIZES = [5, 7]
+
+VARIANTS = {
+    "naive": dict(strategy="naive", reuse_models=False),
+    "seminaive": dict(strategy="seminaive", reuse_models=False),
+    "differential": dict(strategy="seminaive", reuse_models=True),
+}
+
+
+def _parity_instance(size):
+    return parity_rulebase(), parity_db([f"x{index}" for index in range(size)])
+
+
+def _hamiltonian_instance(n):
+    nodes, edges = random_graph(n, 0.5, SEED + n)
+    return hamiltonian_rulebase(), graph_db(nodes, edges), has_hamiltonian_path(nodes, edges)
+
+
+def _firings(engine):
+    return engine.metrics.counter("model.rule_firings").value
+
+
+@pytest.mark.parametrize("size", PARITY_SIZES)
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_parity_timing(benchmark, attach_metrics, variant, size):
+    rulebase, db = _parity_instance(size)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, **VARIANTS[variant])
+        assert engine.ask(db, "even") is (size % 2 == 0)
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["variant"] = variant
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("n", HAMILTONIAN_SIZES)
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_hamiltonian_timing(benchmark, attach_metrics, variant, n):
+    rulebase, db, expected = _hamiltonian_instance(n)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, **VARIANTS[variant])
+        assert engine.ask(db, "yes") is expected
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["variant"] = variant
+    attach_metrics(benchmark, engine.metrics)
+
+
+def test_parity_differential_fires_strictly_fewer_rules():
+    """Acceptance criterion: on |A| = 6 the differential engine fires
+    strictly fewer rules than naive, agrees with it exactly, and enters
+    the incremental (seeded) path on the subset lattice."""
+    rulebase, db = _parity_instance(6)
+    naive = PerfectModelEngine(rulebase, **VARIANTS["naive"])
+    differential = PerfectModelEngine(rulebase, **VARIANTS["differential"])
+    assert differential.model(db) == naive.model(db)
+    assert _firings(differential) < _firings(naive)
+    assert differential.metrics.counter("model.models_seeded").value > 0
+
+
+def test_hamiltonian_differential_fires_strictly_fewer_rules():
+    """Acceptance criterion: on n = 7 the differential engine fires
+    strictly fewer rules than naive and matches the Held-Karp oracle."""
+    rulebase, db, expected = _hamiltonian_instance(7)
+    naive = PerfectModelEngine(rulebase, **VARIANTS["naive"])
+    differential = PerfectModelEngine(rulebase, **VARIANTS["differential"])
+    assert naive.ask(db, "yes") is expected
+    assert differential.ask(db, "yes") is expected
+    assert differential.model(db) == naive.model(db)
+    assert _firings(differential) < _firings(naive)
+
+
+def test_monotone_workload_inherits_derived_atoms():
+    """On the negation-free graduation rulebase (Example 2), lattice
+    reuse inherits real derived atoms, not just the incremental path."""
+    engine = PerfectModelEngine(graduation_rulebase(), **VARIANTS["differential"])
+    assert engine.answers(graduation_db(), "within_one(S)") == {
+        ("tony",),
+        ("sue",),
+    }
+    assert engine.metrics.counter("model.models_seeded").value > 0
+    assert engine.metrics.histogram("model.atoms_seeded").total > 0

@@ -15,6 +15,7 @@ from .diagnostics import (
 )
 from .lint import LintFinding, lint
 from .modes import ModeReport, RuleDataflow, adorn, analyze_modes, rule_dataflow
+from .monotone import is_add_monotone, monotone_layer_prefix
 from .planner import (
     cost_aware_positive_order,
     estimate_matches,
@@ -51,6 +52,8 @@ __all__ = [
     "is_linear_ruleset",
     "nonlinear_rules",
     "negation_strata",
+    "is_add_monotone",
+    "monotone_layer_prefix",
     "LinearStratification",
     "linear_stratification",
     "h_stratification",

@@ -1,0 +1,54 @@
+"""Monotonicity analysis for lattice model reuse.
+
+Definition 3's inference rules are *monotone in the database* for the
+add-only, negation-free fragment: if ``DB ⊆ DB'`` then every atom
+derivable at ``DB`` is derivable at ``DB'`` (adding facts can only
+enable more rule instances, and hypothetical premises ``A[add: B...]``
+quantify over supersets either way).  Negation-by-failure breaks this —
+Example 6's ``select(X) :- a(X), ~b(X)`` *shrinks* when ``b`` grows —
+and hypothetical deletions break it trivially.
+
+The model engine exploits monotonicity to seed a child fixpoint
+``model(DB + {B...})`` with atoms already derived at the parent: that
+is sound exactly for the strata whose rules (and hence, by the
+topological order of :func:`~repro.analysis.stratify.negation_strata`,
+everything they can read) are negation-free.  Because the strata are
+listed bottom-up, the negation-free strata form a *prefix* of the
+list; :func:`monotone_layer_prefix` measures it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.ast import Negated, Rule, Rulebase
+
+__all__ = ["is_add_monotone", "monotone_layer_prefix"]
+
+
+def is_add_monotone(rulebase: Rulebase) -> bool:
+    """True iff derivability under this rulebase is provably monotone
+    in the database: no negation, no hypothetical deletions."""
+    return not rulebase.has_negation() and not rulebase.has_deletions()
+
+
+def monotone_layer_prefix(layer_rules: Sequence[Sequence[Rule]]) -> int:
+    """How many leading strata are provably monotone in the database.
+
+    ``layer_rules`` is the per-stratum rule partition in the bottom-up
+    order produced by :func:`~repro.analysis.stratify.negation_strata`.
+    A stratum is in the prefix iff no rule of it (or of any stratum
+    below it) has a negated premise; atoms of prefix strata derived at
+    ``DB`` therefore remain derivable at every ``DB' ⊇ DB``.  Deletions
+    are the caller's concern (the model engine rejects them outright).
+    """
+    prefix = 0
+    for rules in layer_rules:
+        if any(
+            isinstance(premise, Negated)
+            for item in rules
+            for premise in item.body
+        ):
+            break
+        prefix += 1
+    return prefix

@@ -5,42 +5,96 @@ inference rule for hypothetical premises evaluates ``R, DB + {B} |- A``,
 so databases must support cheap functional extension (``DB + {B}``) and
 must be hashable so evaluation results can be memoized per database.
 
-:class:`Database` wraps a frozenset of ground :class:`~repro.core.terms.Atom`
-objects and precomputes a per-predicate index (predicate -> set of
-argument tuples) used by the join machinery in the engines.
+Storage is the per-predicate index itself (predicate -> frozenset of
+argument tuples); the flat ``facts`` frozenset is materialized lazily.
+Functional updates are copy-on-write: :meth:`with_facts` shares the
+frozensets of untouched predicates with its parent and only validates
+the *new* atoms, so extending a database costs O(|additions|) plus the
+touched relations rather than O(|DB|).  The hash is maintained
+incrementally with an order-independent (XOR-combined) element hash,
+which is what makes hypothetical evaluation's ``DB + {B}`` memo keys
+cheap along lattice paths.
+
+Pattern matching carries a ground fast path (set membership) and lazy
+per-(predicate, argument-position) hash maps used to narrow candidate
+rows when the pattern has bound positions.
 """
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from .errors import ValidationError
-from .terms import Atom, Constant, Term
+from .terms import Atom, Constant, Term, Variable
 from .unify import Substitution, match_args
 
 __all__ = ["Database"]
 
 _Payload = Union[str, int]
 
+_HASH_MASK = (1 << 64) - 1
+
+# Below this relation size a linear scan beats building position maps.
+_INDEX_MIN_ROWS = 8
+
+
+def _element_hash(predicate: str, args: tuple[Term, ...]) -> int:
+    """Order-independent per-fact hash contribution.
+
+    XOR-combining these is commutative and self-inverse, so the
+    database hash can be updated incrementally on both addition and
+    removal.  The raw hash is bit-mixed first so that structurally
+    close facts do not cancel each other out under XOR.
+    """
+    raw = hash((predicate, args))
+    raw ^= (raw >> 23) & _HASH_MASK
+    return (raw * 0x9E3779B97F4A7C15) & _HASH_MASK
+
 
 class Database:
     """A finite set of ground facts, immutable and hashable."""
 
-    __slots__ = ("_facts", "_index", "_hash")
+    __slots__ = ("_index", "_size", "_xor", "_hash", "_facts", "_maps")
 
     def __init__(self, facts: Iterable[Atom] = ()):
-        collected = frozenset(facts)
-        for item in collected:
+        index: dict[str, set[tuple[Term, ...]]] = {}
+        acc = 0
+        size = 0
+        for item in facts:
             if not item.is_ground:
                 raise ValidationError(f"database fact {item} is not ground")
-        self._facts: frozenset[Atom] = collected
-        index: dict[str, set[tuple[Term, ...]]] = {}
-        for item in collected:
-            index.setdefault(item.predicate, set()).add(item.args)
+            rows = index.setdefault(item.predicate, set())
+            if item.args not in rows:
+                rows.add(item.args)
+                size += 1
+                acc ^= _element_hash(item.predicate, item.args)
         self._index: dict[str, frozenset[tuple[Term, ...]]] = {
             predicate: frozenset(rows) for predicate, rows in index.items()
         }
+        self._size = size
+        self._xor = acc
         self._hash: int | None = None
+        self._facts: frozenset[Atom] | None = None
+        self._maps: dict[str, list[dict[Term, list[tuple[Term, ...]]]]] = {}
+
+    @classmethod
+    def _from_index(
+        cls,
+        index: dict[str, frozenset[tuple[Term, ...]]],
+        size: int,
+        acc: int,
+    ) -> "Database":
+        """Internal constructor for derived databases (index pre-built,
+        every row already validated by the database it came from)."""
+        db = cls.__new__(cls)
+        db._index = index
+        db._size = size
+        db._xor = acc
+        db._hash = None
+        db._facts = None
+        db._maps = {}
+        return db
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -77,32 +131,49 @@ class Database:
 
     @property
     def facts(self) -> frozenset[Atom]:
-        return self._facts
+        cached = self._facts
+        if cached is None:
+            cached = self._facts = frozenset(
+                Atom(predicate, args)
+                for predicate, rows in self._index.items()
+                for args in rows
+            )
+        return cached
 
     def __contains__(self, item: Atom) -> bool:
-        return item in self._facts
+        rows = self._index.get(item.predicate)
+        return rows is not None and item.args in rows
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._facts)
+        for predicate, rows in self._index.items():
+            for args in rows:
+                yield Atom(predicate, args)
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return self._size
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
-        return self._facts == other._facts
+        return self._size == other._size and self._index == other._index
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(self._facts)
+            self._hash = hash((self._size, self._xor))
         return self._hash
 
     def __le__(self, other: "Database") -> bool:
-        return self._facts <= other._facts
+        if self._size > other._size:
+            return False
+        other_index = other._index
+        for predicate, rows in self._index.items():
+            other_rows = other_index.get(predicate)
+            if other_rows is None or not rows <= other_rows:
+                return False
+        return True
 
     def __lt__(self, other: "Database") -> bool:
-        return self._facts < other._facts
+        return self._size < other._size and self <= other
 
     # ------------------------------------------------------------------
     # Functional updates (the ``DB + {B}`` of Definition 3)
@@ -113,12 +184,35 @@ class Database:
 
         Returns ``self`` itself when every addition is already present,
         which keeps memo tables small: the hypothetical inference rule
-        frequently re-adds facts that are already there.
+        frequently re-adds facts that are already there.  Only the
+        genuinely new atoms are validated; untouched relations are
+        shared with the parent database.
         """
-        new = [item for item in additions if item not in self._facts]
-        if not new:
+        fresh: dict[str, set[tuple[Term, ...]]] = {}
+        index = self._index
+        acc = 0
+        added = 0
+        for item in additions:
+            rows = index.get(item.predicate)
+            if rows is not None and item.args in rows:
+                continue
+            bucket = fresh.setdefault(item.predicate, set())
+            if item.args in bucket:
+                continue
+            if not item.is_ground:
+                raise ValidationError(f"database fact {item} is not ground")
+            bucket.add(item.args)
+            added += 1
+            acc ^= _element_hash(item.predicate, item.args)
+        if not added:
             return self
-        return Database(self._facts.union(new))
+        new_index = dict(index)
+        for predicate, bucket in fresh.items():
+            old = index.get(predicate)
+            new_index[predicate] = (
+                frozenset(bucket) if old is None else old | bucket
+            )
+        return Database._from_index(new_index, self._size + added, self._xor ^ acc)
 
     def without_facts(self, *removals: Atom) -> "Database":
         """Return ``self - {removals}``; ``self`` is unchanged.
@@ -126,24 +220,61 @@ class Database:
         Supports the hypothetical-deletion extension (``A[del: B]``).
         Returns ``self`` itself when nothing named is present.
         """
-        present = [item for item in removals if item in self._facts]
-        if not present:
+        dropped: dict[str, set[tuple[Term, ...]]] = {}
+        removed = 0
+        acc = 0
+        for item in removals:
+            rows = self._index.get(item.predicate)
+            if rows is None or item.args not in rows:
+                continue
+            bucket = dropped.setdefault(item.predicate, set())
+            if item.args in bucket:
+                continue
+            bucket.add(item.args)
+            removed += 1
+            acc ^= _element_hash(item.predicate, item.args)
+        if not removed:
             return self
-        return Database(self._facts.difference(present))
+        new_index = dict(self._index)
+        for predicate, bucket in dropped.items():
+            remaining = new_index[predicate] - bucket
+            if remaining:
+                new_index[predicate] = remaining
+            else:
+                del new_index[predicate]
+        return Database._from_index(
+            new_index, self._size - removed, self._xor ^ acc
+        )
 
     def union(self, other: "Database") -> "Database":
         """Set union of two databases."""
-        if other._facts <= self._facts:
+        if other._size == 0 or other <= self:
             return self
-        return Database(self._facts | other._facts)
+        merged = dict(self._index)
+        acc = self._xor
+        size = self._size
+        for predicate, rows in other._index.items():
+            mine = merged.get(predicate)
+            new_rows = rows if mine is None else rows - mine
+            if not new_rows:
+                continue
+            merged[predicate] = new_rows if mine is None else mine | new_rows
+            size += len(new_rows)
+            for args in new_rows:
+                acc ^= _element_hash(predicate, args)
+        return Database._from_index(merged, size, acc)
 
     def without_predicate(self, predicate: str) -> "Database":
         """Return a copy with every fact of ``predicate`` removed."""
-        if predicate not in self._index:
+        rows = self._index.get(predicate)
+        if rows is None:
             return self
-        return Database(
-            item for item in self._facts if item.predicate != predicate
-        )
+        acc = self._xor
+        for args in rows:
+            acc ^= _element_hash(predicate, args)
+        new_index = dict(self._index)
+        del new_index[predicate]
+        return Database._from_index(new_index, self._size - len(rows), acc)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -161,6 +292,16 @@ class Database:
         """The set of argument tuples stored under ``predicate``."""
         return self._index.get(predicate, frozenset())
 
+    def relations(self) -> Mapping[str, frozenset[tuple[Term, ...]]]:
+        """Read-only view of the whole per-predicate index.
+
+        :class:`~repro.engine.interpretation.Interpretation` adopts this
+        view wholesale when constructed from a database, so building an
+        interpretation over a database is O(#predicates) regardless of
+        how many facts it holds.
+        """
+        return MappingProxyType(self._index)
+
     def rows(self, predicate: str) -> set[tuple[_Payload, ...]]:
         """The relation as plain Python payload tuples.
 
@@ -172,6 +313,26 @@ class Database:
             for args in self.relation(predicate)
         }
 
+    def _position_maps(
+        self, predicate: str
+    ) -> list[dict[Term, list[tuple[Term, ...]]]]:
+        """Lazy per-argument-position maps ``constant -> rows``.
+
+        Sized to the largest arity stored under the predicate; rows
+        shorter than a position simply do not appear in that position's
+        map, which is correct because matching requires equal arity.
+        """
+        maps = self._maps.get(predicate)
+        if maps is None:
+            maps = []
+            for args in self._index.get(predicate, ()):
+                if len(args) > len(maps):
+                    maps.extend({} for _ in range(len(args) - len(maps)))
+                for position, value in enumerate(args):
+                    maps[position].setdefault(value, []).append(args)
+            self._maps[predicate] = maps
+        return maps
+
     def matches(
         self, pattern: Atom, binding: Optional[Substitution] = None
     ) -> Iterator[Substitution]:
@@ -179,13 +340,38 @@ class Database:
 
         Mirrors :meth:`repro.engine.interpretation.Interpretation.matches`
         so engines can join rule premises directly against the stored
-        facts.
+        facts.  Ground patterns are decided by set membership; patterns
+        with bound positions probe the position maps and scan only the
+        narrowest candidate list.
         """
         rows = self._index.get(pattern.predicate)
         if not rows:
             return
         pattern_args = pattern.substitute(binding).args if binding else pattern.args
-        for ground_args in rows:
+        bound = [
+            (position, value)
+            for position, value in enumerate(pattern_args)
+            if not isinstance(value, Variable)
+        ]
+        if len(bound) == len(pattern_args):
+            if pattern_args in rows:
+                yield dict(binding) if binding else {}
+            return
+        candidates: Iterable[tuple[Term, ...]] = rows
+        if bound and len(rows) >= _INDEX_MIN_ROWS:
+            maps = self._position_maps(pattern.predicate)
+            best: Optional[list[tuple[Term, ...]]] = None
+            for position, value in bound:
+                if position >= len(maps):
+                    return
+                found = maps[position].get(value)
+                if found is None:
+                    return
+                if best is None or len(found) < len(best):
+                    best = found
+            if best is not None:
+                candidates = best
+        for ground_args in candidates:
             extended = match_args(pattern_args, ground_args, binding)
             if extended is not None:
                 yield extended
@@ -201,8 +387,9 @@ class Database:
     def constants(self) -> frozenset[Constant]:
         """Every constant appearing in some fact."""
         found: set[Constant] = set()
-        for item in self._facts:
-            found.update(item.constants())
+        for rows in self._index.values():
+            for args in rows:
+                found.update(args)  # type: ignore[arg-type]
         return frozenset(found)
 
     def rename(self, mapping: Mapping[_Payload, _Payload]) -> "Database":
@@ -213,7 +400,7 @@ class Database:
         way.  Payloads absent from ``mapping`` are left unchanged.
         """
         renamed = []
-        for item in self._facts:
+        for item in self:
             args = tuple(
                 Constant(mapping.get(arg.value, arg.value))  # type: ignore[union-attr]
                 for arg in item.args
@@ -222,8 +409,8 @@ class Database:
         return Database(renamed)
 
     def __str__(self) -> str:
-        ordered = sorted(self._facts, key=lambda item: (item.predicate, str(item)))
+        ordered = sorted(self, key=lambda item: (item.predicate, str(item)))
         return "\n".join(f"{item}." for item in ordered)
 
     def __repr__(self) -> str:
-        return f"Database({len(self._facts)} facts)"
+        return f"Database({self._size} facts)"

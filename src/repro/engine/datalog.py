@@ -8,7 +8,10 @@ closure).
 
 Both evaluators accept only rules whose premises are all positive; the
 richer layers (stratified negation, hypothetical premises) live in
-:mod:`repro.engine.stratified` and :mod:`repro.engine.model`.
+:mod:`repro.engine.stratified` and :mod:`repro.engine.model`.  The
+closure loop itself is shared with those layers — see
+:mod:`repro.engine.delta` — so the delta discipline is implemented
+exactly once.
 
 Safety is not required: a rule variable not bound by any body atom is
 grounded over the supplied domain, matching Definition 3's quantification
@@ -17,14 +20,14 @@ over ``dom(R, DB)``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from ..core.ast import Positive, Rule
 from ..core.errors import EvaluationError
 from ..core.terms import Atom, Constant
-from ..core.unify import Substitution, ground_instances
 from ..obs.metrics import Counter, MetricsRegistry, StatsView
-from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
+from ..obs.trace import NULL_TRACER, Tracer
+from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
 __all__ = ["naive_least_fixpoint", "seminaive_least_fixpoint", "FixpointStats"]
@@ -44,64 +47,26 @@ class FixpointStats(StatsView):
 Stats = Union[FixpointStats, MetricsRegistry]
 
 
-def _fixpoint_counters(
-    stats: Optional[Stats],
-) -> Optional[tuple[Counter, Counter, Counter]]:
-    """Resolve the three fixpoint counters once, outside the hot loop."""
+def _fixpoint_instruments(stats: Optional[Stats]) -> Optional[LayerInstruments]:
+    """Resolve the fixpoint counters once, outside the hot loop."""
     if stats is None:
         return None
     registry = stats if isinstance(stats, MetricsRegistry) else stats.registry
-    return (
-        registry.counter("fixpoint.rounds"),
-        registry.counter("fixpoint.firings"),
-        registry.counter("fixpoint.derived"),
+    return LayerInstruments(
+        rounds=registry.counter("fixpoint.rounds"),
+        firings=registry.counter("fixpoint.firings"),
+        derived=registry.counter("fixpoint.derived"),
     )
 
 
-def _positive_atoms(item: Rule) -> list[Atom]:
-    atoms: list[Atom] = []
-    for premise in item.body:
-        if not isinstance(premise, Positive):
-            raise EvaluationError(
-                f"positive-Datalog evaluator given non-positive premise "
-                f"{premise} in rule {item}"
-            )
-        atoms.append(premise.atom)
-    return atoms
-
-
-def _derive_heads(
-    item: Rule,
-    body: Sequence[Atom],
-    interp: Interpretation,
-    domain: Sequence[Constant],
-    required_delta: Optional[tuple[int, Interpretation]] = None,
-) -> Iterator[Atom]:
-    """Enumerate head instances of one rule against an interpretation.
-
-    ``required_delta = (index, delta)`` restricts the join so that the
-    body atom at ``index`` matches within ``delta`` — the semi-naive
-    discipline (at least one premise uses a newly derived fact).
-    """
-
-    def extend(position: int, binding: Substitution) -> Iterator[Substitution]:
-        if position == len(body):
-            yield binding
-            return
-        source: Interpretation = interp
-        if required_delta is not None and position == required_delta[0]:
-            source = required_delta[1]
-        for extended in source.matches(body[position], binding):
-            yield from extend(position + 1, extended)
-
-    head_variables = set(item.head.variables())
-    for binding in extend(0, {}):
-        unbound = [var for var in head_variables if var not in binding]
-        if unbound:
-            for grounded in ground_instances(unbound, domain, binding):
-                yield item.head.substitute(grounded)
-        else:
-            yield item.head.substitute(binding)
+def _check_positive(rules: Sequence[Rule]) -> None:
+    for item in rules:
+        for premise in item.body:
+            if not isinstance(premise, Positive):
+                raise EvaluationError(
+                    f"positive-Datalog evaluator given non-positive premise "
+                    f"{premise} in rule {item}"
+                )
 
 
 def _domain_of(rules: Sequence[Rule], facts: Iterable[Atom]) -> list[Constant]:
@@ -111,6 +76,30 @@ def _domain_of(rules: Sequence[Rule], facts: Iterable[Atom]) -> list[Constant]:
     for item in facts:
         constants.update(item.constants())
     return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
+
+
+def _least_fixpoint(
+    rules: Iterable[Rule],
+    facts: Iterable[Atom],
+    domain: Optional[Sequence[Constant]],
+    stats: Optional[Stats],
+    tracer: Tracer,
+    strategy: str,
+) -> Interpretation:
+    rule_list = list(rules)
+    _check_positive(rule_list)
+    interp = Interpretation(facts)
+    if domain is None:
+        domain = _domain_of(rule_list, interp)
+    close_layer(
+        rule_list,
+        interp,
+        domain,
+        strategy=strategy,
+        instruments=_fixpoint_instruments(stats),
+        tracer=tracer,
+    )
+    return interp
 
 
 def naive_least_fixpoint(
@@ -127,37 +116,7 @@ def naive_least_fixpoint(
     the baseline for experiment E12.  ``stats`` may be a legacy
     :class:`FixpointStats` or a :class:`~repro.obs.metrics.MetricsRegistry`.
     """
-    rule_list = list(rules)
-    interp = Interpretation(facts)
-    if domain is None:
-        domain = _domain_of(rule_list, interp)
-    bodies = [_positive_atoms(item) for item in rule_list]
-    counters = _fixpoint_counters(stats)
-    changed = True
-    round_index = 0
-    while changed:
-        changed = False
-        round_index += 1
-        if counters is not None:
-            counters[0].value += 1
-        ctx = (
-            tracer.span("round", str(round_index), args={"strategy": "naive"})
-            if tracer.enabled
-            else NULL_SPAN
-        )
-        with ctx:
-            pending: list[Atom] = []
-            for item, body in zip(rule_list, bodies):
-                for head in _derive_heads(item, body, interp, domain):
-                    if counters is not None:
-                        counters[1].value += 1
-                    pending.append(head)
-            for head in pending:
-                if interp.add(head):
-                    changed = True
-                    if counters is not None:
-                        counters[2].value += 1
-    return interp
+    return _least_fixpoint(rules, facts, domain, stats, tracer, "naive")
 
 
 def seminaive_least_fixpoint(
@@ -169,61 +128,9 @@ def seminaive_least_fixpoint(
 ) -> Interpretation:
     """Least fixpoint by semi-naive (differential) iteration.
 
-    Each round only considers rule instantiations in which at least one
-    body atom matches a fact derived in the previous round, which
-    avoids re-deriving the whole relation every round.  First round
-    seeds the delta with the base facts.
+    A full first round establishes the one-step consequences; every
+    later round only considers rule instantiations in which at least
+    one body atom matches a fact derived in the previous round (see
+    :func:`repro.engine.delta.close_layer`).
     """
-    rule_list = list(rules)
-    interp = Interpretation(facts)
-    if domain is None:
-        domain = _domain_of(rule_list, interp)
-    bodies = [_positive_atoms(item) for item in rule_list]
-    counters = _fixpoint_counters(stats)
-    delta = interp.copy()
-    first_round = True
-    round_index = 0
-    while len(delta) or first_round:
-        round_index += 1
-        if counters is not None:
-            counters[0].value += 1
-        ctx = (
-            tracer.span(
-                "round",
-                str(round_index),
-                args={"strategy": "seminaive", "delta": len(delta)},
-            )
-            if tracer.enabled
-            else NULL_SPAN
-        )
-        with ctx:
-            next_delta = Interpretation()
-            for item, body in zip(rule_list, bodies):
-                if not body:
-                    # Bodiless rules fire once, on the first round.
-                    if first_round:
-                        for head in _derive_heads(item, body, interp, domain):
-                            if counters is not None:
-                                counters[1].value += 1
-                            if head not in interp:
-                                next_delta.add(head)
-                    continue
-                delta_positions = [
-                    index
-                    for index, pattern in enumerate(body)
-                    if delta.count(pattern.predicate)
-                ]
-                for index in delta_positions:
-                    for head in _derive_heads(
-                        item, body, interp, domain, required_delta=(index, delta)
-                    ):
-                        if counters is not None:
-                            counters[1].value += 1
-                        if head not in interp:
-                            next_delta.add(head)
-            if counters is not None:
-                counters[2].value += len(next_delta)
-            interp.update(next_delta)
-            delta = next_delta
-            first_round = False
-    return interp
+    return _least_fixpoint(rules, facts, domain, stats, tracer, "seminaive")

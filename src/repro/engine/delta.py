@@ -1,0 +1,328 @@
+"""Shared differential (semi-naive) stratum closure.
+
+Every bottom-up evaluator in this repo closes a set of rules over a
+growing interpretation: the positive substrate
+(:mod:`repro.engine.datalog`), the stratified-negation substrate
+(:mod:`repro.engine.stratified`), and the hypothetical model engine
+(:mod:`repro.engine.model`).  This module factors the closure loop out
+once, with both strategies:
+
+* ``naive`` — every round applies every rule against the full
+  interpretation; the obviously-correct baseline.
+* ``seminaive`` — the differential discipline of Bancilhon and
+  Ramakrishnan (the paper's reference [2]), generalized to the richer
+  premise forms of hypothetical Datalog.  After a full first round,
+  each round only evaluates rule instantiations in which some
+  *delta-sensitive* premise matches an atom derived in the previous
+  round.
+
+Which premises are delta-sensitive inside one stratum closure?
+
+* **Positive premises** — yes: the premise's predicate may grow as the
+  stratum closes.
+* **Negated premises** — no: :func:`~repro.analysis.stratify.negation_strata`
+  guarantees every negated predicate lives in a strictly lower stratum
+  (or the EDB), and a stratum's rules only add atoms of the stratum's
+  own predicates, so the extension a negation reads is *stable* for the
+  whole closure.  This is exactly why stratified negation composes with
+  semi-naive evaluation.
+* **Hypothetical premises** ``A[add: B...]`` — split by Definition 3's
+  two cases.  The *recursion* case (the additions genuinely enlarge the
+  database) evaluates ``A`` against the model of the enlarged database,
+  a quantity independent of the current closure's progress: stable.
+  The *collapse* case (every addition already present) reduces the
+  premise to plain ``A`` inside the current fixpoint: delta-sensitive,
+  keyed on the goal predicate.  The caller supplies a restricted
+  expander (``hypothetical_delta``) that enumerates only collapse-case
+  instances whose goal atom is in the delta; when no restricted
+  expander is given, rules containing hypothetical premises are
+  conservatively re-evaluated in full every round.
+
+Rules with *no* delta-sensitive premise (bodiless facts, bodies of
+negations only) fire exactly once, in the full first round.
+
+Seeded closure
+--------------
+``seed_delta`` skips the full first round: the interpretation is
+assumed to already hold a fixpoint of these rules over some *smaller*
+database, and ``seed_delta`` holds everything that differs (new EDB
+facts plus lower-stratum atoms the caller derived freshly).  The first
+round is then already delta-restricted — textbook incremental
+re-evaluation.  ``refire_full`` lists rules to evaluate in full on that
+first round regardless; the model engine passes its
+hypothetical-containing rules, whose recursion-case truth may shift
+between databases in ways no delta can witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule
+from ..core.errors import EvaluationError
+from ..core.terms import Atom, Constant
+from ..core.unify import Substitution, ground_instances
+from ..obs.metrics import Counter, Histogram
+from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
+from .body import nonlocal_variables, satisfy_body
+from .interpretation import Interpretation
+
+__all__ = ["LayerInstruments", "close_layer", "delta_sources"]
+
+HypotheticalExpander = Callable[
+    [Hypothetical, Substitution], Iterator[Substitution]
+]
+DeltaHypotheticalExpander = Callable[
+    [Hypothetical, Substitution, Interpretation], Iterator[Substitution]
+]
+NegatedTest = Callable[[Atom, Substitution], bool]
+
+
+class LayerInstruments:
+    """Bound metric instruments a closure increments; all optional.
+
+    Engines resolve their registry instruments once at construction and
+    hand the bound cells in, so the closure's hot loop never touches a
+    registry.
+    """
+
+    __slots__ = ("rounds", "firings", "derived", "delta_size")
+
+    def __init__(
+        self,
+        rounds: Optional[Counter] = None,
+        firings: Optional[Counter] = None,
+        derived: Optional[Counter] = None,
+        delta_size: Optional[Histogram] = None,
+    ) -> None:
+        self.rounds = rounds
+        self.firings = firings
+        self.derived = derived
+        self.delta_size = delta_size
+
+
+def delta_sources(item: Rule) -> tuple[Premise, ...]:
+    """The delta-sensitive premises of a rule within one stratum closure.
+
+    Positive and hypothetical premises; negations are stable (their
+    predicates are closed before this stratum runs).
+    """
+    return tuple(
+        premise for premise in item.body if not isinstance(premise, Negated)
+    )
+
+
+def _reject_hypothetical(
+    premise: Hypothetical, binding: Substitution
+) -> Iterator[Substitution]:
+    raise EvaluationError(
+        f"this closure was given no hypothetical expander but rule body "
+        f"contains {premise}"
+    )
+
+
+def close_layer(
+    rules: Iterable[Rule],
+    interp: Interpretation,
+    domain: Sequence[Constant],
+    *,
+    hypothetical: Optional[HypotheticalExpander] = None,
+    hypothetical_delta: Optional[DeltaHypotheticalExpander] = None,
+    negated: Optional[NegatedTest] = None,
+    strategy: str = "seminaive",
+    seed_delta: Optional[Interpretation] = None,
+    refire_full: Sequence[Rule] = (),
+    plan=None,
+    optimize: bool = False,
+    instruments: Optional[LayerInstruments] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> Interpretation:
+    """Close one stratum's rules over ``interp``; return the new atoms.
+
+    ``interp`` is grown in place; the returned interpretation holds
+    exactly the atoms this closure added.  ``negated`` defaults to
+    negation-as-failure against ``interp``; ``hypothetical`` defaults
+    to rejecting hypothetical premises.  See the module docstring for
+    the delta discipline and the meaning of ``seed_delta`` /
+    ``refire_full``.
+    """
+    if strategy not in ("naive", "seminaive"):
+        raise EvaluationError(f"unknown closure strategy {strategy!r}")
+    rule_list = list(rules)
+    if negated is None:
+        def negated(pattern: Atom, current: Substitution) -> bool:
+            return not interp.has_match(pattern, current)
+    if hypothetical is None:
+        hypothetical = _reject_hypothetical
+
+    def positive(pattern: Atom, current: Substitution) -> Iterator[Substitution]:
+        return interp.matches(pattern, current)
+
+    n_rounds = n_firings = n_derived = h_delta = None
+    if instruments is not None:
+        n_rounds = instruments.rounds
+        n_firings = instruments.firings
+        n_derived = instruments.derived
+        h_delta = instruments.delta_size
+
+    infos = []
+    for item in rule_list:
+        sources = delta_sources(item)
+        has_hypo = any(isinstance(premise, Hypothetical) for premise in sources)
+        # Without a restricted expander there is no sound way to skip a
+        # hypothetical premise's collapse case, so such rules run in
+        # full every round.
+        always_full = has_hypo and hypothetical_delta is None
+        infos.append(
+            (
+                item,
+                set(item.head.variables()),
+                nonlocal_variables(item),
+                sources,
+                always_full,
+            )
+        )
+
+    trace = tracer
+    derived_all = Interpretation()
+
+    def fire(item, head_variables, guards, target, delta) -> Iterator[Atom]:
+        """Head instances of one rule; ``target`` restricts one premise
+        (matched by identity) to the delta."""
+        if target is None:
+            pos_cb, hyp_cb = positive, hypothetical
+        elif isinstance(target, Positive):
+            target_atom = target.atom
+
+            def pos_cb(pattern, current):
+                if pattern is target_atom:
+                    return delta.matches(pattern, current)
+                return positive(pattern, current)
+
+            hyp_cb = hypothetical
+        else:
+
+            def hyp_cb(premise, current):
+                if premise is target:
+                    return hypothetical_delta(premise, current, delta)
+                return hypothetical(premise, current)
+
+            pos_cb = positive
+        bindings = satisfy_body(
+            item.body,
+            positive=pos_cb,
+            hypothetical=hyp_cb,
+            negated=negated,
+            ground_first=guards,
+            domain=domain,
+            optimize=optimize,
+            plan=plan,
+        )
+        for binding in bindings:
+            unbound = [var for var in head_variables if var not in binding]
+            if unbound:
+                for grounded in ground_instances(unbound, domain, binding):
+                    yield item.head.substitute(grounded)
+            else:
+                yield item.head.substitute(binding)
+
+    if strategy == "naive":
+        if seed_delta is not None:
+            raise EvaluationError("seeded closure requires strategy='seminaive'")
+        changed = True
+        round_index = 0
+        while changed:
+            changed = False
+            round_index += 1
+            if n_rounds is not None:
+                n_rounds.value += 1
+            ctx = (
+                trace.span(
+                    "round", str(round_index), args={"strategy": "naive"}
+                )
+                if trace.enabled
+                else NULL_SPAN
+            )
+            with ctx:
+                pending: list[Atom] = []
+                for item, head_variables, guards, _sources, _full in infos:
+                    rule_ctx = (
+                        trace.span("rule", item.head.predicate, src=item.span)
+                        if trace.enabled
+                        else NULL_SPAN
+                    )
+                    with rule_ctx:
+                        for head in fire(item, head_variables, guards, None, None):
+                            if n_firings is not None:
+                                n_firings.value += 1
+                            pending.append(head)
+                for head in pending:
+                    if interp.add(head):
+                        derived_all.add(head)
+                        changed = True
+                        if n_derived is not None:
+                            n_derived.value += 1
+        return derived_all
+
+    refire_ids = {id(item) for item in refire_full}
+    delta = seed_delta
+    first = True
+    round_index = 0
+    while True:
+        round_index += 1
+        if n_rounds is not None:
+            n_rounds.value += 1
+        if h_delta is not None and delta is not None:
+            h_delta.observe(len(delta))
+        ctx = (
+            trace.span(
+                "round",
+                str(round_index),
+                args={
+                    "strategy": "seminaive",
+                    "delta": len(delta) if delta is not None else len(interp),
+                },
+            )
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            pending: list[Atom] = []
+            for item, head_variables, guards, sources, always_full in infos:
+                full = (
+                    delta is None
+                    or always_full
+                    or (first and id(item) in refire_ids)
+                )
+                rule_ctx = (
+                    trace.span("rule", item.head.predicate, src=item.span)
+                    if trace.enabled
+                    else NULL_SPAN
+                )
+                with rule_ctx:
+                    if full:
+                        for head in fire(item, head_variables, guards, None, None):
+                            if n_firings is not None:
+                                n_firings.value += 1
+                            pending.append(head)
+                        continue
+                    for target in sources:
+                        if not delta.count(target.goal.predicate):
+                            continue
+                        for head in fire(
+                            item, head_variables, guards, target, delta
+                        ):
+                            if n_firings is not None:
+                                n_firings.value += 1
+                            pending.append(head)
+            next_delta = Interpretation()
+            for head in pending:
+                if interp.add(head):
+                    next_delta.add(head)
+                    derived_all.add(head)
+                    if n_derived is not None:
+                        n_derived.value += 1
+        first = False
+        delta = next_delta
+        if not len(next_delta):
+            return derived_all

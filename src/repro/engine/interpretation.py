@@ -4,38 +4,81 @@ All engines manipulate growing sets of derived facts; this class wraps
 such a set with a per-predicate index and the matching operation that
 drives rule-body joins: given a pattern atom and a partial binding,
 enumerate the bindings that extend it to match some stored fact.
+
+Two things make this the engines' hot path and shape the design:
+
+* Interpretations are constantly built *over a database* (one per
+  lattice node in hypothetical evaluation).  Construction from a
+  :class:`~repro.core.database.Database` adopts the database's
+  per-predicate index as an immutable base layer in O(#predicates);
+  derived atoms go into a mutable overlay on top.
+* ``matches`` carries a ground fast path (set membership instead of a
+  scan) and lazy per-(predicate, argument-position) hash maps used to
+  narrow candidate rows when the pattern has bound positions.  The
+  maps are maintained incrementally on :meth:`add`.
+
+The optional ``probes`` attribute is a bound
+:class:`~repro.obs.metrics.Counter` (``interp.index_probes``)
+incremented whenever a fast path answers a match query.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
-from ..core.terms import Atom, Term
+from ..core.database import Database
+from ..core.terms import Atom, Term, Variable
 from ..core.unify import Substitution, match_args
 
 __all__ = ["Interpretation"]
+
+# Below this relation size a linear scan beats building position maps.
+_INDEX_MIN_ROWS = 8
+
+_Rows = frozenset
 
 
 class Interpretation:
     """A mutable set of ground atoms, indexed by predicate."""
 
-    __slots__ = ("_by_predicate", "_size")
+    __slots__ = ("_base", "_added", "_size", "_maps", "probes")
 
-    def __init__(self, facts: Iterable[Atom] = ()):
-        self._by_predicate: dict[str, set[tuple[Term, ...]]] = {}
-        self._size = 0
-        for item in facts:
-            self.add(item)
+    def __init__(self, facts: Union[Database, Iterable[Atom]] = ()):
+        self._maps: dict[str, list[dict[Term, list[tuple[Term, ...]]]]] = {}
+        self.probes = None
+        if isinstance(facts, Database):
+            self._base: dict[str, frozenset[tuple[Term, ...]]] = dict(
+                facts.relations()
+            )
+            self._added: dict[str, set[tuple[Term, ...]]] = {}
+            self._size = len(facts)
+        else:
+            self._base = {}
+            self._added = {}
+            self._size = 0
+            for item in facts:
+                self.add(item)
 
     def add(self, item: Atom) -> bool:
         """Insert a ground atom; return True iff it was new."""
-        rows = self._by_predicate.setdefault(item.predicate, set())
-        before = len(rows)
-        rows.add(item.args)
-        if len(rows) > before:
-            self._size += 1
-            return True
-        return False
+        predicate, args = item.predicate, item.args
+        base = self._base.get(predicate)
+        if base is not None and args in base:
+            return False
+        rows = self._added.get(predicate)
+        if rows is None:
+            rows = self._added[predicate] = set()
+        elif args in rows:
+            return False
+        rows.add(args)
+        self._size += 1
+        maps = self._maps.get(predicate)
+        if maps is not None:
+            if len(args) > len(maps):
+                maps.extend({} for _ in range(len(args) - len(maps)))
+            for position, value in enumerate(args):
+                maps[position].setdefault(value, []).append(args)
+        return True
 
     def update(self, items: Iterable[Atom]) -> int:
         """Insert many atoms; return how many were new."""
@@ -46,27 +89,67 @@ class Interpretation:
         return added
 
     def __contains__(self, item: Atom) -> bool:
-        rows = self._by_predicate.get(item.predicate)
+        base = self._base.get(item.predicate)
+        if base is not None and item.args in base:
+            return True
+        rows = self._added.get(item.predicate)
         return rows is not None and item.args in rows
 
     def __len__(self) -> int:
         return self._size
 
     def __iter__(self) -> Iterator[Atom]:
-        for predicate, rows in self._by_predicate.items():
+        for predicate, rows in self._base.items():
+            for args in rows:
+                yield Atom(predicate, args)
+        for predicate, rows in self._added.items():
             for args in rows:
                 yield Atom(predicate, args)
 
     def predicates(self) -> frozenset[str]:
-        return frozenset(
-            predicate for predicate, rows in self._by_predicate.items() if rows
+        found = {predicate for predicate, rows in self._base.items() if rows}
+        found.update(
+            predicate for predicate, rows in self._added.items() if rows
         )
+        return frozenset(found)
 
     def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
-        return frozenset(self._by_predicate.get(predicate, ()))
+        base = self._base.get(predicate)
+        added = self._added.get(predicate)
+        if base is None:
+            return frozenset(added) if added else frozenset()
+        if not added:
+            return base
+        return base | added
 
     def count(self, predicate: str) -> int:
-        return len(self._by_predicate.get(predicate, ()))
+        base = self._base.get(predicate)
+        added = self._added.get(predicate)
+        return (len(base) if base else 0) + (len(added) if added else 0)
+
+    def _position_maps(
+        self, predicate: str
+    ) -> list[dict[Term, list[tuple[Term, ...]]]]:
+        """Build (and cache) per-argument-position maps for a predicate.
+
+        Sized to the largest arity stored; rows shorter than a position
+        do not appear in that position's map, which is correct because
+        matching requires equal arity.  :meth:`add` keeps cached maps
+        current.
+        """
+        maps = self._maps.get(predicate)
+        if maps is None:
+            maps = []
+            for source in (self._base.get(predicate), self._added.get(predicate)):
+                if not source:
+                    continue
+                for args in source:
+                    if len(args) > len(maps):
+                        maps.extend({} for _ in range(len(args) - len(maps)))
+                    for position, value in enumerate(args):
+                        maps[position].setdefault(value, []).append(args)
+            self._maps[predicate] = maps
+        return maps
 
     def matches(
         self, pattern: Atom, binding: Optional[Substitution] = None
@@ -75,17 +158,64 @@ class Interpretation:
 
         Each yielded substitution is an independent dict extending
         ``binding``; the pattern grounded by it is a stored fact.
+        Ground patterns are decided by set membership; patterns with
+        bound positions probe the position maps and scan only the
+        narrowest candidate list.
         """
-        rows = self._by_predicate.get(pattern.predicate)
-        if not rows:
+        predicate = pattern.predicate
+        base = self._base.get(predicate)
+        added = self._added.get(predicate)
+        if not base and not added:
             return
         pattern_args = (
             pattern.substitute(binding).args if binding else pattern.args
         )
-        for ground_args in rows:
-            extended = match_args(pattern_args, ground_args, binding)
-            if extended is not None:
-                yield extended
+        bound = [
+            (position, value)
+            for position, value in enumerate(pattern_args)
+            if not isinstance(value, Variable)
+        ]
+        if len(bound) == len(pattern_args):
+            probes = self.probes
+            if probes is not None:
+                probes.value += 1
+            if (base is not None and pattern_args in base) or (
+                added is not None and pattern_args in added
+            ):
+                yield dict(binding) if binding else {}
+            return
+        if bound:
+            total = (len(base) if base else 0) + (len(added) if added else 0)
+            if total >= _INDEX_MIN_ROWS:
+                maps = self._position_maps(predicate)
+                best: Optional[list[tuple[Term, ...]]] = None
+                for position, value in bound:
+                    if position >= len(maps):
+                        return
+                    found = maps[position].get(value)
+                    if found is None:
+                        return
+                    if best is None or len(found) < len(best):
+                        best = found
+                probes = self.probes
+                if probes is not None:
+                    probes.value += 1
+                if best is not None:
+                    for ground_args in best:
+                        extended = match_args(pattern_args, ground_args, binding)
+                        if extended is not None:
+                            yield extended
+                    return
+        if base is not None:
+            for ground_args in base:
+                extended = match_args(pattern_args, ground_args, binding)
+                if extended is not None:
+                    yield extended
+        if added is not None:
+            for ground_args in added:
+                extended = match_args(pattern_args, ground_args, binding)
+                if extended is not None:
+                    yield extended
 
     def has_match(
         self, pattern: Atom, binding: Optional[Substitution] = None
@@ -100,8 +230,11 @@ class Interpretation:
 
     def copy(self) -> "Interpretation":
         duplicate = Interpretation()
-        duplicate._by_predicate = {
-            predicate: set(rows) for predicate, rows in self._by_predicate.items()
+        # The base layer is immutable (frozensets adopted from a
+        # Database), so it is shared; only the overlay is copied.
+        duplicate._base = self._base
+        duplicate._added = {
+            predicate: set(rows) for predicate, rows in self._added.items()
         }
         duplicate._size = self._size
         return duplicate

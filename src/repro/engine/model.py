@@ -12,7 +12,10 @@ The perfect model at a database is computed stratum by stratum (strata
 here are the classic negation strata: recursion through hypothetical
 premises is allowed, recursion through negation is not — the paper's
 standing assumption in Section 3.1).  Within a stratum, rules are
-applied to a fixpoint.  A hypothetical premise ``A[add: B...]`` under a
+closed by the shared differential machinery of
+:mod:`repro.engine.delta` (``strategy="seminaive"``, the default) or by
+exhaustive iteration (``strategy="naive"``, the baseline the E18 bench
+measures against).  A hypothetical premise ``A[add: B...]`` under a
 grounding either
 
 * adds nothing new (every ``B`` already in the database) — then it is
@@ -27,26 +30,46 @@ reachable databases x fixpoint cost" rather than "number of proof
 paths".  For Example 7 (Hamiltonian path) this makes the evaluator a
 Held-Karp-style dynamic program: exponential in the number of nodes,
 as Theorem 1 says it must be, but not factorial.
+
+Lattice model reuse
+-------------------
+With ``reuse_models=True`` (the default, semi-naive only) a child
+fixpoint ``model(DB + {B...})`` does not start from scratch: Definition
+3's inference rules are monotone in the database for the negation-free
+fragment, so every atom of a *negation-free stratum prefix* (see
+:func:`~repro.analysis.monotone.monotone_layer_prefix`) that the parent
+evaluation has already closed is still derivable at the child and is
+seeded into it.  The seeded strata then run an incremental closure
+whose initial delta is just the added facts (plus whatever lower
+seeded strata derive freshly); rules with hypothetical premises are
+re-fired in full once, since their recursion-case truth shifts between
+databases.  Strata outside the prefix — or not yet closed by the
+parent at spawn time — fall back to a fresh computation, so the
+optimization is exactly as strong as the monotonicity proof.
+
+``model.models_seeded`` counts child evaluations entered with a parent
+snapshot available (the lattice-incremental path); the
+``model.atoms_seeded`` histogram reports how many derived atoms each of
+them actually inherited — 0 whenever the rulebase's monotone prefix is
+empty (e.g. Example 6's parity program, whose bottom stratum is
+negation-guarded), positive on negation-free programs such as the
+university and chain examples.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
 from ..core.database import Database
 from ..core.errors import EvaluationError
 from ..core.parser import parse_premise
-from ..core.terms import Atom, Constant, Variable
+from ..core.terms import Atom, Constant, Term, Variable
 from ..core.unify import Substitution, ground_instances
 from ..obs.metrics import MetricsRegistry, StatsView
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
-from .body import (
-    cost_aware_positive_order,
-    join_mode,
-    nonlocal_variables,
-    satisfy_body,
-)
+from .body import cost_aware_positive_order, join_mode
+from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
 __all__ = ["PerfectModelEngine", "EngineStats"]
@@ -65,6 +88,25 @@ class EngineStats(StatsView):
         "rule_rounds": "model.rule_rounds",
         "atoms_derived": "model.atoms_derived",
     }
+
+
+class _SeedSource:
+    """What a child fixpoint may inherit from the evaluation that
+    spawned it: a relation reader over the parent's state, how many
+    strata that state has fully closed, and the EDB facts by which the
+    child database exceeds the parent's."""
+
+    __slots__ = ("relation", "closed_layers", "additions")
+
+    def __init__(
+        self,
+        relation: Callable[[str], Iterable[tuple[Term, ...]]],
+        closed_layers: int,
+        additions: tuple[Atom, ...],
+    ) -> None:
+        self.relation = relation
+        self.closed_layers = closed_layers
+        self.additions = additions
 
 
 class PerfectModelEngine:
@@ -92,7 +134,19 @@ class PerfectModelEngine:
         binding selectivity against live relation sizes, ``"greedy"``
         keeps the legacy most-bound-first policy, ``False`` evaluates
         in textual order.
+    strategy:
+        Stratum-closure discipline: ``"seminaive"`` (differential, the
+        default) or ``"naive"`` (exhaustive baseline for the E18
+        bench).  Semantics-neutral.
+    reuse_models:
+        Seed child fixpoints of the database lattice from the parent
+        evaluation's monotone stratum prefix (see module docstring).
+        Only effective with the semi-naive strategy; semantics-neutral,
+        with an automatic fall-back to fresh computation for any
+        stratum that is not provably monotone.
     """
+
+    _ANCESTOR_SCAN_CAP = 4096
 
     def __init__(
         self,
@@ -101,9 +155,12 @@ class PerfectModelEngine:
         max_databases: int = 200_000,
         memoize: bool = True,
         optimize_joins: bool | str = True,
+        strategy: str = "seminaive",
+        reuse_models: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        from ..analysis.monotone import monotone_layer_prefix
         from ..analysis.stratify import negation_strata
 
         if rulebase.has_deletions():
@@ -111,6 +168,11 @@ class PerfectModelEngine:
                 "the bottom-up model engine supports the paper's add-only "
                 "language; evaluate hypothetical deletions with the "
                 "top-down engine"
+            )
+        if strategy not in ("naive", "seminaive"):
+            raise EvaluationError(
+                f"unknown evaluation strategy {strategy!r}; "
+                f"expected 'naive' or 'seminaive'"
             )
         self._rulebase = rulebase
         layers = negation_strata(rulebase)
@@ -122,6 +184,23 @@ class PerfectModelEngine:
             )
             for layer in layers
         ]
+        self._layer_predicates: list[frozenset[str]] = [
+            frozenset(layer) for layer in layers
+        ]
+        # Hypothetical-carrying rules per stratum: re-fired in full on
+        # the first round of a seeded closure (recursion-case truth is
+        # database-dependent; no delta witnesses the shift).
+        self._refire_rules: list[tuple[Rule, ...]] = [
+            tuple(
+                item
+                for item in rules
+                if any(isinstance(p, Hypothetical) for p in item.body)
+            )
+            for rules in self._layer_rules
+        ]
+        self._seed_prefix = monotone_layer_prefix(self._layer_rules)
+        self._strategy = strategy
+        self._reuse = bool(reuse_models) and strategy == "seminaive"
         self._rule_constants = frozenset(rulebase.constants())
         self._cache: dict[Database, frozenset[Atom]] = {}
         self._max_databases = max_databases
@@ -137,10 +216,16 @@ class PerfectModelEngine:
         self._n_cache_hits = counter("model.cache_hits")
         self._n_cache_misses = counter("model.cache_misses")
         self._n_rounds = counter("model.rule_rounds")
+        self._n_firings = counter("model.rule_firings")
         self._n_derived = counter("model.atoms_derived")
         self._n_negation = counter("model.negation_tests")
         self._n_hypo = counter("model.hypothesis_expansions")
+        self._n_seeded = counter("model.models_seeded")
+        self._n_fresh = counter("model.models_fresh")
+        self._n_probes = counter("interp.index_probes")
         self._h_model_size = self.metrics.histogram("model.model_size")
+        self._h_delta_size = self.metrics.histogram("model.delta_size")
+        self._h_atoms_seeded = self.metrics.histogram("model.atoms_seeded")
 
     @property
     def rulebase(self) -> Rulebase:
@@ -241,7 +326,41 @@ class PerfectModelEngine:
             return False
         raise EvaluationError(f"cannot decide premise {premise}")
 
-    def _model(self, db: Database, domain: Sequence[Constant]) -> frozenset[Atom]:
+    def _ancestor_seed(self, db: Database) -> Optional[_SeedSource]:
+        """A seed source from the largest cached strict-subset database.
+
+        Covers the public incremental-recomputation pattern
+        (``model(db)`` then ``model(db.with_facts(...))``); during
+        lattice recursion the live parent is passed directly instead.
+        """
+        if not self._seed_prefix or not self._cache:
+            return None
+        if len(self._cache) > self._ANCESTOR_SCAN_CAP:
+            return None
+        best: Optional[Database] = None
+        size = len(db)
+        for other in self._cache:
+            if len(other) < size and (best is None or len(other) > len(best)):
+                if other <= db:
+                    best = other
+        if best is None:
+            return None
+        relations: dict[str, list[tuple[Term, ...]]] = {}
+        for item in self._cache[best]:
+            relations.setdefault(item.predicate, []).append(item.args)
+        additions = tuple(db.facts - best.facts)
+        return _SeedSource(
+            lambda predicate: relations.get(predicate, ()),
+            len(self._layer_rules),
+            additions,
+        )
+
+    def _model(
+        self,
+        db: Database,
+        domain: Sequence[Constant],
+        parent: Optional[_SeedSource] = None,
+    ) -> frozenset[Atom]:
         cached = self._cache.get(db)
         if cached is not None:
             self._n_cache_hits.value += 1
@@ -262,6 +381,28 @@ class PerfectModelEngine:
         )
         with ctx:
             interp = Interpretation(db)
+            interp.probes = self._n_probes
+            if self._reuse and parent is None:
+                parent = self._ancestor_seed(db)
+            seed_limit = 0
+            # ``fresh`` is the running delta for seeded strata: the new
+            # EDB facts plus atoms lower seeded strata derive beyond
+            # the parent's state.
+            fresh = Interpretation()
+            if parent is not None:
+                seed_limit = min(parent.closed_layers, self._seed_prefix)
+                seeded_atoms = 0
+                for k in range(seed_limit):
+                    for predicate in self._layer_predicates[k]:
+                        for args in parent.relation(predicate):
+                            if interp.add(Atom(predicate, args)):
+                                seeded_atoms += 1
+                for item in parent.additions:
+                    fresh.add(item)
+                self._n_seeded.value += 1
+                self._h_atoms_seeded.observe(seeded_atoms)
+            else:
+                self._n_fresh.value += 1
             for index, rules in enumerate(self._layer_rules):
                 stratum_ctx = (
                     trace.span("stratum", str(index), args={"rules": len(rules)})
@@ -269,7 +410,18 @@ class PerfectModelEngine:
                     else NULL_SPAN
                 )
                 with stratum_ctx:
-                    self._close_layer(rules, interp, db, domain)
+                    seeded = index < seed_limit
+                    new = self._close_layer(
+                        rules,
+                        interp,
+                        db,
+                        domain,
+                        index,
+                        seed_delta=fresh if seeded else None,
+                        refire=self._refire_rules[index] if seeded else (),
+                    )
+                    if index + 1 < seed_limit:
+                        fresh.update(new)
             result = interp.to_frozenset()
         self._h_model_size.observe(len(result))
         if self._memoize:
@@ -282,7 +434,10 @@ class PerfectModelEngine:
         interp: Interpretation,
         db: Database,
         domain: Sequence[Constant],
-    ) -> None:
+        layer_index: int,
+        seed_delta: Optional[Interpretation] = None,
+        refire: Sequence[Rule] = (),
+    ) -> Interpretation:
         plan = None
         if self._join_mode == "cost":
             domain_size = len(domain)
@@ -292,57 +447,46 @@ class PerfectModelEngine:
                     positives, bound, interp.count, domain_size
                 )
 
-        trace = self._tracer
         n_negation = self._n_negation
 
         def negated(pattern: Atom, current: Substitution) -> bool:
             n_negation.value += 1
             return not interp.has_match(pattern, current)
 
-        changed = True
-        while changed:
-            changed = False
-            self._n_rounds.value += 1
-            pending: list[Atom] = []
-            for item in rules:
-                rule_ctx = (
-                    trace.span(
-                        "rule", item.head.predicate, src=item.span
-                    )
-                    if trace.enabled
-                    else NULL_SPAN
-                )
-                with rule_ctx:
-                    head_variables = set(item.head.variables())
-                    bindings = satisfy_body(
-                        item.body,
-                        positive=lambda pattern, current: interp.matches(
-                            pattern, current
-                        ),
-                        hypothetical=lambda premise, current: self._expand_hypothetical(
-                            premise, current, db, interp, domain
-                        ),
-                        negated=negated,
-                        ground_first=nonlocal_variables(item),
-                        domain=domain,
-                        optimize=self._join_mode == "greedy",
-                        plan=plan,
-                    )
-                    for binding in bindings:
-                        unbound = [
-                            var for var in head_variables if var not in binding
-                        ]
-                        if unbound:
-                            for grounded in ground_instances(
-                                unbound, domain, binding
-                            ):
-                                pending.append(item.head.substitute(grounded))
-                        else:
-                            pending.append(item.head.substitute(binding))
-            for head in pending:
-                if interp.add(head):
-                    changed = True
-                    self._n_derived.value += 1
+        def hypothetical(
+            premise: Hypothetical, current: Substitution
+        ) -> Iterator[Substitution]:
+            return self._expand_hypothetical(
+                premise, current, db, interp, domain, layer_index
+            )
+
+        def hypothetical_delta(
+            premise: Hypothetical, current: Substitution, delta: Interpretation
+        ) -> Iterator[Substitution]:
+            return self._expand_hypothetical_delta(
+                premise, current, delta, db, domain
+            )
+
+        return close_layer(
+            rules,
+            interp,
+            domain,
+            hypothetical=hypothetical,
+            hypothetical_delta=hypothetical_delta,
+            negated=negated,
+            strategy=self._strategy,
+            seed_delta=seed_delta,
+            refire_full=refire,
+            plan=plan,
+            optimize=self._join_mode == "greedy",
+            instruments=LayerInstruments(
+                rounds=self._n_rounds,
+                firings=self._n_firings,
+                derived=self._n_derived,
+                delta_size=self._h_delta_size,
+            ),
+            tracer=self._tracer,
+        )
 
     def _expand_hypothetical(
         self,
@@ -351,13 +495,16 @@ class PerfectModelEngine:
         db: Database,
         interp: Interpretation,
         domain: Sequence[Constant],
+        layer_index: int,
     ) -> Iterator[Substitution]:
         """Bindings under which ``A[add: B...]`` holds at ``db``.
 
         Free variables of the premise are grounded over the domain
         (Definition 3).  When the additions are already present the
         premise collapses to ``A`` inside the current fixpoint; when
-        they are new the engine recurses into the enlarged database.
+        they are new the engine recurses into the enlarged database,
+        handing the child a seed source over this evaluation's state
+        (strata below ``layer_index`` are closed, hence quiescent).
         """
         trace = self._tracer
         unbound = [
@@ -371,12 +518,44 @@ class PerfectModelEngine:
                     yield grounding
             else:
                 self._n_hypo.value += 1
+                parent = None
+                if self._reuse:
+                    additions = tuple(
+                        item for item in grounded.additions if item not in db
+                    )
+                    parent = _SeedSource(interp.relation, layer_index, additions)
                 ctx = (
                     trace.span("hypothesis", str(grounded), src=premise.span)
                     if trace.enabled
                     else NULL_SPAN
                 )
                 with ctx:
-                    model = self._model(db2, domain)
+                    model = self._model(db2, domain, parent)
                 if grounded.atom in model:
                     yield grounding
+
+    def _expand_hypothetical_delta(
+        self,
+        premise: Hypothetical,
+        binding: Substitution,
+        delta: Interpretation,
+        db: Database,
+        domain: Sequence[Constant],
+    ) -> Iterator[Substitution]:
+        """Delta-restricted expansion: collapse-case instances only.
+
+        Within one stratum closure only the collapse case of a
+        hypothetical premise (``db + additions == db``, so the premise
+        is its goal atom inside the current fixpoint) can change as the
+        stratum grows; recursion-case truth is fixed.  An instance is
+        relevant iff its goal atom is in the delta.
+        """
+        unbound = [
+            var for var in dict.fromkeys(premise.variables()) if var not in binding
+        ]
+        for grounding in ground_instances(unbound, domain, binding):
+            grounded = premise.substitute(grounding)
+            if grounded.atom not in delta:
+                continue
+            if db.with_facts(*grounded.additions) is db:
+                yield grounding

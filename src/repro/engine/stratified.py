@@ -7,6 +7,12 @@ the mutual-recursion classes in dependency order; each stratum is
 closed under its rules by fixpoint iteration, with negated premises
 decided against the already-completed lower strata.
 
+Each stratum is closed by the shared differential machinery of
+:mod:`repro.engine.delta`: because negated predicates always live in
+strictly lower strata, negation composes with the semi-naive
+discipline for free (negated premises are stable for the whole
+closure).  ``strategy="naive"`` restores the exhaustive baseline.
+
 Hypothetical premises are rejected here — they belong to
 :mod:`repro.engine.model` (reference evaluation) and
 :mod:`repro.engine.prove` (the paper's proof procedures).
@@ -16,19 +22,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.ast import Hypothetical, Rule, Rulebase
+from ..core.ast import Hypothetical, Rulebase
 from ..core.database import Database
 from ..core.errors import EvaluationError
 from ..core.terms import Atom, Constant
-from ..core.unify import ground_instances
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
-from .body import (
-    cost_aware_positive_order,
-    join_mode,
-    nonlocal_variables,
-    satisfy_body,
-)
+from .body import cost_aware_positive_order, join_mode
+from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
 __all__ = ["perfect_model", "stratified_holds"]
@@ -46,6 +47,7 @@ def perfect_model(
     optimize_joins: bool | str = True,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Tracer = NULL_TRACER,
+    strategy: str = "seminaive",
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -53,7 +55,8 @@ def perfect_model(
     :func:`~repro.analysis.stratify.negation_strata`) if negation is
     recursive and :class:`EvaluationError` if a rule has a hypothetical
     premise.  ``metrics`` collects ``stratified.*`` counters; ``tracer``
-    records per-stratum and per-round spans.
+    records per-stratum and per-round spans.  ``strategy`` selects the
+    closure discipline (``"seminaive"`` default, ``"naive"`` baseline).
     """
     from ..analysis.stratify import negation_strata
 
@@ -67,34 +70,6 @@ def perfect_model(
         domain = _domain_of(rulebase, db)
     layers = negation_strata(rulebase)
     interp = Interpretation(db)
-    if metrics is not None:
-        metrics.counter("stratified.strata").value += len(layers)
-    for index, layer in enumerate(layers):
-        layer_rules = [
-            item for predicate in layer for item in rulebase.definition(predicate)
-        ]
-        ctx = (
-            tracer.span("stratum", str(index), args={"rules": len(layer_rules)})
-            if tracer.enabled
-            else NULL_SPAN
-        )
-        with ctx:
-            _close_layer(layer_rules, interp, domain, optimize_joins, metrics)
-    return interp
-
-
-def _close_layer(
-    rules: Sequence[Rule],
-    interp: Interpretation,
-    domain: Sequence[Constant],
-    optimize_joins: bool | str = True,
-    metrics: Optional[MetricsRegistry] = None,
-) -> None:
-    """Fixpoint of one stratum's rules over a growing interpretation."""
-
-    def reject_hypothetical(premise, binding):  # pragma: no cover - guarded above
-        raise EvaluationError("hypothetical premise in stratified substrate")
-
     mode = join_mode(optimize_joins)
     plan = None
     if mode == "cost":
@@ -105,42 +80,37 @@ def _close_layer(
                 positives, bound, interp.count, domain_size
             )
 
-    n_rounds = n_derived = None
+    instruments = None
     if metrics is not None:
-        n_rounds = metrics.counter("stratified.rule_rounds")
-        n_derived = metrics.counter("stratified.atoms_derived")
-    guards = {item: nonlocal_variables(item) for item in rules}
-    changed = True
-    while changed:
-        changed = False
-        if n_rounds is not None:
-            n_rounds.value += 1
-        pending: list[Atom] = []
-        for item in rules:
-            head_variables = set(item.head.variables())
-            for binding in satisfy_body(
-                item.body,
-                positive=lambda pattern, current: interp.matches(pattern, current),
-                hypothetical=reject_hypothetical,
-                negated=lambda pattern, current: not interp.has_match(
-                    pattern, current
-                ),
-                ground_first=guards[item],
-                domain=domain,
-                optimize=mode == "greedy",
+        metrics.counter("stratified.strata").value += len(layers)
+        interp.probes = metrics.counter("interp.index_probes")
+        instruments = LayerInstruments(
+            rounds=metrics.counter("stratified.rule_rounds"),
+            firings=metrics.counter("stratified.rule_firings"),
+            derived=metrics.counter("stratified.atoms_derived"),
+            delta_size=metrics.histogram("stratified.delta_size"),
+        )
+    for index, layer in enumerate(layers):
+        layer_rules = [
+            item for predicate in layer for item in rulebase.definition(predicate)
+        ]
+        ctx = (
+            tracer.span("stratum", str(index), args={"rules": len(layer_rules)})
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            close_layer(
+                layer_rules,
+                interp,
+                domain,
+                strategy=strategy,
                 plan=plan,
-            ):
-                unbound = [var for var in head_variables if var not in binding]
-                if unbound:
-                    for grounded in ground_instances(unbound, domain, binding):
-                        pending.append(item.head.substitute(grounded))
-                else:
-                    pending.append(item.head.substitute(binding))
-        for head in pending:
-            if interp.add(head):
-                changed = True
-                if n_derived is not None:
-                    n_derived.value += 1
+                optimize=mode == "greedy",
+                instruments=instruments,
+                tracer=tracer,
+            )
+    return interp
 
 
 def stratified_holds(rulebase: Rulebase, db: Database, goal: Atom) -> bool:
