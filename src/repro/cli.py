@@ -21,6 +21,15 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
 
 ``RULES`` and ``DB`` are file paths in the textual syntax of
 :mod:`repro.core.parser`; ``-`` reads from stdin.
+
+``query``/``answers``/``model``/``profile`` accept resource limits —
+``--timeout SECONDS``, ``--max-steps N``, ``--max-atoms N``,
+``--max-proof-depth N`` — enforced by :mod:`repro.engine.budget`; an
+exhausted query prints whatever partial results were established.
+
+Exit codes are stable (docs/ROBUSTNESS.md): 0 success, 1 negative or
+gated result, 2 parse/validation/usage error, 3 stratification error,
+4 evaluation error, 5 resource budget exhausted.
 """
 
 from __future__ import annotations
@@ -32,13 +41,25 @@ from typing import Optional, Sequence
 from .analysis.classify import classify
 from .analysis.stratify import linear_stratification
 from .core.database import Database
-from .core.errors import HypotheticalDatalogError
+from .core.errors import (
+    HypotheticalDatalogError,
+    ParseError,
+    ResourceExhausted,
+    StratificationError,
+    ValidationError,
+)
 from .core.parser import parse_database, parse_program
 from .core.pretty import format_database, format_stratification
 from .engine.model import PerfectModelEngine
 from .engine.query import Session
 
 __all__ = ["main"]
+
+#: Stable nonzero exit codes for the error hierarchy (docs/ROBUSTNESS.md).
+EXIT_PARSE = 2
+EXIT_STRATIFICATION = 3
+EXIT_EVALUATION = 4
+EXIT_EXHAUSTED = 5
 
 
 def _read(path: str) -> str:
@@ -52,6 +73,60 @@ def _load_db(path: Optional[str]) -> Database:
     if path is None:
         return Database()
     return parse_database(_read(path))
+
+
+def _budget_arguments(cmd: argparse.ArgumentParser) -> None:
+    """Resource-limit flags shared by the evaluating subcommands."""
+    limits = cmd.add_argument_group(
+        "resource limits (exit code 5 when exhausted; partial results "
+        "are printed)"
+    )
+    limits.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the evaluation",
+    )
+    limits.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inference-step limit (goal expansions / rule firings)",
+    )
+    limits.add_argument(
+        "--max-atoms",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on derived atoms (memory proxy)",
+    )
+    limits.add_argument(
+        "--max-proof-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="proof-depth limit for the top-down engines",
+    )
+
+
+def _budget_from(options: argparse.Namespace):
+    """A :class:`~repro.engine.budget.Budget` from the CLI flags, or
+    ``None`` when no limit was given (the zero-overhead default)."""
+    if not any(
+        getattr(options, name, None) is not None
+        for name in ("timeout", "max_steps", "max_atoms", "max_proof_depth")
+    ):
+        return None
+    from .engine.budget import Budget
+
+    return Budget(
+        timeout=options.timeout,
+        max_steps=options.max_steps,
+        max_atoms=options.max_atoms,
+        max_depth=options.max_proof_depth,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
     )
+    _budget_arguments(query_cmd)
 
     answers_cmd = commands.add_parser("answers", help="enumerate answers")
     answers_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
@@ -97,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
     )
+    _budget_arguments(answers_cmd)
 
     model_cmd = commands.add_parser("model", help="print the perfect model")
     model_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
@@ -106,6 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
     )
+    _budget_arguments(model_cmd)
 
     profile_cmd = commands.add_parser(
         "profile",
@@ -147,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit durations from the printed tree (stable output)",
     )
+    _budget_arguments(profile_cmd)
 
     lint_cmd = commands.add_parser(
         "lint", help="static hygiene warnings for a rulebase"
@@ -235,16 +314,60 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Errors from the :class:`HypotheticalDatalogError` hierarchy map to
+    stable codes (parse/validation 2, stratification 3, evaluation 4,
+    budget exhausted 5) and are rendered through the diagnostics
+    formatter rather than as raw tracebacks.
+    """
     options = _build_parser().parse_args(argv)
     try:
         return _dispatch(options)
+    except ResourceExhausted as error:
+        _print_partial(error)
+        _print_error(error, "resource-exhausted")
+        print(f"partial results: {error.partial.describe()}", file=sys.stderr)
+        return EXIT_EXHAUSTED
+    except (ParseError, ValidationError) as error:
+        _print_error(
+            error,
+            "parse-error" if isinstance(error, ParseError) else "invalid-program",
+        )
+        return EXIT_PARSE
+    except StratificationError as error:
+        _print_error(error, "stratification-error")
+        return EXIT_STRATIFICATION
     except HypotheticalDatalogError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        _print_error(error, "evaluation-error")
+        return EXIT_EVALUATION
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_PARSE
+
+
+def _print_error(error: Exception, code: str) -> None:
+    """Render one fatal error in the diagnostics formatter's shape
+    (``location: severity[code] message``)."""
+    from .analysis.diagnostics import Diagnostic, render_text
+    from .core.spans import Span
+
+    span = getattr(error, "span", None)
+    if span is None and getattr(error, "line", None) is not None:
+        span = Span(error.line, error.column or 1)
+    diag = Diagnostic(code=code, message=str(error), severity="error", span=span)
+    print(render_text([diag]), file=sys.stderr)
+
+
+def _print_partial(error: ResourceExhausted) -> None:
+    """Print whatever an exhausted query had already established."""
+    partial = error.partial
+    if partial.answers:
+        for row in sorted(partial.answers, key=str):
+            if isinstance(row, tuple):
+                print(", ".join(str(value) for value in row))
+            else:
+                print(row)
 
 
 def _dispatch(options: argparse.Namespace) -> int:
@@ -271,14 +394,18 @@ def _dispatch(options: argparse.Namespace) -> int:
     if options.command == "query":
         tracer, metrics = _trace_targets(options)
         session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
-        result = session.ask(_load_db(options.db), options.premise)
+        result = session.ask(
+            _load_db(options.db), options.premise, budget=_budget_from(options)
+        )
         _write_trace_out(options, tracer, metrics)
         print("yes" if result else "no")
         return 0 if result else 1
     if options.command == "answers":
         tracer, metrics = _trace_targets(options)
         session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
-        rows = session.answers(_load_db(options.db), options.pattern)
+        rows = session.answers(
+            _load_db(options.db), options.pattern, budget=_budget_from(options)
+        )
         _write_trace_out(options, tracer, metrics)
         for row in sorted(rows, key=str):
             print(", ".join(str(value) for value in row))
@@ -286,7 +413,7 @@ def _dispatch(options: argparse.Namespace) -> int:
     if options.command == "model":
         tracer, metrics = _trace_targets(options)
         engine = PerfectModelEngine(rulebase, metrics=metrics, tracer=tracer)
-        model = engine.model(_load_db(options.db))
+        model = engine.model(_load_db(options.db), budget=_budget_from(options))
         _write_trace_out(options, tracer, metrics)
         print(format_database(Database(model)))
         return 0
@@ -372,6 +499,7 @@ def _run_profile(options: argparse.Namespace, rulebase) -> int:
         _load_db(options.db),
         options.query,
         engine=options.engine,
+        budget=_budget_from(options),
     )
     print(
         report.render(

@@ -5,9 +5,25 @@ Every error raised deliberately by this package derives from
 The subclasses mirror the pipeline stages: parsing, program validation,
 stratification analysis, query evaluation, machine simulation, and query
 compilation (the Section 6 expressibility construction).
+
+Resource governance (docs/ROBUSTNESS.md) adds two members:
+
+* :class:`ResourceExhausted` — a query ran out of budget (deadline,
+  step limit, atom cap, depth guard, or cooperative cancellation).  It
+  is an :class:`EvaluationError` that additionally carries a
+  :class:`PartialResult` with whatever the evaluator had established
+  when the budget tripped, so callers can degrade gracefully instead
+  of losing the work.
+* :class:`InvariantViolation` — an *internal* self-check of the
+  differential engine failed (delta-vs-naive divergence).  The model
+  engine catches it itself and falls back to naive evaluation once; it
+  only escapes to callers if the fallback diverges too.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "HypotheticalDatalogError",
@@ -15,6 +31,9 @@ __all__ = [
     "ValidationError",
     "StratificationError",
     "EvaluationError",
+    "ResourceExhausted",
+    "InvariantViolation",
+    "PartialResult",
     "MachineError",
     "CompilationError",
 ]
@@ -66,6 +85,89 @@ class EvaluationError(HypotheticalDatalogError):
     Examples: querying a predicate with the wrong arity, exceeding a
     user-supplied resource bound, or evaluating a rulebase that the
     selected engine does not support.
+    """
+
+
+@dataclass
+class PartialResult:
+    """What an interrupted evaluation had already established.
+
+    Every field is best-effort: ``answers`` / ``atoms`` are ``None``
+    (not merely empty) when the interrupted entry point produces no
+    such thing.  Whatever is present is *sound* — answers were fully
+    decided and atoms fully derived before the budget tripped — so a
+    partial result is always a subset of the unbudgeted one.
+    """
+
+    answers: Optional[set] = None
+    atoms: Optional[frozenset] = None
+    strata_completed: int = 0
+    steps: int = 0
+    atoms_derived: int = 0
+    elapsed: float = 0.0
+
+    def merge_missing(
+        self,
+        *,
+        answers: Optional[set] = None,
+        atoms: Optional[frozenset] = None,
+        strata_completed: Optional[int] = None,
+    ) -> None:
+        """Fill fields an inner (more deeply nested) handler left unset."""
+        if self.answers is None and answers is not None:
+            self.answers = set(answers)
+        if self.atoms is None and atoms is not None:
+            self.atoms = frozenset(atoms)
+        if strata_completed is not None and not self.strata_completed:
+            self.strata_completed = strata_completed
+
+    def describe(self) -> str:
+        """One-line summary for CLI/REPL display."""
+        parts = []
+        if self.answers is not None:
+            parts.append(f"{len(self.answers)} answer(s)")
+        if self.atoms is not None:
+            parts.append(f"{len(self.atoms)} atom(s)")
+        if self.strata_completed:
+            parts.append(f"{self.strata_completed} strata completed")
+        parts.append(f"steps={self.steps}")
+        if self.atoms_derived:
+            parts.append(f"derived={self.atoms_derived}")
+        parts.append(f"elapsed={self.elapsed:.3f}s")
+        return ", ".join(parts)
+
+
+class ResourceExhausted(EvaluationError):
+    """A query exceeded its :class:`~repro.engine.budget.Budget`.
+
+    ``reason`` is one of ``"deadline"``, ``"steps"``, ``"atoms"``,
+    ``"depth"``, ``"cancelled"``, or ``"injected"`` (fault injection);
+    ``site`` names the guarded check that tripped (a dotted metric-site
+    name, e.g. ``"topdown.goals"``); ``partial`` carries the results
+    established before the trip.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        site: Optional[str] = None,
+        partial: Optional[PartialResult] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+        self.partial = partial if partial is not None else PartialResult()
+
+
+class InvariantViolation(EvaluationError):
+    """An internal self-check of an evaluator failed.
+
+    Raised by the differential engine's cross-check hooks when a
+    semi-naive closure diverges from the naive reference (or when fault
+    injection simulates that).  :class:`~repro.engine.model.PerfectModelEngine`
+    intercepts it and degrades to ``strategy="naive"`` once.
     """
 
 

@@ -17,9 +17,14 @@
 All engines accept ``metrics=`` (a
 :class:`~repro.obs.metrics.MetricsRegistry`) and ``tracer=`` (a
 :class:`~repro.obs.trace.Tracer`) keyword arguments; see
-:mod:`repro.obs` and ``docs/OBSERVABILITY.md``.
+:mod:`repro.obs` and ``docs/OBSERVABILITY.md``.  They also accept
+``budget=`` (a :class:`~repro.engine.budget.Budget`) bounding
+evaluation by wall-clock deadline, inference steps, derived atoms,
+proof depth, and cooperative cancellation; see
+:mod:`repro.engine.budget` and ``docs/ROBUSTNESS.md``.
 """
 
+from .budget import Budget, CancellationToken, NULL_BUDGET
 from .datalog import FixpointStats, naive_least_fixpoint, seminaive_least_fixpoint
 from .interpretation import Interpretation
 from .model import EngineStats, PerfectModelEngine
@@ -30,6 +35,9 @@ from .stratified import perfect_model, stratified_holds
 from .topdown import TopDownEngine, TopDownStats
 
 __all__ = [
+    "Budget",
+    "CancellationToken",
+    "NULL_BUDGET",
     "Interpretation",
     "naive_least_fixpoint",
     "seminaive_least_fixpoint",

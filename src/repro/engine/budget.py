@@ -1,0 +1,342 @@
+"""Resource governance for query evaluation.
+
+Theorem 1 makes exhaustive search the *point* of this engine — even
+small rulebases (the E5 Hamiltonian encoding, the E8 oracle cascades)
+legitimately explode — so a long-running service must bound every
+query rather than hope it terminates.  A :class:`Budget` bundles the
+enforceable limits:
+
+* ``timeout`` — wall-clock deadline in seconds, anchored when the
+  first guarded entry point begins work;
+* ``max_steps`` — inference-step limit (goal expansions, rule
+  firings, model computations — the quantities the ``*.goals`` /
+  ``*.rule_firings`` metrics already count);
+* ``max_atoms`` — cap on *derived* atoms, a memory proxy that is
+  strategy-invariant (naive and semi-naive closures derive identical
+  atom sets, so an atom budget exhausts both or neither —
+  ``tests/test_budget.py`` pins this);
+* ``max_depth`` — proof-depth guard for the top-down provers, tripping
+  long before Python's recursion limit would;
+* ``token`` — a :class:`CancellationToken` for cooperative
+  cancellation from the outside (the REPL's Ctrl-C path).
+
+Exhaustion raises :class:`~repro.core.errors.ResourceExhausted`
+carrying a :class:`~repro.core.errors.PartialResult`; the evaluators'
+entry points annotate it with the answers/atoms established so far, so
+callers degrade gracefully instead of losing the work.
+
+The disabled path follows the tracer discipline
+(:mod:`repro.obs.trace`): engines hold :data:`NULL_BUDGET`, whose
+class-level ``enabled = False`` turns every guard into one attribute
+test —
+
+    budget = self._budget
+    if budget.enabled:
+        budget.charge("topdown.goals")
+
+— so unbudgeted evaluation pays nothing measurable (the E13/E18
+perf-guard counters are unchanged; see docs/ROBUSTNESS.md).
+
+Deadline and cancellation are *polled*: ``charge`` consults the clock
+every ``check_interval`` steps (default 32), so the raise lands within
+a few dozen cheap operations of the deadline — the E19 bench records
+the measured exhaustion latency.  Fault injection
+(:mod:`repro.testing.failpoints`) hooks the same guards: every charge
+first consults the failpoint registry while any failpoint is armed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..core.errors import PartialResult, ResourceExhausted
+from ..testing import failpoints as _failpoints
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "NullBudget",
+    "NULL_BUDGET",
+    "cancelled_error",
+    "depth_error",
+]
+
+
+class CancellationToken:
+    """Cooperative cancellation flag, checked at budget poll points.
+
+    Share one token between the code running a query and the code that
+    may want to stop it (a signal handler, another thread, a watchdog);
+    ``cancel()`` makes the next poll raise ``ResourceExhausted`` with
+    ``reason="cancelled"`` and partial results attached.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def reset(self) -> None:
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        return f"CancellationToken(cancelled={self._cancelled})"
+
+
+class Budget:
+    """Enforceable resource limits for one evaluation.
+
+    A budget is cumulative across everything it is threaded through:
+    nested model computations, delta closures, and oracle consultations
+    all charge the same cells.  Reuse a budget across queries to bound
+    a whole session, or call :meth:`fresh` for a per-query copy.
+
+    All limits are optional; a limitless ``Budget()`` still supports
+    cancellation and fault injection (its guards run, they just never
+    trip on their own).
+    """
+
+    enabled = True
+
+    __slots__ = (
+        "timeout",
+        "max_steps",
+        "max_atoms",
+        "max_depth",
+        "token",
+        "steps",
+        "atoms",
+        "_deadline",
+        "_interval",
+        "_countdown",
+        "_clock",
+        "_started_at",
+    )
+
+    def __init__(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_atoms: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        check_interval: int = 32,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        for name, value in (
+            ("timeout", timeout),
+            ("max_steps", max_steps),
+            ("max_atoms", max_atoms),
+            ("max_depth", max_depth),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.timeout = timeout
+        self.max_steps = max_steps
+        self.max_atoms = max_atoms
+        self.max_depth = max_depth
+        self.token = token
+        self.steps = 0
+        self.atoms = 0
+        self._deadline: Optional[float] = None
+        self._interval = check_interval
+        self._countdown = check_interval
+        self._clock = clock
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def begin(self) -> "Budget":
+        """Anchor the deadline; idempotent (nested entry points may
+        call it again without restarting the clock)."""
+        if self._started_at is None:
+            now = self._clock()
+            self._started_at = now
+            if self.timeout is not None:
+                self._deadline = now + self.timeout
+        return self
+
+    def fresh(self) -> "Budget":
+        """A new, unanchored budget with the same limits and token."""
+        return Budget(
+            timeout=self.timeout,
+            max_steps=self.max_steps,
+            max_atoms=self.max_atoms,
+            max_depth=self.max_depth,
+            token=self.token,
+            check_interval=self._interval,
+            clock=self._clock,
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`begin` (0.0 before any work started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    # -- the guards ------------------------------------------------------
+
+    def charge(self, site: str, amount: int = 1) -> None:
+        """One unit of inference work at a guarded site.
+
+        Raises :class:`ResourceExhausted` when the step limit is hit;
+        every ``check_interval`` charges it also polls the deadline,
+        the cancellation token, and any armed failpoint immediately.
+        """
+        if _failpoints.enabled:
+            _failpoints.trigger(site)
+        self.steps += amount
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._exhaust("steps", site)
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._interval
+            self._poll_now(site)
+
+    def charge_atoms(self, site: str, amount: int = 1) -> None:
+        """One derived atom added to some interpretation."""
+        if _failpoints.enabled:
+            _failpoints.trigger(site)
+        self.atoms += amount
+        if self.max_atoms is not None and self.atoms > self.max_atoms:
+            self._exhaust("atoms", site)
+
+    def check_depth(self, site: str, depth: int) -> None:
+        """Guard the top-down provers' search depth."""
+        if self.max_depth is not None and depth > self.max_depth:
+            self._exhaust("depth", site)
+
+    def poll(self, site: str) -> None:
+        """Deadline/cancellation/failpoint check with no step charge
+        (loop headers whose iterations do unbounded work)."""
+        if _failpoints.enabled:
+            _failpoints.trigger(site)
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._interval
+            self._poll_now(site)
+
+    def _poll_now(self, site: str) -> None:
+        if self.token is not None and self.token.cancelled:
+            self._exhaust("cancelled", site)
+        if self._deadline is not None and self._clock() > self._deadline:
+            self._exhaust("deadline", site)
+
+    # -- exhaustion ------------------------------------------------------
+
+    def _exhaust(self, reason: str, site: str) -> None:
+        limit = {
+            "deadline": f"timeout={self.timeout}s",
+            "steps": f"max_steps={self.max_steps}",
+            "atoms": f"max_atoms={self.max_atoms}",
+            "depth": f"max_depth={self.max_depth}",
+            "cancelled": "cancellation requested",
+        }[reason]
+        raise ResourceExhausted(
+            f"evaluation exhausted its budget at {site} ({limit}; "
+            f"steps={self.steps}, derived atoms={self.atoms}, "
+            f"elapsed={self.elapsed():.3f}s)",
+            reason=reason,
+            site=site,
+            partial=self.partial(),
+        )
+
+    def partial(self) -> PartialResult:
+        """A fresh :class:`PartialResult` seeded with this budget's
+        usage numbers (entry points merge answers/atoms in)."""
+        return PartialResult(
+            steps=self.steps, atoms_derived=self.atoms, elapsed=self.elapsed()
+        )
+
+    def describe(self) -> str:
+        """One-line limits summary (the REPL's ``:limits`` display)."""
+        parts = []
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout}s")
+        if self.max_steps is not None:
+            parts.append(f"steps={self.max_steps}")
+        if self.max_atoms is not None:
+            parts.append(f"atoms={self.max_atoms}")
+        if self.max_depth is not None:
+            parts.append(f"depth={self.max_depth}")
+        return ", ".join(parts) if parts else "(no limits)"
+
+    def __repr__(self) -> str:
+        return f"Budget({self.describe()}, steps={self.steps}, atoms={self.atoms})"
+
+
+class NullBudget:
+    """The disabled budget: every guard is a no-op.
+
+    ``enabled`` is ``False`` so hot paths skip the guard calls
+    entirely; the methods exist so cold paths may call through
+    unconditionally.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def begin(self) -> "NullBudget":
+        return self
+
+    def fresh(self) -> "NullBudget":
+        return self
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def charge(self, site: str, amount: int = 1) -> None:
+        return None
+
+    def charge_atoms(self, site: str, amount: int = 1) -> None:
+        return None
+
+    def check_depth(self, site: str, depth: int) -> None:
+        return None
+
+    def poll(self, site: str) -> None:
+        return None
+
+    def partial(self) -> PartialResult:
+        return PartialResult()
+
+    def describe(self) -> str:
+        return "(no limits)"
+
+
+NULL_BUDGET = NullBudget()
+
+
+def cancelled_error(budget) -> ResourceExhausted:
+    """The :class:`ResourceExhausted` for a caught ``KeyboardInterrupt``
+    (the Ctrl-C cancellation path shared by all evaluators)."""
+    return ResourceExhausted(
+        "evaluation cancelled (interrupt received); partial results attached",
+        reason="cancelled",
+        partial=budget.partial(),
+    )
+
+
+def depth_error(budget) -> ResourceExhausted:
+    """The :class:`ResourceExhausted` for a caught ``RecursionError``:
+    the search out-recursed the Python stack before any configured
+    limit tripped.  Converted at every evaluator entry point so a raw
+    ``RecursionError`` can never escape the engines."""
+    return ResourceExhausted(
+        "evaluation exceeded the interpreter recursion limit; set "
+        "max_depth/max_steps for a deterministic bound",
+        reason="depth",
+        partial=budget.partial(),
+    )

@@ -23,10 +23,11 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Union
 
 from ..core.ast import Positive, Rule
-from ..core.errors import EvaluationError
+from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.terms import Atom, Constant
 from ..obs.metrics import Counter, MetricsRegistry, StatsView
 from ..obs.trace import NULL_TRACER, Tracer
+from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
@@ -85,20 +86,35 @@ def _least_fixpoint(
     stats: Optional[Stats],
     tracer: Tracer,
     strategy: str,
+    budget,
 ) -> Interpretation:
     rule_list = list(rules)
     _check_positive(rule_list)
     interp = Interpretation(facts)
     if domain is None:
         domain = _domain_of(rule_list, interp)
-    close_layer(
-        rule_list,
-        interp,
-        domain,
-        strategy=strategy,
-        instruments=_fixpoint_instruments(stats),
-        tracer=tracer,
-    )
+    budget = (budget if budget is not None else NULL_BUDGET).begin()
+    try:
+        close_layer(
+            rule_list,
+            interp,
+            domain,
+            strategy=strategy,
+            instruments=_fixpoint_instruments(stats),
+            tracer=tracer,
+            budget=budget,
+        )
+    except ResourceExhausted as error:
+        error.partial.merge_missing(atoms=interp.to_frozenset())
+        raise
+    except KeyboardInterrupt:
+        error = cancelled_error(budget)
+        error.partial.merge_missing(atoms=interp.to_frozenset())
+        raise error from None
+    except RecursionError:
+        error = depth_error(budget)
+        error.partial.merge_missing(atoms=interp.to_frozenset())
+        raise error from None
     return interp
 
 
@@ -108,6 +124,7 @@ def naive_least_fixpoint(
     domain: Optional[Sequence[Constant]] = None,
     stats: Optional[Stats] = None,
     tracer: Tracer = NULL_TRACER,
+    budget=None,
 ) -> Interpretation:
     """Least fixpoint by naive iteration.
 
@@ -115,8 +132,11 @@ def naive_least_fixpoint(
     stops when a round adds nothing.  Simple and obviously correct —
     the baseline for experiment E12.  ``stats`` may be a legacy
     :class:`FixpointStats` or a :class:`~repro.obs.metrics.MetricsRegistry`.
+    ``budget`` (a :class:`~repro.engine.budget.Budget`) bounds the run;
+    on exhaustion the raised :class:`ResourceExhausted` carries the
+    atoms derived so far.
     """
-    return _least_fixpoint(rules, facts, domain, stats, tracer, "naive")
+    return _least_fixpoint(rules, facts, domain, stats, tracer, "naive", budget)
 
 
 def seminaive_least_fixpoint(
@@ -125,12 +145,16 @@ def seminaive_least_fixpoint(
     domain: Optional[Sequence[Constant]] = None,
     stats: Optional[Stats] = None,
     tracer: Tracer = NULL_TRACER,
+    budget=None,
 ) -> Interpretation:
     """Least fixpoint by semi-naive (differential) iteration.
 
     A full first round establishes the one-step consequences; every
     later round only considers rule instantiations in which at least
     one body atom matches a fact derived in the previous round (see
-    :func:`repro.engine.delta.close_layer`).
+    :func:`repro.engine.delta.close_layer`).  ``budget`` bounds the run
+    as in :func:`naive_least_fixpoint`.
     """
-    return _least_fixpoint(rules, facts, domain, stats, tracer, "seminaive")
+    return _least_fixpoint(
+        rules, facts, domain, stats, tracer, "seminaive", budget
+    )

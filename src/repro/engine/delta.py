@@ -65,6 +65,7 @@ from ..core.unify import Substitution, ground_instances
 from ..obs.metrics import Counter, Histogram
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import nonlocal_variables, satisfy_body
+from .budget import NULL_BUDGET
 from .interpretation import Interpretation
 
 __all__ = ["LayerInstruments", "close_layer", "delta_sources"]
@@ -136,6 +137,7 @@ def close_layer(
     optimize: bool = False,
     instruments: Optional[LayerInstruments] = None,
     tracer: Tracer = NULL_TRACER,
+    budget=NULL_BUDGET,
 ) -> Interpretation:
     """Close one stratum's rules over ``interp``; return the new atoms.
 
@@ -145,6 +147,13 @@ def close_layer(
     to rejecting hypothetical premises.  See the module docstring for
     the delta discipline and the meaning of ``seed_delta`` /
     ``refire_full``.
+
+    ``budget`` (a :class:`~repro.engine.budget.Budget`) is charged one
+    step per rule firing (site ``delta.firings``) and one atom per
+    derivation (``delta.derived``), with a deadline/cancellation poll
+    at every round header (``delta.round``); exhaustion raises
+    :class:`~repro.core.errors.ResourceExhausted` mid-closure, leaving
+    ``interp`` holding a sound partial extension.
     """
     if strategy not in ("naive", "seminaive"):
         raise EvaluationError(f"unknown closure strategy {strategy!r}")
@@ -184,6 +193,7 @@ def close_layer(
         )
 
     trace = tracer
+    governed = budget.enabled
     derived_all = Interpretation()
 
     def fire(item, head_variables, guards, target, delta) -> Iterator[Atom]:
@@ -236,6 +246,8 @@ def close_layer(
             round_index += 1
             if n_rounds is not None:
                 n_rounds.value += 1
+            if governed:
+                budget.poll("delta.round")
             ctx = (
                 trace.span(
                     "round", str(round_index), args={"strategy": "naive"}
@@ -255,6 +267,8 @@ def close_layer(
                         for head in fire(item, head_variables, guards, None, None):
                             if n_firings is not None:
                                 n_firings.value += 1
+                            if governed:
+                                budget.charge("delta.firings")
                             pending.append(head)
                 for head in pending:
                     if interp.add(head):
@@ -262,6 +276,8 @@ def close_layer(
                         changed = True
                         if n_derived is not None:
                             n_derived.value += 1
+                        if governed:
+                            budget.charge_atoms("delta.derived")
         return derived_all
 
     refire_ids = {id(item) for item in refire_full}
@@ -272,6 +288,8 @@ def close_layer(
         round_index += 1
         if n_rounds is not None:
             n_rounds.value += 1
+        if governed:
+            budget.poll("delta.round")
         if h_delta is not None and delta is not None:
             h_delta.observe(len(delta))
         ctx = (
@@ -304,6 +322,8 @@ def close_layer(
                         for head in fire(item, head_variables, guards, None, None):
                             if n_firings is not None:
                                 n_firings.value += 1
+                            if governed:
+                                budget.charge("delta.firings")
                             pending.append(head)
                         continue
                     for target in sources:
@@ -314,6 +334,8 @@ def close_layer(
                         ):
                             if n_firings is not None:
                                 n_firings.value += 1
+                            if governed:
+                                budget.charge("delta.firings")
                             pending.append(head)
             next_delta = Interpretation()
             for head in pending:
@@ -322,6 +344,8 @@ def close_layer(
                     derived_all.add(head)
                     if n_derived is not None:
                         n_derived.value += 1
+                    if governed:
+                        budget.charge_atoms("delta.derived")
         first = False
         delta = next_delta
         if not len(next_delta):

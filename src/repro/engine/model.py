@@ -58,17 +58,20 @@ university and chain examples.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
 from ..core.database import Database
-from ..core.errors import EvaluationError
+from ..core.errors import EvaluationError, InvariantViolation, ResourceExhausted
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Term, Variable
 from ..core.unify import Substitution, ground_instances
 from ..obs.metrics import MetricsRegistry, StatsView
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
+from ..testing import failpoints as _failpoints
 from .body import cost_aware_positive_order, join_mode
+from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
@@ -144,6 +147,21 @@ class PerfectModelEngine:
         Only effective with the semi-naive strategy; semantics-neutral,
         with an automatic fall-back to fresh computation for any
         stratum that is not provably monotone.
+    budget:
+        A :class:`~repro.engine.budget.Budget` charged throughout every
+        evaluation this engine runs (public entry points also accept a
+        per-call ``budget=`` override).  Exhaustion raises
+        :class:`~repro.core.errors.ResourceExhausted` with the atoms of
+        the outermost in-flight model attached as a partial result.
+    cross_check:
+        Verify every top-level differential model against a naive
+        recompute; a mismatch (or an armed ``model.invariant``
+        failpoint) raises :class:`~repro.core.errors.InvariantViolation`
+        internally, on which the engine *falls back once* to
+        ``strategy="naive"``, bumps ``engine.fallbacks``, records a
+        :class:`~repro.analysis.diagnostics.Diagnostic` in
+        ``self.diagnostics``, and retries.  Off by default — it doubles
+        evaluation cost.
     """
 
     _ANCESTOR_SCAN_CAP = 4096
@@ -159,6 +177,8 @@ class PerfectModelEngine:
         reuse_models: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        budget=None,
+        cross_check: bool = False,
     ) -> None:
         from ..analysis.monotone import monotone_layer_prefix
         from ..analysis.stratify import negation_strata
@@ -208,6 +228,15 @@ class PerfectModelEngine:
         self._join_mode = join_mode(optimize_joins)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._budget = budget if budget is not None else NULL_BUDGET
+        self._cross_check = bool(cross_check)
+        # Interpretations of models currently being computed, outermost
+        # first; harvested for partial results when evaluation is cut
+        # short (frames are popped on success only).
+        self._inflight: list[Interpretation] = []
+        #: Diagnostics recorded by graceful-degradation events (one per
+        #: naive fallback); rendered by the CLI alongside query output.
+        self.diagnostics: list = []
         self.stats = EngineStats(self.metrics)
         # Counters are bound once; hot paths do a slots-attribute
         # increment, the same cost as the old stats-struct fields.
@@ -222,6 +251,7 @@ class PerfectModelEngine:
         self._n_hypo = counter("model.hypothesis_expansions")
         self._n_seeded = counter("model.models_seeded")
         self._n_fresh = counter("model.models_fresh")
+        self._n_fallbacks = counter("engine.fallbacks")
         self._n_probes = counter("interp.index_probes")
         self._h_model_size = self.metrics.histogram("model.model_size")
         self._h_delta_size = self.metrics.histogram("model.delta_size")
@@ -240,20 +270,28 @@ class PerfectModelEngine:
         constants = set(self._rule_constants) | set(db.constants())
         return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
 
-    def model(self, db: Database) -> frozenset[Atom]:
-        """All ground atoms derivable from ``db`` (Definition 3 + NAF)."""
-        return self._model(db, self.domain(db))
+    def model(self, db: Database, *, budget=None) -> frozenset[Atom]:
+        """All ground atoms derivable from ``db`` (Definition 3 + NAF).
 
-    def ask(self, db: Database, query: Query) -> bool:
+        ``budget`` (a :class:`~repro.engine.budget.Budget`) overrides
+        the engine-level budget for this call; exhaustion raises
+        :class:`~repro.core.errors.ResourceExhausted` carrying the
+        atoms established so far as a partial result.
+        """
+        return self._run(budget, lambda: self._model(db, self.domain(db)))
+
+    def ask(self, db: Database, query: Query, *, budget=None) -> bool:
         """Decide a query: an atom, a premise, or premise text.
 
         Variables in the query are read existentially; a negated
         premise ``~A`` holds iff no instance of ``A`` is derivable.
         """
         premise = self._coerce(query)
-        return self.holds(db, premise)
+        return self.holds(db, premise, budget=budget)
 
-    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+    def answers(
+        self, db: Database, pattern: Union[str, Atom], *, budget=None
+    ) -> set[tuple]:
         """All payload tuples ``t`` with ``pattern[t]`` derivable.
 
         >>> # answers(db, "grad(S)") -> {("tony",), ("sue",)}
@@ -263,22 +301,38 @@ class PerfectModelEngine:
             if not isinstance(premise, Positive):
                 raise EvaluationError("answers() needs a plain atom pattern")
             pattern = premise.atom
-        model = self.model(db)
+        try:
+            model = self.model(db, budget=budget)
+        except ResourceExhausted as error:
+            if error.partial.atoms is not None and error.partial.answers is None:
+                error.partial.answers = self._match_tuples(
+                    error.partial.atoms, pattern
+                )
+            raise
+        return self._match_tuples(model, pattern)
+
+    @staticmethod
+    def _match_tuples(
+        atoms: Iterable[Atom], pattern: Atom
+    ) -> set[tuple]:
         variables = list(dict.fromkeys(pattern.variables()))
         results: set[tuple] = set()
-        interp = Interpretation(model)
+        interp = Interpretation(atoms)
         for binding in interp.matches(pattern):
             results.add(
                 tuple(binding[var].value for var in variables)  # type: ignore[union-attr]
             )
         return results
 
-    def holds(self, db: Database, premise: Premise) -> bool:
+    def holds(self, db: Database, premise: Premise, *, budget=None) -> bool:
         """Decide one premise at a database (variables existential)."""
         domain = self.domain(db)
         if isinstance(premise, Negated):
-            return not self._exists(db, Positive(premise.atom), domain)
-        return self._exists(db, premise, domain)
+            return self._run(
+                budget,
+                lambda: not self._exists(db, Positive(premise.atom), domain),
+            )
+        return self._run(budget, lambda: self._exists(db, premise, domain))
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -299,6 +353,124 @@ class PerfectModelEngine:
             return Positive(query)
         return query
 
+    # ------------------------------------------------------------------
+    # Resource governance and graceful degradation
+    # ------------------------------------------------------------------
+
+    def _run(self, budget, thunk):
+        """One governed evaluation, with the naive-fallback retry.
+
+        An :class:`InvariantViolation` (cross-check mismatch or armed
+        ``model.invariant`` failpoint) triggers at most one automatic
+        degradation to ``strategy="naive"``; a second violation — the
+        naive engine disagreeing with itself — escapes to the caller.
+        """
+        with self._governed(budget):
+            try:
+                return thunk()
+            except InvariantViolation as error:
+                self._fall_back(error)
+                return thunk()
+
+    @contextmanager
+    def _governed(self, budget):
+        """Activate a budget for the duration of one public entry call.
+
+        Converts ``KeyboardInterrupt`` / ``RecursionError`` into
+        :class:`ResourceExhausted` and attaches the outermost in-flight
+        model's atoms as the partial result, so no evaluation path can
+        lose work or escape with a raw interpreter error.
+        """
+        previous = self._budget
+        active = budget if budget is not None else previous
+        active.begin()
+        self._budget = active
+        try:
+            yield active
+        except ResourceExhausted as error:
+            self._note_exhaustion(error)
+            raise
+        except KeyboardInterrupt:
+            error = cancelled_error(active)
+            self._note_exhaustion(error)
+            raise error from None
+        except RecursionError:
+            error = depth_error(active)
+            self._note_exhaustion(error)
+            raise error from None
+        finally:
+            self._budget = previous
+            self._inflight.clear()
+
+    def _note_exhaustion(self, error: ResourceExhausted) -> None:
+        if self._inflight:
+            error.partial.merge_missing(atoms=self._inflight[0].to_frozenset())
+        self.metrics.counter("budget.exhausted").value += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "budget",
+                error.reason,
+                args={"site": error.site, "steps": error.partial.steps},
+            )
+
+    def _fall_back(self, error: InvariantViolation) -> None:
+        """Degrade to the naive strategy once, rather than crash or
+        return answers a failed self-check has cast doubt on."""
+        if self._strategy == "naive":
+            raise error
+        from ..analysis.diagnostics import Diagnostic
+
+        self._strategy = "naive"
+        self._reuse = False
+        self._cache.clear()
+        self._inflight.clear()
+        self._n_fallbacks.value += 1
+        self.diagnostics.append(
+            Diagnostic(
+                code="engine-fallback",
+                message=(
+                    "differential evaluation failed an internal "
+                    f"self-check ({error}); re-evaluating with "
+                    "strategy='naive'"
+                ),
+                severity="warning",
+            )
+        )
+        if self._tracer.enabled:
+            self._tracer.event("fallback", "naive", args={"cause": str(error)})
+
+    def _verify_model(self, db: Database, result: frozenset[Atom]) -> None:
+        """The differential engine's self-check at a top-level model.
+
+        Recomputes the model with a fresh naive engine and raises
+        :class:`InvariantViolation` on divergence.  An armed
+        ``model.invariant`` failpoint fires here too, so the fallback
+        path is testable without constructing a real divergence.
+        """
+        if self._strategy != "seminaive":
+            return  # nothing differential to distrust on the naive path
+        if _failpoints.enabled:
+            _failpoints.trigger("model.invariant")
+        if not self._cross_check:
+            return
+        reference = PerfectModelEngine(
+            self._rulebase,
+            max_databases=self._max_databases,
+            memoize=self._memoize,
+            optimize_joins=False,
+            strategy="naive",
+            reuse_models=False,
+            budget=self._budget,
+        ).model(db)
+        if reference != result:
+            missing = len(reference - result)
+            extra = len(result - reference)
+            raise InvariantViolation(
+                "differential model diverged from the naive reference "
+                f"at db[{len(db)}]: {missing} atom(s) missing, "
+                f"{extra} spurious"
+            )
+
     def _exists(self, db: Database, premise: Premise, domain) -> bool:
         """Is some grounding of the premise derivable at ``db``?"""
         if isinstance(premise, Positive):
@@ -309,8 +481,11 @@ class PerfectModelEngine:
             return Interpretation(model).has_match(goal)
         if isinstance(premise, Hypothetical):
             trace = self._tracer
+            budget = self._budget
             unbound = list(dict.fromkeys(premise.variables()))
             for binding in ground_instances(unbound, domain):
+                if budget.enabled:
+                    budget.poll("model.exists")
                 grounded = premise.substitute(binding)
                 db2 = db.with_facts(*grounded.additions)
                 self._n_hypo.value += 1
@@ -373,15 +548,20 @@ class PerfectModelEngine:
             )
         self._n_cache_misses.value += 1
         self._n_models.value += 1
+        budget = self._budget
+        if budget.enabled:
+            budget.charge("model.models_computed")
         trace = self._tracer
         ctx = (
             trace.span("model", f"db[{len(db)}]")
             if trace.enabled
             else NULL_SPAN
         )
+        top = not self._inflight
         with ctx:
             interp = Interpretation(db)
             interp.probes = self._n_probes
+            self._inflight.append(interp)
             if self._reuse and parent is None:
                 parent = self._ancestor_seed(db)
             seed_limit = 0
@@ -423,9 +603,12 @@ class PerfectModelEngine:
                     if index + 1 < seed_limit:
                         fresh.update(new)
             result = interp.to_frozenset()
+        self._inflight.pop()
         self._h_model_size.observe(len(result))
         if self._memoize:
             self._cache[db] = result
+        if top and (self._cross_check or _failpoints.enabled):
+            self._verify_model(db, result)
         return result
 
     def _close_layer(
@@ -486,6 +669,7 @@ class PerfectModelEngine:
                 delta_size=self._h_delta_size,
             ),
             tracer=self._tracer,
+            budget=self._budget,
         )
 
     def _expand_hypothetical(

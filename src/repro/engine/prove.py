@@ -34,6 +34,7 @@ domain size for linear rulebases.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
 
 from ..analysis.stratify import (
@@ -43,7 +44,7 @@ from ..analysis.stratify import (
 )
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule, Rulebase
 from ..core.database import Database
-from ..core.errors import EvaluationError
+from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
@@ -56,6 +57,7 @@ from .body import (
     nonlocal_variables,
     satisfy_body,
 )
+from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .interpretation import Interpretation
 
 __all__ = ["LinearStratifiedProver", "ProverStats"]
@@ -92,6 +94,12 @@ class LinearStratifiedProver:
     memoize:
         Disable the proven/refuted goal caches and the delta-model
         cache for the E13 ablation bench.
+    budget:
+        A :class:`~repro.engine.budget.Budget` charged throughout every
+        query (``ask``/``answers`` also accept a per-call ``budget=``
+        override).  Exhaustion raises
+        :class:`~repro.core.errors.ResourceExhausted`; an interrupted
+        ``answers`` enumeration attaches the tuples decided so far.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class LinearStratifiedProver:
         optimize_joins: bool | str = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        budget=None,
     ) -> None:
         if rulebase.has_deletions():
             raise EvaluationError(
@@ -139,6 +148,7 @@ class LinearStratifiedProver:
         self._plan_cache: dict[Database, object] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._budget = budget if budget is not None else NULL_BUDGET
         self.stats = ProverStats(self.metrics)
         counter = self.metrics.counter
         self._n_sigma_goals = counter("prove.sigma_goals")
@@ -169,20 +179,29 @@ class LinearStratifiedProver:
         constants = set(self._rule_constants) | set(db.constants())
         return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
 
-    def ask(self, db: Database, query: Query) -> bool:
+    def ask(self, db: Database, query: Query, *, budget=None) -> bool:
         """Decide a query (atom, premise, or premise text).
 
         Variables are read existentially; ``~A`` holds iff no instance
-        of ``A`` is provable.
+        of ``A`` is provable.  ``budget`` overrides the prover-level
+        budget for this call.
         """
         premise = self._coerce(query)
         domain = self.domain(db)
-        if isinstance(premise, Negated):
-            return not self._exists(Positive(premise.atom), db, domain)
-        return self._exists(premise, db, domain)
+        with self._governed(budget):
+            if isinstance(premise, Negated):
+                return not self._exists(Positive(premise.atom), db, domain)
+            return self._exists(premise, db, domain)
 
-    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
-        """All payload tuples making the pattern provable."""
+    def answers(
+        self, db: Database, pattern: Union[str, Atom], *, budget=None
+    ) -> set[tuple]:
+        """All payload tuples making the pattern provable.
+
+        On budget exhaustion the raised
+        :class:`~repro.core.errors.ResourceExhausted` carries the
+        tuples fully decided before the trip (a subset of the
+        unbudgeted answer set)."""
         if isinstance(pattern, str):
             premise = parse_premise(pattern)
             if not isinstance(premise, Positive):
@@ -191,9 +210,10 @@ class LinearStratifiedProver:
         domain = self.domain(db)
         variables = list(dict.fromkeys(pattern.variables()))
         results: set[tuple] = set()
-        for binding in ground_instances(variables, domain):
-            if self._decide(Positive(pattern.substitute(binding)), db):
-                results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
+        with self._governed(budget, partial_answers=results):
+            for binding in ground_instances(variables, domain):
+                if self._decide(Positive(pattern.substitute(binding)), db):
+                    results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
         return results
 
     def clear_caches(self) -> None:
@@ -201,6 +221,53 @@ class LinearStratifiedProver:
         self._sigma_false.clear()
         self._delta_cache.clear()
         self._plan_cache.clear()
+
+    @contextmanager
+    def _governed(self, budget, partial_answers: Optional[set] = None):
+        """Activate a budget for one query; keep search state sound.
+
+        Converts ``KeyboardInterrupt`` / ``RecursionError`` into
+        :class:`ResourceExhausted`, attaches ``partial_answers`` when
+        given, and — crucial for reuse — clears the in-flight goal path
+        and Delta progress markers on the way out, so an interrupted
+        query can never poison cycle detection for the next one.  The
+        proven/refuted caches need no scrubbing: entries are only added
+        for fully decided goals, and exhaustion aborts before that.
+        """
+        previous = self._budget
+        active = budget if budget is not None else previous
+        active.begin()
+        self._budget = active
+        try:
+            yield active
+        except ResourceExhausted as error:
+            self._note_exhaustion(error, partial_answers)
+            raise
+        except KeyboardInterrupt:
+            error = cancelled_error(active)
+            self._note_exhaustion(error, partial_answers)
+            raise error from None
+        except RecursionError:
+            error = depth_error(active)
+            self._note_exhaustion(error, partial_answers)
+            raise error from None
+        finally:
+            self._budget = previous
+            self._path.clear()
+            self._delta_in_progress.clear()
+
+    def _note_exhaustion(
+        self, error: ResourceExhausted, partial_answers: Optional[set]
+    ) -> None:
+        if partial_answers is not None:
+            error.partial.merge_missing(answers=partial_answers)
+        self.metrics.counter("budget.exhausted").value += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "budget",
+                error.reason,
+                args={"site": error.site, "steps": error.partial.steps},
+            )
 
     # ------------------------------------------------------------------
     # Dispatch (the PROVE cascade)
@@ -251,8 +318,11 @@ class LinearStratifiedProver:
         return plan
 
     def _exists(self, premise: Premise, db: Database, domain) -> bool:
+        budget = self._budget
         unbound = list(dict.fromkeys(premise.variables()))
         for binding in ground_instances(unbound, domain):
+            if budget.enabled:
+                budget.poll("prove.exists")
             if self._decide(premise.substitute(binding), db):
                 return True
         return False
@@ -300,8 +370,13 @@ class LinearStratifiedProver:
             return False
 
         self._n_sigma_goals.value += 1
+        budget = self._budget
+        if budget.enabled:
+            budget.charge("prove.sigma_goals")
         self._path.add(key)
         self._g_max_depth.set_max(len(self._path))
+        if budget.enabled:
+            budget.check_depth("prove.sigma_goals", len(self._path))
         cycles_before = self._cycle_events
         domain = self.domain(db)
         proven = False
@@ -487,6 +562,8 @@ class LinearStratifiedProver:
             )
         self._delta_in_progress.add(key)
         self._n_delta_models.value += 1
+        if self._budget.enabled:
+            self._budget.charge("prove.delta_models")
         domain = self.domain(db)
         segment = 2 * stratum - 1
         own = self._strat.predicates_in_segment(segment)
@@ -548,6 +625,8 @@ class LinearStratifiedProver:
     ) -> None:
         """Fixpoint of one negation layer's rules (plus TEST0 oracles)."""
         trace = self._tracer
+        budget = self._budget
+        governed = budget.enabled
         changed = True
         while changed:
             changed = False
@@ -570,6 +649,8 @@ class LinearStratifiedProver:
                         optimize=self._join_mode == "greedy",
                         plan=self._cost_plan(db, domain),
                     ):
+                        if governed:
+                            budget.charge("prove.delta_firings")
                         unbound = [
                             var for var in head_variables if var not in current
                         ]
@@ -582,4 +663,6 @@ class LinearStratifiedProver:
                             pending.append(item.head.substitute(current))
             for head in pending:
                 if interp.add(head):
+                    if governed:
+                        budget.charge_atoms("prove.delta_atoms")
                     changed = True

@@ -59,19 +59,22 @@ class Session:
         *,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        budget=None,
     ) -> None:
         self._rulebase = rulebase
         if engine == "auto":
             engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
         if engine == "prove":
             self._engine: Engine = LinearStratifiedProver(
-                rulebase, metrics=metrics, tracer=tracer
+                rulebase, metrics=metrics, tracer=tracer, budget=budget
             )
         elif engine == "topdown":
-            self._engine = TopDownEngine(rulebase, metrics=metrics, tracer=tracer)
+            self._engine = TopDownEngine(
+                rulebase, metrics=metrics, tracer=tracer, budget=budget
+            )
         elif engine == "model":
             self._engine = PerfectModelEngine(
-                rulebase, metrics=metrics, tracer=tracer
+                rulebase, metrics=metrics, tracer=tracer, budget=budget
             )
         else:
             raise EvaluationError(
@@ -97,21 +100,27 @@ class Session:
         """The engine's metrics registry (``repro.obs``)."""
         return self._engine.metrics
 
-    def ask(self, db: Database, query: Query) -> bool:
+    def ask(self, db: Database, query: Query, *, budget=None) -> bool:
         """Decide a query: ``R, DB |- query``?
 
         Accepts an atom, a premise object, or premise text such as
         ``"grad(tony)[add: take(tony, cs452)]"``.  Variables are read
-        existentially.
+        existentially.  ``budget`` (a
+        :class:`~repro.engine.budget.Budget`) bounds this call; on
+        exhaustion :class:`~repro.core.errors.ResourceExhausted` is
+        raised with partial results attached (docs/ROBUSTNESS.md).
         """
-        return self._engine.ask(db, query)
+        return self._engine.ask(db, query, budget=budget)
 
-    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
+    def answers(
+        self, db: Database, pattern: Union[str, Atom], *, budget=None
+    ) -> set[tuple]:
         """All payload tuples satisfying an atom pattern.
 
         ``session.answers(db, "grad(S)")`` returns ``{("tony",), ...}``.
+        ``budget`` bounds the call as in :meth:`ask`.
         """
-        return self._engine.answers(db, pattern)
+        return self._engine.answers(db, pattern, budget=budget)
 
     def classify(self) -> ComplexityReport:
         """Theorem 1 classification of this session's rulebase."""

@@ -24,11 +24,12 @@ from typing import Optional, Sequence
 
 from ..core.ast import Hypothetical, Rulebase
 from ..core.database import Database
-from ..core.errors import EvaluationError
+from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.terms import Atom, Constant
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from .body import cost_aware_positive_order, join_mode
+from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
 
@@ -48,6 +49,7 @@ def perfect_model(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Tracer = NULL_TRACER,
     strategy: str = "seminaive",
+    budget=None,
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -57,6 +59,9 @@ def perfect_model(
     premise.  ``metrics`` collects ``stratified.*`` counters; ``tracer``
     records per-stratum and per-round spans.  ``strategy`` selects the
     closure discipline (``"seminaive"`` default, ``"naive"`` baseline).
+    ``budget`` (a :class:`~repro.engine.budget.Budget`) bounds the run;
+    on exhaustion the raised :class:`ResourceExhausted` carries the
+    atoms derived so far and the count of strata fully closed.
     """
     from ..analysis.stratify import negation_strata
 
@@ -90,36 +95,67 @@ def perfect_model(
             derived=metrics.counter("stratified.atoms_derived"),
             delta_size=metrics.histogram("stratified.delta_size"),
         )
-    for index, layer in enumerate(layers):
-        layer_rules = [
-            item for predicate in layer for item in rulebase.definition(predicate)
-        ]
-        ctx = (
-            tracer.span("stratum", str(index), args={"rules": len(layer_rules)})
-            if tracer.enabled
-            else NULL_SPAN
-        )
-        with ctx:
-            close_layer(
-                layer_rules,
-                interp,
-                domain,
-                strategy=strategy,
-                plan=plan,
-                optimize=mode == "greedy",
-                instruments=instruments,
-                tracer=tracer,
+    budget = (budget if budget is not None else NULL_BUDGET).begin()
+    governed = budget.enabled
+    strata_completed = 0
+    try:
+        for index, layer in enumerate(layers):
+            if governed:
+                budget.poll("stratified.stratum")
+            layer_rules = [
+                item
+                for predicate in layer
+                for item in rulebase.definition(predicate)
+            ]
+            ctx = (
+                tracer.span(
+                    "stratum", str(index), args={"rules": len(layer_rules)}
+                )
+                if tracer.enabled
+                else NULL_SPAN
             )
+            with ctx:
+                close_layer(
+                    layer_rules,
+                    interp,
+                    domain,
+                    strategy=strategy,
+                    plan=plan,
+                    optimize=mode == "greedy",
+                    instruments=instruments,
+                    tracer=tracer,
+                    budget=budget,
+                )
+            strata_completed += 1
+    except ResourceExhausted as error:
+        error.partial.merge_missing(
+            atoms=interp.to_frozenset(), strata_completed=strata_completed
+        )
+        raise
+    except KeyboardInterrupt:
+        error = cancelled_error(budget)
+        error.partial.merge_missing(
+            atoms=interp.to_frozenset(), strata_completed=strata_completed
+        )
+        raise error from None
+    except RecursionError:
+        error = depth_error(budget)
+        error.partial.merge_missing(
+            atoms=interp.to_frozenset(), strata_completed=strata_completed
+        )
+        raise error from None
     return interp
 
 
-def stratified_holds(rulebase: Rulebase, db: Database, goal: Atom) -> bool:
+def stratified_holds(
+    rulebase: Rulebase, db: Database, goal: Atom, *, budget=None
+) -> bool:
     """Convenience wrapper: is a ground goal in the perfect model?
 
     For patterns with variables, any matching instance counts
     (existential reading).
     """
-    model = perfect_model(rulebase, db)
+    model = perfect_model(rulebase, db, budget=budget)
     if goal.is_ground:
         return goal in model
     return model.has_match(goal)

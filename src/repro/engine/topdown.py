@@ -30,11 +30,12 @@ that much.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rulebase
 from ..core.database import Database
-from ..core.errors import EvaluationError
+from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Variable
 from ..core.unify import Substitution, ground_instances, match
@@ -48,6 +49,7 @@ from .body import (
     nonlocal_variables,
     ordered_premises,
 )
+from .budget import NULL_BUDGET, cancelled_error, depth_error
 
 __all__ = ["TopDownEngine", "TopDownStats"]
 
@@ -78,6 +80,7 @@ class TopDownEngine:
         optimize_joins: bool | str = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        budget=None,
     ) -> None:
         from ..analysis.stratify import negation_strata
 
@@ -95,6 +98,7 @@ class TopDownEngine:
         self._order_cache: dict[tuple, list[Premise]] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._budget = budget if budget is not None else NULL_BUDGET
         self.stats = TopDownStats(self.metrics)
         counter = self.metrics.counter
         self._n_goals = counter("topdown.goals")
@@ -120,16 +124,25 @@ class TopDownEngine:
         self._domain_set = frozenset(constants)
         return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
 
-    def ask(self, db: Database, query: Query) -> bool:
-        """Decide a query (variables existential; ``~A`` is not-exists)."""
+    def ask(self, db: Database, query: Query, *, budget=None) -> bool:
+        """Decide a query (variables existential; ``~A`` is not-exists).
+
+        ``budget`` overrides the engine-level budget for this call."""
         premise = self._coerce(query)
         domain = self.domain(db)
-        if isinstance(premise, Negated):
-            return not self._exists(Positive(premise.atom), db, domain)
-        return self._exists(premise, db, domain)
+        with self._governed(budget):
+            if isinstance(premise, Negated):
+                return not self._exists(Positive(premise.atom), db, domain)
+            return self._exists(premise, db, domain)
 
-    def answers(self, db: Database, pattern: Union[str, Atom]) -> set[tuple]:
-        """All payload tuples making the pattern provable."""
+    def answers(
+        self, db: Database, pattern: Union[str, Atom], *, budget=None
+    ) -> set[tuple]:
+        """All payload tuples making the pattern provable.
+
+        On budget exhaustion the raised
+        :class:`~repro.core.errors.ResourceExhausted` carries the
+        tuples fully decided before the trip."""
         if isinstance(pattern, str):
             premise = parse_premise(pattern)
             if not isinstance(premise, Positive):
@@ -138,9 +151,10 @@ class TopDownEngine:
         domain = self.domain(db)
         variables = list(dict.fromkeys(pattern.variables()))
         results: set[tuple] = set()
-        for binding in ground_instances(variables, domain):
-            if self._decide(pattern.substitute(binding), db, domain):
-                results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
+        with self._governed(budget, partial_answers=results):
+            for binding in ground_instances(variables, domain):
+                if self._decide(pattern.substitute(binding), db, domain):
+                    results.add(tuple(binding[var].value for var in variables))  # type: ignore[union-attr]
         return results
 
     def clear_caches(self) -> None:
@@ -148,6 +162,51 @@ class TopDownEngine:
         self._false.clear()
         self._size_oracles.clear()
         self._order_cache.clear()
+
+    @contextmanager
+    def _governed(self, budget, partial_answers: Optional[set] = None):
+        """Activate a budget for one query; keep the tables sound.
+
+        Mirrors the PROVE cascade's discipline: interrupts and
+        recursion overflows become :class:`ResourceExhausted` with
+        partial answers attached, and the in-flight goal path is
+        cleared on every exit so an aborted search cannot poison cycle
+        detection for later queries (the proven/refuted tables only
+        ever receive fully decided goals, so they stay valid).
+        """
+        previous = self._budget
+        active = budget if budget is not None else previous
+        active.begin()
+        self._budget = active
+        try:
+            yield active
+        except ResourceExhausted as error:
+            self._note_exhaustion(error, partial_answers)
+            raise
+        except KeyboardInterrupt:
+            error = cancelled_error(active)
+            self._note_exhaustion(error, partial_answers)
+            raise error from None
+        except RecursionError:
+            error = depth_error(active)
+            self._note_exhaustion(error, partial_answers)
+            raise error from None
+        finally:
+            self._budget = previous
+            self._path.clear()
+
+    def _note_exhaustion(
+        self, error: ResourceExhausted, partial_answers: Optional[set]
+    ) -> None:
+        if partial_answers is not None:
+            error.partial.merge_missing(answers=partial_answers)
+        self.metrics.counter("budget.exhausted").value += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "budget",
+                error.reason,
+                args={"site": error.site, "steps": error.partial.steps},
+            )
 
     # ------------------------------------------------------------------
     # The search
@@ -162,8 +221,11 @@ class TopDownEngine:
         return query
 
     def _exists(self, premise: Premise, db: Database, domain) -> bool:
+        budget = self._budget
         unbound = list(dict.fromkeys(premise.variables()))
         for binding in ground_instances(unbound, domain):
+            if budget.enabled:
+                budget.poll("topdown.exists")
             if self._decide_premise(premise.substitute(binding), db, domain):
                 return True
         return False
@@ -212,8 +274,13 @@ class TopDownEngine:
             self._n_cycles_cut.value += 1
             return False
         self._n_goals.value += 1
+        budget = self._budget
+        if budget.enabled:
+            budget.charge("topdown.goals")
         self._path.add(key)
         self._g_max_depth.set_max(len(self._path))
+        if budget.enabled:
+            budget.check_depth("topdown.goals", len(self._path))
         cycles_before = self._cycle_events
         proven = False
         trace = self._tracer

@@ -82,12 +82,16 @@ def profile_query(
     engine: str = "auto",
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    budget=None,
 ) -> ProfileReport:
     """Decide ``query`` at ``db`` with tracing enabled.
 
     A plain atom pattern with variables is profiled as an ``answers``
     enumeration (mirroring the REPL's query behaviour); everything
-    else as a yes/no ``ask``.
+    else as a yes/no ``ask``.  ``budget`` (a
+    :class:`~repro.engine.budget.Budget`) bounds the profiled run; on
+    exhaustion :class:`~repro.core.errors.ResourceExhausted` propagates
+    with partial results attached.
     """
     from ..engine.query import Session
 
@@ -102,9 +106,11 @@ def profile_query(
     start = tracer._clock()
     with tracer.span("query", text):
         if variables and isinstance(premise, Positive):
-            result: Union[bool, set] = session.answers(db, premise.atom)
+            result: Union[bool, set] = session.answers(
+                db, premise.atom, budget=budget
+            )
         else:
-            result = session.ask(db, premise)
+            result = session.ask(db, premise, budget=budget)
     wall = tracer._clock() - start
     tracer.finish()
     return ProfileReport(

@@ -17,6 +17,10 @@ The loop accepts three kinds of input:
       :lint             hygiene findings (legacy codes)
       :check [FORMAT]   full diagnostics; FORMAT: text | json | sarif
       :engine NAME      auto | prove | topdown | model
+      :limits [SPEC]    resource limits for queries; SPEC is
+                        ``timeout=SEC steps=N atoms=N depth=N`` in any
+                        combination, or ``off`` to clear; no argument
+                        shows the current limits
       :explain QUERY    print a derivation
       :profile QUERY    run one query traced; print spans + metrics
       :stats [reset]    cumulative engine metrics for this session
@@ -29,6 +33,12 @@ The loop accepts three kinds of input:
 The engine is rebuilt lazily after every change, so stratification is
 re-analyzed as the rulebase evolves.  The class is I/O-free (feed a
 line, get text back), which is how the tests drive it.
+
+Robustness (docs/ROBUSTNESS.md): ``:limits`` applies a fresh
+:class:`~repro.engine.budget.Budget` to every query; an exhausted or
+Ctrl-C-cancelled query reports the partial answers established so far
+and leaves the session usable.  At the prompt, Ctrl-C clears the line
+and Ctrl-D leaves cleanly.
 """
 
 from __future__ import annotations
@@ -41,10 +51,11 @@ from .analysis.lint import lint
 from .analysis.stratify import linear_stratification
 from .core.ast import Rulebase
 from .core.database import Database
-from .core.errors import HypotheticalDatalogError
+from .core.errors import HypotheticalDatalogError, ResourceExhausted
 from .core.parser import parse_database, parse_premise, parse_program, parse_rule
 from .core.pretty import format_database, format_stratification
 from .core.ast import Positive
+from .engine.budget import Budget
 from .engine.query import Session
 
 __all__ = ["Repl", "run"]
@@ -71,6 +82,9 @@ class Repl:
         # every rulebase change, but their counters land here, so
         # ``:stats`` reports cumulative work.
         self._metrics = MetricsRegistry()
+        # ``:limits`` template; each query runs under a fresh copy so
+        # limits never accumulate across queries.
+        self._limits: Optional[Budget] = None
         self.done = False
 
     # -- state ----------------------------------------------------------
@@ -109,24 +123,60 @@ class Repl:
         except HypotheticalDatalogError as error:
             return f"error: {error}"
 
+    def _budget(self) -> Optional[Budget]:
+        return self._limits.fresh() if self._limits is not None else None
+
     def _query(self, text: str) -> str:
         if text.endswith("."):
             text = text[:-1]
         premise = parse_premise(text)
         session = self._require_session()
         variables = list(dict.fromkeys(premise.variables()))
-        if variables and isinstance(premise, Positive):
-            rows = session.answers(self._db, premise.atom)
-            if not rows:
-                return "no"
-            names = [var.name for var in variables]
-            lines = []
-            for row in sorted(rows, key=str):
-                lines.append(
-                    ", ".join(f"{name} = {value}" for name, value in zip(names, row))
+        try:
+            if variables and isinstance(premise, Positive):
+                rows = session.answers(
+                    self._db, premise.atom, budget=self._budget()
                 )
-            return "\n".join(lines)
-        return "yes" if session.ask(self._db, premise) else "no"
+                if not rows:
+                    return "no"
+                names = [var.name for var in variables]
+                lines = []
+                for row in sorted(rows, key=str):
+                    lines.append(
+                        ", ".join(
+                            f"{name} = {value}"
+                            for name, value in zip(names, row)
+                        )
+                    )
+                return "\n".join(lines)
+            result = session.ask(self._db, premise, budget=self._budget())
+            return "yes" if result else "no"
+        except ResourceExhausted as error:
+            return self._render_exhausted(error, variables)
+
+    @staticmethod
+    def _render_exhausted(error: ResourceExhausted, variables) -> str:
+        lines = [f"error: {error}"]
+        partial = error.partial
+        if partial.answers:
+            names = [var.name for var in variables]
+            lines.append(
+                f"partial answers ({len(partial.answers)} established "
+                f"before the limit):"
+            )
+            for row in sorted(partial.answers, key=str):
+                lines.append(
+                    "  "
+                    + ", ".join(
+                        f"{name} = {value}"
+                        for name, value in zip(names, row)
+                    )
+                )
+        lines.append(
+            f"(spent: steps={partial.steps}, atoms={partial.atoms_derived}, "
+            f"elapsed={partial.elapsed:.3f}s)"
+        )
+        return "\n".join(lines)
 
     def _assert(self, text: str) -> str:
         if not text.endswith("."):
@@ -183,6 +233,8 @@ class Repl:
             self._invalidate()
             session = self._require_session()
             return f"engine: {session.engine_name}"
+        if name == "limits":
+            return self._limits_command(argument)
         if name == "explain":
             from .engine.proofs import Explainer, format_proof
 
@@ -193,12 +245,16 @@ class Repl:
                 return "error: usage: :profile QUERY"
             from .obs.profile import profile_query
 
-            report = profile_query(
-                self._rulebase,
-                self._db,
-                argument.rstrip("."),
-                engine=self._engine_choice,
-            )
+            try:
+                report = profile_query(
+                    self._rulebase,
+                    self._db,
+                    argument.rstrip("."),
+                    engine=self._engine_choice,
+                    budget=self._budget(),
+                )
+            except ResourceExhausted as error:
+                return self._render_exhausted(error, [])
             return report.render()
         if name == "stats":
             if argument == "reset":
@@ -224,6 +280,42 @@ class Repl:
             return "cleared"
         return f"error: unknown command :{name} (try :help)"
 
+    _LIMIT_KEYS = {
+        "timeout": ("timeout", float),
+        "steps": ("max_steps", int),
+        "atoms": ("max_atoms", int),
+        "depth": ("max_depth", int),
+    }
+
+    def _limits_command(self, argument: str) -> str:
+        if not argument:
+            current = (
+                self._limits.describe() if self._limits is not None
+                else "(no limits)"
+            )
+            return f"limits: {current}"
+        if argument == "off":
+            self._limits = None
+            return "limits: (no limits)"
+        settings = {}
+        for part in argument.split():
+            key, eq, raw = part.partition("=")
+            if not eq or key not in self._LIMIT_KEYS:
+                return (
+                    "error: usage: :limits [timeout=SEC] [steps=N] "
+                    "[atoms=N] [depth=N] | off"
+                )
+            field, convert = self._LIMIT_KEYS[key]
+            try:
+                settings[field] = convert(raw)
+            except ValueError:
+                return f"error: {key} needs a number, got {raw!r}"
+        try:
+            self._limits = Budget(**settings)
+        except ValueError as error:
+            return f"error: {error}"
+        return f"limits: {self._limits.describe()}"
+
 
 def run(
     rulebase: Optional[Rulebase] = None,
@@ -240,10 +332,24 @@ def run(
     while not repl.done:
         if interactive:
             print("?> ", end="", file=stdout, flush=True)
-        line = stdin.readline()
+        try:
+            line = stdin.readline()
+        except (KeyboardInterrupt, EOFError):
+            # Ctrl-C at the prompt abandons the line, not the session;
+            # Ctrl-D (EOF) leaves cleanly like ``:quit``.
+            if interactive:
+                print("^C  (:quit to leave)", file=stdout)
+                continue
+            break
         if not line:
             break
-        output = repl.feed(line)
+        try:
+            output = repl.feed(line)
+        except KeyboardInterrupt:
+            # A Ctrl-C that raced past the engines' own conversion
+            # (e.g. during parsing or printing): the query is lost but
+            # the session survives.
+            output = "cancelled"
         if output:
             print(output, file=stdout)
     return 0

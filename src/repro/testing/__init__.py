@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+* :mod:`repro.testing.failpoints` — fault injection: force resource
+  exhaustion, cancellation, or invariant violations at named guarded
+  sites inside the evaluators, to prove they degrade gracefully
+  everywhere (docs/ROBUSTNESS.md).
+"""
+
+from . import failpoints
+
+__all__ = ["failpoints"]

@@ -53,7 +53,7 @@ class TestStratify:
     def test_error_on_unstratifiable(self, tmp_path, capsys):
         path = tmp_path / "bad.dl"
         path.write_text("a :- a[add: b], a[add: c].")
-        assert main(["stratify", str(path)]) == 2
+        assert main(["stratify", str(path)]) == 3
         assert "error" in capsys.readouterr().err
 
 
@@ -145,3 +145,52 @@ class TestModel:
         assert main(["model", str(rules), "-d", str(db)]) == 0
         out = capsys.readouterr().out
         assert "path(a, c)." in out
+
+
+class TestExitCodes:
+    def test_evaluation_error_is_4(self, rules_file, db_file, capsys):
+        # answers() needs a plain atom pattern -> EvaluationError.
+        code = main(["answers", rules_file, "~select(Y)", "-d", db_file])
+        assert code == 4
+        assert "evaluation-error" in capsys.readouterr().err
+
+    def test_validation_error_is_2(self, tmp_path, capsys):
+        rules = tmp_path / "bad.dl"
+        rules.write_text("p :- ~q[add: r].")
+        assert main(["query", str(rules), "p"]) == 2
+
+
+class TestBudgetFlags:
+    def test_exhausted_query_exits_5(self, rules_file, db_file, capsys):
+        code = main(["query", rules_file, "yes", "-d", db_file,
+                     "--max-steps", "3"])
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "resource-exhausted" in captured.err
+        assert "partial results" in captured.err
+
+    def test_exhausted_answers_exits_5(self, rules_file, db_file, capsys):
+        code = main(["answers", rules_file, "select(Y)", "-d", db_file,
+                     "--max-steps", "1"])
+        assert code == 5
+        assert "resource-exhausted" in capsys.readouterr().err
+
+    def test_exhausted_model_exits_5(self, rules_file, db_file, capsys):
+        code = main(["model", rules_file, "-d", db_file, "--max-atoms", "1"])
+        assert code == 5
+        assert "max_atoms=1" in capsys.readouterr().err
+
+    def test_exhausted_profile_exits_5(self, rules_file, db_file, capsys):
+        code = main(["profile", rules_file, "-q", "yes", "-d", db_file,
+                     "--max-steps", "3"])
+        assert code == 5
+
+    def test_generous_budget_changes_nothing(self, rules_file, db_file, capsys):
+        assert main(["query", rules_file, "yes", "-d", db_file,
+                     "--timeout", "60", "--max-steps", "1000000"]) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_proof_depth_flag(self, rules_file, db_file, capsys):
+        code = main(["query", rules_file, "yes", "-d", db_file,
+                     "--max-proof-depth", "1"])
+        assert code == 5

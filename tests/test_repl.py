@@ -150,3 +150,109 @@ class TestRunLoop:
         stdin = io.StringIO("?- nothing.\n")
         stdout = io.StringIO()
         assert run(stdin=stdin, stdout=stdout) == 0
+
+    def test_keyboard_interrupt_during_feed_is_survived(self, monkeypatch):
+        # A Ctrl-C that escapes the engines (e.g. while printing) must
+        # not kill the loop; the session continues to the next line.
+        lines = iter(["?- p.\n", ":quit\n"])
+
+        class Stdin:
+            def readline(self):
+                return next(lines)
+
+        calls = {"n": 0}
+        original = Repl.feed
+
+        def feed(self, line):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return original(self, line)
+
+        monkeypatch.setattr(Repl, "feed", feed)
+        stdout = io.StringIO()
+        assert run(stdin=Stdin(), stdout=stdout) == 0
+        output = stdout.getvalue()
+        assert "cancelled" in output
+        assert "bye" in output
+
+    def test_eof_error_at_prompt_terminates(self):
+        class Stdin:
+            def readline(self):
+                raise EOFError
+
+        stdout = io.StringIO()
+        assert run(stdin=Stdin(), stdout=stdout) == 0
+
+
+HAMILTONIAN_LINES = [
+    "yes :- node(X), path(X)[add: pnode(X)].",
+    "path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].",
+    "path(X) :- ~select(Y).",
+    "select(Y) :- node(Y), ~pnode(Y).",
+    "node(a).", "node(b).", "node(c).",
+    "edge(a, b).", "edge(b, c).",
+]
+
+
+class TestLimits:
+    @pytest.fixture
+    def loaded(self):
+        repl = Repl()
+        for line in HAMILTONIAN_LINES:
+            repl.feed(line)
+        return repl
+
+    def test_show_default(self, repl):
+        assert repl.feed(":limits") == "limits: (no limits)"
+
+    def test_set_and_show(self, repl):
+        out = repl.feed(":limits steps=100 timeout=2")
+        assert "steps=100" in out and "timeout=2.0s" in out
+        assert "steps=100" in repl.feed(":limits")
+
+    def test_off(self, repl):
+        repl.feed(":limits steps=5")
+        assert repl.feed(":limits off") == "limits: (no limits)"
+
+    def test_bad_key(self, repl):
+        assert "usage" in repl.feed(":limits bogus=1")
+
+    def test_bad_value(self, repl):
+        assert "needs a number" in repl.feed(":limits steps=abc")
+
+    def test_non_positive_rejected(self, repl):
+        assert "must be positive" in repl.feed(":limits steps=0")
+
+    def test_exhausted_query_reports_partials(self, loaded):
+        loaded.feed(":limits steps=3")
+        out = loaded.feed("?- yes.")
+        assert "exhausted" in out
+        assert "spent:" in out
+
+    def test_session_survives_exhaustion(self, loaded):
+        loaded.feed(":limits steps=3")
+        loaded.feed("?- yes.")
+        loaded.feed(":limits off")
+        assert loaded.feed("?- yes.") == "yes"
+
+    def test_limits_apply_per_query_not_cumulatively(self, loaded):
+        # Two queries under the same limit: each gets a fresh budget,
+        # so the second is not charged for the first's work.
+        loaded.feed(":limits steps=100000")
+        first = loaded.feed("?- yes.")
+        second = loaded.feed("?- yes.")
+        assert first == second == "yes"
+
+    def test_exhausted_answers_show_partial_rows(self, loaded):
+        loaded.feed(":limits steps=6")
+        out = loaded.feed("?- select(Y).")
+        assert "exhausted" in out
+        # Partial rows, when present, use the query's variable names.
+        if "partial answers" in out:
+            assert "Y = " in out
+
+    def test_profile_under_limits(self, loaded):
+        loaded.feed(":limits steps=3")
+        out = loaded.feed(":profile yes")
+        assert "exhausted" in out
