@@ -1,0 +1,192 @@
+"""E20 — demand transformation: extended magic sets pay off.
+
+PR 6 added a static demand (magic-sets) rewrite: a bound query goal
+seeds magic predicates that guard every restricted rule, so bottom-up
+evaluation derives only atoms the query can reach (docs/DEMAND.md).
+This bench pins the claims that justify the rewrite:
+
+* **strictly fewer firings** — on goal-directed workloads (partial
+  reachability over a multi-component graph, and the E8 k = 1
+  oracle-machine encoding asked for ``accept``) the demand-transformed
+  run fires strictly fewer rule instances than the differential engine
+  (PR 3's semi-naive + lattice-reuse configuration) while producing
+  the *identical* answers;
+* **fewer hypothetical models** — on the E5 Hamiltonian rulebase over
+  a two-component graph, a ``path`` query in one component never
+  builds child models for the other (``model.models_computed`` drops);
+* **fallback is free of wrong answers** — rejected queries fall back
+  to full evaluation, counted by ``engine.demand_fallbacks``.
+
+All shape assertions are on deterministic counters, never wall-clock,
+so this file doubles as the CI perf guard (run with
+``--benchmark-disable``).  Timing series ride along for the
+BENCH_*.json record.
+
+Demand is *not* universally faster: on a strongly-connected graph the
+query cone is the whole model and the guards are pure overhead — the
+workloads here are the goal-directed ones the rewrite exists for.
+"""
+
+import pytest
+
+from repro.bench.workloads import random_graph
+from repro.core.parser import parse_program
+from repro.core.terms import atom
+from repro.engine.model import PerfectModelEngine
+from repro.library import graph_db, hamiltonian_rulebase
+from repro.machines.encode import cascade_database, cascade_rulebase
+from repro.machines.library import contains_one
+from repro.machines.oracle import Cascade
+
+SEED = 2026
+COMPONENT_COUNTS = [2, 4]
+COMPONENT_SIZE = 5
+ENCODING_INPUTS = ["01", "001", "0001"]
+
+#: Both variants run PR 3's differential configuration; the only
+#: difference is the rewrite, so the counters isolate its effect.
+VARIANTS = {
+    "full": dict(strategy="seminaive", reuse_models=True, demand="off"),
+    "demand": dict(strategy="seminaive", reuse_models=True, demand="on"),
+}
+
+TC_RULES = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+
+def _multi_component(components, size, seed):
+    """``components`` disjoint G(n, p) graphs — a bound query can only
+    ever reach its own component, so demand prunes the rest."""
+    nodes, edges = [], []
+    for index in range(components):
+        part_nodes, part_edges = random_graph(size, 0.4, seed + index)
+        nodes.extend(f"c{index}_{node}" for node in part_nodes)
+        edges.extend(
+            (f"c{index}_{source}", f"c{index}_{target}")
+            for source, target in part_edges
+        )
+    return nodes, edges
+
+
+def _reachability_instance(components):
+    nodes, edges = _multi_component(components, COMPONENT_SIZE, SEED)
+    return parse_program(TC_RULES), graph_db(nodes, edges), "tc(c0_v0, Y)"
+
+
+def _hamiltonian_instance():
+    nodes, edges = _multi_component(2, 4, SEED + 100)
+    return hamiltonian_rulebase(), graph_db(nodes, edges), f"path({nodes[0]})"
+
+
+def _encoding_instance(text):
+    cascade = Cascade((contains_one(),))
+    bound = len(text) + 2
+    rulebase = cascade_rulebase(cascade)
+    db = cascade_database(cascade, list(text), bound)
+    expected = cascade.accepts(list(text), bound)
+    return rulebase, db, atom("accept"), expected
+
+
+def _firings(engine):
+    return engine.metrics.counter("model.rule_firings").value
+
+
+@pytest.mark.parametrize("components", COMPONENT_COUNTS)
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_reachability_timing(benchmark, attach_metrics, variant, components):
+    rulebase, db, query = _reachability_instance(components)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, **VARIANTS[variant])
+        engine.answers(db, query)
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["components"] = components
+    benchmark.extra_info["variant"] = variant
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_hamiltonian_path_timing(benchmark, attach_metrics, variant):
+    rulebase, db, query = _hamiltonian_instance()
+
+    def run():
+        engine = PerfectModelEngine(rulebase, **VARIANTS[variant])
+        engine.ask(db, query)
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["variant"] = variant
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("text", ENCODING_INPUTS)
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_encoding_timing(benchmark, attach_metrics, variant, text):
+    rulebase, db, goal, expected = _encoding_instance(text)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, **VARIANTS[variant])
+        assert engine.ask(db, goal) is expected
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["input_length"] = len(text)
+    benchmark.extra_info["variant"] = variant
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("components", COMPONENT_COUNTS)
+def test_reachability_demand_fires_strictly_fewer_rules(components):
+    """Acceptance criterion: identical answers, strictly fewer firings,
+    no fallback on the goal-directed reachability workload."""
+    rulebase, db, query = _reachability_instance(components)
+    full = PerfectModelEngine(rulebase, **VARIANTS["full"])
+    demand = PerfectModelEngine(rulebase, **VARIANTS["demand"])
+    assert demand.answers(db, query) == full.answers(db, query)
+    assert _firings(demand) < _firings(full)
+    assert demand.metrics.counter("engine.demand_fallbacks").value == 0
+    assert demand.metrics.counter("demand.rules_rewritten").value > 0
+    assert demand.metrics.counter("demand.magic_facts").value > 0
+
+
+def test_hamiltonian_demand_builds_fewer_models():
+    """Acceptance criterion: on the E5 rulebase over two components, a
+    goal-directed ``path`` query agrees with full evaluation while
+    firing fewer rules and constructing fewer hypothetical models."""
+    rulebase, db, query = _hamiltonian_instance()
+    full = PerfectModelEngine(rulebase, **VARIANTS["full"])
+    demand = PerfectModelEngine(rulebase, **VARIANTS["demand"])
+    assert demand.ask(db, query) is full.ask(db, query)
+    assert _firings(demand) < _firings(full)
+    assert (
+        demand.metrics.counter("model.models_computed").value
+        < full.metrics.counter("model.models_computed").value
+    )
+
+
+@pytest.mark.parametrize("text", ENCODING_INPUTS)
+def test_encoding_demand_fires_strictly_fewer_rules(text):
+    """Acceptance criterion: the E8 k = 1 oracle-machine encoding asked
+    for ``accept`` stays correct under demand and fires strictly fewer
+    rules — the rewrite helps even on machine-generated rulebases."""
+    rulebase, db, goal, expected = _encoding_instance(text)
+    full = PerfectModelEngine(rulebase, **VARIANTS["full"])
+    demand = PerfectModelEngine(rulebase, **VARIANTS["demand"])
+    assert full.ask(db, goal) is expected
+    assert demand.ask(db, goal) is expected
+    assert _firings(demand) < _firings(full)
+
+
+def test_rejected_query_falls_back_with_identical_answers():
+    """A negated query is rejected by the rewrite; the engine falls
+    back (counted) and still agrees with full evaluation."""
+    rulebase, db, _ = _reachability_instance(2)
+    full = PerfectModelEngine(rulebase, **VARIANTS["full"])
+    demand = PerfectModelEngine(rulebase, **VARIANTS["demand"])
+    query = "~tc(c0_v0, c1_v0)"
+    assert demand.ask(db, query) is full.ask(db, query)
+    assert demand.metrics.counter("engine.demand_fallbacks").value == 1

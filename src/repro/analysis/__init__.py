@@ -13,7 +13,9 @@ from .diagnostics import (
     to_sarif,
     worst_severity,
 )
+from .demand import DemandReport, derive_demand
 from .lint import LintFinding, lint
+from .magic import MagicProgram, MagicResult, format_rewrite, magic_rewrite
 from .modes import ModeReport, RuleDataflow, adorn, analyze_modes, rule_dataflow
 from .monotone import is_add_monotone, monotone_layer_prefix
 from .planner import (
@@ -34,6 +36,7 @@ from .recursion import (
 )
 from .stratify import (
     LinearStratification,
+    demand_strata,
     h_stratification,
     h_stratification_violations,
     is_h_stratified,
@@ -87,4 +90,11 @@ __all__ = [
     "Slice",
     "dependency_cone",
     "slice_rulebase",
+    "DemandReport",
+    "derive_demand",
+    "MagicProgram",
+    "MagicResult",
+    "magic_rewrite",
+    "format_rewrite",
+    "demand_strata",
 ]

@@ -1,0 +1,274 @@
+"""Demand-pattern derivation for goal-directed (magic-sets) evaluation.
+
+Bottom-up evaluation computes whole perfect models even when the query
+touches a sliver of the ground atoms.  The demand transformation
+(:mod:`repro.analysis.magic`) restricts evaluation to the atoms a
+specific query can actually depend on; this module computes the static
+information that rewrite needs and decides whether it is *safe*:
+
+* the query's entry adornment (via :func:`repro.analysis.modes.adorn`)
+  and the cone of IDB predicates reachable from the query through body
+  occurrences — positive, negated, and hypothetical goals alike
+  (predicates mentioned only inside ``[add: ...]`` parts are updates,
+  not dependencies, and do not extend the cone);
+* the *free set*: predicates that negation forces to full evaluation.
+  A negated premise ``~q(...)`` is decided against the complete
+  extension of ``q``, so ``q`` may not be demand-restricted, and
+  neither may anything ``q``'s definition reads — the closure of the
+  negated goals under body occurrences.  This is the conservative core
+  of the extended-magic treatment of stratified negation (Tekle & Liu,
+  arXiv:1909.08246): restricting only predicates *outside* the free
+  set keeps every negation test exact, so guarded evaluation can only
+  omit atoms nothing demanded;
+* the safety side-conditions under which the engines must fall back to
+  the untransformed program rather than risk wrong answers:
+
+  - ``demand-blocked-hypothesis`` — the rulebase uses hypothetical
+    *deletions* (``[del: ...]``); demand propagation into a shrinking
+    database is not monotone, so the rewrite refuses the whole program
+    (Sáenz-Pérez's restricted predicates, arXiv:1512.06945, scope
+    assumptions the same way: additions only);
+  - ``demand-unbound-negation`` — the query itself is negated, or the
+    free-set closure swallows the query predicate, so a guard would
+    restrict nothing (every demanded atom must be fully evaluated
+    anyway);
+  - ``demand-unsafe-rule`` — emitted by :mod:`repro.analysis.magic`
+    when the guarded program no longer stratifies (a magic guard can
+    close a cycle through an original negation).
+
+Every rejection carries a stable diagnostic code from
+:data:`repro.analysis.diagnostics.CODES` and a machine-readable
+``reason``; the engines count each degraded query in
+``engine.demand_fallbacks`` and answer from the untransformed program,
+so rejection is never observable in answers, only in counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from ..core.ast import (
+    Hypothetical,
+    Negated,
+    Positive,
+    Premise,
+    Rulebase,
+)
+from ..core.terms import Atom
+from .modes import ModeReport, adorn, analyze_modes
+
+__all__ = ["DemandReport", "coerce_query", "derive_demand"]
+
+Query = Union[str, Atom, Premise]
+
+
+def coerce_query(query: Query) -> Premise:
+    """Normalize a query (text, atom, or premise) to a premise."""
+    if isinstance(query, str):
+        from ..core.parser import parse_premise
+
+        return parse_premise(query.strip().rstrip("."))
+    if isinstance(query, Atom):
+        return Positive(query)
+    return query
+
+
+@dataclass(frozen=True)
+class DemandReport:
+    """What one query demands of a rulebase, and whether restricting
+    evaluation to that demand is safe.
+
+    ``cone`` is the set of IDB predicates reachable from the query;
+    ``free`` the subset negation forces to full evaluation;
+    ``restricted`` the predicates that receive magic guards.
+    ``patterns`` maps each restricted predicate to the adornments it is
+    reachably called with (the guards the rewrite must emit).  A
+    ``reason`` of ``None`` means the rewrite may proceed; otherwise it
+    names the rejection (``"negated-query"``, ``"deletions"``,
+    ``"edb-query"``, ``"negation-free-set"``) and ``diagnostics``
+    carries the corresponding stable-coded findings.
+    """
+
+    premise: Premise
+    goal: Atom
+    adornment: str
+    cone: frozenset[str]
+    free: frozenset[str]
+    restricted: frozenset[str]
+    patterns: Mapping[str, frozenset[str]]
+    modes: Optional[ModeReport]
+    diagnostics: tuple
+    reason: Optional[str]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the rewrite may proceed."""
+        return self.reason is None
+
+
+def _diagnostic(code: str, message: str, rule=None, span=None):
+    from .diagnostics import CODES, Diagnostic
+
+    info = CODES[code]
+    if span is None and rule is not None:
+        span = rule.span
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=info.default_severity,
+        span=span,
+        rule=rule,
+    )
+
+
+def _reachable_cone(rulebase: Rulebase, root: str) -> frozenset[str]:
+    """IDB predicates reachable from ``root`` through body occurrences."""
+    cone: set[str] = {root}
+    worklist = [root]
+    while worklist:
+        predicate = worklist.pop()
+        for item in rulebase.definition(predicate):
+            for _, called in item.body_predicates():
+                if called not in cone and rulebase.definition(called):
+                    cone.add(called)
+                    worklist.append(called)
+    return frozenset(cone)
+
+
+def _free_closure(rulebase: Rulebase, cone: frozenset[str]) -> frozenset[str]:
+    """Cone predicates negation forces to full evaluation.
+
+    Roots are the IDB goals of negated premises in cone rules; the set
+    is closed under body occurrences of the roots' definitions, since a
+    fully-evaluated predicate needs fully-evaluated inputs.
+    """
+    roots: set[str] = set()
+    for predicate in cone:
+        for item in rulebase.definition(predicate):
+            for premise in item.body:
+                if isinstance(premise, Negated) and rulebase.definition(
+                    premise.atom.predicate
+                ):
+                    roots.add(premise.atom.predicate)
+    free = set(roots)
+    worklist = list(roots)
+    while worklist:
+        predicate = worklist.pop()
+        for item in rulebase.definition(predicate):
+            for _, called in item.body_predicates():
+                if called not in free and rulebase.definition(called):
+                    free.add(called)
+                    worklist.append(called)
+    return frozenset(free)
+
+
+def derive_demand(rulebase: Rulebase, query: Query) -> DemandReport:
+    """Derive the demand pattern of one query against a rulebase.
+
+    Returns a :class:`DemandReport`; check ``report.ok`` before
+    rewriting.  Rejections are reported, never raised — the engines'
+    contract is graceful fallback, not failure.
+    """
+    premise = coerce_query(query)
+    goal = premise.goal
+    adornment = adorn(goal, ())
+    empty: frozenset[str] = frozenset()
+
+    def rejected(reason: str, diagnostics=()) -> DemandReport:
+        return DemandReport(
+            premise=premise,
+            goal=goal,
+            adornment=adornment,
+            cone=empty,
+            free=empty,
+            restricted=empty,
+            patterns={},
+            modes=None,
+            diagnostics=tuple(diagnostics),
+            reason=reason,
+        )
+
+    if isinstance(premise, Negated):
+        return rejected(
+            "negated-query",
+            [
+                _diagnostic(
+                    "demand-unbound-negation",
+                    f"query {premise} is negated: it needs the complete "
+                    f"extension of {goal.predicate!r}, so demand "
+                    f"restriction cannot prune anything",
+                )
+            ],
+        )
+    if rulebase.has_deletions():
+        offender = next(
+            (
+                (item, body_premise)
+                for item in rulebase
+                for body_premise in item.body
+                if isinstance(body_premise, Hypothetical)
+                and body_premise.deletions
+            ),
+            None,
+        )
+        item, body_premise = offender if offender else (None, None)
+        return rejected(
+            "deletions",
+            [
+                _diagnostic(
+                    "demand-blocked-hypothesis",
+                    "rulebase uses hypothetical deletions; demand "
+                    "propagation is only sound for the add-only "
+                    "language, so the query runs untransformed",
+                    rule=item,
+                    span=body_premise.span if body_premise else None,
+                )
+            ],
+        )
+    if not rulebase.definition(goal.predicate):
+        # A pure EDB query is answered from the database; there is
+        # nothing to guard (silent fallback, counted by the engines).
+        return rejected("edb-query")
+
+    cone = _reachable_cone(rulebase, goal.predicate)
+    free = _free_closure(rulebase, cone)
+    restricted = cone - free
+    if goal.predicate in free or not restricted:
+        carrier = rulebase.definition(goal.predicate)[0]
+        return rejected(
+            "negation-free-set",
+            [
+                _diagnostic(
+                    "demand-unbound-negation",
+                    f"negation forces {goal.predicate!r} (and every "
+                    f"predicate it demands) to full evaluation; a magic "
+                    f"guard would restrict nothing",
+                    rule=carrier,
+                )
+            ],
+        )
+
+    # Adornment fixpoint over the cone sub-rulebase only: its reachable
+    # (predicate, adornment) pairs are exactly the calls guarded
+    # evaluation will issue, with no pollution from dead-code seeding.
+    sub = Rulebase(
+        item for item in rulebase if item.head.predicate in cone
+    )
+    modes = analyze_modes(sub, [goal])
+    patterns = {
+        predicate: modes.adornments.get(predicate, frozenset())
+        for predicate in restricted
+    }
+    return DemandReport(
+        premise=premise,
+        goal=goal,
+        adornment=adornment,
+        cone=cone,
+        free=free,
+        restricted=restricted,
+        patterns=patterns,
+        modes=modes,
+        diagnostics=(),
+        reason=None,
+    )

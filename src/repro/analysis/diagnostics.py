@@ -119,6 +119,24 @@ CODES: dict[str, CodeInfo] = _catalogue(
         "info",
         "outside the PROVE engine's linear fragment",
     ),
+    (
+        "demand-unsafe-rule",
+        "warning",
+        "the magic-sets rewrite would destroy stratification; "
+        "demand evaluation falls back to the untransformed program",
+    ),
+    (
+        "demand-unbound-negation",
+        "info",
+        "negation forces the query's demand to the full extension; "
+        "a magic guard would restrict nothing",
+    ),
+    (
+        "demand-blocked-hypothesis",
+        "info",
+        "hypothetical deletions block demand propagation "
+        "(add-only soundness condition)",
+    ),
 )
 
 
@@ -419,6 +437,27 @@ def _mode_checks(
                 )
 
 
+def _demand_checks(
+    rulebase: Rulebase,
+    queries: Sequence[Union[str, Atom]],
+    out: list[Diagnostic],
+) -> None:
+    """Would the demand rewrite accept each query?  Emits the
+    ``demand-*`` codes a ``demand="on"`` evaluation of the same query
+    would record on fallback; silent rejections (e.g. a pure EDB
+    query) add nothing, matching the engines."""
+    from .magic import magic_rewrite
+
+    seen: set[tuple[str, str]] = set()
+    for query in queries:
+        result = magic_rewrite(rulebase, query)
+        for diag in result.diagnostics:
+            key = (diag.code, diag.message)
+            if key not in seen:
+                seen.add(key)
+                out.append(diag)
+
+
 def check(
     rulebase: Rulebase,
     config: Optional[DiagnosticConfig] = None,
@@ -427,8 +466,9 @@ def check(
     """All diagnostics for a rulebase, in stable order.
 
     Order: structural findings (rule order), stratification, then
-    binding-mode findings (rule order).  ``queries`` seed the
-    adornment analysis with real entry points; without them every
+    binding-mode findings (rule order), then — only when ``queries``
+    are given — demand-rewrite findings per query.  ``queries`` seed
+    the adornment analysis with real entry points; without them every
     output predicate is assumed queried all-free.
     """
     raw: list[Diagnostic] = []
@@ -440,6 +480,8 @@ def check(
         report = None
     if report is not None:
         _mode_checks(rulebase, report, raw)
+    if queries and report is not None:
+        _demand_checks(rulebase, queries, raw)
 
     config = config or DiagnosticConfig()
     out = []

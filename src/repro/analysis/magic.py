@@ -1,0 +1,360 @@
+"""The demand (extended magic-sets) program rewrite.
+
+Given a rulebase and a query, :func:`magic_rewrite` produces a program
+whose bottom-up evaluation derives exactly the atoms the query demands
+— same answers, fewer rule firings — or a counted rejection when the
+safety analysis of :mod:`repro.analysis.demand` says restriction could
+change answers.
+
+The rewrite, per restricted predicate ``p`` and reachable adornment
+``a`` (from the :mod:`repro.analysis.modes` fixpoint):
+
+* a **magic predicate** ``magic__p__a`` over the bound-position
+  arguments, seeded by one bodiless rule from the query's own bound
+  arguments (a fact schema when the query leaves them open, matching
+  Definition 3's domain grounding);
+* a **guarded variant** of every rule defining ``p``: the original
+  body prefixed with the magic guard over the head's bound positions,
+  so the rule fires only for demanded head instances;
+* **magic propagation rules** deriving the demand each restricted body
+  call creates, from the guard plus the positive premises evaluated
+  before that call in the planner's order.  When one rule variant
+  demands several calls, the shared prefix is materialized once as a
+  **supplementary predicate** (``sup__i__j``) in the classic
+  supplementary-magic style;
+* **free rules** (see the free-set closure in ``demand.py``) pass
+  through unguarded — negation tests stay exact — and rules outside
+  the query's cone are dropped.  Dropping rules can shrink
+  ``dom(R, DB)``, so callers must evaluate the rewritten program under
+  the *original* program's domain (the engines thread this through).
+
+All seed/magic/sup rules are **positive**, which has two load-bearing
+consequences: the rewritten program re-stratifies mechanically
+(checked via :func:`repro.analysis.stratify.demand_strata`; failure —
+a guard closing a cycle through an original negation — is the
+``demand-unsafe-rule`` rejection), and magic derivation is monotone in
+the database, so a child model of ``db + {B...}`` derives at least the
+parent's demand.  Static propagation alone is still not enough for
+hypothetical recursion: a child database can fail to re-derive the
+parent's magic facts when the demanding rule's prefix is non-monotone
+(Example 7's ``select`` flips off in the child).  ``bound_seeds``
+therefore maps each hypothetically-called restricted predicate to its
+all-bound magic predicate, and the model engine injects the ground
+magic fact for the goal into every child database it recurses into —
+demand propagation into ``[add: ...]`` bodies happens at run time,
+where the binding is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from ..core.ast import Negated, Positive, Rule, Rulebase
+from ..core.terms import Atom
+from .demand import DemandReport, Query, coerce_query, derive_demand
+
+__all__ = ["MagicProgram", "MagicResult", "magic_rewrite", "format_rewrite"]
+
+
+class _Namer:
+    """Fresh, parseable predicate names that cannot collide with the
+    source program (double underscores are conventional, not reserved,
+    so taken names get a disambiguating suffix)."""
+
+    def __init__(self, taken) -> None:
+        self._taken = set(taken)
+
+    def _claim(self, base: str) -> str:
+        name = base
+        while name in self._taken:
+            name += "_x"
+        self._taken.add(name)
+        return name
+
+    def magic(self, predicate: str, adornment: str) -> str:
+        if adornment:
+            return self._claim(f"magic__{predicate}__{adornment}")
+        return self._claim(f"magic__{predicate}")
+
+    def sup(self, variant: int, position: int) -> str:
+        return self._claim(f"sup__{variant}__{position}")
+
+
+@dataclass(frozen=True)
+class MagicProgram:
+    """A demand-rewritten program plus the metadata its evaluation needs.
+
+    ``magic_names`` maps ``(predicate, adornment)`` to the magic
+    predicate guarding it; ``bound_seeds`` maps each restricted
+    predicate that appears as a hypothetical goal to its all-bound
+    magic predicate (the engines seed child databases with it);
+    ``demand_predicates`` names every auxiliary predicate, so callers
+    can strip them from returned models and count them into
+    ``demand.magic_facts``.
+    """
+
+    rulebase: Rulebase
+    report: DemandReport
+    seed: Rule
+    magic_names: Mapping[tuple[str, str], str]
+    bound_seeds: Mapping[str, str]
+    demand_predicates: frozenset[str]
+    strata: tuple[frozenset[str], ...]
+    guarded_rules: int
+    magic_rules: int
+    sup_rules: int
+
+
+@dataclass(frozen=True)
+class MagicResult:
+    """Outcome of :func:`magic_rewrite`: a program, or a reasoned
+    rejection (``program is None``) the engines degrade through."""
+
+    source: Rulebase
+    report: DemandReport
+    program: Optional[MagicProgram]
+    diagnostics: tuple
+
+    @property
+    def ok(self) -> bool:
+        return self.program is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        return self.report.reason
+
+
+def _rejected(source: Rulebase, report: DemandReport, extra=()) -> MagicResult:
+    return MagicResult(
+        source=source,
+        report=report,
+        program=None,
+        diagnostics=tuple(report.diagnostics) + tuple(extra),
+    )
+
+
+def magic_rewrite(rulebase: Rulebase, query: Query) -> MagicResult:
+    """Rewrite ``rulebase`` for goal-directed evaluation of ``query``.
+
+    Never raises on safety grounds: an unsafe input yields a rejected
+    :class:`MagicResult` whose diagnostics say why.
+    """
+    report = derive_demand(rulebase, query)
+    if not report.ok:
+        return _rejected(rulebase, report)
+    assert report.modes is not None
+
+    restricted = report.restricted
+    namer = _Namer(rulebase.mentioned_predicates())
+    magic_names: dict[tuple[str, str], str] = {}
+    for predicate in sorted(restricted):
+        for adornment in sorted(report.patterns[predicate]):
+            magic_names[(predicate, adornment)] = namer.magic(
+                predicate, adornment
+            )
+
+    goal = report.goal
+    seed_name = magic_names[(goal.predicate, report.adornment)]
+    seed_args = tuple(
+        arg
+        for arg, letter in zip(goal.args, report.adornment)
+        if letter == "b"
+    )
+    seed = Rule(Atom(seed_name, seed_args), ())
+
+    magic_rules: list[Rule] = []
+    guarded: list[Rule] = []
+    sup_count = 0
+    for variant, flow in enumerate(report.modes.dataflows):
+        item = flow.rule
+        if item.head.predicate not in restricted:
+            continue
+        adornment = flow.adornment
+        guard = Atom(
+            magic_names[(item.head.predicate, adornment)],
+            tuple(
+                arg
+                for arg, letter in zip(item.head.args, adornment)
+                if letter == "b"
+            ),
+        )
+        # Variables each suffix of the planned order still needs: the
+        # supplementary predicates project down to exactly these.
+        order = flow.order
+        suffix: list[set] = [set() for _ in range(len(order) + 1)]
+        for i in range(len(order) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] | set(order[i].variables())
+
+        chain = guard
+        since: list[Atom] = []
+        emitted = 0
+        for position, mode in enumerate(flow.modes):
+            premise = mode.premise
+            called = premise.goal.predicate
+            if called in restricted and not isinstance(premise, Negated):
+                if emitted:
+                    carried = set(chain.variables())
+                    for prefix_atom in since:
+                        carried |= set(prefix_atom.variables())
+                    needed = sorted(
+                        carried & suffix[position], key=lambda v: v.name
+                    )
+                    sup_atom = Atom(
+                        namer.sup(variant, position), tuple(needed)
+                    )
+                    magic_rules.append(
+                        Rule(
+                            sup_atom,
+                            (Positive(chain),)
+                            + tuple(Positive(a) for a in since),
+                        )
+                    )
+                    sup_count += 1
+                    chain, since = sup_atom, []
+                bound_args = tuple(
+                    arg
+                    for arg, letter in zip(
+                        premise.goal.args, mode.adornment
+                    )
+                    if letter == "b"
+                )
+                magic_rules.append(
+                    Rule(
+                        Atom(magic_names[(called, mode.adornment)], bound_args),
+                        (Positive(chain),)
+                        + tuple(Positive(a) for a in since),
+                        span=item.span,
+                    )
+                )
+                emitted += 1
+            if isinstance(premise, Positive):
+                since.append(premise.atom)
+        guarded.append(
+            Rule(item.head, (Positive(guard),) + item.body, span=item.span)
+        )
+
+    free_rules = [
+        item for item in rulebase if item.head.predicate in report.free
+    ]
+    rewritten = Rulebase(
+        [seed] + magic_rules + guarded + free_rules
+    )
+    n_sup = sup_count
+    n_magic = len(magic_rules) - n_sup
+
+    demand_predicates = frozenset(
+        item.head.predicate for item in [seed] + magic_rules
+    )
+    from .stratify import demand_strata
+
+    strata = demand_strata(rewritten, demand_predicates)
+    if strata is None:
+        offender = next(
+            (
+                item
+                for item in rulebase
+                if item.head.predicate in restricted
+                and any(isinstance(p, Negated) for p in item.body)
+            ),
+            None,
+        )
+        return _rejected(
+            rulebase,
+            replace(report, reason="unstratifiable-rewrite"),
+            [_unsafe_diagnostic(offender, goal)],
+        )
+
+    arity = rulebase.arity
+    bound_seeds = {}
+    for predicate in restricted:
+        all_bound = "b" * (arity(predicate) or 0)
+        name = magic_names.get((predicate, all_bound))
+        if name is not None:
+            bound_seeds[predicate] = name
+
+    program = MagicProgram(
+        rulebase=rewritten,
+        report=report,
+        seed=seed,
+        magic_names=magic_names,
+        bound_seeds=bound_seeds,
+        demand_predicates=demand_predicates,
+        strata=tuple(strata),
+        guarded_rules=len(guarded),
+        magic_rules=n_magic,
+        sup_rules=n_sup,
+    )
+    return MagicResult(
+        source=rulebase, report=report, program=program, diagnostics=()
+    )
+
+
+def _unsafe_diagnostic(rule, goal: Atom):
+    from .diagnostics import CODES, Diagnostic
+
+    info = CODES["demand-unsafe-rule"]
+    return Diagnostic(
+        code="demand-unsafe-rule",
+        message=(
+            f"the magic guards for query goal {goal} close a cycle "
+            f"through negation: the rewritten program has no "
+            f"stratification, so the query runs untransformed"
+        ),
+        severity=info.default_severity,
+        span=rule.span if rule is not None else None,
+        rule=rule,
+    )
+
+
+def format_rewrite(result: MagicResult) -> str:
+    """Pretty-print an adorned/rewritten program for ``explain``.
+
+    Shows the query's adornment, the restricted/free partition, and
+    the rewritten rule groups — or the rejection diagnostics when the
+    rewrite refused.
+    """
+    report = result.report
+    lines = [f"query: {report.premise}", f"adornment: {report.goal.predicate}^{report.adornment or 'ε'}"]
+    if not result.ok:
+        lines.append(f"demand rewrite: rejected ({report.reason})")
+        for diag in result.diagnostics:
+            lines.append(f"  {diag}")
+        lines.append("the query evaluates against the untransformed program")
+        return "\n".join(lines)
+    program = result.program
+    assert program is not None
+
+    def adorned(predicate: str) -> str:
+        patterns = ",".join(sorted(report.patterns[predicate]))
+        return f"{predicate}^{{{patterns or 'ε'}}}"
+
+    lines.append(
+        "restricted: "
+        + (", ".join(adorned(p) for p in sorted(report.restricted)) or "(none)")
+    )
+    lines.append("free: " + (", ".join(sorted(report.free)) or "(none)"))
+    dropped = sorted(result.source.defined_predicates() - report.cone)
+    if dropped:
+        lines.append("dropped (outside the query cone): " + ", ".join(dropped))
+    lines.append("")
+    lines.append("% seed")
+    lines.append(str(program.seed))
+    n_magic = program.magic_rules + program.sup_rules
+    if n_magic:
+        lines.append("")
+        lines.append("% magic / supplementary rules")
+        for item in program.rulebase.rules[1 : 1 + n_magic]:
+            lines.append(str(item))
+    lines.append("")
+    lines.append("% guarded rules")
+    start = 1 + n_magic
+    for item in program.rulebase.rules[start : start + program.guarded_rules]:
+        lines.append(str(item))
+    free_rules = program.rulebase.rules[start + program.guarded_rules :]
+    if free_rules:
+        lines.append("")
+        lines.append("% free rules (fully evaluated)")
+        for item in free_rules:
+            lines.append(str(item))
+    return "\n".join(lines)

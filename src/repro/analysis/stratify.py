@@ -44,6 +44,7 @@ from .recursion import (
 
 __all__ = [
     "negation_strata",
+    "demand_strata",
     "LinearStratification",
     "linear_stratification",
     "is_linearly_stratified",
@@ -74,6 +75,47 @@ def negation_strata(rulebase: Rulebase) -> list[frozenset[str]]:
                 f"recursion through negation among {{{offenders}}}"
             )
         layers.append(component)
+    return layers
+
+
+def demand_strata(
+    rulebase: Rulebase,
+    demand_predicates: frozenset[str] = frozenset(),
+) -> list[frozenset[str]] | None:
+    """Negation strata of a demand-rewritten program, or ``None``.
+
+    The magic-sets rewrite (:mod:`repro.analysis.magic`) can close a
+    cycle through an original negation — a guard makes a predicate
+    depend on its own callers — in which case the rewritten program has
+    no stratification and the engines must fall back to the
+    untransformed rules; unlike :func:`negation_strata` this reports
+    that as ``None`` rather than raising, since for a rewrite the
+    failure is a counted degradation, not an error.
+
+    Demand predicates are placed by the same dependencies-first SCC
+    machinery as ordinary ones; the returned layering is additionally
+    verified to put each demand predicate no later than every stratum
+    that reads it as a guard (so magic facts exist before guarded rules
+    consult them).
+    """
+    try:
+        layers = negation_strata(rulebase)
+    except StratificationError:
+        return None
+    if demand_predicates:
+        level: dict[str, int] = {}
+        for index, layer in enumerate(layers):
+            for predicate in layer:
+                level[predicate] = index
+        for item in rulebase:
+            head_level = level.get(item.head.predicate)
+            if head_level is None:
+                continue
+            for _, called in item.body_predicates():
+                if called in demand_predicates:
+                    called_level = level.get(called)
+                    if called_level is not None and called_level > head_level:
+                        return None
     return layers
 
 

@@ -4,8 +4,10 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
 
 * ``classify RULES`` — Theorem 1 complexity classification;
 * ``stratify RULES`` — print the linear stratification, Example 9 style;
-* ``query RULES -d DB "premise"`` — decide a query;
-* ``answers RULES -d DB "pattern"`` — enumerate answers;
+* ``query RULES -d DB "premise"`` — decide a query (``--demand`` turns
+  on goal-directed magic-sets evaluation for the bottom-up engine);
+* ``answers RULES -d DB "pattern"`` — enumerate answers (``--demand``
+  as for ``query``);
 * ``model RULES -d DB`` — print the full perfect model;
 * ``profile RULES -q QUERY [-d DB]`` — run one query with tracing on
   and print the span tree plus a metrics table; ``--trace-out FILE``
@@ -16,7 +18,9 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
   findings, cost estimates; ``--format {text,json,sarif}`` and a
   ``--fail-on`` severity gate for CI;
 * ``graph RULES`` — Graphviz DOT of the dependency graph;
-* ``explain RULES -d DB "query"`` — print a derivation;
+* ``explain RULES -d DB "query"`` — print a derivation; with
+  ``--demand``, print the adorned/demand-rewritten program instead
+  (docs/DEMAND.md);
 * ``repl [RULES] [-d DB]`` — interactive console.
 
 ``RULES`` and ``DB`` are file paths in the textual syntax of
@@ -159,6 +163,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
     )
+    query_cmd.add_argument(
+        "--demand",
+        default="off",
+        choices=("auto", "on", "off"),
+        help="goal-directed magic-sets evaluation for the bottom-up "
+        "engine (docs/DEMAND.md); the top-down engines ignore it",
+    )
     _budget_arguments(query_cmd)
 
     answers_cmd = commands.add_parser("answers", help="enumerate answers")
@@ -172,6 +183,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
+    )
+    answers_cmd.add_argument(
+        "--demand",
+        default="off",
+        choices=("auto", "on", "off"),
+        help="goal-directed magic-sets evaluation for the bottom-up "
+        "engine (docs/DEMAND.md); the top-down engines ignore it",
     )
     _budget_arguments(answers_cmd)
 
@@ -300,6 +318,13 @@ def _build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
     explain_cmd.add_argument("premise", help="query text")
     explain_cmd.add_argument("-d", "--db", help="database file")
+    explain_cmd.add_argument(
+        "--demand",
+        action="store_true",
+        help="print the query's adorned/demand-rewritten program "
+        "instead of a derivation (docs/DEMAND.md); exit 1 when the "
+        "rewrite rejects the query",
+    )
 
     graph_cmd = commands.add_parser(
         "graph", help="emit the predicate dependency graph as Graphviz DOT"
@@ -393,7 +418,13 @@ def _dispatch(options: argparse.Namespace) -> int:
         return 0
     if options.command == "query":
         tracer, metrics = _trace_targets(options)
-        session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
+        session = Session(
+            rulebase,
+            options.engine,
+            metrics=metrics,
+            tracer=tracer,
+            demand=options.demand,
+        )
         result = session.ask(
             _load_db(options.db), options.premise, budget=_budget_from(options)
         )
@@ -402,7 +433,13 @@ def _dispatch(options: argparse.Namespace) -> int:
         return 0 if result else 1
     if options.command == "answers":
         tracer, metrics = _trace_targets(options)
-        session = Session(rulebase, options.engine, metrics=metrics, tracer=tracer)
+        session = Session(
+            rulebase,
+            options.engine,
+            metrics=metrics,
+            tracer=tracer,
+            demand=options.demand,
+        )
         rows = session.answers(
             _load_db(options.db), options.pattern, budget=_budget_from(options)
         )
@@ -450,6 +487,12 @@ def _dispatch(options: argparse.Namespace) -> int:
         warnings = [f for f in findings if f.severity == "warning"]
         return 1 if warnings else 0
     if options.command == "explain":
+        if options.demand:
+            from .analysis.magic import format_rewrite, magic_rewrite
+
+            result = magic_rewrite(rulebase, options.premise)
+            print(format_rewrite(result))
+            return 0 if result.ok else 1
         from .engine.proofs import Explainer, format_proof
 
         proof = Explainer(rulebase).explain(_load_db(options.db), options.premise)

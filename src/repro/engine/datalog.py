@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
-from ..core.ast import Positive, Rule
+from ..core.ast import Positive, Rule, Rulebase
 from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.terms import Atom, Constant
 from ..obs.metrics import Counter, MetricsRegistry, StatsView
@@ -87,12 +87,45 @@ def _least_fixpoint(
     tracer: Tracer,
     strategy: str,
     budget,
+    demand: str = "off",
+    query=None,
 ) -> Interpretation:
+    if demand not in ("auto", "on", "off"):
+        raise EvaluationError(
+            f"unknown demand mode {demand!r}; expected 'auto', 'on', or 'off'"
+        )
     rule_list = list(rules)
     _check_positive(rule_list)
     interp = Interpretation(facts)
     if domain is None:
         domain = _domain_of(rule_list, interp)
+    demand_predicates: frozenset[str] = frozenset()
+    if demand != "off" and query is not None:
+        # The positive fragment reuses the stratified substrate's
+        # rewrite glue (a positive program rewrites to a positive
+        # program: seeds, magic, and guards are all positive).
+        from .stratified import _demand_rewrite
+
+        registry = None
+        if stats is not None:
+            registry = (
+                stats if isinstance(stats, MetricsRegistry) else stats.registry
+            )
+        rewritten, demand_predicates = _demand_rewrite(
+            Rulebase(rule_list), domain, query, registry, tracer
+        )
+        if demand_predicates:
+            rule_list = list(rewritten.rules)
+
+    def snapshot() -> frozenset[Atom]:
+        if not demand_predicates:
+            return interp.to_frozenset()
+        return frozenset(
+            atom
+            for atom in interp
+            if atom.predicate not in demand_predicates
+        )
+
     budget = (budget if budget is not None else NULL_BUDGET).begin()
     try:
         close_layer(
@@ -105,16 +138,25 @@ def _least_fixpoint(
             budget=budget,
         )
     except ResourceExhausted as error:
-        error.partial.merge_missing(atoms=interp.to_frozenset())
+        error.partial.merge_missing(atoms=snapshot())
         raise
     except KeyboardInterrupt:
         error = cancelled_error(budget)
-        error.partial.merge_missing(atoms=interp.to_frozenset())
+        error.partial.merge_missing(atoms=snapshot())
         raise error from None
     except RecursionError:
         error = depth_error(budget)
-        error.partial.merge_missing(atoms=interp.to_frozenset())
+        error.partial.merge_missing(atoms=snapshot())
         raise error from None
+    if demand_predicates:
+        from .stratified import _strip_demand
+
+        registry = None
+        if stats is not None:
+            registry = (
+                stats if isinstance(stats, MetricsRegistry) else stats.registry
+            )
+        return _strip_demand(interp, demand_predicates, registry)
     return interp
 
 
@@ -125,6 +167,8 @@ def naive_least_fixpoint(
     stats: Optional[Stats] = None,
     tracer: Tracer = NULL_TRACER,
     budget=None,
+    demand: str = "off",
+    query=None,
 ) -> Interpretation:
     """Least fixpoint by naive iteration.
 
@@ -134,9 +178,14 @@ def naive_least_fixpoint(
     :class:`FixpointStats` or a :class:`~repro.obs.metrics.MetricsRegistry`.
     ``budget`` (a :class:`~repro.engine.budget.Budget`) bounds the run;
     on exhaustion the raised :class:`ResourceExhausted` carries the
-    atoms derived so far.
+    atoms derived so far.  ``demand`` (with a ``query``) evaluates the
+    magic-sets rewrite instead, returning only the demanded atoms
+    (docs/DEMAND.md); a rejected rewrite falls back to the full
+    fixpoint and bumps ``engine.demand_fallbacks``.
     """
-    return _least_fixpoint(rules, facts, domain, stats, tracer, "naive", budget)
+    return _least_fixpoint(
+        rules, facts, domain, stats, tracer, "naive", budget, demand, query
+    )
 
 
 def seminaive_least_fixpoint(
@@ -146,6 +195,8 @@ def seminaive_least_fixpoint(
     stats: Optional[Stats] = None,
     tracer: Tracer = NULL_TRACER,
     budget=None,
+    demand: str = "off",
+    query=None,
 ) -> Interpretation:
     """Least fixpoint by semi-naive (differential) iteration.
 
@@ -153,8 +204,9 @@ def seminaive_least_fixpoint(
     later round only considers rule instantiations in which at least
     one body atom matches a fact derived in the previous round (see
     :func:`repro.engine.delta.close_layer`).  ``budget`` bounds the run
-    as in :func:`naive_least_fixpoint`.
+    as in :func:`naive_least_fixpoint`; ``demand``/``query`` enable the
+    goal-directed rewrite as there.
     """
     return _least_fixpoint(
-        rules, facts, domain, stats, tracer, "seminaive", budget
+        rules, facts, domain, stats, tracer, "seminaive", budget, demand, query
     )

@@ -112,6 +112,20 @@ class _SeedSource:
         self.additions = additions
 
 
+class _DemandEntry:
+    """One query's demand state: the delegate engine evaluating the
+    rewritten program, the program itself, and the databases whose
+    magic facts have already been counted into ``demand.magic_facts``
+    (the delegate memoizes models, so counting must not repeat)."""
+
+    __slots__ = ("engine", "program", "counted")
+
+    def __init__(self, engine: "PerfectModelEngine", program) -> None:
+        self.engine = engine
+        self.program = program
+        self.counted: set[Database] = set()
+
+
 class PerfectModelEngine:
     """Memoizing bottom-up evaluator for hypothetical Datalog¬.
 
@@ -162,6 +176,28 @@ class PerfectModelEngine:
         :class:`~repro.analysis.diagnostics.Diagnostic` in
         ``self.diagnostics``, and retries.  Off by default — it doubles
         evaluation cost.
+    demand:
+        Goal-directed (magic-sets) evaluation of :meth:`ask` and
+        :meth:`answers` (docs/DEMAND.md).  ``"on"`` and ``"auto"``
+        rewrite the rulebase per query via
+        :func:`repro.analysis.magic.magic_rewrite` and evaluate the
+        demanded sub-model in a delegate engine sharing this one's
+        metrics; when the safety analysis rejects, the query runs
+        untransformed with ``engine.demand_fallbacks`` bumped —
+        ``"on"`` additionally records the rejection diagnostics in
+        ``self.diagnostics``.  ``"off"`` (default) never rewrites.
+        :meth:`model` is always the full perfect model.
+    demand_seeds:
+        Internal (set on delegate engines): maps hypothetically-called
+        restricted predicates to their all-bound magic predicate, so
+        recursion into a child database seeds it with the ground magic
+        fact for the goal being tested.
+    domain_constants:
+        Internal (set on delegate engines): the constants contributed
+        by the *original* rulebase, overriding this rulebase's own.
+        The rewrite drops rules outside the query cone and adds seed
+        constants, either of which would otherwise change
+        ``dom(R, DB)`` and with it Definition 3's groundings.
     """
 
     _ANCESTOR_SCAN_CAP = 4096
@@ -179,6 +215,9 @@ class PerfectModelEngine:
         tracer: Optional[Tracer] = None,
         budget=None,
         cross_check: bool = False,
+        demand: str = "off",
+        demand_seeds: Optional[dict] = None,
+        domain_constants: Optional[Iterable[Constant]] = None,
     ) -> None:
         from ..analysis.monotone import monotone_layer_prefix
         from ..analysis.stratify import negation_strata
@@ -193,6 +232,11 @@ class PerfectModelEngine:
             raise EvaluationError(
                 f"unknown evaluation strategy {strategy!r}; "
                 f"expected 'naive' or 'seminaive'"
+            )
+        if demand not in ("auto", "on", "off"):
+            raise EvaluationError(
+                f"unknown demand mode {demand!r}; "
+                f"expected 'auto', 'on', or 'off'"
             )
         self._rulebase = rulebase
         layers = negation_strata(rulebase)
@@ -221,11 +265,23 @@ class PerfectModelEngine:
         self._seed_prefix = monotone_layer_prefix(self._layer_rules)
         self._strategy = strategy
         self._reuse = bool(reuse_models) and strategy == "seminaive"
-        self._rule_constants = frozenset(rulebase.constants())
+        self._rule_constants = (
+            frozenset(domain_constants)
+            if domain_constants is not None
+            else frozenset(rulebase.constants())
+        )
         self._cache: dict[Database, frozenset[Atom]] = {}
         self._max_databases = max_databases
         self._memoize = memoize
+        self._optimize_joins = optimize_joins
         self._join_mode = join_mode(optimize_joins)
+        self._demand_mode = demand
+        self._demand_seeds = dict(demand_seeds) if demand_seeds else {}
+        # Per-query delegate engines (or None for counted rejections),
+        # keyed by the query goal's (predicate, args): the rewritten
+        # program depends on the goal's constants (the seed rule), not
+        # on the database.
+        self._demand_cache: dict[tuple, Optional["_DemandEntry"]] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._budget = budget if budget is not None else NULL_BUDGET
@@ -252,6 +308,7 @@ class PerfectModelEngine:
         self._n_seeded = counter("model.models_seeded")
         self._n_fresh = counter("model.models_fresh")
         self._n_fallbacks = counter("engine.fallbacks")
+        self._n_demand_fallbacks = counter("engine.demand_fallbacks")
         self._n_probes = counter("interp.index_probes")
         self._h_model_size = self.metrics.histogram("model.model_size")
         self._h_delta_size = self.metrics.histogram("model.delta_size")
@@ -287,6 +344,13 @@ class PerfectModelEngine:
         premise ``~A`` holds iff no instance of ``A`` is derivable.
         """
         premise = self._coerce(query)
+        if self._demand_mode != "off":
+            entry = self._demand_delegate(db, premise)
+            if entry is not None:
+                try:
+                    return entry.engine.holds(db, premise, budget=budget)
+                finally:
+                    self._absorb_delegate(entry)
         return self.holds(db, premise, budget=budget)
 
     def answers(
@@ -301,6 +365,23 @@ class PerfectModelEngine:
             if not isinstance(premise, Positive):
                 raise EvaluationError("answers() needs a plain atom pattern")
             pattern = premise.atom
+        if self._demand_mode != "off":
+            entry = self._demand_delegate(db, Positive(pattern))
+            if entry is not None:
+                try:
+                    model = entry.engine.model(db, budget=budget)
+                except ResourceExhausted as error:
+                    if (
+                        error.partial.atoms is not None
+                        and error.partial.answers is None
+                    ):
+                        error.partial.answers = self._match_tuples(
+                            error.partial.atoms, pattern
+                        )
+                    self._absorb_delegate(entry)
+                    raise
+                self._absorb_delegate(entry)
+                return self._match_tuples(model, pattern)
         try:
             model = self.model(db, budget=budget)
         except ResourceExhausted as error:
@@ -352,6 +433,116 @@ class PerfectModelEngine:
         if isinstance(query, Atom):
             return Positive(query)
         return query
+
+    # ------------------------------------------------------------------
+    # Demand (magic-sets) delegation
+    # ------------------------------------------------------------------
+
+    def _demand_delegate(
+        self, db: Database, premise: Premise
+    ) -> Optional[_DemandEntry]:
+        """The per-query delegate engine, or ``None`` for a counted
+        fallback to full evaluation.
+
+        Static rejections (the rewrite refused) are cached per query
+        goal; the genericity check is per database — a query constant
+        outside ``dom(R, DB)`` would enter the domain through the seed
+        fact and ground rules the untransformed program never grounds.
+        """
+        goal = premise.goal
+        key = (goal.predicate, goal.args, isinstance(premise, Negated))
+        if key in self._demand_cache:
+            entry = self._demand_cache[key]
+        else:
+            entry = self._demand_build(premise)
+            self._demand_cache[key] = entry
+        if entry is None:
+            self._n_demand_fallbacks.value += 1
+            return None
+        if not self._demand_constants_ok(db, goal):
+            self._n_demand_fallbacks.value += 1
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "demand",
+                    "fallback",
+                    args={"query": str(premise), "reason": "foreign-constants"},
+                )
+            return None
+        return entry
+
+    def _demand_build(self, premise: Premise) -> Optional[_DemandEntry]:
+        from ..analysis.magic import magic_rewrite
+
+        result = magic_rewrite(self._rulebase, premise)
+        if not result.ok:
+            if self._demand_mode == "on" and result.diagnostics:
+                self.diagnostics.extend(result.diagnostics)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "demand",
+                    "fallback",
+                    args={"query": str(premise), "reason": result.reason},
+                )
+            return None
+        program = result.program
+        assert program is not None
+        self.metrics.counter("demand.rules_rewritten").value += (
+            program.guarded_rules
+        )
+        if self._tracer.enabled:
+            report = program.report
+            self._tracer.event(
+                "demand",
+                "rewrite",
+                args={
+                    "query": str(premise),
+                    "adornment": report.adornment,
+                    "restricted": sorted(report.restricted),
+                    "free": sorted(report.free),
+                    "magic_rules": program.magic_rules,
+                    "sup_rules": program.sup_rules,
+                },
+            )
+        engine = PerfectModelEngine(
+            program.rulebase,
+            max_databases=self._max_databases,
+            memoize=self._memoize,
+            optimize_joins=self._optimize_joins,
+            strategy=self._strategy,
+            reuse_models=self._reuse,
+            metrics=self.metrics,
+            tracer=self._tracer,
+            budget=self._budget,
+            demand="off",
+            demand_seeds=program.bound_seeds,
+            domain_constants=self._rule_constants,
+        )
+        return _DemandEntry(engine, program)
+
+    def _demand_constants_ok(self, db: Database, goal: Atom) -> bool:
+        constants = set(goal.constants())
+        if constants <= self._rule_constants:
+            return True
+        return constants <= self._rule_constants | set(db.constants())
+
+    def _absorb_delegate(self, entry: _DemandEntry) -> None:
+        """Fold a delegate call's side effects back into this engine:
+        degradation diagnostics, and the magic facts of any newly
+        materialized model (``demand.magic_facts``)."""
+        if entry.engine.diagnostics:
+            self.diagnostics.extend(entry.engine.diagnostics)
+            entry.engine.diagnostics.clear()
+        predicates = entry.program.demand_predicates
+        fresh = 0
+        for cached_db, atoms in entry.engine._cache.items():
+            if cached_db in entry.counted:
+                continue
+            entry.counted.add(cached_db)
+            fresh += sum(
+                1 for atom in atoms if atom.predicate in predicates
+            )
+        if fresh:
+            self.metrics.counter("demand.magic_facts").value += fresh
 
     # ------------------------------------------------------------------
     # Resource governance and graceful degradation
@@ -461,6 +652,8 @@ class PerfectModelEngine:
             strategy="naive",
             reuse_models=False,
             budget=self._budget,
+            demand_seeds=self._demand_seeds,
+            domain_constants=self._rule_constants,
         ).model(db)
         if reference != result:
             missing = len(reference - result)
@@ -701,11 +894,23 @@ class PerfectModelEngine:
                 if grounded.atom in interp:
                     yield grounding
             else:
+                added = grounded.additions
+                if self._demand_seeds:
+                    # Demand delegate: static magic propagation cannot
+                    # survive a non-monotone prefix flipping off in the
+                    # child (docs/DEMAND.md), so the demand for the
+                    # hypothetically-tested goal is injected as a ground
+                    # magic fact of the enlarged database.
+                    seed = self._demand_seeds.get(grounded.atom.predicate)
+                    if seed is not None:
+                        magic_fact = Atom(seed, grounded.atom.args)
+                        db2 = db2.with_facts(magic_fact)
+                        added = added + (magic_fact,)
                 self._n_hypo.value += 1
                 parent = None
                 if self._reuse:
                     additions = tuple(
-                        item for item in grounded.additions if item not in db
+                        item for item in added if item not in db
                     )
                     parent = _SeedSource(interp.relation, layer_index, additions)
                 ctx = (

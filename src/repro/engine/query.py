@@ -50,6 +50,13 @@ class Session:
     * ``"model"`` — the bottom-up reference evaluator (computes whole
       perfect models; may be infeasible on rulebases whose hypothetical
       recursion touches very many databases).
+
+    ``demand`` (``"auto"``/``"on"``/``"off"``, default ``"off"``)
+    enables the goal-directed magic-sets rewrite for the bottom-up
+    engine's :meth:`ask`/:meth:`answers` (docs/DEMAND.md).  The
+    top-down engines are inherently goal-directed, so the knob only
+    affects ``engine="model"``; it is accepted (and ignored) for the
+    others so callers can set it uniformly.
     """
 
     def __init__(
@@ -60,8 +67,14 @@ class Session:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         budget=None,
+        demand: str = "off",
     ) -> None:
         self._rulebase = rulebase
+        if demand not in ("auto", "on", "off"):
+            raise EvaluationError(
+                f"unknown demand mode {demand!r}; "
+                f"expected 'auto', 'on', or 'off'"
+            )
         if engine == "auto":
             engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
         if engine == "prove":
@@ -74,7 +87,11 @@ class Session:
             )
         elif engine == "model":
             self._engine = PerfectModelEngine(
-                rulebase, metrics=metrics, tracer=tracer, budget=budget
+                rulebase,
+                metrics=metrics,
+                tracer=tracer,
+                budget=budget,
+                demand=demand,
             )
         else:
             raise EvaluationError(
@@ -137,9 +154,15 @@ class Session:
         return self._explainer.explain(db, query)
 
 
-def ask(rulebase: Rulebase, db: Database, query: Query, engine: str = "auto") -> bool:
+def ask(
+    rulebase: Rulebase,
+    db: Database,
+    query: Query,
+    engine: str = "auto",
+    demand: str = "off",
+) -> bool:
     """One-shot :meth:`Session.ask`."""
-    return Session(rulebase, engine).ask(db, query)
+    return Session(rulebase, engine, demand=demand).ask(db, query)
 
 
 def answers(
@@ -147,6 +170,7 @@ def answers(
     db: Database,
     pattern: Union[str, Atom],
     engine: str = "auto",
+    demand: str = "off",
 ) -> set[tuple]:
     """One-shot :meth:`Session.answers`."""
-    return Session(rulebase, engine).answers(db, pattern)
+    return Session(rulebase, engine, demand=demand).answers(db, pattern)

@@ -41,6 +41,71 @@ def _domain_of(rulebase: Rulebase, db: Database) -> list[Constant]:
     return sorted(constants, key=lambda c: (str(type(c.value)), str(c.value)))
 
 
+def _demand_rewrite(rulebase, domain, query, metrics, tracer):
+    """Attempt the magic-sets rewrite for ``query``; fall back silently.
+
+    Returns ``(rulebase, demand_predicates)`` — the rewritten program
+    plus the auxiliary predicates to strip from the model, or the
+    original program with an empty set when the rewrite rejects or the
+    query's constants lie outside ``dom(R, DB)`` (a seed constant would
+    enlarge the domain and change Definition 3's groundings).  Each
+    fallback bumps ``engine.demand_fallbacks``.
+    """
+    from ..analysis.demand import coerce_query
+    from ..analysis.magic import magic_rewrite
+
+    none: frozenset[str] = frozenset()
+    premise = coerce_query(query)
+
+    def fallen_back(reason):
+        if metrics is not None:
+            metrics.counter("engine.demand_fallbacks").value += 1
+        if tracer.enabled:
+            tracer.event(
+                "demand",
+                "fallback",
+                args={"query": str(premise), "reason": reason},
+            )
+        return rulebase, none
+
+    if not set(premise.goal.constants()) <= set(domain):
+        return fallen_back("foreign-constants")
+    result = magic_rewrite(rulebase, premise)
+    if not result.ok:
+        return fallen_back(result.reason)
+    program = result.program
+    if metrics is not None:
+        metrics.counter("demand.rules_rewritten").value += (
+            program.guarded_rules
+        )
+    if tracer.enabled:
+        tracer.event(
+            "demand",
+            "rewrite",
+            args={
+                "query": str(premise),
+                "adornment": program.report.adornment,
+                "restricted": sorted(program.report.restricted),
+                "free": sorted(program.report.free),
+            },
+        )
+    return program.rulebase, program.demand_predicates
+
+
+def _strip_demand(interp, demand_predicates, metrics):
+    """Remove (and count) the magic/supplementary atoms of a model."""
+    kept = Interpretation()
+    stripped = 0
+    for atom in interp:
+        if atom.predicate in demand_predicates:
+            stripped += 1
+        else:
+            kept.add(atom)
+    if metrics is not None and stripped:
+        metrics.counter("demand.magic_facts").value += stripped
+    return kept
+
+
 def perfect_model(
     rulebase: Rulebase,
     db: Database,
@@ -50,6 +115,8 @@ def perfect_model(
     tracer: Tracer = NULL_TRACER,
     strategy: str = "seminaive",
     budget=None,
+    demand: str = "off",
+    query=None,
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -62,9 +129,21 @@ def perfect_model(
     ``budget`` (a :class:`~repro.engine.budget.Budget`) bounds the run;
     on exhaustion the raised :class:`ResourceExhausted` carries the
     atoms derived so far and the count of strata fully closed.
+
+    ``demand`` (``"auto"``/``"on"``, with a ``query``) evaluates the
+    magic-sets rewrite of the program instead (docs/DEMAND.md): the
+    returned interpretation then contains exactly the atoms the query
+    demands, with the auxiliary magic atoms stripped and counted into
+    ``demand.magic_facts``.  When the rewrite rejects, the full model
+    is computed and ``engine.demand_fallbacks`` is bumped — answers
+    never change, only work and completeness of *undemanded* atoms.
     """
     from ..analysis.stratify import negation_strata
 
+    if demand not in ("auto", "on", "off"):
+        raise EvaluationError(
+            f"unknown demand mode {demand!r}; expected 'auto', 'on', or 'off'"
+        )
     for item in rulebase:
         if any(isinstance(premise, Hypothetical) for premise in item.body):
             raise EvaluationError(
@@ -73,6 +152,11 @@ def perfect_model(
 
     if domain is None:
         domain = _domain_of(rulebase, db)
+    demand_predicates: frozenset[str] = frozenset()
+    if demand != "off" and query is not None:
+        rulebase, demand_predicates = _demand_rewrite(
+            rulebase, domain, query, metrics, tracer
+        )
     layers = negation_strata(rulebase)
     interp = Interpretation(db)
     mode = join_mode(optimize_joins)
@@ -98,6 +182,16 @@ def perfect_model(
     budget = (budget if budget is not None else NULL_BUDGET).begin()
     governed = budget.enabled
     strata_completed = 0
+
+    def snapshot() -> frozenset[Atom]:
+        if not demand_predicates:
+            return interp.to_frozenset()
+        return frozenset(
+            atom
+            for atom in interp
+            if atom.predicate not in demand_predicates
+        )
+
     try:
         for index, layer in enumerate(layers):
             if governed:
@@ -129,33 +223,41 @@ def perfect_model(
             strata_completed += 1
     except ResourceExhausted as error:
         error.partial.merge_missing(
-            atoms=interp.to_frozenset(), strata_completed=strata_completed
+            atoms=snapshot(), strata_completed=strata_completed
         )
         raise
     except KeyboardInterrupt:
         error = cancelled_error(budget)
         error.partial.merge_missing(
-            atoms=interp.to_frozenset(), strata_completed=strata_completed
+            atoms=snapshot(), strata_completed=strata_completed
         )
         raise error from None
     except RecursionError:
         error = depth_error(budget)
         error.partial.merge_missing(
-            atoms=interp.to_frozenset(), strata_completed=strata_completed
+            atoms=snapshot(), strata_completed=strata_completed
         )
         raise error from None
+    if demand_predicates:
+        return _strip_demand(interp, demand_predicates, metrics)
     return interp
 
 
 def stratified_holds(
-    rulebase: Rulebase, db: Database, goal: Atom, *, budget=None
+    rulebase: Rulebase,
+    db: Database,
+    goal: Atom,
+    *,
+    budget=None,
+    demand: str = "off",
 ) -> bool:
     """Convenience wrapper: is a ground goal in the perfect model?
 
     For patterns with variables, any matching instance counts
-    (existential reading).
+    (existential reading).  ``demand`` enables the goal-directed
+    rewrite with the goal itself as the query.
     """
-    model = perfect_model(rulebase, db, budget=budget)
+    model = perfect_model(rulebase, db, budget=budget, demand=demand, query=goal)
     if goal.is_ground:
         return goal in model
     return model.has_match(goal)

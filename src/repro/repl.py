@@ -22,6 +22,9 @@ The loop accepts three kinds of input:
                         combination, or ``off`` to clear; no argument
                         shows the current limits
       :explain QUERY    print a derivation
+      :explain demand QUERY
+                        print the query's adorned/demand-rewritten
+                        program (docs/DEMAND.md)
       :profile QUERY    run one query traced; print spans + metrics
       :stats [reset]    cumulative engine metrics for this session
       :load FILE        add rules from a file
@@ -236,6 +239,13 @@ class Repl:
         if name == "limits":
             return self._limits_command(argument)
         if name == "explain":
+            if argument.startswith("demand ") or argument == "demand":
+                query = argument[len("demand"):].strip().rstrip(".")
+                if not query:
+                    return "error: usage: :explain demand QUERY"
+                from .analysis.magic import format_rewrite, magic_rewrite
+
+                return format_rewrite(magic_rewrite(self._rulebase, query))
             from .engine.proofs import Explainer, format_proof
 
             proof = Explainer(self._rulebase).explain(self._db, argument.rstrip("."))

@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis.monotone import is_add_monotone, monotone_layer_prefix
 from repro.analysis.stratify import negation_strata
-from repro.core.ast import Hypothetical, Positive, Rule, Rulebase
+from repro.core.ast import Hypothetical, Negated, Positive, Rule, Rulebase
 from repro.core.database import Database
 from repro.core.parser import parse_program
 from repro.core.terms import Atom, Constant, Variable, atom
@@ -111,13 +111,15 @@ class TestLibraryCrossCheck:
                 assert engine.ask(db, "yes") is expected, (name, edges)
 
 
-def _random_rulebase(rng: random.Random) -> Rulebase:
-    """A random add-only (negation-free) hypothetical rulebase.
+def _random_rulebase(rng: random.Random, negation: bool = False) -> Rulebase:
+    """A random add-only hypothetical rulebase.
 
     IDB predicates p/1, q/1, r/2 defined by rules whose bodies mix
     positive premises over IDB/EDB predicates and hypothetical premises
     whose additions touch the EDB predicate e/1 — the fragment where
-    lattice reuse is always on, so seeding gets exercised hard.
+    lattice reuse is always on, so seeding gets exercised hard.  With
+    ``negation=True`` bodies may also carry negated premises (samples
+    whose negation happens to be recursive are skipped by callers).
     """
     variables = [Variable("X"), Variable("Y")]
     constants = [Constant("c0"), Constant("c1"), Constant("c2")]
@@ -137,7 +139,10 @@ def _random_rulebase(rng: random.Random) -> Rulebase:
         head = Atom(predicate, tuple(random_term() for _ in range(arity)))
         body = []
         for _ in range(rng.randint(1, 3)):
-            if rng.random() < 0.35:
+            roll = rng.random()
+            if negation and roll < 0.2:
+                body.append(Negated(random_atom(idb + edb)))
+            elif roll < 0.35:
                 goal = random_atom(idb + edb)
                 addition = Atom("e", (random_term(),))
                 body.append(Hypothetical(goal, (addition,)))
@@ -313,3 +318,108 @@ class TestStrategyValidation:
 
         with pytest.raises(EvaluationError):
             PerfectModelEngine(parity_rulebase(), strategy="magic")
+
+    def test_unknown_demand_mode_rejected(self):
+        from repro.core.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            PerfectModelEngine(parity_rulebase(), demand="always")
+
+
+def _all_free_patterns(rulebase):
+    """One all-free query pattern per defined predicate."""
+    patterns = []
+    for predicate in sorted(rulebase.defined_predicates()):
+        arity = rulebase.arity(predicate) or 0
+        patterns.append(
+            Atom(
+                predicate,
+                tuple(Variable(f"V{index}") for index in range(arity)),
+            )
+        )
+    return patterns
+
+
+class TestDemandParity:
+    """Demand-on evaluation is answer-identical to demand-off — on
+    shipped rulebases, on random add-only programs, and on random
+    negation-bearing programs.  Rejections degrade through the counted
+    fallback, so parity must hold unconditionally."""
+
+    @pytest.mark.parametrize("rulebase, db", LIBRARY_WORKLOADS)
+    def test_library_answers_identical(self, rulebase, db):
+        off = PerfectModelEngine(rulebase)
+        on = PerfectModelEngine(rulebase, demand="on")
+        for pattern in _all_free_patterns(rulebase):
+            expected = off.answers(db, pattern)
+            assert on.answers(db, pattern) == expected, str(pattern)
+            assert on.ask(db, pattern) is off.ask(db, pattern)
+            # Ground probes: every answer, plus one guaranteed miss.
+            for row in sorted(expected, key=str)[:3]:
+                ground = Atom(
+                    pattern.predicate, tuple(Constant(value) for value in row)
+                )
+                assert on.ask(db, ground) is True, str(ground)
+            if pattern.args:
+                miss = Atom(
+                    pattern.predicate,
+                    (Constant("no_such"),) * len(pattern.args),
+                )
+                assert on.ask(db, miss) is off.ask(db, miss)
+
+    @pytest.mark.parametrize("rulebase, db", LIBRARY_WORKLOADS)
+    def test_library_counters_sound(self, rulebase, db):
+        engine = PerfectModelEngine(rulebase, demand="on")
+        for pattern in _all_free_patterns(rulebase):
+            engine.answers(db, pattern)
+        snapshot = engine.metrics.snapshot()
+        fallbacks = snapshot.get("engine.demand_fallbacks", 0)
+        rewritten = snapshot.get("demand.rules_rewritten", 0)
+        # Every query either rewrote (guarded rules counted) or fell
+        # back (counted); nothing disappears silently.
+        assert fallbacks + rewritten > 0
+        if rewritten:
+            assert snapshot.get("demand.magic_facts", 0) > 0
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_add_only_parity(self, seed):
+        rng = random.Random(seed)
+        rulebase = _random_rulebase(rng)
+        db = _random_database(rng)
+        off = PerfectModelEngine(rulebase, max_databases=50_000)
+        on = PerfectModelEngine(
+            rulebase, demand="on", max_databases=50_000
+        )
+        for pattern in _all_free_patterns(rulebase):
+            assert on.answers(db, pattern) == off.answers(db, pattern), (
+                str(rulebase),
+                str(pattern),
+            )
+        for goal in [
+            atom("p", "c0"),
+            atom("q", "c2"),
+            atom("r", "c0", "c1"),
+        ]:
+            if rulebase.definition(goal.predicate):
+                assert on.ask(db, goal) is off.ask(db, goal), (
+                    str(rulebase),
+                    str(goal),
+                )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_negation_parity(self, seed):
+        from repro.core.errors import StratificationError
+
+        rng = random.Random(1000 + seed)
+        rulebase = _random_rulebase(rng, negation=True)
+        db = _random_database(rng)
+        try:
+            off = PerfectModelEngine(rulebase, max_databases=50_000)
+        except StratificationError:
+            pytest.skip("random sample is not stratified")
+        on = PerfectModelEngine(rulebase, demand="on", max_databases=50_000)
+        for pattern in _all_free_patterns(rulebase):
+            assert on.answers(db, pattern) == off.answers(db, pattern), (
+                str(rulebase),
+                str(pattern),
+            )

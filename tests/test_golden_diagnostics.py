@@ -67,6 +67,90 @@ class TestLibraryGoldens:
         assert summarize(diags) == golden_lines(name)
 
 
+def demand_queries(rulebase):
+    """A canonical query battery for the demand analysis goldens: one
+    all-free pattern per defined predicate (sorted), plus a negated
+    variant of the first — deterministic, so spans and codes freeze."""
+    names = sorted(rulebase.defined_predicates())
+    queries = []
+    for predicate in names:
+        arity = rulebase.arity(predicate) or 0
+        arguments = ", ".join(f"Q{index}" for index in range(arity))
+        queries.append(f"{predicate}({arguments})" if arity else predicate)
+    if queries:
+        queries.append("~" + queries[0])
+    return queries
+
+
+# ``demand-unsafe-rule`` needs a free (unguarded) negative cycle below
+# a restricted goal — such a program necessarily carries a
+# ``negation-cycle`` error, so it cannot ship as an example; it is
+# frozen here from an inline source instead.
+UNSAFE_RULE_SOURCE = """\
+answer(X) :- win(X).
+win(X) :- move(X, Y), ~win(Y).
+move(a, b).
+"""
+
+
+class TestDemandGoldens:
+    """The ``demand-*`` diagnostic codes across the shipped examples,
+    frozen per query battery (docs/DEMAND.md)."""
+
+    def test_every_example_has_a_demand_golden(self):
+        for path in example_files():
+            assert (GOLDEN_DIR / f"demand_{path.stem}.txt").exists()
+
+    def test_battery_covers_all_three_codes(self):
+        seen = set()
+        for path in example_files():
+            for line in golden_lines(f"demand_{path.stem}"):
+                seen.add(line.split("[")[-1].rstrip("]"))
+        for line in golden_lines("demand_unsafe_rule"):
+            seen.add(line.split("[")[-1].rstrip("]"))
+        assert {
+            "demand-unsafe-rule",
+            "demand-unbound-negation",
+            "demand-blocked-hypothesis",
+        } <= seen
+
+    def test_unsafe_rule_codes_match(self):
+        _, diags = check_source(
+            UNSAFE_RULE_SOURCE, "unsafe_rule.dl", queries=["answer(Q0)"]
+        )
+        assert summarize(diags) == golden_lines("demand_unsafe_rule")
+
+    @pytest.mark.parametrize("path", example_files(), ids=lambda p: p.stem)
+    def test_codes_and_spans_match(self, path):
+        rulebase, diags = check_source(path.read_text(), path.name)
+        assert rulebase is not None
+        _, with_queries = check_source(
+            path.read_text(), path.name, queries=demand_queries(rulebase)
+        )
+        assert summarize(with_queries) == golden_lines(f"demand_{path.stem}")
+
+    def test_sarif_catalogues_demand_codes(self):
+        import json
+
+        from repro.analysis.diagnostics import to_sarif
+
+        path = EXAMPLES_DIR / "hamiltonian.dl"
+        rulebase, _ = check_source(path.read_text(), path.name)
+        _, diags = check_source(
+            path.read_text(), path.name, queries=demand_queries(rulebase)
+        )
+        sarif = json.loads(to_sarif(diags))
+        run = sarif["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {
+            "demand-unsafe-rule",
+            "demand-unbound-negation",
+            "demand-blocked-hypothesis",
+        } <= rule_ids
+        result_ids = {result["ruleId"] for result in run["results"]}
+        assert "demand-unbound-negation" in result_ids
+
+
 class TestExampleGoldens:
     def test_every_example_has_a_golden(self):
         assert example_files(), "no example rulebases found"
@@ -97,11 +181,25 @@ def _regenerate():
             "\n".join(lines) + "\n" if lines else ""
         )
     for path in example_files():
-        _, diags = check_source(path.read_text(), path.name)
+        rulebase, diags = check_source(path.read_text(), path.name)
         lines = summarize(diags)
         (GOLDEN_DIR / f"examples_{path.stem}.txt").write_text(
             "\n".join(lines) + "\n" if lines else ""
         )
+        _, with_queries = check_source(
+            path.read_text(), path.name, queries=demand_queries(rulebase)
+        )
+        lines = summarize(with_queries)
+        (GOLDEN_DIR / f"demand_{path.stem}.txt").write_text(
+            "\n".join(lines) + "\n" if lines else ""
+        )
+    _, diags = check_source(
+        UNSAFE_RULE_SOURCE, "unsafe_rule.dl", queries=["answer(Q0)"]
+    )
+    lines = summarize(diags)
+    (GOLDEN_DIR / "demand_unsafe_rule.txt").write_text(
+        "\n".join(lines) + "\n" if lines else ""
+    )
     print(f"regenerated goldens in {GOLDEN_DIR}")
 
 

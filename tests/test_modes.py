@@ -26,6 +26,26 @@ class TestAdorn:
     def test_zero_ary(self):
         assert adorn(atom("marker"), []) == ""
 
+    def test_constant_then_variable(self):
+        assert adorn(atom("p", "c", "X"), []) == "bf"
+
+    def test_all_constants(self):
+        assert adorn(atom("p", "c", "d"), []) == "bb"
+
+    def test_triple_with_outer_repeat(self):
+        assert adorn(atom("p", "X", "Y", "X"), []) == "ffb"
+
+    def test_bound_variable_repeat_stays_bound(self):
+        assert adorn(atom("p", "X", "X"), [Variable("X")]) == "bb"
+
+    def test_repeat_does_not_leak_into_other_variables(self):
+        # X's second occurrence is bound, but Y is still free.
+        assert adorn(atom("p", "X", "X", "Y"), []) == "fbf"
+
+    def test_constant_binds_nothing(self):
+        # A constant argument never makes a *variable* bound.
+        assert adorn(atom("p", "c", "X", "X"), []) == "bfb"
+
 
 class TestRuleDataflow:
     def test_safe_rule_has_no_blowup(self):
