@@ -1,0 +1,152 @@
+"""E21 — provenance: recording cost, off-switch parity, zero re-eval.
+
+The provenance layer (docs/OBSERVABILITY.md) threads a ``record`` hook
+through the semi-naive closure, guarded by the shared no-op
+``NULL_PROVENANCE`` exactly like the tracer's ``NULL_TRACER``.  This
+bench pins the three claims that justify shipping it on by request
+only:
+
+* **off is free** — with ``provenance=False`` (the default) the engine
+  derives identical counter values to an engine built before the layer
+  existed (same discipline as ``bench_obs_overhead``), so the PR-3
+  differential baselines (E18) still hold;
+* **why is replay, not re-search** — after an ``ask`` the ``why``
+  reconstruction touches only recorded edges: ``prov.edges_replayed``
+  grows while ``model.rule_firings`` stays exactly flat;
+* **recording changes no answers** — the recorded evaluation returns
+  the same model/answers as the plain one (lattice reuse is disabled
+  while recording, so only counters may differ, never results).
+
+Shape assertions are on deterministic counters, never wall-clock, so
+the file runs under ``--benchmark-disable`` in the CI perf guard;
+timing series ride along for the BENCH_*.json record.
+"""
+
+import pytest
+
+from repro.bench.workloads import random_graph
+from repro.engine.model import PerfectModelEngine
+from repro.library import (
+    graduation_db,
+    graduation_rulebase,
+    graph_db,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+    parity_db,
+    parity_rulebase,
+)
+
+SEED = 2026
+
+
+def _parity_instance(size):
+    return parity_rulebase(), parity_db([f"x{index}" for index in range(size)])
+
+
+def _hamiltonian_instance(n):
+    nodes, edges = random_graph(n, 0.5, SEED + n)
+    return (
+        hamiltonian_rulebase(),
+        graph_db(nodes, edges),
+        has_hamiltonian_path(nodes, edges),
+    )
+
+
+def test_provenance_off_counter_parity_parity_workload():
+    """The default engine and an explicit ``provenance=False`` engine
+    do byte-for-byte the same counted work (E4 lattice, |A| = 6)."""
+    rulebase, db = _parity_instance(6)
+    plain = PerfectModelEngine(rulebase)
+    off = PerfectModelEngine(rulebase, provenance=False)
+    assert plain.model(db) == off.model(db)
+    assert plain.metrics.snapshot() == off.metrics.snapshot()
+    assert not any(
+        name.startswith("prov.") for name in off.metrics.snapshot()
+    )
+
+
+def test_provenance_off_counter_parity_hamiltonian_workload():
+    """Same parity pin on the E5 Hamiltonian workload (n = 7)."""
+    rulebase, db, expected = _hamiltonian_instance(7)
+    plain = PerfectModelEngine(rulebase)
+    off = PerfectModelEngine(rulebase, provenance=False)
+    assert plain.ask(db, "yes") is expected
+    assert off.ask(db, "yes") is expected
+    assert plain.metrics.snapshot() == off.metrics.snapshot()
+
+
+def test_why_is_replay_not_reevaluation():
+    """Acceptance criterion: after ``ask``, ``why`` fires zero rules —
+    the proof comes entirely from recorded edges."""
+    rulebase, db = _parity_instance(6)
+    engine = PerfectModelEngine(rulebase, provenance=True)
+    assert engine.ask(db, "even") is True
+    fired = engine.metrics.counter("model.rule_firings").value
+    assert fired > 0
+    proof = engine.why(db, "even")
+    assert proof is not None
+    assert engine.metrics.counter("model.rule_firings").value == fired
+    assert engine.metrics.counter("prov.edges_replayed").value > 0
+
+
+def test_recording_changes_no_answers():
+    """Recorded and plain evaluations agree on every workload here."""
+    rulebase, db, expected = _hamiltonian_instance(5)
+    assert PerfectModelEngine(rulebase, provenance=True).ask(
+        db, "yes"
+    ) is expected
+    assert PerfectModelEngine(
+        graduation_rulebase(), provenance=True
+    ).answers(graduation_db(), "within_one(S)") == {("tony",), ("sue",)}
+    p_rules, p_db = _parity_instance(4)
+    assert PerfectModelEngine(p_rules, provenance=True).model(
+        p_db
+    ) == PerfectModelEngine(p_rules).model(p_db)
+
+
+@pytest.mark.parametrize("recording", [False, True], ids=["off", "on"])
+def test_parity_recording_cost(benchmark, attach_metrics, recording):
+    rulebase, db = _parity_instance(6)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, provenance=recording)
+        assert engine.ask(db, "even") is True
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["provenance"] = recording
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("recording", [False, True], ids=["off", "on"])
+def test_hamiltonian_recording_cost(benchmark, attach_metrics, recording):
+    rulebase, db, expected = _hamiltonian_instance(5)
+
+    def run():
+        engine = PerfectModelEngine(rulebase, provenance=recording)
+        assert engine.ask(db, "yes") is expected
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["provenance"] = recording
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("mode", ["research", "replay"])
+def test_explanation_cost(benchmark, mode):
+    """What one explanation costs once evaluation has happened: the
+    top-down Explainer re-searches the derivation, provenance replay
+    walks recorded edges.  Evaluation itself is outside the timed
+    region for both series."""
+    rulebase, db = _parity_instance(4)
+    if mode == "replay":
+        engine = PerfectModelEngine(rulebase, provenance=True)
+        assert engine.ask(db, "even") is True
+        proof = benchmark(lambda: engine.why(db, "even"))
+    else:
+        from repro.engine.proofs import Explainer
+
+        explainer = Explainer(rulebase)
+        proof = benchmark(lambda: explainer.explain(db, "even"))
+    assert proof is not None
+    benchmark.extra_info["mode"] = mode

@@ -6,6 +6,12 @@ applications, the hypothetical world change (``+{alive(george)}``),
 and the negation-by-failure steps.  The proof object is then verified
 by an independent Definition 3 checker.
 
+Then asks the same questions of the bottom-up engine's provenance
+layer (docs/OBSERVABILITY.md): ``why`` replays a recorded derivation
+without re-searching, ``why_not`` explains an underivable claim, and
+``assumptions`` reports which hypothetical facts the derivation
+leaned on.
+
 Also demonstrates the Kripke-semantics validator of Section 3's
 footnote: persistence and the implication law, checked world by world
 on a small negation-free rulebase.
@@ -15,7 +21,16 @@ Run with::
     python examples/explanations.py
 """
 
-from repro import Database, Explainer, format_proof, parse_program, verify_proof
+from repro import (
+    Database,
+    Explainer,
+    PerfectModelEngine,
+    format_assumptions,
+    format_proof,
+    format_why_not,
+    parse_program,
+    verify_proof,
+)
 from repro.semantics import KripkeStructure
 
 STATUTE = parse_program(
@@ -49,6 +64,23 @@ def explain_the_counterfactual() -> None:
     print(f"proof size: {proof.size()} nodes, depth {proof.depth()}")
 
 
+def ask_the_provenance_layer() -> None:
+    # The same questions, answered from recorded why-provenance edges
+    # instead of a fresh top-down search.
+    engine = PerfectModelEngine(STATUTE, provenance=True)
+    proof = engine.why(FAMILY, "citizen(diana)")
+    assert proof is not None and verify_proof(STATUTE, proof)
+    print()
+    print("replayed from recorded provenance (no re-search):")
+    print(format_proof(proof))
+    print()
+    print(format_why_not(engine.why_not(FAMILY, "citizen(zeno)")))
+    assumed = engine.assumptions(FAMILY, "citizen(diana)")
+    print()
+    print("the derivation hypothetically assumed —")
+    print(format_assumptions(assumed))
+
+
 def check_intuitionistic_reading() -> None:
     # Footnote 3 of the paper: the system has an intuitionistic
     # semantics.  Verify persistence and the Kripke implication clause
@@ -71,4 +103,5 @@ def check_intuitionistic_reading() -> None:
 
 if __name__ == "__main__":
     explain_the_counterfactual()
+    ask_the_provenance_layer()
     check_intuitionistic_reading()

@@ -64,6 +64,11 @@ from .engine import (
     format_proof,
     verify_proof,
 )
+from .obs import (
+    WhyNotReport,
+    format_assumptions,
+    format_why_not,
+)
 
 __version__ = "1.0.0"
 
@@ -108,4 +113,8 @@ __all__ = [
     "Proof",
     "verify_proof",
     "format_proof",
+    # provenance explanations (docs/OBSERVABILITY.md)
+    "WhyNotReport",
+    "format_why_not",
+    "format_assumptions",
 ]

@@ -18,15 +18,21 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
   findings, cost estimates; ``--format {text,json,sarif}`` and a
   ``--fail-on`` severity gate for CI;
 * ``graph RULES`` — Graphviz DOT of the dependency graph;
-* ``explain RULES -d DB "query"`` — print a derivation; with
-  ``--demand``, print the adorned/demand-rewritten program instead
-  (docs/DEMAND.md);
+* ``explain RULES -d DB "query"`` — print a derivation.  ``--why``
+  replays a proof from recorded provenance edges and certifies it
+  with the independent verifier; ``--why-not`` prints a failure
+  witness for an underivable query; ``--assumptions`` reports the
+  hypothetical additions the derivation used
+  (docs/OBSERVABILITY.md); ``--show-rewrite`` prints the
+  adorned/demand-rewritten program instead (docs/DEMAND.md), and
+  ``--demand`` selects the evaluation mode as for ``query``;
 * ``repl [RULES] [-d DB]`` — interactive console.
 
 ``RULES`` and ``DB`` are file paths in the textual syntax of
 :mod:`repro.core.parser`; ``-`` reads from stdin.
 
-``query``/``answers``/``model``/``profile`` accept resource limits —
+``query``/``answers``/``model``/``profile``/``explain`` accept
+resource limits —
 ``--timeout SECONDS``, ``--max-steps N``, ``--max-atoms N``,
 ``--max-proof-depth N`` — enforced by :mod:`repro.engine.budget`; an
 exhausted query prints whatever partial results were established.
@@ -46,6 +52,7 @@ from .analysis.classify import classify
 from .analysis.stratify import linear_stratification
 from .core.database import Database
 from .core.errors import (
+    EvaluationError,
     HypotheticalDatalogError,
     ParseError,
     ResourceExhausted,
@@ -169,6 +176,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("auto", "on", "off"),
         help="goal-directed magic-sets evaluation for the bottom-up "
         "engine (docs/DEMAND.md); the top-down engines ignore it",
+    )
+    query_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print a provenance-backed derivation for a yes, or "
+        "a why-not failure witness for a no (docs/OBSERVABILITY.md)",
     )
     _budget_arguments(query_cmd)
 
@@ -313,18 +326,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     explain_cmd = commands.add_parser(
-        "explain", help="print a derivation of a provable query"
+        "explain",
+        help="explain a query: derivation, why-not witness, assumptions",
     )
     explain_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
     explain_cmd.add_argument("premise", help="query text")
     explain_cmd.add_argument("-d", "--db", help="database file")
-    explain_cmd.add_argument(
-        "--demand",
+    explain_mode = explain_cmd.add_mutually_exclusive_group()
+    explain_mode.add_argument(
+        "--why",
+        action="store_true",
+        help="replay a proof from recorded provenance edges (no "
+        "re-search) and certify it with the independent verifier; "
+        "exit 1 when the query is not derivable",
+    )
+    explain_mode.add_argument(
+        "--why-not",
+        dest="why_not",
+        action="store_true",
+        help="print a failure witness for an underivable query (the "
+        "first unsupported premise per candidate rule); exit 1 when "
+        "the query actually holds",
+    )
+    explain_mode.add_argument(
+        "--assumptions",
+        action="store_true",
+        help="report the hypothetical [add: ...] facts the derivation "
+        "actually used; exit 1 when the query is not derivable",
+    )
+    explain_mode.add_argument(
+        "--show-rewrite",
+        dest="show_rewrite",
         action="store_true",
         help="print the query's adorned/demand-rewritten program "
         "instead of a derivation (docs/DEMAND.md); exit 1 when the "
         "rewrite rejects the query",
     )
+    explain_cmd.add_argument(
+        "--demand",
+        default="off",
+        choices=("auto", "on", "off"),
+        help="evaluation mode for the recording engine behind "
+        "--why/--assumptions, consistent with 'query' "
+        "(docs/DEMAND.md)",
+    )
+    _budget_arguments(explain_cmd)
 
     graph_cmd = commands.add_parser(
         "graph", help="emit the predicate dependency graph as Graphviz DOT"
@@ -425,11 +471,13 @@ def _dispatch(options: argparse.Namespace) -> int:
             tracer=tracer,
             demand=options.demand,
         )
-        result = session.ask(
-            _load_db(options.db), options.premise, budget=_budget_from(options)
-        )
+        db = _load_db(options.db)
+        budget = _budget_from(options)
+        result = session.ask(db, options.premise, budget=budget)
         _write_trace_out(options, tracer, metrics)
         print("yes" if result else "no")
+        if options.explain:
+            _query_explanation(session, rulebase, db, options, result, budget)
         return 0 if result else 1
     if options.command == "answers":
         tracer, metrics = _trace_targets(options)
@@ -487,21 +535,116 @@ def _dispatch(options: argparse.Namespace) -> int:
         warnings = [f for f in findings if f.severity == "warning"]
         return 1 if warnings else 0
     if options.command == "explain":
-        if options.demand:
-            from .analysis.magic import format_rewrite, magic_rewrite
+        return _run_explain(options, rulebase)
+    raise AssertionError(f"unhandled command {options.command!r}")
 
-            result = magic_rewrite(rulebase, options.premise)
-            print(format_rewrite(result))
-            return 0 if result.ok else 1
-        from .engine.proofs import Explainer, format_proof
 
-        proof = Explainer(rulebase).explain(_load_db(options.db), options.premise)
+def _provenance_session(options: argparse.Namespace, rulebase):
+    """A recording bottom-up session for ``explain``'s provenance
+    modes, or ``None`` when the rulebase is outside the bottom-up
+    engine's fragment (e.g. hypothetical deletions)."""
+    try:
+        return Session(
+            rulebase, "model", demand=options.demand, provenance=True
+        )
+    except EvaluationError as error:
+        print(f"note: {error}", file=sys.stderr)
+        return None
+
+
+def _run_explain(options: argparse.Namespace, rulebase) -> int:
+    if options.show_rewrite:
+        from .analysis.magic import format_rewrite, magic_rewrite
+
+        result = magic_rewrite(rulebase, options.premise)
+        print(format_rewrite(result))
+        return 0 if result.ok else 1
+    db = _load_db(options.db)
+    budget = _budget_from(options)
+    if options.why or options.assumptions:
+        session = _provenance_session(options, rulebase)
+        if session is None:
+            if options.assumptions:
+                print("error: --assumptions needs the bottom-up engine")
+                return EXIT_EVALUATION
+            # --why degrades to the top-down proof search.
+            from .engine.proofs import Explainer, format_proof
+
+            proof = Explainer(rulebase, budget=budget).explain(
+                db, options.premise
+            )
+            if proof is None:
+                print("not provable")
+                return 1
+            print(format_proof(proof))
+            return 0
+        if options.assumptions:
+            from .obs.provenance import format_assumptions
+
+            assumed = session.assumptions(db, options.premise, budget=budget)
+            print(format_assumptions(assumed))
+            return 0 if assumed is not None else 1
+        from .engine.proofs import format_proof, verify_proof
+
+        proof = session.why(db, options.premise, budget=budget)
         if proof is None:
             print("not provable")
             return 1
+        if not verify_proof(rulebase, proof):
+            print("error: replayed proof failed verification")
+            return EXIT_EVALUATION
         print(format_proof(proof))
         return 0
-    raise AssertionError(f"unhandled command {options.command!r}")
+    if options.why_not:
+        from .obs.provenance import format_why_not
+
+        session = _provenance_session(options, rulebase)
+        if session is None:
+            print("error: --why-not needs the bottom-up engine")
+            return EXIT_EVALUATION
+        report = session.why_not(db, options.premise, budget=budget)
+        print(format_why_not(report))
+        return 0 if report.kind != "holds" else 1
+    from .engine.proofs import Explainer, format_proof
+
+    proof = Explainer(rulebase, budget=budget).explain(db, options.premise)
+    if proof is None:
+        print("not provable")
+        return 1
+    print(format_proof(proof))
+    return 0
+
+
+def _query_explanation(
+    session: Session,
+    rulebase,
+    db: Database,
+    options: argparse.Namespace,
+    result: bool,
+    budget,
+) -> None:
+    """``query --explain``: a derivation after a yes, a why-not
+    witness after a no.  Best-effort — explanation failures never
+    change the query's exit status."""
+    try:
+        if result:
+            from .engine.proofs import format_proof
+
+            try:
+                proof = session.why(db, options.premise, budget=budget)
+            except EvaluationError:
+                proof = None  # e.g. deletions: replay unavailable
+            if proof is None:
+                proof = session.explain(db, options.premise, budget=budget)
+            if proof is not None:
+                print(format_proof(proof))
+        else:
+            from .obs.provenance import format_why_not
+
+            report = session.why_not(db, options.premise, budget=budget)
+            print(format_why_not(report))
+    except EvaluationError as error:
+        print(f"note: no explanation available: {error}", file=sys.stderr)
 
 
 def _trace_targets(options: argparse.Namespace):

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Union
 
 from ..core.ast import Positive, Rule, Rulebase
+from ..core.database import Database
 from ..core.errors import EvaluationError, ResourceExhausted
 from ..core.terms import Atom, Constant
 from ..obs.metrics import Counter, MetricsRegistry, StatsView
@@ -89,6 +90,7 @@ def _least_fixpoint(
     budget,
     demand: str = "off",
     query=None,
+    provenance=None,
 ) -> Interpretation:
     if demand not in ("auto", "on", "off"):
         raise EvaluationError(
@@ -126,6 +128,18 @@ def _least_fixpoint(
             if atom.predicate not in demand_predicates
         )
 
+    record = None
+    if provenance is not None and provenance.enabled:
+        # Key recorded edges by the input facts as a database (edges
+        # explain derivations *from this EDB*; ``interp`` holds exactly
+        # the input facts here), auxiliary demand atoms stripped so
+        # they explain the original program.
+        base = (
+            facts
+            if isinstance(facts, Database)
+            else Database(interp.to_frozenset())
+        )
+        record = provenance.sink(base, aux=demand_predicates)
     budget = (budget if budget is not None else NULL_BUDGET).begin()
     try:
         close_layer(
@@ -136,6 +150,7 @@ def _least_fixpoint(
             instruments=_fixpoint_instruments(stats),
             tracer=tracer,
             budget=budget,
+            record=record,
         )
     except ResourceExhausted as error:
         error.partial.merge_missing(atoms=snapshot())
@@ -169,6 +184,7 @@ def naive_least_fixpoint(
     budget=None,
     demand: str = "off",
     query=None,
+    provenance=None,
 ) -> Interpretation:
     """Least fixpoint by naive iteration.
 
@@ -181,10 +197,21 @@ def naive_least_fixpoint(
     atoms derived so far.  ``demand`` (with a ``query``) evaluates the
     magic-sets rewrite instead, returning only the demanded atoms
     (docs/DEMAND.md); a rejected rewrite falls back to the full
-    fixpoint and bumps ``engine.demand_fallbacks``.
+    fixpoint and bumps ``engine.demand_fallbacks``.  ``provenance`` (a
+    :class:`~repro.obs.provenance.ProvenanceRecorder`) records one
+    why-provenance edge per derivation.
     """
     return _least_fixpoint(
-        rules, facts, domain, stats, tracer, "naive", budget, demand, query
+        rules,
+        facts,
+        domain,
+        stats,
+        tracer,
+        "naive",
+        budget,
+        demand,
+        query,
+        provenance,
     )
 
 
@@ -197,6 +224,7 @@ def seminaive_least_fixpoint(
     budget=None,
     demand: str = "off",
     query=None,
+    provenance=None,
 ) -> Interpretation:
     """Least fixpoint by semi-naive (differential) iteration.
 
@@ -204,9 +232,18 @@ def seminaive_least_fixpoint(
     later round only considers rule instantiations in which at least
     one body atom matches a fact derived in the previous round (see
     :func:`repro.engine.delta.close_layer`).  ``budget`` bounds the run
-    as in :func:`naive_least_fixpoint`; ``demand``/``query`` enable the
-    goal-directed rewrite as there.
+    as in :func:`naive_least_fixpoint`; ``demand``/``query`` and
+    ``provenance`` work as there.
     """
     return _least_fixpoint(
-        rules, facts, domain, stats, tracer, "seminaive", budget, demand, query
+        rules,
+        facts,
+        domain,
+        stats,
+        tracer,
+        "seminaive",
+        budget,
+        demand,
+        query,
+        provenance,
     )

@@ -138,6 +138,7 @@ def close_layer(
     instruments: Optional[LayerInstruments] = None,
     tracer: Tracer = NULL_TRACER,
     budget=NULL_BUDGET,
+    record=None,
 ) -> Interpretation:
     """Close one stratum's rules over ``interp``; return the new atoms.
 
@@ -154,6 +155,18 @@ def close_layer(
     at every round header (``delta.round``); exhaustion raises
     :class:`~repro.core.errors.ResourceExhausted` mid-closure, leaving
     ``interp`` holding a sound partial extension.
+
+    ``record``, when given, is a why-provenance sink
+    (:meth:`repro.obs.provenance.ProvenanceRecorder.sink`) called as
+    ``record(rule, head, binding)`` once per rule firing, *before* the
+    head is deduplicated against ``interp`` — so alternative
+    derivations of an already-known atom are still captured.  Within a
+    round every firing reads the interpretation as of the round start
+    (new heads land in ``pending`` until the round closes), so the
+    first edge recorded for an atom only cites strictly older atoms:
+    replaying first edges is well founded.  The default ``None`` keeps
+    the closure on the historical code path (one ``is None`` test per
+    rule evaluation).
     """
     if strategy not in ("naive", "seminaive"):
         raise EvaluationError(f"unknown closure strategy {strategy!r}")
@@ -228,13 +241,26 @@ def close_layer(
             optimize=optimize,
             plan=plan,
         )
+        if record is None:
+            for binding in bindings:
+                unbound = [var for var in head_variables if var not in binding]
+                if unbound:
+                    for grounded in ground_instances(unbound, domain, binding):
+                        yield item.head.substitute(grounded)
+                else:
+                    yield item.head.substitute(binding)
+            return
         for binding in bindings:
             unbound = [var for var in head_variables if var not in binding]
             if unbound:
                 for grounded in ground_instances(unbound, domain, binding):
-                    yield item.head.substitute(grounded)
+                    head = item.head.substitute(grounded)
+                    record(item, head, grounded)
+                    yield head
             else:
-                yield item.head.substitute(binding)
+                head = item.head.substitute(binding)
+                record(item, head, binding)
+                yield head
 
     if strategy == "naive":
         if seed_delta is not None:

@@ -68,6 +68,12 @@ from ..core.parser import parse_premise
 from ..core.terms import Atom, Constant, Term, Variable
 from ..core.unify import Substitution, ground_instances
 from ..obs.metrics import MetricsRegistry, StatsView
+from ..obs.provenance import (
+    NULL_PROVENANCE,
+    ProvenanceRecorder,
+    WhyNotReport,
+    explain_absence,
+)
 from ..obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from ..testing import failpoints as _failpoints
 from .body import cost_aware_positive_order, join_mode
@@ -198,6 +204,25 @@ class PerfectModelEngine:
         The rewrite drops rules outside the query cone and adds seed
         constants, either of which would otherwise change
         ``dom(R, DB)`` and with it Definition 3's groundings.
+    provenance:
+        Record a why-provenance edge (firing rule + premise bindings,
+        keyed by the database the fixpoint ran over) for every derived
+        atom, enabling :meth:`why` / :meth:`assumptions` replay with
+        zero re-evaluation (docs/OBSERVABILITY.md).  Off by default
+        with the ``NULL_TRACER`` discipline: the disabled path holds
+        :data:`~repro.obs.provenance.NULL_PROVENANCE` and hands the
+        closure ``record=None``.  Enabling it disables lattice model
+        reuse (seeded atoms would carry no edges) and adds recording
+        cost proportional to rule firings.
+    provenance_recorder:
+        Internal (set on delegate engines): share the parent engine's
+        :class:`~repro.obs.provenance.ProvenanceRecorder` so demanded
+        evaluation records into the same DAG.
+    provenance_aux:
+        Internal (set on delegate engines): the demand rewrite's
+        auxiliary predicates (``magic__``/``sup__``/seed), stripped
+        from recorded edges so provenance explains the original
+        program.
     """
 
     _ANCESTOR_SCAN_CAP = 4096
@@ -218,6 +243,9 @@ class PerfectModelEngine:
         demand: str = "off",
         demand_seeds: Optional[dict] = None,
         domain_constants: Optional[Iterable[Constant]] = None,
+        provenance: bool = False,
+        provenance_recorder=None,
+        provenance_aux: Optional[Iterable[str]] = None,
     ) -> None:
         from ..analysis.monotone import monotone_layer_prefix
         from ..analysis.stratify import negation_strata
@@ -285,6 +313,19 @@ class PerfectModelEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._budget = budget if budget is not None else NULL_BUDGET
+        if provenance_recorder is not None:
+            self._provenance = provenance_recorder
+        elif provenance:
+            self._provenance = ProvenanceRecorder(self.metrics)
+        else:
+            self._provenance = NULL_PROVENANCE
+        self._prov_aux = (
+            frozenset(provenance_aux) if provenance_aux else frozenset()
+        )
+        if self._provenance.enabled:
+            # Lattice-seeded atoms arrive without derivation edges at
+            # the child database, which would leave replay holes.
+            self._reuse = False
         self._cross_check = bool(cross_check)
         # Interpretations of models currently being computed, outermost
         # first; harvested for partial results when evaluation is cut
@@ -415,6 +456,218 @@ class PerfectModelEngine:
             )
         return self._run(budget, lambda: self._exists(db, premise, domain))
 
+    # ------------------------------------------------------------------
+    # Provenance: why / why-not / which hypotheses
+    # ------------------------------------------------------------------
+
+    @property
+    def provenance(self):
+        """The engine's recorder (:data:`NULL_PROVENANCE` when off)."""
+        return self._provenance
+
+    def why(self, db: Database, query: Query, *, budget=None):
+        """A :class:`~repro.engine.proofs.Proof` of the query replayed
+        from recorded provenance edges, or ``None`` if not derivable.
+
+        Requires ``provenance=True``.  If the query was already
+        evaluated by this engine the proof is pure replay — zero rule
+        re-firings (``prov.edges_replayed`` counts the walk instead);
+        otherwise the query is evaluated first, exactly as :meth:`ask`
+        would (demand included), to populate the DAG.  Variables are
+        read existentially: the proof shown is for the first derivable
+        grounding.  For a hypothetical query ``A[add: B...]`` the
+        returned proof derives ``A`` at the enlarged database.  The
+        result verifies against :func:`~repro.engine.proofs.verify_proof`.
+        """
+        premise = self._coerce(query)
+        self._require_provenance("why")
+        if isinstance(premise, Negated):
+            raise EvaluationError(
+                "a negated query has no why-proof; ask why_not on its atom"
+            )
+        domain = self.domain(db)
+        proof = self._run(budget, lambda: self._replay_any(db, premise, domain))
+        if proof is None and self._holds_recorded(db, premise, budget=budget):
+            proof = self._run(
+                budget, lambda: self._replay_any(db, premise, domain)
+            )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "provenance",
+                "why",
+                args={"query": str(premise), "found": proof is not None},
+            )
+        return proof
+
+    def why_not(self, db: Database, query: Query, *, budget=None) -> WhyNotReport:
+        """A failure witness for an underivable query
+        (:class:`~repro.obs.provenance.WhyNotReport`).
+
+        Walks every rule defining the goal's predicate against the
+        *full* perfect model (demanded sub-models may lack support
+        atoms a witness must cite) and reports, per rule, the first
+        premise with no support — including "blocked by negation on X"
+        and "no derivation in child db under [add: ...]".  Works
+        whether or not recording is enabled: absence has no edges to
+        replay.  A hypothetical query descends into the enlarged
+        database; variables are grounded over ``dom(R, DB)`` and the
+        witness shown is for the first grounding.
+        """
+        premise = self._coerce(query)
+        if isinstance(premise, Negated):
+            raise EvaluationError(
+                "why_not of a negation is a why question on its atom"
+            )
+        domain = self.domain(db)
+        report = self._run(budget, lambda: self._why_not(db, premise, domain))
+        if self._tracer.enabled:
+            self._tracer.event(
+                "provenance",
+                "why-not",
+                args={"query": str(premise), "kind": report.kind},
+            )
+        return report
+
+    def assumptions(
+        self, db: Database, query: Query, *, budget=None
+    ) -> Optional[frozenset[Atom]]:
+        """The hypothetical additions a recorded derivation of the
+        query actually used, or ``None`` if not derivable.
+
+        Requires ``provenance=True``.  The set holds every leaf fact
+        of the replayed derivation that is *not* in ``db`` — i.e. the
+        ``[add: ...]`` facts the answer rests on — minimized per node
+        over the recorded alternative edges (greedy, per-derivation;
+        an empty set means the query is derivable from the database
+        alone).  Existential variables resolve to the first derivable
+        grounding, as in :meth:`why`.
+        """
+        premise = self._coerce(query)
+        self._require_provenance("assumptions")
+        if isinstance(premise, Negated):
+            raise EvaluationError(
+                "a negated query has no supporting derivation to inspect"
+            )
+        domain = self.domain(db)
+        assumed = self._run(
+            budget, lambda: self._assumptions(db, premise, domain)
+        )
+        if assumed is None and self._holds_recorded(db, premise, budget=budget):
+            assumed = self._run(
+                budget, lambda: self._assumptions(db, premise, domain)
+            )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "provenance",
+                "assumptions",
+                args={
+                    "query": str(premise),
+                    "count": len(assumed) if assumed is not None else -1,
+                },
+            )
+        return assumed
+
+    def _require_provenance(self, what: str) -> None:
+        if not self._provenance.enabled:
+            raise EvaluationError(
+                f"{what} needs recorded derivation edges; construct the "
+                f"engine with provenance=True (see docs/OBSERVABILITY.md)"
+            )
+
+    def _holds_recorded(self, db: Database, premise: Premise, *, budget=None) -> bool:
+        """Evaluate a query so its derivations land in the recorder —
+        the same path :meth:`ask` takes, demand delegation included
+        (the delegate shares this engine's recorder)."""
+        if self._demand_mode != "off":
+            entry = self._demand_delegate(db, premise)
+            if entry is not None:
+                try:
+                    return entry.engine.holds(db, premise, budget=budget)
+                finally:
+                    self._absorb_delegate(entry)
+        return self.holds(db, premise, budget=budget)
+
+    def _query_groundings(
+        self, db: Database, premise: Premise, domain: Sequence[Constant]
+    ) -> Iterator[tuple[Atom, Database]]:
+        """``(goal atom, database to explain at)`` per grounding."""
+        unbound = list(dict.fromkeys(premise.variables()))
+        budget = self._budget
+        for grounding in ground_instances(unbound, domain):
+            if budget.enabled:
+                budget.poll("prov.groundings")
+            grounded = premise.substitute(grounding)
+            if isinstance(grounded, Hypothetical):
+                yield grounded.atom, db.with_facts(*grounded.additions)
+            else:
+                yield grounded.atom, db
+
+    def _replay_any(
+        self, db: Database, premise: Premise, domain: Sequence[Constant]
+    ):
+        for goal, target in self._query_groundings(db, premise, domain):
+            proof = self._provenance.replay(self._rulebase, goal, target)
+            if proof is not None:
+                return proof
+        return None
+
+    def _assumptions(
+        self, db: Database, premise: Premise, domain: Sequence[Constant]
+    ) -> Optional[frozenset[Atom]]:
+        for goal, target in self._query_groundings(db, premise, domain):
+            assumed = self._provenance.assumptions(goal, target)
+            if assumed is not None:
+                if target is not db:
+                    # A hypothetical query's own additions are
+                    # assumptions too.
+                    assumed |= target.facts - db.facts
+                return assumed
+        return None
+
+    def _why_not(
+        self, db: Database, premise: Premise, domain: Sequence[Constant]
+    ) -> WhyNotReport:
+        views: dict[Database, Interpretation] = {}
+
+        def model_of(at: Database) -> Interpretation:
+            view = views.get(at)
+            if view is None:
+                view = views[at] = Interpretation(self._model(at, domain))
+            return view
+
+        ground = next(premise.variables(), None) is None
+        first: Optional[tuple[Atom, Database]] = None
+        for goal, target in self._query_groundings(db, premise, domain):
+            if goal in model_of(target):
+                note = ""
+                if target is not db:
+                    note = "derivable in the child db of the hypothetical query"
+                return WhyNotReport(goal, len(db), "holds", note=note)
+            if first is None:
+                first = (goal, target)
+        if first is None:
+            raise EvaluationError(
+                f"cannot ground {premise} over an empty domain"
+            )
+        goal, target = first
+        note = ""
+        if target is not db:
+            added = ", ".join(
+                str(item) for item in sorted(target.facts - db.facts, key=str)
+            )
+            note = f"explained in the child db under [add: {added}]"
+        elif not ground:
+            note = f"shown for the grounding {goal}; no grounding is derivable"
+        return explain_absence(
+            self._rulebase,
+            goal,
+            target,
+            model_of,
+            domain,
+            budget=self._budget,
+            note=note,
+        )
+
     def clear_cache(self) -> None:
         self._cache.clear()
 
@@ -516,6 +769,10 @@ class PerfectModelEngine:
             demand="off",
             demand_seeds=program.bound_seeds,
             domain_constants=self._rule_constants,
+            provenance_recorder=(
+                self._provenance if self._provenance.enabled else None
+            ),
+            provenance_aux=program.demand_predicates,
         )
         return _DemandEntry(engine, program)
 
@@ -751,6 +1008,11 @@ class PerfectModelEngine:
             else NULL_SPAN
         )
         top = not self._inflight
+        record = (
+            self._provenance.sink(db, aux=self._prov_aux)
+            if self._provenance.enabled
+            else None
+        )
         with ctx:
             interp = Interpretation(db)
             interp.probes = self._n_probes
@@ -792,6 +1054,7 @@ class PerfectModelEngine:
                         index,
                         seed_delta=fresh if seeded else None,
                         refire=self._refire_rules[index] if seeded else (),
+                        record=record,
                     )
                     if index + 1 < seed_limit:
                         fresh.update(new)
@@ -813,6 +1076,7 @@ class PerfectModelEngine:
         layer_index: int,
         seed_delta: Optional[Interpretation] = None,
         refire: Sequence[Rule] = (),
+        record=None,
     ) -> Interpretation:
         plan = None
         if self._join_mode == "cost":
@@ -863,6 +1127,7 @@ class PerfectModelEngine:
             ),
             tracer=self._tracer,
             budget=self._budget,
+            record=record,
         )
 
     def _expand_hypothetical(

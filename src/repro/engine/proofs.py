@@ -97,16 +97,18 @@ class Explainer:
     to decision cost.
     """
 
-    def __init__(self, rulebase: Rulebase) -> None:
+    def __init__(self, rulebase: Rulebase, *, budget=None) -> None:
         self._rulebase = rulebase
-        self._engine = TopDownEngine(rulebase)
+        self._engine = TopDownEngine(rulebase, budget=budget)
+        self._budget = budget
+        self._call_budget = budget
 
     @property
     def rulebase(self) -> Rulebase:
         return self._rulebase
 
     def explain(
-        self, db: Database, query: Union[str, Atom, Premise]
+        self, db: Database, query: Union[str, Atom, Premise], *, budget=None
     ) -> Optional[Proof]:
         """A proof of the query at ``db``, or ``None`` if unprovable.
 
@@ -114,7 +116,12 @@ class Explainer:
         hypothetical query the returned proof is rooted at the updated
         database; for a negated query there is nothing to return, and
         :class:`EvaluationError` is raised (negation has no witness).
+        ``budget`` (a :class:`~repro.engine.budget.Budget`) bounds the
+        underlying decision calls for this explanation; it is
+        cumulative across them, so a runaway proof search trips it
+        exactly as a runaway query would (docs/ROBUSTNESS.md).
         """
+        self._call_budget = budget if budget is not None else self._budget
         premise = self._coerce(query)
         if isinstance(premise, Negated):
             raise EvaluationError(
@@ -159,7 +166,7 @@ class Explainer:
         key = (goal, db)
         if key in path:
             return None  # minimal proofs never feed a goal to itself
-        if not self._engine.ask(db, goal):
+        if not self._engine.ask(db, goal, budget=self._call_budget):
             return None
         path.add(key)
         try:
@@ -217,7 +224,9 @@ class Explainer:
                     signature = tuple(extended.get(var) for var in variables)
                     if signature in seen:
                         continue
-                    if self._engine.ask(db, pattern.substitute(extended)):
+                    if self._engine.ask(
+                        db, pattern.substitute(extended), budget=self._call_budget
+                    ):
                         yield from self._satisfying_bindings(
                             body, position + 1, extended, db, domain, guard
                         )
@@ -232,7 +241,9 @@ class Explainer:
                 updated = db.without_facts(*grounded.deletions).with_facts(
                     *grounded.additions
                 )
-                if self._engine.ask(updated, grounded.atom):
+                if self._engine.ask(
+                    updated, grounded.atom, budget=self._call_budget
+                ):
                     yield from self._satisfying_bindings(
                         body, position + 1, extended, db, domain, guard
                     )
@@ -240,7 +251,9 @@ class Explainer:
             pattern = premise.atom.substitute(binding)
             unbound = list(dict.fromkeys(pattern.variables()))
             holds = not any(
-                self._engine.ask(db, pattern.substitute(grounding))
+                self._engine.ask(
+                    db, pattern.substitute(grounding), budget=self._call_budget
+                )
                 for grounding in ground_instances(unbound, domain)
             )
             if holds:

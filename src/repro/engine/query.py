@@ -57,6 +57,15 @@ class Session:
     top-down engines are inherently goal-directed, so the knob only
     affects ``engine="model"``; it is accepted (and ignored) for the
     others so callers can set it uniformly.
+
+    ``provenance`` (default ``False``) makes a ``"model"`` engine
+    record why-provenance edges from its first evaluation
+    (docs/OBSERVABILITY.md).  The explanation surfaces :meth:`why` /
+    :meth:`why_not` / :meth:`assumptions` work regardless of the flag
+    and of the chosen engine: when the session's primary engine does
+    not record, they are served by a lazily created recording
+    :class:`~repro.engine.model.PerfectModelEngine` that shares this
+    session's metrics, budget, and demand mode.
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class Session:
         tracer: Optional[Tracer] = None,
         budget=None,
         demand: str = "off",
+        provenance: bool = False,
     ) -> None:
         self._rulebase = rulebase
         if demand not in ("auto", "on", "off"):
@@ -75,6 +85,10 @@ class Session:
                 f"unknown demand mode {demand!r}; "
                 f"expected 'auto', 'on', or 'off'"
             )
+        self._tracer = tracer
+        self._budget = budget
+        self._demand = demand
+        self._prov_engine: Optional[PerfectModelEngine] = None
         if engine == "auto":
             engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
         if engine == "prove":
@@ -92,6 +106,7 @@ class Session:
                 tracer=tracer,
                 budget=budget,
                 demand=demand,
+                provenance=provenance,
             )
         else:
             raise EvaluationError(
@@ -143,15 +158,56 @@ class Session:
         """Theorem 1 classification of this session's rulebase."""
         return classify(self._rulebase)
 
-    def explain(self, db: Database, query: Query):
+    def explain(self, db: Database, query: Query, *, budget=None):
         """A :class:`~repro.engine.proofs.Proof` for a provable query,
         or ``None``.  Backed by a lazily created Explainer (shared
-        across calls so its caches persist)."""
+        across calls so its caches persist); ``budget`` bounds the
+        proof search (docs/ROBUSTNESS.md)."""
         if not hasattr(self, "_explainer"):
             from .proofs import Explainer
 
-            self._explainer = Explainer(self._rulebase)
-        return self._explainer.explain(db, query)
+            self._explainer = Explainer(self._rulebase, budget=self._budget)
+        return self._explainer.explain(db, query, budget=budget)
+
+    # -- provenance explanations (docs/OBSERVABILITY.md) ----------------
+
+    def _provenance_engine(self) -> PerfectModelEngine:
+        """The engine serving why/why-not/assumptions: the session's
+        own, when it records, else a lazily created recording twin."""
+        engine = self._engine
+        if isinstance(engine, PerfectModelEngine) and engine.provenance.enabled:
+            return engine
+        if self._prov_engine is None:
+            self._prov_engine = PerfectModelEngine(
+                self._rulebase,
+                metrics=self._engine.metrics,
+                tracer=self._tracer,
+                budget=self._budget,
+                demand=self._demand,
+                provenance=True,
+            )
+        return self._prov_engine
+
+    def why(self, db: Database, query: Query, *, budget=None):
+        """A :class:`~repro.engine.proofs.Proof` replayed from recorded
+        provenance edges, or ``None`` if the query is not derivable.
+        Evaluates on demand (recording) if the query has not been
+        evaluated yet; see
+        :meth:`~repro.engine.model.PerfectModelEngine.why`."""
+        return self._provenance_engine().why(db, query, budget=budget)
+
+    def why_not(self, db: Database, query: Query, *, budget=None):
+        """A :class:`~repro.obs.provenance.WhyNotReport` failure
+        witness for an underivable query; see
+        :meth:`~repro.engine.model.PerfectModelEngine.why_not`."""
+        return self._provenance_engine().why_not(db, query, budget=budget)
+
+    def assumptions(self, db: Database, query: Query, *, budget=None):
+        """The hypothetical additions a derivation of the query used
+        (``frozenset`` of atoms, empty when none), or ``None`` if not
+        derivable; see
+        :meth:`~repro.engine.model.PerfectModelEngine.assumptions`."""
+        return self._provenance_engine().assumptions(db, query, budget=budget)
 
 
 def ask(

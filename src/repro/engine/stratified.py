@@ -117,6 +117,7 @@ def perfect_model(
     budget=None,
     demand: str = "off",
     query=None,
+    provenance=None,
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -137,6 +138,12 @@ def perfect_model(
     ``demand.magic_facts``.  When the rewrite rejects, the full model
     is computed and ``engine.demand_fallbacks`` is bumped — answers
     never change, only work and completeness of *undemanded* atoms.
+
+    ``provenance`` (a
+    :class:`~repro.obs.provenance.ProvenanceRecorder`) records one
+    why-provenance edge per derivation, keyed by ``db``; under demand
+    the rewrite's auxiliary atoms are stripped from the recorded edges
+    so they explain the original program (docs/OBSERVABILITY.md).
     """
     from ..analysis.stratify import negation_strata
 
@@ -157,6 +164,11 @@ def perfect_model(
         rulebase, demand_predicates = _demand_rewrite(
             rulebase, domain, query, metrics, tracer
         )
+    record = (
+        provenance.sink(db, aux=demand_predicates)
+        if provenance is not None and provenance.enabled
+        else None
+    )
     layers = negation_strata(rulebase)
     interp = Interpretation(db)
     mode = join_mode(optimize_joins)
@@ -219,6 +231,7 @@ def perfect_model(
                     instruments=instruments,
                     tracer=tracer,
                     budget=budget,
+                    record=record,
                 )
             strata_completed += 1
     except ResourceExhausted as error:
@@ -250,14 +263,23 @@ def stratified_holds(
     *,
     budget=None,
     demand: str = "off",
+    provenance=None,
 ) -> bool:
     """Convenience wrapper: is a ground goal in the perfect model?
 
     For patterns with variables, any matching instance counts
     (existential reading).  ``demand`` enables the goal-directed
-    rewrite with the goal itself as the query.
+    rewrite with the goal itself as the query; ``provenance`` is
+    passed through to :func:`perfect_model`.
     """
-    model = perfect_model(rulebase, db, budget=budget, demand=demand, query=goal)
+    model = perfect_model(
+        rulebase,
+        db,
+        budget=budget,
+        demand=demand,
+        query=goal,
+        provenance=provenance,
+    )
     if goal.is_ground:
         return goal in model
     return model.has_match(goal)

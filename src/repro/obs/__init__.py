@@ -8,6 +8,10 @@
   :data:`NULL_TRACER` is the zero-overhead disabled default.
 * :mod:`repro.obs.export` — tree summary, JSON-lines, and Chrome
   ``trace_event`` exporters plus a structural validator.
+* :mod:`repro.obs.provenance` — why-provenance recording for the
+  bottom-up evaluators (:class:`ProvenanceRecorder` /
+  :data:`NULL_PROVENANCE`): derivation edges captured during
+  evaluation, proof replay, why-not witnesses, assumption sets.
 * :mod:`repro.obs.profile` — glue for ``hypodatalog profile`` and the
   REPL ``:profile`` command (imported lazily; pulls in the engines).
 
@@ -22,6 +26,16 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, StatsView
+from .provenance import (
+    NULL_PROVENANCE,
+    NullProvenance,
+    PremiseFailure,
+    ProvenanceRecorder,
+    WhyNotReport,
+    explain_absence,
+    format_assumptions,
+    format_why_not,
+)
 from .trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -50,4 +64,12 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "ProvenanceRecorder",
+    "NullProvenance",
+    "NULL_PROVENANCE",
+    "PremiseFailure",
+    "WhyNotReport",
+    "explain_absence",
+    "format_why_not",
+    "format_assumptions",
 ]

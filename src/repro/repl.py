@@ -25,6 +25,13 @@ The loop accepts three kinds of input:
       :explain demand QUERY
                         print the query's adorned/demand-rewritten
                         program (docs/DEMAND.md)
+      :why QUERY        proof replayed from recorded provenance
+                        edges; evaluates on demand if needed
+                        (docs/OBSERVABILITY.md)
+      :whynot QUERY     failure witness for an underivable query
+      :assumptions QUERY
+                        the hypothetical [add: ...] facts a
+                        derivation of QUERY actually used
       :profile QUERY    run one query traced; print spans + metrics
       :stats [reset]    cumulative engine metrics for this session
       :load FILE        add rules from a file
@@ -88,6 +95,10 @@ class Repl:
         # ``:limits`` template; each query runs under a fresh copy so
         # limits never accumulate across queries.
         self._limits: Optional[Budget] = None
+        # Recording bottom-up session behind :why/:whynot/:assumptions,
+        # built lazily and dropped on every rulebase/database change so
+        # its provenance edges never go stale.
+        self._prov_session: Optional[Session] = None
         self.done = False
 
     # -- state ----------------------------------------------------------
@@ -102,6 +113,7 @@ class Repl:
 
     def _invalidate(self) -> None:
         self._session = None
+        self._prov_session = None
 
     def _require_session(self) -> Session:
         if self._session is None:
@@ -250,6 +262,10 @@ class Repl:
 
             proof = Explainer(self._rulebase).explain(self._db, argument.rstrip("."))
             return format_proof(proof) if proof is not None else "not provable"
+        if name in ("why", "whynot", "assumptions"):
+            if not argument:
+                return f"error: usage: :{name} QUERY"
+            return self._provenance_command(name, argument.rstrip("."))
         if name == "profile":
             if not argument:
                 return "error: usage: :profile QUERY"
@@ -289,6 +305,47 @@ class Repl:
             self._invalidate()
             return "cleared"
         return f"error: unknown command :{name} (try :help)"
+
+    def _provenance_session(self) -> Session:
+        if self._prov_session is None:
+            self._prov_session = Session(
+                self._rulebase,
+                "model",
+                metrics=self._metrics,
+                provenance=True,
+            )
+        return self._prov_session
+
+    def _provenance_command(self, name: str, query: str) -> str:
+        """``:why`` / ``:whynot`` / ``:assumptions`` — evaluates on
+        demand (recording) when the atom was never queried; an
+        exhausted or Ctrl-C-cancelled explanation reports partial
+        spend and returns to the prompt."""
+        session = self._provenance_session()
+        try:
+            if name == "why":
+                from .engine.proofs import format_proof
+
+                proof = session.why(self._db, query, budget=self._budget())
+                return (
+                    format_proof(proof) if proof is not None
+                    else "not provable"
+                )
+            if name == "whynot":
+                from .obs.provenance import format_why_not
+
+                report = session.why_not(
+                    self._db, query, budget=self._budget()
+                )
+                return format_why_not(report)
+            from .obs.provenance import format_assumptions
+
+            assumed = session.assumptions(
+                self._db, query, budget=self._budget()
+            )
+            return format_assumptions(assumed)
+        except ResourceExhausted as error:
+            return self._render_exhausted(error, [])
 
     _LIMIT_KEYS = {
         "timeout": ("timeout", float),

@@ -465,7 +465,7 @@ class TestSurfaces:
 
         rules = tmp_path / "tc.dl"
         rules.write_text(TC_RULES)
-        assert main(["explain", str(rules), "tc(a, Y)", "--demand"]) == 0
+        assert main(["explain", str(rules), "tc(a, Y)", "--show-rewrite"]) == 0
         out = capsys.readouterr().out
         assert "magic__tc__bf" in out
         assert "% guarded rules" in out
@@ -477,7 +477,7 @@ class TestSurfaces:
 
         rules = tmp_path / "tc.dl"
         rules.write_text(TC_RULES)
-        assert main(["explain", str(rules), "~tc(a, Y)", "--demand"]) == 1
+        assert main(["explain", str(rules), "~tc(a, Y)", "--show-rewrite"]) == 1
         assert "rejected" in capsys.readouterr().out
 
     def test_cli_query_demand_flag(self, tmp_path, capsys):
