@@ -1,0 +1,228 @@
+"""E22 — compiled join kernels: generated code, identical semantics.
+
+PR 8 compiled the bottom-up hot path: constants intern to dense ints
+(``repro.core.interning``), relations get columnar int views
+(``repro.core.columns``), and each planned rule body becomes a
+generated Python closure (``repro.engine.kernels``) selected by
+``compile="auto"|"on"|"off"`` on the model engine.  This bench pins
+the two claims that justify the machinery:
+
+* **counter parity** — on the E4 parity lattice, the E5 Hamiltonian
+  workload, the E18 differential configuration, and the E20 demand
+  configuration, the compiled engine produces the *identical* perfect
+  model with *identical* ``model.rule_firings`` (and rounds, derived
+  atoms, negation tests, models computed/seeded) as the interpreted
+  engine, with zero per-firing kernel fallbacks — the generated code
+  enumerates exactly the same head multiset, it only enumerates it
+  faster.  One deliberate exception, pinned here as an inequality:
+  ``model.hypothesis_expansions`` counts *distinct* recursion-case
+  expansions when compiled (decisions are memoized per premise,
+  database, and grounding), so compiled <= interpreted.
+* **the E5 inner loop gets >= 3x faster** — steady-state evaluation
+  (engine warmed once, per-iteration ``clear_cache()``) of the n = 7
+  Hamiltonian instance runs at least ~3x faster compiled than
+  interpreted; the measured ratio is recorded in ``extra_info`` and a
+  conservative floor is asserted (shared CI runners are noisy; the
+  recorded BENCH_pr8.json run shows the full ratio).
+
+The parity assertions are deterministic, so this file doubles as the
+CI perf guard (run with ``--benchmark-disable``); the wall-clock
+assertion is skipped in that mode.  Timing series ride along for the
+BENCH_*.json record.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.workloads import random_graph
+from repro.core.parser import parse_program
+from repro.engine.model import PerfectModelEngine
+from repro.library import (
+    graph_db,
+    hamiltonian_rulebase,
+    has_hamiltonian_path,
+    parity_db,
+    parity_rulebase,
+)
+
+SEED = 2026
+PARITY_SIZES = [4, 6]
+HAMILTONIAN_SIZES = [5, 6]
+SPEEDUP_N = 7
+#: Conservative in-test floor; the real claim (>= 3x) is recorded in
+#: the BENCH snapshot where the run is not fighting CI-runner noise.
+SPEEDUP_FLOOR = 2.0
+
+PARITY_COUNTERS = (
+    "model.models_computed",
+    "model.models_seeded",
+    "model.rule_rounds",
+    "model.rule_firings",
+    "model.atoms_derived",
+    "model.negation_tests",
+)
+
+TC_RULES = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+
+def _parity_instance(size):
+    return parity_rulebase(), parity_db([f"x{index}" for index in range(size)])
+
+
+def _hamiltonian_instance(n):
+    nodes, edges = random_graph(n, 0.5, SEED + n)
+    return (
+        hamiltonian_rulebase(),
+        graph_db(nodes, edges),
+        has_hamiltonian_path(nodes, edges),
+    )
+
+
+def _assert_parity(rulebase, db, goal, expected, **options):
+    """Evaluate compiled and interpreted; demand identical results."""
+    engines = {}
+    for mode in ("off", "on"):
+        engine = PerfectModelEngine(rulebase, compile=mode, **options)
+        assert engine.ask(db, goal) is expected, mode
+        engines[mode] = engine
+    off, on = engines["off"], engines["on"]
+    assert off.model(db) == on.model(db)
+    for name in PARITY_COUNTERS:
+        assert (
+            off.metrics.counter(name).value == on.metrics.counter(name).value
+        ), name
+    # Memoized hypothesis decisions: compiled counts distinct
+    # expansions, never more than the interpreted engine's re-fires.
+    assert (
+        on.metrics.counter("model.hypothesis_expansions").value
+        <= off.metrics.counter("model.hypothesis_expansions").value
+    )
+    assert on.metrics.counter("kernel.fallbacks").value == 0
+    assert on.metrics.counter("kernel.fires").value > 0
+    return on
+
+
+@pytest.mark.parametrize("size", PARITY_SIZES)
+def test_parity_lattice_counter_parity(benchmark, attach_metrics, size):
+    """E4 workload: 2^|A| lattice with negation, compiled == interpreted."""
+    rulebase, db = _parity_instance(size)
+
+    def run():
+        return _assert_parity(rulebase, db, "even", size % 2 == 0)
+
+    engine = benchmark(run)
+    benchmark.extra_info["size"] = size
+    attach_metrics(benchmark, engine.metrics)
+
+
+@pytest.mark.parametrize("n", HAMILTONIAN_SIZES)
+def test_hamiltonian_counter_parity(benchmark, attach_metrics, n):
+    """E5 workload: hypothetical recursion, compiled == interpreted."""
+    rulebase, db, expected = _hamiltonian_instance(n)
+
+    def run():
+        return _assert_parity(rulebase, db, "yes", expected)
+
+    engine = benchmark(run)
+    benchmark.extra_info["n"] = n
+    attach_metrics(benchmark, engine.metrics)
+
+
+def test_differential_counter_parity(benchmark, attach_metrics):
+    """E18 configuration (semi-naive + lattice reuse): parity holds on
+    the incremental path too — seeded children, delta-keyed kernels."""
+    rulebase, db = _parity_instance(6)
+
+    def run():
+        return _assert_parity(
+            rulebase, db, "even", True,
+            strategy="seminaive", reuse_models=True,
+        )
+
+    engine = benchmark(run)
+    attach_metrics(benchmark, engine.metrics)
+
+
+def test_demand_counter_parity(benchmark, attach_metrics):
+    """E20 configuration (magic-sets rewrite): the demand-build
+    delegate inherits the compile mode; answers and firings match."""
+    rulebase = parse_program(TC_RULES)
+    nodes, edges = random_graph(8, 0.4, SEED)
+    db = graph_db(nodes, edges)
+    goal = f"tc({nodes[0]}, {nodes[-1]})"
+    expected = PerfectModelEngine(rulebase, compile="off").ask(db, goal)
+
+    def run():
+        answers = {}
+        engines = {}
+        for mode in ("off", "on"):
+            engine = PerfectModelEngine(rulebase, compile=mode, demand="on")
+            answers[mode] = engine.answers(db, f"tc({nodes[0]}, Y)")
+            assert engine.ask(db, goal) is expected, mode
+            engines[mode] = engine
+        assert answers["off"] == answers["on"]
+        for name in ("model.rule_firings", "demand.rules_rewritten"):
+            assert (
+                engines["off"].metrics.counter(name).value
+                == engines["on"].metrics.counter(name).value
+            ), name
+        return engines["on"]
+
+    engine = benchmark(run)
+    attach_metrics(benchmark, engine.metrics)
+
+
+def _steady_state(engine, db, iterations):
+    """Best-of-k of a cached-free re-evaluation on a warmed engine.
+
+    The engine keeps its compiled kernels, interned symbols, and
+    encoded base relations; ``clear_cache()`` drops the model memo so
+    each iteration re-runs the whole lattice — the "inner loop" the
+    compilation targets, measured without one-time setup."""
+    best = float("inf")
+    for _ in range(iterations):
+        engine.clear_cache()
+        start = time.perf_counter()
+        engine.ask(db, "yes")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_hamiltonian_inner_loop_speedup(benchmark, attach_metrics):
+    """The tentpole claim: compiled E5 inner loop >= 3x interpreted.
+
+    Both engines answer first (warm-up: compilation, interning, model
+    check) and are then timed steady-state.  The benchmark fixture
+    times the compiled iteration so the BENCH snapshot carries its
+    median; the interpreted baseline and the ratio land in
+    ``extra_info``.
+    """
+    rulebase, db, expected = _hamiltonian_instance(SPEEDUP_N)
+    compiled = PerfectModelEngine(rulebase, compile="on")
+    interpreted = PerfectModelEngine(rulebase, compile="off")
+    assert compiled.ask(db, "yes") is expected
+    assert interpreted.ask(db, "yes") is expected
+
+    def run():
+        compiled.clear_cache()
+        assert compiled.ask(db, "yes") is expected
+
+    benchmark(run)
+    benchmark.extra_info["n"] = SPEEDUP_N
+    attach_metrics(benchmark, compiled.metrics)
+    if benchmark.disabled:
+        return  # CI perf guard: counters only, no wall-clock flakiness
+    off = _steady_state(interpreted, db, 5)
+    on = _steady_state(compiled, db, 5)
+    speedup = off / on
+    benchmark.extra_info["interpreted_best"] = off
+    benchmark.extra_info["compiled_best"] = on
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"compiled E5 n={SPEEDUP_N} inner loop only {speedup:.2f}x faster "
+        f"(floor {SPEEDUP_FLOOR}x; expected ~3x+ on a quiet machine)"
+    )

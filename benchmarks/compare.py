@@ -1,0 +1,157 @@
+"""Diff two cumulative ``BENCH_*.json`` snapshots into a speedup table.
+
+Usage::
+
+    python benchmarks/compare.py BENCH_pr7.json BENCH_pr8.json
+    python benchmarks/compare.py OLD.json NEW.json --fail-on-regression
+    python benchmarks/compare.py OLD.json NEW.json --filter bench_e5
+
+Each input is the ``{"runs": [...]}`` format written by
+``report.py --merge-into``; the *last* run of each file is compared
+(override with ``--run-a`` / ``--run-b``, negative indices allowed).
+Benchmarks are matched by ``fullname``; the table prints one row per
+common benchmark with both medians and the speedup ``old / new``
+(> 1.00x means the new snapshot is faster).  Rows whose change exceeds
+``--threshold`` (default 1.25x either way) are flagged ``faster`` /
+``SLOWER`` so drive-by regressions stand out of the noise band.
+
+Exit status is 0 unless ``--fail-on-regression`` is given and at least
+one row regressed past the threshold — CI runs without the flag as a
+warn-only trend check (wall-clock on shared runners is too noisy to
+gate merges on; the counter-asserted benchmarks are the hard gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+
+def _load_run(path: str, index: int) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    runs = payload.get("runs") or []
+    if not runs:
+        raise SystemExit(f"error: {path} contains no runs")
+    try:
+        return runs[index]
+    except IndexError:
+        raise SystemExit(
+            f"error: {path} has {len(runs)} runs; index {index} is out of range"
+        ) from None
+
+
+def _medians(run: dict) -> dict[str, float]:
+    return {
+        bench["fullname"]: bench["median"]
+        for bench in run.get("benchmarks", [])
+        if bench.get("median") is not None
+    }
+
+
+def _format_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:9.1f}us"
+    if value < 1:
+        return f"{value * 1e3:9.2f}ms"
+    return f"{value:9.2f}s "
+
+
+def compare(
+    old: dict[str, float],
+    new: dict[str, float],
+    threshold: float,
+    name_filter: Optional[str] = None,
+) -> tuple[list[str], int, int]:
+    """Render the table; return (lines, faster_count, slower_count)."""
+    common = sorted(set(old) & set(new))
+    if name_filter:
+        common = [name for name in common if name_filter in name]
+    width = max((len(name) for name in common), default=20)
+    lines = [
+        f"{'benchmark':<{width}}  {'old':>11}  {'new':>11}  {'speedup':>8}"
+    ]
+    faster = slower = 0
+    for name in common:
+        before, after = old[name], new[name]
+        ratio = before / after if after else float("inf")
+        flag = ""
+        if ratio >= threshold:
+            flag = "  faster"
+            faster += 1
+        elif ratio <= 1 / threshold:
+            flag = "  SLOWER"
+            slower += 1
+        lines.append(
+            f"{name:<{width}}  {_format_seconds(before)}  "
+            f"{_format_seconds(after)}  {ratio:7.2f}x{flag}"
+        )
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    lines.append(
+        f"{len(common)} compared, {faster} faster, {slower} slower "
+        f"(beyond {threshold:.2f}x); {len(only_new)} new, "
+        f"{len(only_old)} dropped"
+    )
+    return lines, faster, slower
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json snapshots into a speedup table"
+    )
+    parser.add_argument("old", help="baseline snapshot (BENCH_*.json)")
+    parser.add_argument("new", help="candidate snapshot (BENCH_*.json)")
+    parser.add_argument(
+        "--run-a",
+        type=int,
+        default=-1,
+        metavar="I",
+        help="run index inside the baseline file (default: last)",
+    )
+    parser.add_argument(
+        "--run-b",
+        type=int,
+        default=-1,
+        metavar="I",
+        help="run index inside the candidate file (default: last)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        metavar="R",
+        help="flag rows changed beyond this ratio (default 1.25)",
+    )
+    parser.add_argument(
+        "--filter",
+        dest="name_filter",
+        metavar="SUBSTR",
+        help="only compare benchmarks whose fullname contains SUBSTR",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any row slowed beyond the threshold",
+    )
+    options = parser.parse_args(argv)
+    old = _medians(_load_run(options.old, options.run_a))
+    new = _medians(_load_run(options.new, options.run_b))
+    lines, _, slower = compare(
+        old, new, options.threshold, options.name_filter
+    )
+    print("\n".join(lines))
+    if options.fail_on_regression and slower:
+        print(
+            f"error: {slower} benchmark(s) regressed beyond "
+            f"{options.threshold:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,10 +32,11 @@ functions for backward compatibility.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from ..core.ast import Hypothetical, Negated, Positive, Premise, Rule
-from ..core.terms import Constant, Variable
+from ..core.terms import Atom, Constant, Variable
 
 __all__ = [
     "ordered_premises",
@@ -47,6 +48,11 @@ __all__ = [
     "idb_aware_sizes",
     "join_mode",
     "JOIN_MODES",
+    "AtomAccess",
+    "KernelStep",
+    "KernelPlan",
+    "KernelUnsupported",
+    "kernel_plan",
 ]
 
 SizeOracle = Union[Callable[[str], float], Mapping[str, float]]
@@ -253,3 +259,222 @@ def cost_aware_positive_order(
         ordered.append(best)
         bound_vars.update(best.atom.variables())
     return ordered
+
+
+# ----------------------------------------------------------------------
+# Kernel specs: the static access plan a compiled rule body follows.
+#
+# The join planner above decides the premise *order*; a kernel spec
+# additionally fixes, for every argument position of every premise, how
+# the generated code will treat it at that point of the join — a
+# hoisted constant test, an equality check against an already-bound
+# variable, a fresh binding, or a repeated-variable check — plus which
+# position (if any) the per-(predicate, position) index is probed on.
+# :mod:`repro.engine.kernels` renders these specs to Python source; the
+# classification lives here because it is pure join analysis (the same
+# binding propagation :func:`annotate_plan` replays) with no knowledge
+# of interning or code generation.
+# ----------------------------------------------------------------------
+
+
+class KernelUnsupported(Exception):
+    """Raised when a rule body has no compilable access plan.
+
+    The engines treat this as "interpret that rule": kernels are an
+    optimization, never a semantics gate.
+    """
+
+
+@dataclass(frozen=True)
+class AtomAccess:
+    """How one atom's argument positions are consumed by the join.
+
+    ``slots[i]`` is one of ``("const", Constant)`` (hoisted equality
+    against a program constant), ``("bound", Variable)`` (equality
+    against a variable bound earlier in the join), ``("bind", Variable)``
+    (first occurrence — the position binds the variable), or
+    ``("check", Variable)`` (a repeat within this atom — equality
+    against the position that bound it).  ``probe`` is the first
+    const/bound position, the key the per-position index is probed on
+    (``None`` means a full scan).
+    """
+
+    atom: Atom
+    slots: tuple[tuple[str, object], ...]
+    probe: Optional[int]
+
+    @property
+    def arity(self) -> int:
+        return len(self.slots)
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff every position is const/bound (a membership test)."""
+        return all(kind in ("const", "bound") for kind, _ in self.slots)
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    """One premise of the compiled join, in evaluation order.
+
+    ``index`` is the premise's position in the *textual* rule body (the
+    key semi-naive delta targeting uses); ``atoms`` holds the goal atom
+    first and, for hypothetical premises, the addition atoms after it;
+    ``ground_vars`` are the premise variables a hypothetical premise
+    grounds over the domain before its atoms are tested (Definition 3's
+    instance enumeration), in first-occurrence order.
+    """
+
+    index: int
+    kind: str  # "positive" | "negated" | "hypothetical"
+    premise: Premise
+    atoms: tuple[AtomAccess, ...]
+    ground_vars: tuple[Variable, ...] = ()
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """The complete static access plan for one rule body.
+
+    ``ground_at`` is the position in ``steps`` where still-unbound
+    nonlocal variables (``ground_vars``) are enumerated over the domain
+    — just before the first negation, or after the last step when the
+    body has none (mirroring :func:`repro.engine.body.satisfy_body`).
+    ``bound_vars`` lists every variable bound by the join in binding
+    order: exactly the substitution the interpreted path would yield.
+    """
+
+    rule: Rule
+    order: tuple[int, ...]
+    steps: tuple[KernelStep, ...]
+    ground_at: int
+    ground_vars: tuple[Variable, ...]
+    head: AtomAccess
+    bound_vars: tuple[Variable, ...]
+
+
+def _classify(
+    atom: Atom, bound: set[Variable], binder: Optional[list[Variable]]
+) -> AtomAccess:
+    """Classify one atom's positions against the current bound set.
+
+    ``binder`` collects newly bound variables in order; ``None`` means
+    new variables stay local to this atom (negation semantics).
+    """
+    slots: list[tuple[str, object]] = []
+    probe: Optional[int] = None
+    fresh: set[Variable] = set()
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Variable):
+            if arg in bound:
+                slots.append(("bound", arg))
+            elif arg in fresh:
+                slots.append(("check", arg))
+                continue  # value only known after the row is unpacked
+            else:
+                fresh.add(arg)
+                slots.append(("bind", arg))
+                continue
+        else:
+            slots.append(("const", arg))
+        if probe is None:
+            probe = position
+    if binder is not None:
+        for var in atom.args:
+            if isinstance(var, Variable) and var in fresh:
+                if var not in bound:
+                    bound.add(var)
+                    binder.append(var)
+                fresh.discard(var)
+    return AtomAccess(atom, tuple(slots), probe)
+
+
+def kernel_plan(
+    item: Rule,
+    ordered: Sequence[Premise],
+    guards: Sequence[Variable],
+) -> KernelPlan:
+    """The static access plan for ``item``'s body in ``ordered`` order.
+
+    Replays :func:`repro.engine.body.satisfy_body`'s binding
+    propagation symbolically: every binding decision there is static
+    (positives bind their fresh variables, hypothetical premises ground
+    all of theirs, the guard grounding fills the rest), so the plan
+    fully determines the generated join.  Raises
+    :class:`KernelUnsupported` for bodies outside the compilable
+    fragment (hypothetical deletions).
+    """
+    index_of = {id(premise): i for i, premise in enumerate(item.body)}
+    bound: set[Variable] = set()
+    binder: list[Variable] = []
+    steps: list[KernelStep] = []
+    first_negation = next(
+        (i for i, premise in enumerate(ordered) if isinstance(premise, Negated)),
+        len(ordered),
+    )
+    ground_vars: Optional[tuple[Variable, ...]] = None
+    for position, premise in enumerate(ordered):
+        if position == first_negation:
+            ground_vars = tuple(var for var in guards if var not in bound)
+            bound.update(ground_vars)
+            binder.extend(ground_vars)
+        body_index = index_of.get(id(premise), -1)
+        if isinstance(premise, Positive):
+            steps.append(
+                KernelStep(
+                    body_index,
+                    "positive",
+                    premise,
+                    (_classify(premise.atom, bound, binder),),
+                )
+            )
+        elif isinstance(premise, Negated):
+            steps.append(
+                KernelStep(
+                    body_index,
+                    "negated",
+                    premise,
+                    (_classify(premise.atom, bound, None),),
+                )
+            )
+        else:
+            if premise.deletions:
+                raise KernelUnsupported(
+                    f"hypothetical deletions are interpreted, not compiled: "
+                    f"{premise}"
+                )
+            grounds = tuple(
+                var
+                for var in dict.fromkeys(premise.variables())
+                if var not in bound
+            )
+            bound.update(grounds)
+            binder.extend(grounds)
+            atoms = [_classify(premise.atom, bound, binder)]
+            atoms.extend(
+                _classify(add, bound, binder) for add in premise.additions
+            )
+            steps.append(
+                KernelStep(
+                    body_index, "hypothetical", premise, tuple(atoms), grounds
+                )
+            )
+    if ground_vars is None:
+        ground_vars = tuple(var for var in guards if var not in bound)
+        bound.update(ground_vars)
+        binder.extend(ground_vars)
+    head = _classify(item.head, bound, None)
+    if not head.is_ground:
+        raise KernelUnsupported(
+            f"head variable unbound after body and guard grounding: "
+            f"{item.head}"
+        )
+    return KernelPlan(
+        rule=item,
+        order=tuple(step.index for step in steps),
+        steps=tuple(steps),
+        ground_at=first_negation,
+        ground_vars=ground_vars,
+        head=head,
+        bound_vars=tuple(binder),
+    )

@@ -146,6 +146,16 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Hypothetical Datalog with negation and linear recursion "
         "(Bonner, PODS 1989).",
     )
+    def _compile_argument(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--compile",
+            default="auto",
+            choices=("auto", "on", "off"),
+            help="generated join kernels for the bottom-up engine "
+            "(docs/PERFORMANCE.md); answers are identical either way, "
+            "'auto' lets each engine pick",
+        )
+
     commands = parser.add_subparsers(dest="command", required=True)
 
     classify_cmd = commands.add_parser(
@@ -183,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print a provenance-backed derivation for a yes, or "
         "a why-not failure witness for a no (docs/OBSERVABILITY.md)",
     )
+    _compile_argument(query_cmd)
     _budget_arguments(query_cmd)
 
     answers_cmd = commands.add_parser("answers", help="enumerate answers")
@@ -204,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="goal-directed magic-sets evaluation for the bottom-up "
         "engine (docs/DEMAND.md); the top-down engines ignore it",
     )
+    _compile_argument(answers_cmd)
     _budget_arguments(answers_cmd)
 
     model_cmd = commands.add_parser("model", help="print the perfect model")
@@ -214,6 +226,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also record a Chrome trace_event file of the evaluation",
     )
+    _compile_argument(model_cmd)
     _budget_arguments(model_cmd)
 
     profile_cmd = commands.add_parser(
@@ -362,6 +375,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "instead of a derivation (docs/DEMAND.md); exit 1 when the "
         "rewrite rejects the query",
     )
+    explain_mode.add_argument(
+        "--plan",
+        dest="show_plan",
+        action="store_true",
+        help="print the generated join-kernel source for the rules "
+        "defining the query's predicate (docs/PERFORMANCE.md); exit 1 "
+        "when no rule compiles",
+    )
     explain_cmd.add_argument(
         "--demand",
         default="off",
@@ -470,6 +491,7 @@ def _dispatch(options: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=tracer,
             demand=options.demand,
+            compile=options.compile,
         )
         db = _load_db(options.db)
         budget = _budget_from(options)
@@ -487,6 +509,7 @@ def _dispatch(options: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=tracer,
             demand=options.demand,
+            compile=options.compile,
         )
         rows = session.answers(
             _load_db(options.db), options.pattern, budget=_budget_from(options)
@@ -497,7 +520,9 @@ def _dispatch(options: argparse.Namespace) -> int:
         return 0
     if options.command == "model":
         tracer, metrics = _trace_targets(options)
-        engine = PerfectModelEngine(rulebase, metrics=metrics, tracer=tracer)
+        engine = PerfectModelEngine(
+            rulebase, metrics=metrics, tracer=tracer, compile=options.compile
+        )
         model = engine.model(_load_db(options.db), budget=_budget_from(options))
         _write_trace_out(options, tracer, metrics)
         print(format_database(Database(model)))
@@ -552,7 +577,36 @@ def _provenance_session(options: argparse.Namespace, rulebase):
         return None
 
 
+def _run_plan(options: argparse.Namespace, rulebase) -> int:
+    """``explain --plan``: generated kernel source for the rules
+    defining the query's predicate.  Mirrors what the engines execute
+    with compilation on (default order, full fire; semi-naive variants
+    differ only in which premise reads the delta)."""
+    from .core.parser import parse_premise
+    from .engine.kernels import KernelProgram
+
+    premise = parse_premise(options.premise)
+    goal = getattr(premise, "atom", premise)
+    rules = list(rulebase.definition(goal.predicate))
+    if not rules:
+        print(f"no rules define {goal.predicate!r}")
+        return 1
+    program = KernelProgram()
+    shown = 0
+    for item in rules:
+        print(f"-- {item}")
+        source = program.preview(item)
+        if source is None:
+            print("   (not compilable: interpreted fallback)")
+        else:
+            print(source)
+            shown += 1
+    return 0 if shown else 1
+
+
 def _run_explain(options: argparse.Namespace, rulebase) -> int:
+    if options.show_plan:
+        return _run_plan(options, rulebase)
     if options.show_rewrite:
         from .analysis.magic import format_rewrite, magic_rewrite
 

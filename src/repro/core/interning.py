@@ -1,0 +1,155 @@
+"""Term interning: constants and predicates as dense small ints.
+
+The compiled execution substrate (:mod:`repro.core.columns`,
+:mod:`repro.engine.kernels`) does not join over :class:`Constant`
+objects — it joins over small integers.  A :class:`SymbolTable` owns
+that mapping for one engine: every constant payload (string or int) is
+assigned a dense id on first sight, and the id round-trips back to a
+*canonical* :class:`Constant` object, so answers, provenance edges, and
+diagnostics produced from interned data are indistinguishable from the
+interpreted path's output.
+
+Three design points:
+
+* **Per-engine, grow-only.**  Ids are never recycled, so an id captured
+  by a compiled kernel or a cached columnar relation stays valid for
+  the engine's lifetime.  The table is intentionally *not* global:
+  two engines over different programs must not share id spaces (and a
+  table dies with its engine, bounding memory).
+* **Exact round-trip.**  ``table.constant(table.intern(c))`` returns a
+  Constant equal to ``c`` — the payload object itself is stored, never
+  re-parsed or normalized, so unicode constants, quoted atoms with
+  embedded punctuation, and int payloads survive untouched.  String
+  and int payloads never collide (``Constant(1)`` and ``Constant("1")``
+  get distinct ids) because dict keys compare by value *and* type.
+* **Separate predicate namespace.**  Predicate names intern into their
+  own id space; a predicate named like a constant does not alias it.
+
+The shared ground-atom cache (:meth:`make_atom`) is what makes decoded
+heads cheap: across the 2^|A| lattice of hypothetical child databases
+the same derived atoms recur constantly, and each distinct
+``predicate(ids...)`` is materialized exactly once per engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .terms import Atom, Constant, Term
+
+__all__ = ["SymbolTable"]
+
+_Payload = Union[str, int]
+
+
+class SymbolTable:
+    """Bidirectional map between constant payloads and dense int ids.
+
+    ``constants`` is the id-indexed decode list; hot loops index it
+    directly (``table.constants[ident]``).  Payloads are the ``str`` /
+    ``int`` values :class:`~repro.core.terms.Constant` documents; bool
+    payloads are not supported (``True`` would collide with ``1`` under
+    dict hashing).
+    """
+
+    __slots__ = ("_const_ids", "constants", "_pred_ids", "predicates", "_atoms")
+
+    def __init__(self) -> None:
+        self._const_ids: dict[_Payload, int] = {}
+        #: id -> canonical Constant (indexable decode table).
+        self.constants: list[Constant] = []
+        self._pred_ids: dict[str, int] = {}
+        #: predicate id -> name.
+        self.predicates: list[str] = []
+        self._atoms: dict[tuple[str, tuple[int, ...]], Atom] = {}
+
+    def __len__(self) -> int:
+        return len(self.constants)
+
+    # -- constants ------------------------------------------------------
+
+    def intern(self, constant: Constant) -> int:
+        """The dense id of a constant, assigning one on first sight."""
+        ids = self._const_ids
+        value = constant.value
+        ident = ids.get(value)
+        if ident is None:
+            ident = len(self.constants)
+            ids[value] = ident
+            self.constants.append(constant)
+        return ident
+
+    def intern_value(self, value: _Payload) -> int:
+        """Intern a raw payload (wrapping it in a Constant on a miss)."""
+        ids = self._const_ids
+        ident = ids.get(value)
+        if ident is None:
+            ident = len(self.constants)
+            ids[value] = ident
+            self.constants.append(Constant(value))
+        return ident
+
+    def constant(self, ident: int) -> Constant:
+        """The canonical Constant for an id (exact round-trip)."""
+        return self.constants[ident]
+
+    def encode_args(self, args: tuple[Term, ...]) -> tuple[int, ...]:
+        """Encode a ground argument tuple to an id tuple."""
+        ids = self._const_ids
+        constants = self.constants
+        out = []
+        for item in args:
+            value = item.value  # ground rows only: every arg a Constant
+            ident = ids.get(value)
+            if ident is None:
+                ident = len(constants)
+                ids[value] = ident
+                constants.append(item)
+            out.append(ident)
+        return tuple(out)
+
+    def decode_args(self, ids: Iterable[int]) -> tuple[Constant, ...]:
+        """Decode an id tuple back to canonical Constants."""
+        constants = self.constants
+        return tuple(constants[ident] for ident in ids)
+
+    # -- predicates -----------------------------------------------------
+
+    def intern_predicate(self, name: str) -> int:
+        """The dense id of a predicate name (separate namespace)."""
+        ids = self._pred_ids
+        ident = ids.get(name)
+        if ident is None:
+            ident = len(self.predicates)
+            ids[name] = ident
+            self.predicates.append(name)
+        return ident
+
+    def predicate(self, ident: int) -> str:
+        return self.predicates[ident]
+
+    # -- ground atoms ---------------------------------------------------
+
+    def make_atom(self, predicate: str, ids: tuple[int, ...]) -> Atom:
+        """The canonical ground Atom for ``predicate(ids...)``.
+
+        Cached per (predicate, id-tuple): compiled kernels yield heads
+        through this, so a head derived across thousands of lattice
+        child models is constructed once.  The returned atom carries no
+        span (spans are excluded from atom equality/hash, so interned
+        and parsed atoms interoperate).
+        """
+        key = (predicate, ids)
+        found = self._atoms.get(key)
+        if found is None:
+            constants = self.constants
+            found = self._atoms[key] = Atom(
+                predicate, tuple(constants[ident] for ident in ids)
+            )
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolTable({len(self.constants)} constants, "
+            f"{len(self.predicates)} predicates)"
+        )

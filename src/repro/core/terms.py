@@ -53,6 +53,17 @@ class Constant:
     """A constant symbol; payload is a string or an integer."""
 
     value: Union[str, int]
+    # Hash cache: constants are hashed millions of times as members of
+    # row tuples and binding keys; the dataclass-generated hash builds
+    # a fresh field tuple per call.  Excluded from equality/repr.
+    _hash: Optional[int] = field(default=None, init=False, compare=False, repr=False)
+
+    def __hash__(self) -> int:
+        found = self._hash
+        if found is None:
+            found = hash((self.value,))
+            object.__setattr__(self, "_hash", found)
+        return found
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
@@ -79,6 +90,17 @@ class Atom:
     predicate: str
     args: tuple[Term, ...] = ()
     span: Optional[Span] = field(default=None, compare=False, repr=False)
+    # Hash cache (see Constant._hash): atoms key databases, memo
+    # tables, and interpretation row sets, and are re-hashed on every
+    # membership test.  Excluded from equality/repr.
+    _hash: Optional[int] = field(default=None, init=False, compare=False, repr=False)
+
+    def __hash__(self) -> int:
+        found = self._hash
+        if found is None:
+            found = hash((self.predicate, self.args))
+            object.__setattr__(self, "_hash", found)
+        return found
 
     @property
     def arity(self) -> int:

@@ -122,6 +122,33 @@ def _reject_hypothetical(
     )
 
 
+# Per-rule closure prep (head variables, guards, delta sources), cached
+# per rules-*tuple* identity: lattice-exploring engines call close_layer
+# thousands of times with the same stratum tuples, and the prep is pure.
+# Values keep the keyed tuple alive, so an id can never be recycled
+# while its entry exists; the cache is cleared wholesale when it grows
+# past a bound no real engine reaches (strata per rulebase x engines).
+_INFO_CACHE_MAX = 512
+_info_cache: dict = {}
+
+
+def _rule_infos(rule_list, restricted: bool):
+    for item in rule_list:
+        sources = delta_sources(item)
+        has_hypo = any(isinstance(premise, Hypothetical) for premise in sources)
+        # Without a restricted expander there is no sound way to skip a
+        # hypothetical premise's collapse case, so such rules run in
+        # full every round.
+        always_full = has_hypo and not restricted
+        yield (
+            item,
+            set(item.head.variables()),
+            nonlocal_variables(item),
+            sources,
+            always_full,
+        )
+
+
 def close_layer(
     rules: Iterable[Rule],
     interp: Interpretation,
@@ -139,6 +166,7 @@ def close_layer(
     tracer: Tracer = NULL_TRACER,
     budget=NULL_BUDGET,
     record=None,
+    kernels=None,
 ) -> Interpretation:
     """Close one stratum's rules over ``interp``; return the new atoms.
 
@@ -167,6 +195,14 @@ def close_layer(
     replaying first edges is well founded.  The default ``None`` keeps
     the closure on the historical code path (one ``is None`` test per
     rule evaluation).
+
+    ``kernels``, when given, is a :class:`~repro.engine.kernels.
+    KernelRun`: each rule evaluation is first offered to its compiled
+    kernel (``kernels.fire`` returning ``None`` means "no kernel for
+    this rule — interpret it"), with the driver still counting
+    firings, charging budgets, tracing, and deduplicating heads, so
+    the compiled and interpreted paths are counter-for-counter
+    equivalent by construction.
     """
     if strategy not in ("naive", "seminaive"):
         raise EvaluationError(f"unknown closure strategy {strategy!r}")
@@ -187,23 +223,19 @@ def close_layer(
         n_derived = instruments.derived
         h_delta = instruments.delta_size
 
-    infos = []
-    for item in rule_list:
-        sources = delta_sources(item)
-        has_hypo = any(isinstance(premise, Hypothetical) for premise in sources)
-        # Without a restricted expander there is no sound way to skip a
-        # hypothetical premise's collapse case, so such rules run in
-        # full every round.
-        always_full = has_hypo and hypothetical_delta is None
-        infos.append(
-            (
-                item,
-                set(item.head.variables()),
-                nonlocal_variables(item),
-                sources,
-                always_full,
-            )
-        )
+    restricted = hypothetical_delta is not None
+    if isinstance(rules, tuple):
+        cache_key = (id(rules), restricted)
+        cached = _info_cache.get(cache_key)
+        if cached is not None and cached[0] is rules:
+            infos = cached[1]
+        else:
+            if len(_info_cache) >= _INFO_CACHE_MAX:
+                _info_cache.clear()
+            infos = list(_rule_infos(rule_list, restricted))
+            _info_cache[cache_key] = (rules, infos)
+    else:
+        infos = list(_rule_infos(rule_list, restricted))
 
     trace = tracer
     governed = budget.enabled
@@ -262,6 +294,16 @@ def close_layer(
                 record(item, head, binding)
                 yield head
 
+    if kernels is None:
+        fire_body = fire
+    else:
+
+        def fire_body(item, head_variables, guards, target, delta):
+            heads = kernels.fire(item, target, delta)
+            if heads is None:
+                return fire(item, head_variables, guards, target, delta)
+            return heads
+
     if strategy == "naive":
         if seed_delta is not None:
             raise EvaluationError("seeded closure requires strategy='seminaive'")
@@ -274,6 +316,8 @@ def close_layer(
                 n_rounds.value += 1
             if governed:
                 budget.poll("delta.round")
+            if kernels is not None:
+                kernels.begin_round()
             ctx = (
                 trace.span(
                     "round", str(round_index), args={"strategy": "naive"}
@@ -290,7 +334,9 @@ def close_layer(
                         else NULL_SPAN
                     )
                     with rule_ctx:
-                        for head in fire(item, head_variables, guards, None, None):
+                        for head in fire_body(
+                            item, head_variables, guards, None, None
+                        ):
                             if n_firings is not None:
                                 n_firings.value += 1
                             if governed:
@@ -298,6 +344,8 @@ def close_layer(
                             pending.append(head)
                 for head in pending:
                     if interp.add(head):
+                        if kernels is not None:
+                            kernels.added(head)
                         derived_all.add(head)
                         changed = True
                         if n_derived is not None:
@@ -316,6 +364,8 @@ def close_layer(
             n_rounds.value += 1
         if governed:
             budget.poll("delta.round")
+        if kernels is not None:
+            kernels.begin_round()
         if h_delta is not None and delta is not None:
             h_delta.observe(len(delta))
         ctx = (
@@ -345,7 +395,9 @@ def close_layer(
                 )
                 with rule_ctx:
                     if full:
-                        for head in fire(item, head_variables, guards, None, None):
+                        for head in fire_body(
+                            item, head_variables, guards, None, None
+                        ):
                             if n_firings is not None:
                                 n_firings.value += 1
                             if governed:
@@ -355,7 +407,7 @@ def close_layer(
                     for target in sources:
                         if not delta.count(target.goal.predicate):
                             continue
-                        for head in fire(
+                        for head in fire_body(
                             item, head_variables, guards, target, delta
                         ):
                             if n_firings is not None:
@@ -366,6 +418,8 @@ def close_layer(
             next_delta = Interpretation()
             for head in pending:
                 if interp.add(head):
+                    if kernels is not None:
+                        kernels.added(head)
                     next_delta.add(head)
                     derived_all.add(head)
                     if n_derived is not None:

@@ -24,6 +24,7 @@ incremented whenever a fast path answers a match query.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Iterator, Optional, Union
 
 from ..core.database import Database
@@ -80,6 +81,33 @@ class Interpretation:
                 maps[position].setdefault(value, []).append(args)
         return True
 
+    def add_rows(self, predicate: str, rows: Iterable[tuple[Term, ...]]) -> int:
+        """Bulk-insert argument tuples for one predicate; return how
+        many were new.  Equivalent to ``add(Atom(predicate, args))``
+        per row without constructing the atoms — the lattice engine's
+        child-seeding path, where thousands of parent rows are copied
+        per child model."""
+        base = self._base.get(predicate)
+        mine = self._added.get(predicate)
+        if mine is None:
+            mine = self._added[predicate] = set()
+        maps = self._maps.get(predicate)
+        added = 0
+        for args in rows:
+            if base is not None and args in base:
+                continue
+            if args in mine:
+                continue
+            mine.add(args)
+            added += 1
+            if maps is not None:
+                if len(args) > len(maps):
+                    maps.extend({} for _ in range(len(args) - len(maps)))
+                for position, value in enumerate(args):
+                    maps[position].setdefault(value, []).append(args)
+        self._size += added
+        return added
+
     def update(self, items: Iterable[Atom]) -> int:
         """Insert many atoms; return how many were new."""
         added = 0
@@ -121,6 +149,32 @@ class Interpretation:
         if not added:
             return base
         return base | added
+
+    def relation_rows(self, predicate: str) -> Iterable[tuple[Term, ...]]:
+        """Iterable over a predicate's rows without materializing the
+        base-overlay union (:meth:`add` keeps the layers disjoint, so
+        chaining them yields each row exactly once).  The lattice
+        engine's seed-copy path reads parents through this."""
+        base = self._base.get(predicate)
+        added = self._added.get(predicate)
+        if base is None:
+            return added if added is not None else ()
+        if not added:
+            return base
+        return chain(base, added)
+
+    def layers(self, predicate: str):
+        """The raw (base frozenset, overlay set) pair for one predicate.
+
+        Either element may be ``None`` when that layer holds no rows.
+        The compiled-kernel encoder (:mod:`repro.engine.kernels`) reads
+        the layers separately: the base frozenset is the *shared COW
+        object* adopted from a :class:`~repro.core.database.Database`,
+        so encoding it is cached once per distinct relation version
+        across the whole hypothesis lattice, while the mutable overlay
+        is snapshotted per closure.  Callers must not mutate either.
+        """
+        return self._base.get(predicate), self._added.get(predicate)
 
     def count(self, predicate: str) -> int:
         base = self._base.get(predicate)

@@ -80,6 +80,7 @@ from .body import cost_aware_positive_order, join_mode
 from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
+from .kernels import KernelProgram, compile_mode
 
 __all__ = ["PerfectModelEngine", "EngineStats"]
 
@@ -161,6 +162,23 @@ class PerfectModelEngine:
         Stratum-closure discipline: ``"seminaive"`` (differential, the
         default) or ``"naive"`` (exhaustive baseline for the E18
         bench).  Semantics-neutral.
+    compile:
+        Generated join kernels (:mod:`repro.engine.kernels`) for the
+        body-evaluation hot path.  ``"auto"`` (default) enables them on
+        this engine — long-lived, lattice-exploring evaluation is where
+        compilation pays for itself; ``"on"`` forces, ``"off"``
+        interprets every rule body.  Semantics-neutral, and work-
+        counter exact where work is actually repeated: kernels yield
+        the same head multiset (``model.rule_firings``) and visit the
+        same negation tests (``model.negation_tests``) firing for
+        firing, while recursion-case hypothetical decisions are
+        memoized per (premise, database, grounding) — so
+        ``model.hypothesis_expansions`` counts *distinct* expansions
+        when compiled instead of one per semi-naive re-fire.  Any rule
+        outside the compilable fragment falls back to interpretation
+        per firing (``kernel.fallbacks``).  A cross-check fallback to
+        ``strategy="naive"`` also switches compilation off: after a
+        failed self-check the engine runs the most trusted path only.
     reuse_models:
         Seed child fixpoints of the database lattice from the parent
         evaluation's monotone stratum prefix (see module docstring).
@@ -235,6 +253,7 @@ class PerfectModelEngine:
         memoize: bool = True,
         optimize_joins: bool | str = True,
         strategy: str = "seminaive",
+        compile: bool | str | None = "auto",
         reuse_models: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
@@ -299,6 +318,12 @@ class PerfectModelEngine:
             else frozenset(rulebase.constants())
         )
         self._cache: dict[Database, frozenset[Atom]] = {}
+        # Compiled-path memo of recursion-case hypothetical decisions:
+        # (premise identity, database) -> (premise, {grounding-ids ->
+        # verdict}).  Truth is fixed per key because child models are
+        # memoized and final; the inner dict is read inline by
+        # generated kernels (see KernelRun.hyp_memo).
+        self._hyp_memo: dict[tuple, tuple] = {}
         self._max_databases = max_databases
         self._memoize = memoize
         self._optimize_joins = optimize_joins
@@ -311,6 +336,12 @@ class PerfectModelEngine:
         # on the database.
         self._demand_cache: dict[tuple, Optional["_DemandEntry"]] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # "auto" resolves to "on" here: this engine is long-lived and
+        # explores database lattices, so kernel compilation amortizes.
+        self._compile = compile_mode(compile)
+        self._kernel_program = (
+            KernelProgram(self.metrics) if self._compile != "off" else None
+        )
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._budget = budget if budget is not None else NULL_BUDGET
         if provenance_recorder is not None:
@@ -334,6 +365,11 @@ class PerfectModelEngine:
         #: Diagnostics recorded by graceful-degradation events (one per
         #: naive fallback); rendered by the CLI alongside query output.
         self.diagnostics: list = []
+        # Set by the one-shot naive fallback; every later query on this
+        # engine announces the degradation instead of silently running
+        # naive forever (see _note_degraded).
+        self._degraded = False
+        self._degraded_warned = False
         self.stats = EngineStats(self.metrics)
         # Counters are bound once; hot paths do a slots-attribute
         # increment, the same cost as the old stats-struct fields.
@@ -670,6 +706,7 @@ class PerfectModelEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._hyp_memo.clear()
 
     @property
     def cached_databases(self) -> int:
@@ -762,6 +799,7 @@ class PerfectModelEngine:
             memoize=self._memoize,
             optimize_joins=self._optimize_joins,
             strategy=self._strategy,
+            compile="off" if self._degraded else self._compile,
             reuse_models=self._reuse,
             metrics=self.metrics,
             tracer=self._tracer,
@@ -813,12 +851,52 @@ class PerfectModelEngine:
         degradation to ``strategy="naive"``; a second violation — the
         naive engine disagreeing with itself — escapes to the caller.
         """
+        if self._degraded:
+            self._note_degraded()
         with self._governed(budget):
             try:
                 return thunk()
             except InvariantViolation as error:
                 self._fall_back(error)
                 return thunk()
+
+    @property
+    def degraded(self) -> bool:
+        """True once a failed self-check has forced the permanent
+        fallback to ``strategy="naive"`` (kernels off, reuse off)."""
+        return self._degraded
+
+    def _note_degraded(self) -> None:
+        """Announce that a query is being served by a degraded engine.
+
+        The one-shot fallback used to be silent after the query that
+        triggered it: every later query ran naive (slower, no kernels,
+        no lattice reuse) with nothing telling the caller why.  Now
+        each degraded query bumps ``engine.degraded_queries``, traces a
+        ``degraded`` event, and the first one records an
+        ``engine-degraded`` diagnostic.
+        """
+        self.metrics.counter("engine.degraded_queries").value += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "fallback", "degraded", args={"strategy": self._strategy}
+            )
+        if not self._degraded_warned:
+            from ..analysis.diagnostics import Diagnostic
+
+            self._degraded_warned = True
+            self.diagnostics.append(
+                Diagnostic(
+                    code="engine-degraded",
+                    message=(
+                        "engine remains degraded to strategy='naive' after "
+                        "an earlier failed self-check; differential "
+                        "evaluation, compiled kernels, and lattice reuse "
+                        "stay disabled for the life of this engine"
+                    ),
+                    severity="warning",
+                )
+            )
 
     @contextmanager
     def _governed(self, budget):
@@ -870,7 +948,12 @@ class PerfectModelEngine:
 
         self._strategy = "naive"
         self._reuse = False
+        self._degraded = True
+        # Run the most trusted path only: interpreted bodies, no
+        # generated code, until the caller replaces the engine.
+        self._kernel_program = None
         self._cache.clear()
+        self._hyp_memo.clear()
         self._inflight.clear()
         self._n_fallbacks.value += 1
         self.diagnostics.append(
@@ -907,6 +990,7 @@ class PerfectModelEngine:
             memoize=self._memoize,
             optimize_joins=False,
             strategy="naive",
+            compile="off",  # diverse redundancy: interpret the reference
             reuse_models=False,
             budget=self._budget,
             demand_seeds=self._demand_seeds,
@@ -1029,9 +1113,9 @@ class PerfectModelEngine:
                 seeded_atoms = 0
                 for k in range(seed_limit):
                     for predicate in self._layer_predicates[k]:
-                        for args in parent.relation(predicate):
-                            if interp.add(Atom(predicate, args)):
-                                seeded_atoms += 1
+                        seeded_atoms += interp.add_rows(
+                            predicate, parent.relation(predicate)
+                        )
                 for item in parent.additions:
                     fresh.add(item)
                 self._n_seeded.value += 1
@@ -1058,7 +1142,12 @@ class PerfectModelEngine:
                     )
                     if index + 1 < seed_limit:
                         fresh.update(new)
-            result = interp.to_frozenset()
+            program = self._kernel_program
+            result = (
+                program.freeze(interp)
+                if program is not None
+                else interp.to_frozenset()
+            )
         self._inflight.pop()
         self._h_model_size.observe(len(result))
         if self._memoize:
@@ -1107,6 +1196,60 @@ class PerfectModelEngine:
                 premise, current, delta, db, domain
             )
 
+        kernels = None
+        if self._kernel_program is not None:
+            memo = self._hyp_memo
+
+            def hyp_memo(premise) -> dict:
+                # One decision dict per (premise, database); generated
+                # code probes it inline in int space, so memo hits pay
+                # no Python call at all.  The value tuple keeps the
+                # premise alive so its id cannot be recycled.
+                key = (id(premise), db)
+                found = memo.get(key)
+                if found is None or found[0] is not premise:
+                    found = memo[key] = (premise, {})
+                return found[1]
+
+            def hyp_call(premise, pvars, ids, decode) -> bool:
+                # The compiled recursion-case guard, reached only on a
+                # hyp_memo miss: generated code has already decided the
+                # collapse test in int space and hands over only
+                # instances that enlarge the database.  Recursion-case
+                # truth is fixed per (instance, db) — the child model
+                # is memoized and final — so the verdict is stored back
+                # into the kernel-visible memo instead of re-deriving
+                # the child database on every semi-naive re-fire.
+                grounding = {
+                    var: decode[ident] for var, ident in zip(pvars, ids)
+                }
+                grounded = premise.substitute(grounding)
+                db2 = db.with_facts(*grounded.additions)
+                if db2 is db:
+                    # Collapse case: decided inline by the kernel; kept
+                    # as an unmemoized guard (depends on the
+                    # still-growing interpretation).
+                    return grounded.atom in interp
+                found = self._hyp_recurse(
+                    grounded, db2, db, interp, domain, layer_index,
+                    premise.span,
+                )
+                hyp_memo(premise)[ids] = found
+                return found
+
+            kernels = self._kernel_program.run(
+                interp=interp,
+                db=db,
+                domain=domain,
+                plan=plan,
+                optimize=self._join_mode == "greedy",
+                record=record,
+                negation=self._n_negation,
+                probes=self._n_probes,
+                hyp_call=hyp_call,
+                hyp_memo=hyp_memo,
+            )
+
         return close_layer(
             rules,
             interp,
@@ -1128,6 +1271,7 @@ class PerfectModelEngine:
             tracer=self._tracer,
             budget=self._budget,
             record=record,
+            kernels=kernels,
         )
 
     def _expand_hypothetical(
@@ -1148,7 +1292,6 @@ class PerfectModelEngine:
         handing the child a seed source over this evaluation's state
         (strata below ``layer_index`` are closed, hence quiescent).
         """
-        trace = self._tracer
         unbound = [
             var for var in dict.fromkeys(premise.variables()) if var not in binding
         ]
@@ -1158,35 +1301,55 @@ class PerfectModelEngine:
             if db2 is db:
                 if grounded.atom in interp:
                     yield grounding
-            else:
-                added = grounded.additions
-                if self._demand_seeds:
-                    # Demand delegate: static magic propagation cannot
-                    # survive a non-monotone prefix flipping off in the
-                    # child (docs/DEMAND.md), so the demand for the
-                    # hypothetically-tested goal is injected as a ground
-                    # magic fact of the enlarged database.
-                    seed = self._demand_seeds.get(grounded.atom.predicate)
-                    if seed is not None:
-                        magic_fact = Atom(seed, grounded.atom.args)
-                        db2 = db2.with_facts(magic_fact)
-                        added = added + (magic_fact,)
-                self._n_hypo.value += 1
-                parent = None
-                if self._reuse:
-                    additions = tuple(
-                        item for item in added if item not in db
-                    )
-                    parent = _SeedSource(interp.relation, layer_index, additions)
-                ctx = (
-                    trace.span("hypothesis", str(grounded), src=premise.span)
-                    if trace.enabled
-                    else NULL_SPAN
-                )
-                with ctx:
-                    model = self._model(db2, domain, parent)
-                if grounded.atom in model:
-                    yield grounding
+            elif self._hyp_recurse(
+                grounded, db2, db, interp, domain, layer_index, premise.span
+            ):
+                yield grounding
+
+    def _hyp_recurse(
+        self,
+        grounded: Hypothetical,
+        db2: Database,
+        db: Database,
+        interp: Interpretation,
+        domain: Sequence[Constant],
+        layer_index: int,
+        span=None,
+    ) -> bool:
+        """Decide one recursion-case instance ``A[add: B...]`` at ``db``.
+
+        Shared by the interpreted expansion above and the compiled
+        kernels' guarded call-back (:mod:`repro.engine.kernels`), so
+        demand seeding, lattice-seed construction, the ``hypothesis``
+        trace span, and the ``model.hypothesis_expansions`` counter are
+        identical on both paths by construction.
+        """
+        added = grounded.additions
+        if self._demand_seeds:
+            # Demand delegate: static magic propagation cannot survive
+            # a non-monotone prefix flipping off in the child
+            # (docs/DEMAND.md), so the demand for the hypothetically-
+            # tested goal is injected as a ground magic fact of the
+            # enlarged database.
+            seed = self._demand_seeds.get(grounded.atom.predicate)
+            if seed is not None:
+                magic_fact = Atom(seed, grounded.atom.args)
+                db2 = db2.with_facts(magic_fact)
+                added = added + (magic_fact,)
+        self._n_hypo.value += 1
+        parent = None
+        if self._reuse:
+            additions = tuple(item for item in added if item not in db)
+            parent = _SeedSource(interp.relation_rows, layer_index, additions)
+        trace = self._tracer
+        ctx = (
+            trace.span("hypothesis", str(grounded), src=span)
+            if trace.enabled
+            else NULL_SPAN
+        )
+        with ctx:
+            model = self._model(db2, domain, parent)
+        return grounded.atom in model
 
     def _expand_hypothetical_delta(
         self,

@@ -27,6 +27,7 @@ from ..core.errors import EvaluationError
 from ..core.terms import Atom
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
+from .kernels import compile_mode
 from .model import PerfectModelEngine
 from .prove import LinearStratifiedProver
 from .topdown import TopDownEngine
@@ -58,6 +59,12 @@ class Session:
     affects ``engine="model"``; it is accepted (and ignored) for the
     others so callers can set it uniformly.
 
+    ``compile`` (``"auto"``/``"on"``/``"off"``, default ``"auto"``)
+    selects generated join kernels for the bottom-up engine
+    (docs/PERFORMANCE.md); like ``demand`` it only affects
+    ``engine="model"`` — the top-down engines have no closure loop to
+    compile — but is accepted uniformly.
+
     ``provenance`` (default ``False``) makes a ``"model"`` engine
     record why-provenance edges from its first evaluation
     (docs/OBSERVABILITY.md).  The explanation surfaces :meth:`why` /
@@ -78,6 +85,7 @@ class Session:
         budget=None,
         demand: str = "off",
         provenance: bool = False,
+        compile: bool | str | None = "auto",
     ) -> None:
         self._rulebase = rulebase
         if demand not in ("auto", "on", "off"):
@@ -88,6 +96,7 @@ class Session:
         self._tracer = tracer
         self._budget = budget
         self._demand = demand
+        self._compile = compile_mode(compile)
         self._prov_engine: Optional[PerfectModelEngine] = None
         if engine == "auto":
             engine = "prove" if is_linearly_stratified(rulebase) else "topdown"
@@ -107,6 +116,7 @@ class Session:
                 budget=budget,
                 demand=demand,
                 provenance=provenance,
+                compile=self._compile,
             )
         else:
             raise EvaluationError(
@@ -185,6 +195,7 @@ class Session:
                 budget=self._budget,
                 demand=self._demand,
                 provenance=True,
+                compile=self._compile,
             )
         return self._prov_engine
 

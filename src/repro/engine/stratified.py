@@ -32,6 +32,7 @@ from .body import cost_aware_positive_order, join_mode
 from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
 from .interpretation import Interpretation
+from .kernels import KernelProgram, compile_mode
 
 __all__ = ["perfect_model", "stratified_holds"]
 
@@ -118,6 +119,7 @@ def perfect_model(
     demand: str = "off",
     query=None,
     provenance=None,
+    compile: bool | str | None = "auto",
 ) -> Interpretation:
     """Compute the perfect model of a stratified Datalog¬ program.
 
@@ -144,6 +146,15 @@ def perfect_model(
     why-provenance edge per derivation, keyed by ``db``; under demand
     the rewrite's auxiliary atoms are stripped from the recorded edges
     so they explain the original program (docs/OBSERVABILITY.md).
+
+    ``compile`` selects generated join kernels for rule bodies
+    (docs/PERFORMANCE.md).  ``"auto"`` resolves to *off* here: this is
+    a one-shot evaluation, and kernel compilation pays for itself only
+    when the same rules close many times (the hypothesis lattice of
+    :class:`~repro.engine.model.PerfectModelEngine`, where auto
+    resolves to on).  ``"on"`` builds a per-call
+    :class:`~repro.engine.kernels.KernelProgram`; answers and derived
+    atoms are identical either way.
     """
     from ..analysis.stratify import negation_strata
 
@@ -172,6 +183,7 @@ def perfect_model(
     layers = negation_strata(rulebase)
     interp = Interpretation(db)
     mode = join_mode(optimize_joins)
+    program = KernelProgram(metrics) if compile_mode(compile) == "on" else None
     plan = None
     if mode == "cost":
         domain_size = len(domain)
@@ -220,6 +232,19 @@ def perfect_model(
                 if tracer.enabled
                 else NULL_SPAN
             )
+            kernels = (
+                program.run(
+                    interp=interp,
+                    db=db,
+                    domain=domain,
+                    plan=plan,
+                    optimize=mode == "greedy",
+                    record=record,
+                    probes=interp.probes,
+                )
+                if program is not None
+                else None
+            )
             with ctx:
                 close_layer(
                     layer_rules,
@@ -232,6 +257,7 @@ def perfect_model(
                     tracer=tracer,
                     budget=budget,
                     record=record,
+                    kernels=kernels,
                 )
             strata_completed += 1
     except ResourceExhausted as error:
@@ -264,13 +290,14 @@ def stratified_holds(
     budget=None,
     demand: str = "off",
     provenance=None,
+    compile: bool | str | None = "auto",
 ) -> bool:
     """Convenience wrapper: is a ground goal in the perfect model?
 
     For patterns with variables, any matching instance counts
     (existential reading).  ``demand`` enables the goal-directed
-    rewrite with the goal itself as the query; ``provenance`` is
-    passed through to :func:`perfect_model`.
+    rewrite with the goal itself as the query; ``provenance`` and
+    ``compile`` are passed through to :func:`perfect_model`.
     """
     model = perfect_model(
         rulebase,
@@ -279,6 +306,7 @@ def stratified_holds(
         demand=demand,
         query=goal,
         provenance=provenance,
+        compile=compile,
     )
     if goal.is_ground:
         return goal in model

@@ -33,7 +33,13 @@ The loop accepts three kinds of input:
                         the hypothetical [add: ...] facts a
                         derivation of QUERY actually used
       :profile QUERY    run one query traced; print spans + metrics
-      :stats [reset]    cumulative engine metrics for this session
+      :plan [PRED]      generated join-kernel source for the rules
+                        defining PRED (all rules when omitted)
+                        (docs/PERFORMANCE.md)
+      :stats [reset]    cumulative engine metrics for this session,
+                        including the ``kernel.*`` compiled-path
+                        counters; warns when the engine has degraded
+                        to the interpreted naive fallback
       :load FILE        add rules from a file
       :db FILE          add facts from a file
       :reset            drop all rules and facts
@@ -282,13 +288,26 @@ class Repl:
             except ResourceExhausted as error:
                 return self._render_exhausted(error, [])
             return report.render()
+        if name == "plan":
+            return self._plan_command(argument)
         if name == "stats":
             if argument == "reset":
                 self._metrics.reset()
                 return "metrics reset"
             if argument:
                 return "error: usage: :stats [reset]"
-            return self._metrics.render_table()
+            table = self._metrics.render_table()
+            for session in (self._session, self._prov_session):
+                engine = session.engine if session is not None else None
+                if engine is not None and getattr(engine, "degraded", False):
+                    table += (
+                        "\nwarning: engine degraded — running the "
+                        "interpreted naive fallback after a failed "
+                        "self-check (engine.degraded_queries counts "
+                        "affected queries)"
+                    )
+                    break
+            return table
         if name == "load":
             with open(argument, encoding="utf-8") as handle:
                 self._rulebase = self._rulebase + parse_program(handle.read()).rules
@@ -305,6 +324,32 @@ class Repl:
             self._invalidate()
             return "cleared"
         return f"error: unknown command :{name} (try :help)"
+
+    def _plan_command(self, argument: str) -> str:
+        """``:plan [PRED]`` — generated kernel source per rule."""
+        from .engine.kernels import KernelProgram
+
+        predicate = argument.rstrip(".").strip()
+        rules = (
+            list(self._rulebase.definition(predicate))
+            if predicate
+            else list(self._rulebase)
+        )
+        if not rules:
+            return (
+                f"no rules define {predicate!r}" if predicate else "(no rules)"
+            )
+        program = KernelProgram()
+        lines = []
+        for item in rules:
+            lines.append(f"-- {item}")
+            source = program.preview(item)
+            lines.append(
+                source.rstrip("\n")
+                if source is not None
+                else "   (not compilable: interpreted fallback)"
+            )
+        return "\n".join(lines)
 
     def _provenance_session(self) -> Session:
         if self._prov_session is None:

@@ -1,0 +1,153 @@
+"""Term interning (repro.core.interning): exact round-trips, growth.
+
+The symbol table is the compiled substrate's foundation: every id it
+hands out is baked into generated kernels and cached columnar
+relations, so the properties pinned here — exact round-tripping of
+arbitrary payloads, grow-only ids across hypothetical child databases,
+type-distinct payloads — are what make the compiled path's answers
+indistinguishable from the interpreted path's (docs/PERFORMANCE.md).
+"""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+from repro.core.interning import SymbolTable
+from repro.core.parser import parse_program
+from repro.core.terms import Atom, Constant, atom
+from repro.engine.model import PerfectModelEngine
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Payloads the parser can only produce via quoting, plus unicode and
+# ints: the table must store them verbatim, never re-parse.
+payloads = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.text(string.printable, max_size=12),
+    st.text(
+        st.characters(min_codepoint=0x20, max_codepoint=0x2FA1F), max_size=8
+    ),
+)
+
+
+@given(st.lists(payloads, max_size=30))
+@SETTINGS
+def test_round_trip_fidelity(values):
+    """intern → constant returns an equal Constant for any payload."""
+    table = SymbolTable()
+    for value in values:
+        original = Constant(value)
+        ident = table.intern(original)
+        restored = table.constant(ident)
+        assert restored == original
+        assert restored.value == value
+        assert type(restored.value) is type(value)
+
+
+@given(st.lists(payloads, min_size=1, max_size=30))
+@SETTINGS
+def test_ids_dense_stable_and_grow_only(values):
+    table = SymbolTable()
+    first = [table.intern(Constant(value)) for value in values]
+    assert sorted(set(first)) == list(range(len(table)))
+    # Re-interning (Constant objects or raw payloads) never moves an id.
+    assert [table.intern(Constant(value)) for value in values] == first
+    assert [table.intern_value(value) for value in values] == first
+
+
+def test_int_and_string_payloads_never_collide():
+    table = SymbolTable()
+    assert table.intern(Constant(1)) != table.intern(Constant("1"))
+    assert table.constant(table.intern(Constant(1))).value == 1
+    assert table.constant(table.intern(Constant("1"))).value == "1"
+
+
+def test_predicate_namespace_is_separate():
+    table = SymbolTable()
+    cid = table.intern(Constant("p"))
+    pid = table.intern_predicate("p")
+    assert cid == 0 and pid == 0  # dense in their own spaces
+    assert table.constant(cid).value == "p"
+    assert table.predicate(pid) == "p"
+
+
+def test_quoting_edge_cases_round_trip():
+    """Constants only expressible via quoting keep their exact text."""
+    for value in (
+        "has space",
+        "UpperCase",
+        "comma, paren)",
+        "π ≠ ∅",
+        "tab\tand\nnewline",
+        "'already quoted'",
+        "",
+    ):
+        table = SymbolTable()
+        assert table.constant(table.intern(Constant(value))).value == value
+
+
+@given(st.lists(payloads, max_size=20))
+@SETTINGS
+def test_encode_decode_args(values):
+    table = SymbolTable()
+    args = tuple(Constant(value) for value in values)
+    ids = table.encode_args(args)
+    assert table.decode_args(ids) == args
+    # encode_args interns on the fly: same ids as explicit interning.
+    assert ids == tuple(table.intern(item) for item in args)
+
+
+def test_make_atom_is_canonical_and_equal():
+    table = SymbolTable()
+    ids = table.encode_args((Constant("a"), Constant("b")))
+    first = table.make_atom("edge", ids)
+    assert first == atom("edge", "a", "b")
+    assert first is table.make_atom("edge", ids)  # one object per head
+
+
+def test_symbol_growth_across_hypothetical_children():
+    """[add: ...] child databases extend the engine's one table; ids
+    assigned before the hypothesis stay valid inside and after it."""
+    rulebase = parse_program(
+        """
+        p(X) :- q(X).
+        r(X) :- p(X)[add: q(X)].
+        """
+    )
+    db = Database([atom("q", "a")])
+    engine = PerfectModelEngine(rulebase, compile="on")
+    assert engine.ask(db, "p(a)")
+    table = engine._kernel_program.symbols
+    before = {c.value: i for i, c in enumerate(table.constants)}
+    # A later database introduces a new constant; the engine reuses
+    # its one table, interning the newcomer without moving old ids.
+    assert engine.ask(db.with_facts(atom("q", "zeta")), "r(zeta)")
+    after = {c.value: i for i, c in enumerate(table.constants)}
+    for value, ident in before.items():
+        assert after[value] == ident
+    assert "zeta" in after
+
+
+def test_db_hash_stable_around_interning():
+    """Interning a database's constants never perturbs the database:
+    the incremental XOR hash and equality are byte-for-byte stable."""
+    facts = [atom("edge", "a", "b"), atom("edge", "b", "c"), atom("n", 3)]
+    db = Database(facts)
+    reference = Database(facts)
+    before = hash(db)
+    table = SymbolTable()
+    for item in db:
+        table.encode_args(item.args)
+        table.intern_predicate(item.predicate)
+    assert hash(db) == before
+    assert db == reference
+    # with_facts children built after interning equal pre-interning ones.
+    extra = atom("edge", "c", "d")
+    assert db.with_facts(extra) == reference.with_facts(extra)
+    assert hash(db.with_facts(extra)) == hash(reference.with_facts(extra))

@@ -1,0 +1,255 @@
+"""Compiled join kernels (repro.engine.kernels): parity, fallback, DX.
+
+The contract pinned here (docs/PERFORMANCE.md): with ``compile="on"``
+the model engine produces the identical perfect model with identical
+``model.rule_firings`` / rounds / derived-atom / negation counters as
+``compile="off"`` — generated code changes enumeration cost, never the
+head multiset.  Rules outside the compilable fragment fall back per
+firing (counted, never wrong), and a failed differential self-check
+degrades the whole engine to the interpreted naive path, visibly.
+"""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import EvaluationError
+from repro.core.parser import parse_program
+from repro.core.terms import atom
+from repro.engine.budget import Budget
+from repro.engine.kernels import KernelProgram, compile_mode
+from repro.engine.model import PerfectModelEngine
+from repro.library import (
+    graduation_db,
+    graduation_rulebase,
+    hamiltonian_rulebase,
+    parity_db,
+    parity_rulebase,
+)
+from repro.testing import failpoints
+
+PARITY_COUNTERS = (
+    "model.models_computed",
+    "model.models_seeded",
+    "model.rule_rounds",
+    "model.rule_firings",
+    "model.atoms_derived",
+    "model.negation_tests",
+)
+
+
+def _assert_parity(rulebase, db, **options):
+    off = PerfectModelEngine(rulebase, compile="off", **options)
+    on = PerfectModelEngine(rulebase, compile="on", **options)
+    assert off.model(db) == on.model(db)
+    for name in PARITY_COUNTERS:
+        assert (
+            off.metrics.counter(name).value == on.metrics.counter(name).value
+        ), name
+    return off, on
+
+
+# ----------------------------------------------------------------------
+# Counter parity across the language
+# ----------------------------------------------------------------------
+
+
+def test_parity_plain_datalog():
+    rulebase = parse_program(
+        """
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- edge(X, Y), tc(Y, Z).
+        """
+    )
+    db = Database(
+        [atom("edge", "a", "b"), atom("edge", "b", "c"), atom("edge", "c", "a")]
+    )
+    _, on = _assert_parity(rulebase, db)
+    assert on.metrics.counter("kernel.fires").value > 0
+    assert on.metrics.counter("kernel.fallbacks").value == 0
+
+
+def test_parity_negation_and_constants():
+    rulebase = parse_program(
+        """
+        node(X) :- edge(X, Y).
+        node(Y) :- edge(X, Y).
+        special(a).
+        isolated(X) :- node(X), not reaches_a(X).
+        reaches_a(X) :- edge(X, a).
+        reaches_a(X) :- edge(X, Y), reaches_a(Y).
+        from_a(Y) :- edge(a, Y).
+        """
+    )
+    db = Database(
+        [atom("edge", "a", "b"), atom("edge", "c", "a"), atom("edge", "d", "e")]
+    )
+    _assert_parity(rulebase, db)
+
+
+def test_parity_repeated_variables_and_zero_ary():
+    rulebase = parse_program(
+        """
+        loop(X) :- edge(X, X).
+        any_loop :- loop(X).
+        quiet :- not any_loop.
+        """
+    )
+    looped = Database([atom("edge", "a", "a"), atom("edge", "a", "b")])
+    plain = Database([atom("edge", "a", "b")])
+    for db in (looped, plain):
+        _assert_parity(rulebase, db)
+
+
+def test_parity_hypothetical_lattice():
+    _assert_parity(
+        parity_rulebase(), parity_db([f"x{i}" for i in range(5)])
+    )
+
+
+def test_parity_graduation():
+    _assert_parity(graduation_rulebase(), graduation_db())
+
+
+def test_parity_under_naive_strategy_and_no_reuse():
+    rulebase = parity_rulebase()
+    db = parity_db(["x0", "x1", "x2"])
+    _assert_parity(rulebase, db, strategy="naive")
+    _assert_parity(rulebase, db, reuse_models=False)
+
+
+def test_hypothesis_expansions_memoized_not_inflated():
+    """Compiled hypothesis decisions are memoized per (premise, db,
+    grounding): the compiled engine expands each distinct instance at
+    most once, so its count never exceeds the interpreted engine's."""
+    rulebase = parity_rulebase()
+    db = parity_db([f"x{i}" for i in range(5)])
+    off, on = _assert_parity(rulebase, db)
+    expansions = "model.hypothesis_expansions"
+    assert 0 < on.metrics.counter(expansions).value
+    assert (
+        on.metrics.counter(expansions).value
+        <= off.metrics.counter(expansions).value
+    )
+
+
+# ----------------------------------------------------------------------
+# The compile= knob
+# ----------------------------------------------------------------------
+
+
+def test_compile_mode_normalization():
+    assert compile_mode(True) == "on"
+    assert compile_mode(False) == "off"
+    assert compile_mode(None) == "auto"
+    for value in ("auto", "on", "off"):
+        assert compile_mode(value) == value
+    with pytest.raises(EvaluationError):
+        compile_mode("fast")
+    with pytest.raises(EvaluationError):
+        PerfectModelEngine(parity_rulebase(), compile="fast")
+
+
+def test_compile_off_runs_no_generated_code():
+    engine = PerfectModelEngine(parity_rulebase(), compile="off")
+    assert engine.ask(parity_db(["x0", "x1"]), "even")
+    assert engine.metrics.counter("kernel.compiled").value == 0
+    assert engine.metrics.counter("kernel.fires").value == 0
+
+
+def test_compile_auto_is_on_for_the_model_engine():
+    engine = PerfectModelEngine(parity_rulebase())  # compile defaults to auto
+    assert engine.ask(parity_db(["x0", "x1"]), "even")
+    assert engine.metrics.counter("kernel.fires").value > 0
+
+
+# ----------------------------------------------------------------------
+# Fallback inside and outside the compilable fragment
+# ----------------------------------------------------------------------
+
+
+def test_uncompilable_rules_fall_back_per_firing():
+    """fire() returns None (counted) instead of guessing: a rule with
+    a hypothetical premise cannot compile without an engine hypothesis
+    hook, and a deletion rule cannot compile at all."""
+    from repro.engine.interpretation import Interpretation
+
+    program = KernelProgram()
+    run = program.run(interp=Interpretation(), domain=[])
+    hyp_rule = next(iter(parse_program("p(X) :- q(X)[add: r(X)].")))
+    assert run.fire(hyp_rule, None, None) is None
+    assert program.fallbacks.value == 1
+    del_rule = next(iter(parse_program("p(X) :- q(X)[del: r(X)].")))
+    assert run.fire(del_rule, None, None) is None
+    assert program.fallbacks.value == 2
+    # A compilable rule on the same run still fires.
+    plain = next(iter(parse_program("p(X) :- q(X).")))
+    assert run.fire(plain, None, None) is not None
+    assert program.fires.value == 1
+
+
+def test_generated_source_preview():
+    rulebase = parse_program("tc(X, Z) :- edge(X, Y), tc(Y, Z).")
+    program = KernelProgram()
+    rule = next(iter(rulebase))
+    source = program.preview(rule)
+    assert source is not None and "def kernel(ctx):" in source
+    assert program.sources_for(rule) == [source]
+    # Uncompilable rules preview to None instead of raising.
+    fragile = next(iter(parse_program("f(X) :- p(X)[del: q(X)].")))
+    assert program.preview(fragile) is None
+
+
+# ----------------------------------------------------------------------
+# Degraded engine (one-shot naive fallback) is visible, not silent
+# ----------------------------------------------------------------------
+
+
+def _ham_db():
+    return Database(
+        [atom("edge", "a", "b"), atom("edge", "b", "c"), atom("node", "a"),
+         atom("node", "b"), atom("node", "c")]
+    )
+
+
+class TestDegradedEngine:
+    def test_fallback_marks_engine_degraded_and_disables_kernels(self):
+        engine = PerfectModelEngine(hamiltonian_rulebase())
+        assert not engine.degraded
+        with failpoints.armed("model.invariant", kind="invariant"):
+            assert engine.ask(_ham_db(), "yes", budget=Budget()) is True
+        assert engine.degraded
+        assert engine._kernel_program is None
+
+    def test_degraded_queries_counted_and_diagnosed_once(self):
+        engine = PerfectModelEngine(hamiltonian_rulebase())
+        with failpoints.armed("model.invariant", kind="invariant"):
+            engine.ask(_ham_db(), "yes", budget=Budget())
+        counter = engine.metrics.counter("engine.degraded_queries")
+        assert counter.value == 0  # the triggering query is not "reuse"
+        engine.ask(_ham_db(), "yes")
+        engine.ask(_ham_db(), "path(a)")
+        assert counter.value == 2
+        warnings = [
+            d for d in engine.diagnostics if d.code == "engine-degraded"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0].severity == "warning"
+
+    def test_degraded_engine_still_answers_correctly(self):
+        db = _ham_db()
+        reference = PerfectModelEngine(hamiltonian_rulebase()).answers(
+            db, "select(Y)"
+        )
+        engine = PerfectModelEngine(hamiltonian_rulebase())
+        with failpoints.armed("model.invariant", kind="invariant"):
+            engine.ask(db, "yes", budget=Budget())
+        assert engine.answers(db, "select(Y)") == reference
+
+    def test_healthy_engine_never_reports_degraded(self):
+        engine = PerfectModelEngine(hamiltonian_rulebase())
+        engine.ask(_ham_db(), "yes")
+        assert not engine.degraded
+        assert engine.metrics.counter("engine.degraded_queries").value == 0
+        assert not any(
+            d.code == "engine-degraded" for d in engine.diagnostics
+        )
