@@ -26,7 +26,12 @@ Installed as ``hypodatalog`` (also ``python -m repro``).  Subcommands:
   (docs/OBSERVABILITY.md); ``--show-rewrite`` prints the
   adorned/demand-rewritten program instead (docs/DEMAND.md), and
   ``--demand`` selects the evaluation mode as for ``query``;
-* ``repl [RULES] [-d DB]`` — interactive console.
+* ``repl [RULES] [-d DB]`` — interactive console;
+* ``serve RULES [-d DB]`` — fault-tolerant JSON-lines query server:
+  per-connection sessions over one shared rulebase, per-request
+  budgets clamped by ``--max-budget-*`` ceilings, bounded admission
+  with fast ``overloaded`` rejection, and graceful drain on
+  SIGTERM/SIGINT (docs/SERVER.md).
 
 ``RULES`` and ``DB`` are file paths in the textual syntax of
 :mod:`repro.core.parser`; ``-`` reads from stdin.
@@ -402,6 +407,74 @@ def _build_parser() -> argparse.ArgumentParser:
     repl_cmd.add_argument("rules", nargs="?", help="rulebase file to preload")
     repl_cmd.add_argument("-d", "--db", help="database file to preload")
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve hypothetical queries over the JSON-lines protocol "
+        "(docs/SERVER.md)",
+    )
+    serve_cmd.add_argument("rules", help="rulebase file ('-' for stdin)")
+    serve_cmd.add_argument("-d", "--db", help="base database file (shared, read-only)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7878, help="0 picks an ephemeral port"
+    )
+    serve_cmd.add_argument(
+        "-e", "--engine", default="auto", choices=("auto", "prove", "topdown", "model"),
+        help="default engine for sessions that don't choose one",
+    )
+    serve_cmd.add_argument(
+        "--demand", default="off", choices=("auto", "on", "off"),
+        help="default demand mode for sessions (docs/DEMAND.md)",
+    )
+    _compile_argument(serve_cmd)
+    robustness = serve_cmd.add_argument_group(
+        "robustness limits (docs/SERVER.md)"
+    )
+    robustness.add_argument(
+        "--max-connections", type=int, default=256,
+        help="simultaneous connections before fast 'overloaded' rejection",
+    )
+    robustness.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission gate: evaluating requests in flight server-wide",
+    )
+    robustness.add_argument(
+        "--eval-concurrency", type=int, default=4,
+        help="worker threads evaluating concurrently",
+    )
+    robustness.add_argument(
+        "--max-frame-bytes", type=int, default=1 << 20,
+        help="longest accepted request line",
+    )
+    robustness.add_argument(
+        "--max-rps", type=float, default=0.0, metavar="N",
+        help="per-connection requests/second (0 = unlimited)",
+    )
+    robustness.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace period for in-flight requests on shutdown",
+    )
+    ceilings = serve_cmd.add_argument_group(
+        "per-request budget ceilings (clients may tighten, never loosen; "
+        "exceeded budgets return code 'exhausted' with partial results)"
+    )
+    ceilings.add_argument(
+        "--max-budget-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock ceiling per request (0 = unlimited)",
+    )
+    ceilings.add_argument(
+        "--max-budget-steps", type=int, default=0, metavar="N",
+        help="inference-step ceiling per request (0 = unlimited)",
+    )
+    ceilings.add_argument(
+        "--max-budget-atoms", type=int, default=0, metavar="N",
+        help="derived-atom ceiling per request (0 = unlimited)",
+    )
+    ceilings.add_argument(
+        "--max-budget-depth", type=int, default=0, metavar="N",
+        help="proof-depth ceiling per request (0 = unlimited)",
+    )
+
     return parser
 
 
@@ -561,7 +634,81 @@ def _dispatch(options: argparse.Namespace) -> int:
         return 1 if warnings else 0
     if options.command == "explain":
         return _run_explain(options, rulebase)
+    if options.command == "serve":
+        return _run_serve(options, rulebase)
     raise AssertionError(f"unhandled command {options.command!r}")
+
+
+def _run_serve(options: argparse.Namespace, rulebase) -> int:
+    """The ``serve`` command (docs/SERVER.md).
+
+    Startup failures use the standard exit-code ladder (bad rulebase:
+    2/3, bind failure: 2 via OSError).  Once listening, SIGTERM/SIGINT
+    trigger a graceful drain; exit 0 when every in-flight request
+    finished inside ``--drain-timeout``, 1 when stragglers had to be
+    cancelled (they still received ``exhausted`` responses).
+    """
+    import asyncio
+    import signal
+
+    from .server.server import HypoDatalogServer, ServerConfig
+    from .server.sessions import SharedRulebase
+
+    shared = SharedRulebase(
+        rulebase,
+        _load_db(options.db),
+        engine=options.engine,
+        demand=options.demand,
+        compile=options.compile,
+    )
+    config = ServerConfig(
+        host=options.host,
+        port=options.port,
+        max_connections=options.max_connections,
+        max_pending=options.max_pending,
+        eval_concurrency=options.eval_concurrency,
+        max_frame_bytes=options.max_frame_bytes,
+        max_requests_per_second=options.max_rps,
+        drain_timeout=options.drain_timeout,
+        max_timeout=options.max_budget_timeout or None,
+        max_steps=options.max_budget_steps or None,
+        max_atoms=options.max_budget_atoms or None,
+        max_depth=options.max_budget_depth or None,
+    )
+
+    async def amain() -> int:
+        server = HypoDatalogServer(shared, config)
+        await server.start()
+        host, port = server.address
+        print(f"listening on {host}:{port}", flush=True)
+        print(
+            f"rulebase: {shared.describe()['rules']} rules, "
+            f"{shared.describe()['facts']} base facts, "
+            f"engine={shared.engine_name}",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        drain: dict[str, bool] = {}
+
+        def _request_shutdown() -> None:
+            if not drain:
+                drain["requested"] = True
+                loop.create_task(server.shutdown())
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without signal support: Ctrl-C raises
+        await server.serve_until_shutdown()
+        clean = not server.metrics.counter("server.drain.cancelled").value
+        print(
+            "drained cleanly" if clean else "drain timeout: stragglers cancelled",
+            file=sys.stderr,
+        )
+        return 0 if clean else 1
+
+    return asyncio.run(amain())
 
 
 def _provenance_session(options: argparse.Namespace, rulebase):

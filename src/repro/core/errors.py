@@ -136,6 +136,58 @@ class PartialResult:
         parts.append(f"elapsed={self.elapsed:.3f}s")
         return ", ".join(parts)
 
+    # -- wire format (docs/SERVER.md) -----------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it.
+
+        Answers are payload tuples (strings/ints) already, so they map
+        to lists directly; atoms serialize through their textual form,
+        which :func:`repro.core.parser.parse_atom` reads back exactly.
+        Sorting makes the output deterministic for golden tests.
+        """
+        payload: dict = {
+            "strata_completed": self.strata_completed,
+            "steps": self.steps,
+            "atoms_derived": self.atoms_derived,
+            "elapsed": self.elapsed,
+        }
+        if self.answers is not None:
+            payload["answers"] = sorted(
+                [list(row) if isinstance(row, tuple) else row
+                 for row in self.answers],
+                key=str,
+            )
+        if self.atoms is not None:
+            payload["atoms"] = sorted(str(atom) for atom in self.atoms)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PartialResult":
+        """Rebuild a :class:`PartialResult` from :meth:`to_dict` output.
+
+        Tolerant of missing keys (older peers may send fewer fields).
+        """
+        answers = None
+        if payload.get("answers") is not None:
+            answers = {
+                tuple(row) if isinstance(row, list) else row
+                for row in payload["answers"]
+            }
+        atoms = None
+        if payload.get("atoms") is not None:
+            from .parser import parse_atom
+
+            atoms = frozenset(parse_atom(text) for text in payload["atoms"])
+        return cls(
+            answers=answers,
+            atoms=atoms,
+            strata_completed=int(payload.get("strata_completed", 0)),
+            steps=int(payload.get("steps", 0)),
+            atoms_derived=int(payload.get("atoms_derived", 0)),
+            elapsed=float(payload.get("elapsed", 0.0)),
+        )
+
 
 class ResourceExhausted(EvaluationError):
     """A query exceeded its :class:`~repro.engine.budget.Budget`.
@@ -159,6 +211,31 @@ class ResourceExhausted(EvaluationError):
         self.reason = reason
         self.site = site
         self.partial = partial if partial is not None else PartialResult()
+
+    # -- wire format (docs/SERVER.md) -----------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it."""
+        return {
+            "message": str(self),
+            "reason": self.reason,
+            "site": self.site,
+            "partial": self.partial.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResourceExhausted":
+        """Rebuild a :class:`ResourceExhausted` from :meth:`to_dict`
+        output (the client side of the wire protocol)."""
+        partial = None
+        if payload.get("partial") is not None:
+            partial = PartialResult.from_dict(payload["partial"])
+        return cls(
+            str(payload.get("message", "evaluation exhausted its budget")),
+            reason=str(payload.get("reason", "unknown")),
+            site=payload.get("site"),
+            partial=partial,
+        )
 
 
 class InvariantViolation(EvaluationError):

@@ -42,6 +42,13 @@ The loop accepts three kinds of input:
                         to the interpreted naive fallback
       :load FILE        add rules from a file
       :db FILE          add facts from a file
+      :connect HOST:PORT
+                        attach to a running `hypodatalog serve`
+                        instance (docs/SERVER.md): queries and ground
+                        fact asserts are forwarded to a private
+                        server-side session; :limits become the
+                        per-request budget (clamped by the server)
+      :disconnect       detach from the server; local rules return
       :reset            drop all rules and facts
       :help             this text
       :quit             leave
@@ -79,6 +86,49 @@ __all__ = ["Repl", "run"]
 _HELP = __doc__.split(":command`` — one of::", 1)[1].split("The engine", 1)[0]
 
 
+class _RemoteLink:
+    """A blocking JSON-lines client for ``:connect`` (docs/SERVER.md).
+
+    One socket, one request in flight at a time — exactly the REPL's
+    cadence.  Transport failures raise ``OSError`` (the command layer
+    converts them to an ``error:`` line and drops the link), protocol
+    errors come back as normal error responses.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        import socket
+
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._counter = 0
+        self.address = f"{host}:{port}"
+
+    def call(self, op: str, **params) -> dict:
+        """One request/response round trip; returns the response frame."""
+        import json
+
+        from .server.protocol import encode_frame
+
+        self._counter += 1
+        frame = {"v": 1, "id": self._counter, "op": op}
+        frame.update(
+            (key, value) for key, value in params.items() if value is not None
+        )
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise OSError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+
 class Repl:
     """The evaluation loop, one line at a time."""
 
@@ -105,6 +155,8 @@ class Repl:
         # built lazily and dropped on every rulebase/database change so
         # its provenance edges never go stale.
         self._prov_session: Optional[Session] = None
+        # ``:connect`` link; while set, queries/asserts go remote.
+        self._remote: Optional[_RemoteLink] = None
         self.done = False
 
     # -- state ----------------------------------------------------------
@@ -151,6 +203,8 @@ class Repl:
         if text.endswith("."):
             text = text[:-1]
         premise = parse_premise(text)
+        if self._remote is not None:
+            return self._remote_query(text, premise)
         session = self._require_session()
         variables = list(dict.fromkeys(premise.variables()))
         try:
@@ -203,6 +257,14 @@ class Repl:
         if not text.endswith("."):
             text += "."
         rule = parse_rule(text)
+        if self._remote is not None:
+            if not (rule.is_fact and rule.head.is_ground):
+                return (
+                    "error: the connected server's rulebase is read-only; "
+                    "only ground facts can be asserted remotely "
+                    "(:disconnect for local rules)"
+                )
+            return self._remote_call("assert", facts=[str(rule.head)])
         if rule.is_fact and rule.head.is_ground:
             self._db = self._db.with_facts(rule.head)
             self._invalidate()
@@ -210,6 +272,84 @@ class Repl:
         self._rulebase = self._rulebase + [rule]
         self._invalidate()
         return f"added rule {rule}"
+
+    # -- the :connect link (docs/SERVER.md) ------------------------------
+
+    def _budget_spec(self) -> Optional[dict]:
+        """The ``:limits`` template as a wire budget object."""
+        limits = self._limits
+        if limits is None:
+            return None
+        spec = {
+            "timeout": limits.timeout,
+            "max_steps": limits.max_steps,
+            "max_atoms": limits.max_atoms,
+            "max_depth": limits.max_depth,
+        }
+        return {key: value for key, value in spec.items() if value is not None}
+
+    def _drop_remote(self) -> str:
+        address = self._remote.address if self._remote is not None else ""
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
+        return address
+
+    def _remote_call(self, op: str, **params) -> str:
+        """One remote round trip rendered as REPL output; transport
+        failures drop the link (the local session is untouched)."""
+        try:
+            response = self._remote.call(op, budget=self._budget_spec(), **params)
+        except (OSError, ValueError) as error:
+            address = self._drop_remote()
+            return f"error: lost connection to {address} ({error}); disconnected"
+        if response.get("ok"):
+            result = response["result"]
+            if op == "assert":
+                return f"asserted remotely ({result.get('added', 0)} new)"
+            return str(result)
+        return self._render_remote_error(response.get("error", {}))
+
+    def _remote_query(self, text: str, premise) -> str:
+        variables = list(dict.fromkeys(premise.variables()))
+        if variables and isinstance(premise, Positive):
+            op, params = "answers", {"pattern": text}
+        else:
+            op, params = "query", {"query": text}
+        try:
+            response = self._remote.call(
+                op, budget=self._budget_spec(), **params
+            )
+        except (OSError, ValueError) as error:
+            address = self._drop_remote()
+            return f"error: lost connection to {address} ({error}); disconnected"
+        if response.get("ok"):
+            result = response["result"]
+            if op == "query":
+                return "yes" if result.get("answer") else "no"
+            rows = result.get("rows", [])
+            if not rows:
+                return "no"
+            names = [var.name for var in variables]
+            return "\n".join(
+                ", ".join(
+                    f"{name} = {value}" for name, value in zip(names, row)
+                )
+                for row in rows
+            )
+        return self._render_remote_error(
+            response.get("error", {}), variables
+        )
+
+    def _render_remote_error(self, error: dict, variables=()) -> str:
+        code = error.get("code", "internal")
+        if code == "exhausted":
+            from .core.errors import ResourceExhausted
+
+            return self._render_exhausted(
+                ResourceExhausted.from_dict(error), list(variables)
+            )
+        return f"error: [{code}] {error.get('message', '')}"
 
     def _command(self, text: str) -> str:
         name, _, argument = text[1:].partition(" ")
@@ -318,12 +458,50 @@ class Repl:
                 self._db = self._db.union(parse_database(handle.read()))
             self._invalidate()
             return f"loaded {argument} ({len(self._db)} facts total)"
+        if name == "connect":
+            return self._connect_command(argument)
+        if name == "disconnect":
+            if self._remote is None:
+                return "not connected"
+            address = self._drop_remote()
+            return f"disconnected from {address}; local session restored"
         if name == "reset":
             self._rulebase = Rulebase()
             self._db = Database()
             self._invalidate()
             return "cleared"
         return f"error: unknown command :{name} (try :help)"
+
+    def _connect_command(self, argument: str) -> str:
+        host, _, port_text = argument.rpartition(":")
+        if not host or not port_text.isdigit():
+            return "error: usage: :connect HOST:PORT"
+        if self._remote is not None:
+            self._drop_remote()
+        try:
+            link = _RemoteLink(host, int(port_text))
+            response = link.call("ping")
+        except OSError as error:
+            return f"error: cannot connect to {argument} ({error})"
+        except ValueError as error:
+            return f"error: {argument} did not speak the protocol ({error})"
+        if not response.get("ok"):
+            link.close()
+            detail = response.get("error", {})
+            return (
+                f"error: server refused the handshake "
+                f"[{detail.get('code', 'internal')}] {detail.get('message', '')}"
+            )
+        self._remote = link
+        info = response.get("result", {})
+        server = info.get("server", {})
+        return (
+            f"connected to {argument}: {server.get('rules', '?')} rules, "
+            f"{server.get('facts', '?')} base facts, "
+            f"engine {server.get('engine', '?')} "
+            f"(queries and ground asserts now run remotely; :disconnect "
+            f"to return)"
+        )
 
     def _plan_command(self, argument: str) -> str:
         """``:plan [PRED]`` — generated kernel source per rule."""

@@ -1,0 +1,38 @@
+"""Fault-tolerant network service for hypothetical Datalog.
+
+``hypodatalog serve`` exposes the engines over a JSON-lines wire
+protocol (docs/SERVER.md): per-connection isolated sessions sharing
+one read-only rulebase, per-request budgets clamped by server
+ceilings, a bounded admission gate with fast ``overloaded`` rejection,
+per-connection rate/size limits, malformed-frame tolerance, and
+graceful drain on shutdown.  The load-test harness lives in
+:mod:`repro.server.loadtest`.
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from .sessions import ClientSession, SharedRulebase
+from .server import HypoDatalogServer, ServerConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "OPS",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "ClientSession",
+    "SharedRulebase",
+    "HypoDatalogServer",
+    "ServerConfig",
+]

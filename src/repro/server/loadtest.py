@@ -1,0 +1,391 @@
+"""Load/chaos harness for the query server (docs/SERVER.md).
+
+Drives hundreds of concurrent clients of deliberately mixed quality at
+one server process:
+
+* **good** clients — pipelined what-if (``[add: ...]``), plain, and
+  pattern queries with per-request budgets;
+* **malformed** clients — broken JSON, wrong types, unknown ops,
+  protocol-version garbage;
+* **oversized** clients — frames beyond the server's limit;
+* **slow** clients — a valid frame dribbled out byte by byte.
+
+It then asserts the robustness contract rather than just surviving:
+
+* zero corrupted responses: every line the server sends parses as a
+  well-formed v1 response frame;
+* zero dropped responses: every well-formed request gets a response
+  with its own id (rejections like ``overloaded`` count — they *are*
+  the contract under pressure);
+* every answer to a good query is correct (the expected yes/no is
+  known per query);
+* bounded p99 latency over the good traffic.
+
+Run it against a fresh in-process server::
+
+    python -m repro.server.loadtest --clients 200 --self-host
+
+or against an external one with ``--host/--port``.  Exit code 0 when
+every assertion holds, 1 otherwise (CI runs a short soak; see
+.github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .protocol import PROTOCOL_VERSION, encode_frame
+
+__all__ = ["LoadReport", "run_loadtest", "main"]
+
+#: (request-params, expected answer) pairs over the default rulebase
+#: below; mixed plain and hypothetical queries with known truth.
+_GOOD_QUERIES = [
+    ({"op": "query", "query": "grad(ben)"}, True),
+    ({"op": "query", "query": "grad(ann)"}, False),
+    ({"op": "query", "query": "grad(ann)[add: take(ann, m2)]"}, True),
+    ({"op": "query", "query": "grad(zoe)", "assume": ["take(zoe, m1)", "take(zoe, m2)"]}, True),
+    ({"op": "answers", "pattern": "grad(S)"}, [["ben"]]),
+]
+
+_DEFAULT_RULES = "grad(S) :- take(S, m1), take(S, m2)."
+_DEFAULT_FACTS = ["take(ann, m1).", "take(ben, m1).", "take(ben, m2)."]
+
+
+@dataclass
+class LoadReport:
+    """What the swarm observed; :meth:`failures` judges it."""
+
+    requests_sent: int = 0
+    responses: int = 0
+    corrupted: int = 0
+    dropped: int = 0
+    wrong_answers: int = 0
+    rejected_overloaded: int = 0
+    rejected_rate_limited: int = 0
+    exhausted: int = 0
+    protocol_errors_reported: int = 0
+    connection_failures: int = 0
+    latencies: list = field(default_factory=list)
+    p99_bound: float = 5.0
+
+    def p99(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    def failures(self) -> list[str]:
+        problems = []
+        if self.corrupted:
+            problems.append(f"{self.corrupted} corrupted response frame(s)")
+        if self.dropped:
+            problems.append(f"{self.dropped} dropped response(s)")
+        if self.wrong_answers:
+            problems.append(f"{self.wrong_answers} wrong answer(s)")
+        if self.responses == 0:
+            problems.append("no responses at all")
+        p99 = self.p99()
+        if p99 > self.p99_bound:
+            problems.append(f"p99 latency {p99:.3f}s exceeds {self.p99_bound}s")
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"sent={self.requests_sent} responses={self.responses} "
+            f"corrupted={self.corrupted} dropped={self.dropped} "
+            f"wrong={self.wrong_answers} overloaded={self.rejected_overloaded} "
+            f"rate_limited={self.rejected_rate_limited} "
+            f"exhausted={self.exhausted} "
+            f"protocol_errors={self.protocol_errors_reported} "
+            f"conn_failures={self.connection_failures} "
+            f"p99={self.p99() * 1000:.1f}ms"
+        )
+
+
+def _is_wellformed(frame: dict) -> bool:
+    if frame.get("v") != PROTOCOL_VERSION or "ok" not in frame:
+        return False
+    if frame["ok"]:
+        return isinstance(frame.get("result"), dict)
+    error = frame.get("error")
+    return isinstance(error, dict) and "code" in error and "message" in error
+
+
+async def _good_client(host, port, rounds, budget, report: LoadReport) -> None:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        report.connection_failures += 1
+        return
+    try:
+        next_id = 0
+        for _ in range(rounds):
+            expected: dict[int, object] = {}
+            for params, answer in _GOOD_QUERIES:
+                frame = {"v": 1, "id": next_id, **params}
+                if budget:
+                    frame["budget"] = budget
+                expected[next_id] = answer
+                next_id += 1
+                started = time.perf_counter()
+                writer.write(encode_frame(frame))
+                await writer.drain()
+                report.requests_sent += 1
+                line = await reader.readline()
+                elapsed = time.perf_counter() - started
+                if not line:
+                    report.dropped += len(expected)
+                    return
+                try:
+                    response = json.loads(line)
+                    assert _is_wellformed(response)
+                except (json.JSONDecodeError, AssertionError):
+                    report.corrupted += 1
+                    continue
+                report.responses += 1
+                report.latencies.append(elapsed)
+                rid = response.get("id")
+                if rid not in expected:
+                    report.corrupted += 1
+                    continue
+                want = expected.pop(rid)
+                if response["ok"]:
+                    got = response["result"].get(
+                        "answer", response["result"].get("rows")
+                    )
+                    if got != want:
+                        report.wrong_answers += 1
+                else:
+                    code = response["error"]["code"]
+                    if code == "overloaded":
+                        report.rejected_overloaded += 1
+                    elif code == "rate-limited":
+                        report.rejected_rate_limited += 1
+                    elif code == "exhausted":
+                        report.exhausted += 1
+                    else:
+                        # Any other error for a known-good query is a
+                        # wrong outcome.
+                        report.wrong_answers += 1
+            report.dropped += len(expected)
+    except (ConnectionError, OSError):
+        report.connection_failures += 1
+    finally:
+        writer.close()
+
+
+async def _malformed_client(host, port, report: LoadReport) -> None:
+    payloads = [
+        b"this is not json\n",
+        b'{"unterminated": \n',
+        b'[1, 2, 3]\n',
+        b'{"v": 99, "id": 1, "op": "query"}\n',
+        b'{"v": 1, "id": {}, "op": "query"}\n',
+        b'{"v": 1, "id": 2, "op": "launch-missiles"}\n',
+        b'{"v": 1, "id": 3, "op": "query", "query": 42}\n',
+        b'{"v": 1, "id": 4, "op": "query", "query": "grad(ben)"}\n',
+    ]
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        for payload in payloads:
+            writer.write(payload)
+            await writer.drain()
+            report.requests_sent += 1
+            line = await reader.readline()
+            if not line:
+                report.dropped += 1
+                return
+            try:
+                response = json.loads(line)
+                assert _is_wellformed(response)
+            except (json.JSONDecodeError, AssertionError):
+                report.corrupted += 1
+                continue
+            report.responses += 1
+            if not response["ok"]:
+                report.protocol_errors_reported += 1
+        writer.close()
+    except (ConnectionError, OSError):
+        report.connection_failures += 1
+
+
+async def _oversized_client(host, port, frame_limit, report: LoadReport) -> None:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        junk = b'{"v": 1, "id": 1, "op": "query", "query": "' + b"x" * (
+            frame_limit + 1024
+        ) + b'"}\n'
+        writer.write(junk)
+        await writer.drain()
+        report.requests_sent += 1
+        line = await reader.readline()
+        if line:
+            try:
+                response = json.loads(line)
+                assert _is_wellformed(response)
+                report.responses += 1
+                if not response["ok"]:
+                    report.protocol_errors_reported += 1
+            except (json.JSONDecodeError, AssertionError):
+                report.corrupted += 1
+        # The connection must still answer a good frame afterwards.
+        writer.write(encode_frame({"v": 1, "id": 2, "op": "ping"}))
+        await writer.drain()
+        report.requests_sent += 1
+        line = await reader.readline()
+        if not line:
+            report.dropped += 1
+        else:
+            report.responses += 1
+        writer.close()
+    except (ConnectionError, OSError):
+        report.connection_failures += 1
+
+
+async def _slow_client(host, port, report: LoadReport) -> None:
+    """One valid frame, dribbled a few bytes at a time."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        frame = encode_frame({"v": 1, "id": 1, "op": "query", "query": "grad(ben)"})
+        for start in range(0, len(frame), 7):
+            writer.write(frame[start : start + 7])
+            await writer.drain()
+            await asyncio.sleep(0.01)
+        report.requests_sent += 1
+        line = await reader.readline()
+        if not line:
+            report.dropped += 1
+        else:
+            try:
+                response = json.loads(line)
+                assert _is_wellformed(response)
+                report.responses += 1
+                if response["ok"] and response["result"].get("answer") is not True:
+                    report.wrong_answers += 1
+            except (json.JSONDecodeError, AssertionError):
+                report.corrupted += 1
+        writer.close()
+    except (ConnectionError, OSError):
+        report.connection_failures += 1
+
+
+async def run_loadtest(
+    host: str,
+    port: int,
+    *,
+    clients: int = 200,
+    rounds: int = 3,
+    budget: Optional[dict] = None,
+    p99_bound: float = 5.0,
+    frame_limit: int = 1 << 20,
+) -> LoadReport:
+    """The swarm: ~80% good clients, the rest split across the three
+    hostile personalities.  Returns the combined :class:`LoadReport`."""
+    report = LoadReport(p99_bound=p99_bound)
+    if budget is None:
+        budget = {"timeout": 5.0, "max_steps": 1_000_000}
+    tasks = []
+    for index in range(clients):
+        kind = index % 10
+        if kind < 7:
+            tasks.append(_good_client(host, port, rounds, budget, report))
+        elif kind < 8:
+            tasks.append(_malformed_client(host, port, report))
+        elif kind < 9:
+            tasks.append(_oversized_client(host, port, frame_limit, report))
+        else:
+            tasks.append(_slow_client(host, port, report))
+    await asyncio.gather(*tasks)
+    return report
+
+
+async def _self_hosted(options) -> tuple:
+    """Start an in-process server over the default demo rulebase."""
+    from ..core.database import Database
+    from ..core.parser import parse_database, parse_program
+    from .server import HypoDatalogServer, ServerConfig
+    from .sessions import SharedRulebase
+
+    rules = parse_program(
+        open(options.rules).read() if options.rules else _DEFAULT_RULES
+    )
+    db = (
+        parse_database(open(options.db).read())
+        if options.db
+        else parse_database("\n".join(_DEFAULT_FACTS))
+    )
+    shared = SharedRulebase(rules, db)
+    config = ServerConfig(
+        host=options.host,
+        port=options.port,
+        max_pending=options.max_pending,
+        max_frame_bytes=options.frame_limit,
+    )
+    server = HypoDatalogServer(shared, config)
+    await server.start()
+    return server, server.address
+
+
+async def _amain(options) -> int:
+    server = None
+    host, port = options.host, options.port
+    if options.self_host:
+        server, (host, port) = await _self_hosted(options)
+    report = await run_loadtest(
+        host,
+        port,
+        clients=options.clients,
+        rounds=options.rounds,
+        p99_bound=options.p99_bound,
+        frame_limit=options.frame_limit,
+    )
+    if server is not None:
+        await server.shutdown()
+    print(report.summary())
+    problems = report.failures()
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("loadtest passed")
+    return 1 if problems else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.loadtest",
+        description="Mixed good/malformed/oversized/slow load against a "
+        "hypodatalog server (docs/SERVER.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878)
+    parser.add_argument(
+        "--self-host",
+        action="store_true",
+        help="start an in-process server (demo rulebase unless --rules)",
+    )
+    parser.add_argument("--rules", help="rulebase file for --self-host")
+    parser.add_argument("--db", help="database file for --self-host")
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="query rounds per good client"
+    )
+    parser.add_argument("--p99-bound", type=float, default=5.0)
+    parser.add_argument("--frame-limit", type=int, default=1 << 20)
+    parser.add_argument(
+        "--max-pending", type=int, default=64, help="self-host admission gate"
+    )
+    options = parser.parse_args(argv)
+    if options.self_host and options.port == 7878:
+        options.port = 0  # ephemeral, no collision with a real server
+    return asyncio.run(_amain(options))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""The JSON-lines wire protocol (docs/SERVER.md).
+
+One request per line, one response per line, UTF-8, ``\\n``-terminated.
+Requests are flat JSON objects with three reserved keys —
+
+* ``v`` — protocol version (currently ``1``; missing means 1 so
+  hand-typed ``telnet`` sessions work);
+* ``id`` — caller-chosen request id (string or int), echoed verbatim
+  on the response so clients can pipeline;
+* ``op`` — one of :data:`OPS`;
+
+— plus per-op parameters (``query``, ``pattern``, ``facts``,
+``session``, ``assume``, ``budget``, ``engine``, ...).  Responses are
+``{"v": 1, "id": ..., "ok": true, "result": {...}}`` or
+``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
+..., "partial": {...}?}}``.
+
+Error codes are stable and mirror the CLI exit codes
+(docs/ROBUSTNESS.md) where a CLI equivalent exists:
+
+==================  ==========================================  ====
+code                meaning                                      exit
+==================  ==========================================  ====
+``parse``           query/fact text failed to parse               2
+``stratification``  rulebase rejected by stratification           3
+``evaluation``      evaluation error (bad engine, arity, ...)     4
+``exhausted``       per-request budget tripped; ``partial``       5
+                    carries the sound partial result
+``invalid-request`` malformed frame: bad JSON, wrong types,       --
+                    unknown protocol version
+``frame-too-large`` request line exceeded the frame limit         --
+``unknown-op``      ``op`` not in :data:`OPS`                     --
+``unknown-session`` ``session`` names no open session             --
+``overloaded``      admission gate full; retry later              --
+``rate-limited``    connection exceeded its request rate          --
+``shutting-down``   server is draining; no new work               --
+``internal``        unexpected server-side failure                --
+==================  ==========================================  ====
+
+The module is dependency-free on the server side of the package so the
+load-test client (:mod:`repro.server.loadtest`) and the REPL's
+``:connect`` can reuse the framing without importing asyncio code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..core.errors import (
+    EvaluationError,
+    HypotheticalDatalogError,
+    ParseError,
+    ResourceExhausted,
+    StratificationError,
+    ValidationError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "OPS",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_for_exception",
+    "error_response",
+    "ok_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Every op the server understands.  ``query``/``answers``/``model``
+#: evaluate (and pass the admission gate); the rest are control ops
+#: answered inline.
+OPS = frozenset(
+    {
+        "ping",
+        "session.open",
+        "session.close",
+        "assert",
+        "retract",
+        "query",
+        "answers",
+        "model",
+    }
+)
+
+#: The stable error-code vocabulary (see module docstring).
+ERROR_CODES = frozenset(
+    {
+        "parse",
+        "stratification",
+        "evaluation",
+        "exhausted",
+        "invalid-request",
+        "frame-too-large",
+        "unknown-op",
+        "unknown-session",
+        "overloaded",
+        "rate-limited",
+        "shutting-down",
+        "internal",
+    }
+)
+
+#: Request ids may be strings or ints (JSON has no other useful keys).
+_ID_TYPES = (str, int)
+
+
+class ProtocolError(Exception):
+    """A request frame the server refuses; carries the stable code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+
+
+def decode_frame(raw: bytes | str) -> dict:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` (never json's own errors) so the
+    caller can turn any malformed frame into exactly one error
+    response — a bad frame poisons one request, not the connection.
+    """
+    if isinstance(raw, bytes):
+        try:
+            raw = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("invalid-request", f"frame is not UTF-8: {error}")
+    try:
+        frame = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("invalid-request", f"frame is not valid JSON: {error}")
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "invalid-request",
+            f"frame must be a JSON object, got {type(frame).__name__}",
+        )
+    version = frame.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "invalid-request",
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})",
+        )
+    request_id = frame.get("id")
+    if request_id is not None and not isinstance(request_id, _ID_TYPES):
+        raise ProtocolError(
+            "invalid-request", "request 'id' must be a string or integer"
+        )
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("invalid-request", "request is missing an 'op' string")
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown-op",
+            f"unknown op {op!r}; supported: {', '.join(sorted(OPS))}",
+        )
+    return frame
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One response (or request) as a newline-terminated JSON line."""
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def ok_response(request_id: Optional[Any], result: dict) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Optional[Any],
+    code: str,
+    message: str,
+    *,
+    partial: Optional[dict] = None,
+) -> dict:
+    assert code in ERROR_CODES, code
+    error: dict = {"code": code, "message": message}
+    if partial is not None:
+        error["partial"] = partial
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False, "error": error}
+
+
+def error_for_exception(error: Exception) -> tuple[str, str, Optional[dict]]:
+    """Map an exception to ``(code, message, partial_dict)``.
+
+    The mapping mirrors ``repro.cli.main``'s exit-code ladder so a
+    network client and a CLI user see the same taxonomy for the same
+    failure (docs/ROBUSTNESS.md).
+    """
+    if isinstance(error, ResourceExhausted):
+        return "exhausted", str(error), error.partial.to_dict()
+    if isinstance(error, (ParseError, ValidationError)):
+        return "parse", str(error), None
+    if isinstance(error, StratificationError):
+        return "stratification", str(error), None
+    if isinstance(error, (EvaluationError, HypotheticalDatalogError)):
+        return "evaluation", str(error), None
+    return "internal", f"{type(error).__name__}: {error}", None

@@ -1,0 +1,748 @@
+"""The asyncio JSON-lines query server (docs/SERVER.md).
+
+Engineering posture: every failure mode must degrade by the smallest
+possible unit —
+
+* a malformed or oversized frame poisons **one request** (one error
+  response), never the connection;
+* a misbehaving connection (rate abuse, endless garbage, a failpoint
+  trip at its network sites) poisons **one connection**, never the
+  server;
+* overload is rejected **fast** (``overloaded`` before any parsing of
+  the query text) under a bounded admission gate, so pressure turns
+  into latency and rejections, never unbounded memory;
+* every evaluating request runs under a server-clamped
+  :class:`~repro.engine.budget.Budget` with a fresh
+  :class:`~repro.engine.budget.CancellationToken`, so exhaustion
+  returns a sound :class:`~repro.core.errors.PartialResult` on the
+  wire and shutdown can cancel stragglers cooperatively;
+* shutdown drains: in-flight requests get ``drain_timeout`` seconds to
+  finish, then their tokens are cancelled (they still answer, with
+  ``exhausted``), then connections close.
+
+Concurrency model: one asyncio task per connection reads frames
+sequentially (so a client session's engine caches are never touched by
+two threads at once); evaluating ops hop to a worker thread via
+``asyncio.to_thread`` under an ``eval_concurrency`` semaphore, keeping
+the event loop responsive to hundreds of idle/slow connections while
+bounding CPU oversubscription.  Fault injection: the
+``server.accept`` / ``server.read_frame`` / ``server.evaluate`` /
+``server.write_response`` failpoint sites
+(:mod:`repro.testing.failpoints`) let tests prove each degradation
+boundary holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import HypotheticalDatalogError, ResourceExhausted
+from ..engine.budget import Budget, CancellationToken
+from ..obs.trace import TraceSpan
+from ..testing import failpoints
+from . import protocol
+from .protocol import ProtocolError
+from .sessions import ClientSession, SharedRulebase
+
+__all__ = ["HypoDatalogServer", "ServerConfig"]
+
+#: Consecutive malformed frames after which a connection is deemed
+#: hostile and closed (each still got its own error response first).
+_MALFORMED_CONNECTION_LIMIT = 32
+
+#: Grace period after drain-timeout cancellation for the cancelled
+#: evaluations to surface their ``exhausted`` responses.
+_CANCEL_GRACE = 2.0
+
+
+@dataclass
+class ServerConfig:
+    """Tunables; every limit exists to bound some resource."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from .address
+    #: Hard cap on simultaneously open connections; beyond it a new
+    #: connection receives one ``overloaded`` frame and is closed.
+    max_connections: int = 256
+    #: Admission gate: evaluating requests admitted (queued + running)
+    #: across the whole server; beyond it requests are rejected with
+    #: ``overloaded`` instead of queuing without bound.
+    max_pending: int = 64
+    #: Worker threads evaluating concurrently.
+    eval_concurrency: int = 4
+    #: Longest accepted request line, in bytes.
+    max_frame_bytes: int = 1 << 20
+    #: Per-connection request rate (requests/second, token bucket with
+    #: 2x burst); 0 disables rate limiting.
+    max_requests_per_second: float = 0.0
+    #: Open sessions allowed per connection.
+    max_sessions: int = 64
+    #: Seconds in-flight requests get to finish on shutdown before
+    #: their cancellation tokens fire.
+    drain_timeout: float = 5.0
+    #: Server-side budget ceilings: a client may request *tighter*
+    #: limits, never looser; requests that name no limit inherit the
+    #: ceiling.  ``None`` leaves that dimension unlimited.
+    max_timeout: Optional[float] = 30.0
+    max_steps: Optional[int] = None
+    max_atoms: Optional[int] = None
+    max_depth: Optional[int] = None
+
+    def public_limits(self) -> dict:
+        """The limits advertised in ``ping`` responses."""
+        return {
+            "max_frame_bytes": self.max_frame_bytes,
+            "max_pending": self.max_pending,
+            "max_requests_per_second": self.max_requests_per_second,
+            "budget_ceilings": {
+                "timeout": self.max_timeout,
+                "max_steps": self.max_steps,
+                "max_atoms": self.max_atoms,
+                "max_depth": self.max_depth,
+            },
+        }
+
+
+def _clamp(requested, ceiling):
+    """min(requested, ceiling) where None means unlimited."""
+    if requested is None:
+        return ceiling
+    if ceiling is None:
+        return requested
+    return min(requested, ceiling)
+
+
+class _TokenBucket:
+    """Per-connection request-rate limiter (burst = 2x rate)."""
+
+    __slots__ = ("rate", "capacity", "tokens", "updated")
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+        self.capacity = max(2.0 * rate, 1.0)
+        self.tokens = self.capacity
+        self.updated = time.monotonic()
+
+    def try_take(self) -> bool:
+        if self.rate <= 0:
+            return True
+        now = time.monotonic()
+        self.tokens = min(
+            self.capacity, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Book-keeping for one live client connection."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    bucket: _TokenBucket
+    sessions: dict = field(default_factory=dict)
+    default_session: Optional[ClientSession] = None
+    malformed_streak: int = 0
+    closed: bool = False
+
+
+class HypoDatalogServer:
+    """One shared rulebase served to many concurrent clients."""
+
+    def __init__(
+        self,
+        shared: SharedRulebase,
+        config: Optional[ServerConfig] = None,
+        *,
+        tracer=None,
+    ) -> None:
+        self.shared = shared
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = shared.metrics
+        self._tracer = tracer
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[_Connection] = set()
+        self._inflight = 0
+        self._tokens: set[CancellationToken] = set()
+        self._eval_gate = asyncio.Semaphore(max(1, self.config.eval_concurrency))
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._shutdown_done = asyncio.Event()
+        # Metric instruments, bound once (docs/OBSERVABILITY.md).
+        m = self.metrics
+        self._c_conn_total = m.counter("server.connections.total")
+        self._c_conn_rejected = m.counter("server.connections.rejected")
+        self._g_conn_active = m.gauge("server.connections.active")
+        self._c_requests = m.counter("server.requests.total")
+        self._c_ok = m.counter("server.requests.ok")
+        self._c_errors = m.counter("server.requests.errors")
+        self._c_exhausted = m.counter("server.requests.exhausted")
+        self._c_overloaded = m.counter("server.requests.rejected_overloaded")
+        self._c_rate_limited = m.counter("server.requests.rejected_rate_limited")
+        self._c_malformed = m.counter("server.frames.malformed")
+        self._c_oversized = m.counter("server.frames.oversized")
+        self._c_drain_cancelled = m.counter("server.drain.cancelled")
+        self._c_write_failures = m.counter("server.write_failures")
+        self._g_queue = m.gauge("server.queue.depth")
+        self._h_latency = {
+            op: m.histogram(f"server.latency.{op}")
+            for op in ("query", "answers", "model", "control")
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); useful with ``port=0``."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        assert self._server is not None, "server not started"
+        await self._shutdown_done.wait()
+
+    async def shutdown(self, drain_timeout: Optional[float] = None) -> bool:
+        """Graceful drain: stop accepting, let in-flight requests
+        finish, cancel stragglers, close connections.
+
+        Returns ``True`` when the drain completed without cancelling
+        anything (the "clean drain" CI asserts).
+        """
+        if self._draining:
+            await self._shutdown_done.wait()
+            return not self._c_drain_cancelled.value
+        self._draining = True
+        timeout = (
+            drain_timeout if drain_timeout is not None
+            else self.config.drain_timeout
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = True
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+        except asyncio.TimeoutError:
+            clean = False
+            # Cooperative cancellation: each straggler's next budget
+            # poll raises ResourceExhausted(reason="cancelled"), which
+            # still produces a well-formed `exhausted` response.
+            for token in list(self._tokens):
+                token.cancel()
+                self._c_drain_cancelled.value += 1
+            try:
+                await asyncio.wait_for(self._drained.wait(), _CANCEL_GRACE)
+            except asyncio.TimeoutError:
+                pass
+        for conn in list(self._connections):
+            self._close_connection(conn)
+        self._shutdown_done.set()
+        return clean
+
+    def _close_connection(self, conn: _Connection) -> None:
+        conn.closed = True
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if failpoints.enabled:
+            try:
+                failpoints.trigger("server.accept")
+            except Exception:
+                # Injected accept failure: this connection dies, the
+                # server keeps accepting others.
+                self._c_conn_rejected.value += 1
+                writer.close()
+                return
+        self._c_conn_total.value += 1
+        if self._draining:
+            await self._reject_connection(writer, "shutting-down", "server is draining")
+            return
+        if len(self._connections) >= self.config.max_connections:
+            await self._reject_connection(
+                writer, "overloaded",
+                f"connection limit ({self.config.max_connections}) reached",
+            )
+            return
+        conn = _Connection(
+            reader=reader,
+            writer=writer,
+            bucket=_TokenBucket(self.config.max_requests_per_second),
+        )
+        self._connections.add(conn)
+        self._g_conn_active.set(len(self._connections))
+        try:
+            await self._connection_loop(conn)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            self._g_conn_active.set(len(self._connections))
+            self._close_connection(conn)
+
+    async def _reject_connection(self, writer, code: str, message: str) -> None:
+        self._c_conn_rejected.value += 1
+        try:
+            writer.write(
+                protocol.encode_frame(protocol.error_response(None, code, message))
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _connection_loop(self, conn: _Connection) -> None:
+        while not conn.closed:
+            try:
+                line = await conn.reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as error:
+                if not error.partial:
+                    return  # EOF: client hung up
+                line = error.partial  # final unterminated frame
+            except asyncio.LimitOverrunError:
+                # The frame outgrew the stream limit.  ``readuntil``
+                # leaves the buffered bytes in place, so the giant line
+                # can be discarded *precisely* through its own newline
+                # — a well-formed frame right behind it is never lost.
+                self._c_oversized.value += 1
+                await self._send(
+                    conn,
+                    protocol.error_response(
+                        None,
+                        "frame-too-large",
+                        f"request line exceeded "
+                        f"{self.config.max_frame_bytes} bytes",
+                    ),
+                )
+                if not await self._drain_oversized(conn):
+                    return
+                continue
+            if failpoints.enabled:
+                try:
+                    failpoints.trigger("server.read_frame")
+                except Exception:
+                    # Injected read failure: treat as connection-level
+                    # IO death; close just this connection.
+                    return
+            if not line.strip():
+                continue  # keep-alive blank lines are free
+            await self._handle_frame(conn, line)
+
+    async def _drain_oversized(self, conn: _Connection) -> bool:
+        """Swallow the oversized line exactly through its newline.
+
+        On overrun the reader consumed nothing, so discard what it
+        buffered (``error.consumed`` bytes) and retry until the line's
+        own newline arrives; returns ``False`` on EOF mid-line.
+        """
+        while True:
+            try:
+                await conn.reader.readuntil(b"\n")
+                return True
+            except asyncio.LimitOverrunError as error:
+                if error.consumed:
+                    await conn.reader.readexactly(error.consumed)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return False
+
+    # -- frame dispatch --------------------------------------------------
+
+    async def _handle_frame(self, conn: _Connection, line: bytes) -> None:
+        self._c_requests.value += 1
+        started = time.perf_counter()
+        request_id = None
+        op = "control"
+        try:
+            frame = protocol.decode_frame(line)
+        except ProtocolError as error:
+            self._c_malformed.value += 1
+            conn.malformed_streak += 1
+            await self._send(
+                conn, protocol.error_response(None, error.code, str(error))
+            )
+            if conn.malformed_streak >= _MALFORMED_CONNECTION_LIMIT:
+                # A poisoned connection must never poison the server;
+                # after persistently hostile input, cut it loose.
+                self._close_connection(conn)
+            return
+        conn.malformed_streak = 0
+        request_id = frame.get("id")
+        op = frame["op"]
+        if not conn.bucket.try_take():
+            self._c_rate_limited.value += 1
+            await self._send(
+                conn,
+                protocol.error_response(
+                    request_id,
+                    "rate-limited",
+                    f"connection exceeded "
+                    f"{self.config.max_requests_per_second} requests/s",
+                ),
+            )
+            return
+        if op in ("query", "answers", "model"):
+            # _evaluate sends its own response *inside* its in-flight
+            # accounting window, so a drain that fires the moment the
+            # last evaluation returns cannot close the connection
+            # before the answer is on the wire.
+            await self._evaluate(conn, frame, started)
+        else:
+            response = self._control(conn, frame)
+            await self._finish(conn, op, request_id, started, response)
+
+    async def _finish(
+        self, conn: _Connection, op, request_id, started, response: dict
+    ) -> None:
+        """Account for one completed request and write its response."""
+        outcome = "ok" if response.get("ok") else response["error"]["code"]
+        if response.get("ok"):
+            self._c_ok.value += 1
+        elif outcome == "exhausted":
+            self._c_exhausted.value += 1
+        else:
+            self._c_errors.value += 1
+        elapsed = time.perf_counter() - started
+        bucket = op if op in self._h_latency else "control"
+        self._h_latency[bucket].observe(elapsed)
+        self._record_span(op, request_id, outcome, started, elapsed)
+        await self._send(conn, response)
+
+    def _record_span(self, op, request_id, outcome, started, elapsed) -> None:
+        """Per-request trace span, appended directly under the root so
+        concurrent requests cannot mis-nest on the tracer stack."""
+        tracer = self._tracer
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return
+        now_ns = time.perf_counter_ns()
+        span = TraceSpan(
+            "server.request",
+            str(op),
+            now_ns - int(elapsed * 1e9),
+            None,
+            {"id": request_id, "op": op, "outcome": outcome},
+        )
+        span.end_ns = now_ns
+        tracer.root.children.append(span)
+
+    async def _send(self, conn: _Connection, response: dict) -> None:
+        if conn.closed:
+            return
+        if failpoints.enabled:
+            try:
+                failpoints.trigger("server.write_response")
+            except Exception:
+                # Injected write failure: the response is lost, so the
+                # connection is no longer coherent — close it.  The
+                # server (and every other connection) lives on.
+                self._c_write_failures.value += 1
+                self._close_connection(conn)
+                return
+        try:
+            conn.writer.write(protocol.encode_frame(response))
+            await conn.writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            self._c_write_failures.value += 1
+            self._close_connection(conn)
+
+    # -- control ops -----------------------------------------------------
+
+    def _control(self, conn: _Connection, frame: dict) -> dict:
+        request_id = frame.get("id")
+        op = frame["op"]
+        try:
+            if op == "ping":
+                return protocol.ok_response(
+                    request_id,
+                    {
+                        "pong": True,
+                        "protocol": protocol.PROTOCOL_VERSION,
+                        "server": self.shared.describe(),
+                        "limits": self.config.public_limits(),
+                        "draining": self._draining,
+                    },
+                )
+            if op == "session.open":
+                return self._open_session(conn, frame)
+            if op == "session.close":
+                name = frame.get("session")
+                if name is None or name not in conn.sessions:
+                    return protocol.error_response(
+                        request_id, "unknown-session",
+                        f"no open session named {name!r}",
+                    )
+                del conn.sessions[name]
+                return protocol.ok_response(request_id, {"closed": name})
+            # assert / retract
+            session = self._session_for(conn, frame)
+            facts = frame.get("facts")
+            if isinstance(facts, str):
+                facts = [facts]
+            if not isinstance(facts, list) or not all(
+                isinstance(item, str) for item in facts
+            ):
+                raise ProtocolError(
+                    "invalid-request",
+                    f"'{op}' needs 'facts': a string or list of strings",
+                )
+            if op == "assert":
+                added = session.assert_facts(facts)
+                return protocol.ok_response(
+                    request_id, {"added": added, "session": session.name}
+                )
+            removed = session.retract_facts(facts)
+            return protocol.ok_response(
+                request_id, {"removed": removed, "session": session.name}
+            )
+        except ProtocolError as error:
+            return protocol.error_response(request_id, error.code, str(error))
+        except HypotheticalDatalogError as error:
+            code, message, partial = protocol.error_for_exception(error)
+            return protocol.error_response(
+                request_id, code, message, partial=partial
+            )
+        except Exception as error:  # defensive: never crash the loop
+            return protocol.error_response(
+                request_id, "internal", f"{type(error).__name__}: {error}"
+            )
+
+    def _open_session(self, conn: _Connection, frame: dict) -> dict:
+        request_id = frame.get("id")
+        if len(conn.sessions) >= self.config.max_sessions:
+            return protocol.error_response(
+                request_id, "invalid-request",
+                f"session limit ({self.config.max_sessions}) reached "
+                "on this connection",
+            )
+        name = frame.get("session")
+        if name is not None and not isinstance(name, str):
+            return protocol.error_response(
+                request_id, "invalid-request", "'session' must be a string"
+            )
+        if name is not None and name in conn.sessions:
+            return protocol.error_response(
+                request_id, "invalid-request",
+                f"session {name!r} is already open",
+            )
+        for knob in ("engine", "demand", "compile"):
+            value = frame.get(knob)
+            if value is not None and not isinstance(value, str):
+                return protocol.error_response(
+                    request_id, "invalid-request", f"'{knob}' must be a string"
+                )
+        session = ClientSession(
+            self.shared,
+            name,
+            engine=frame.get("engine"),
+            demand=frame.get("demand"),
+            compile=frame.get("compile"),
+        )
+        conn.sessions[session.name] = session
+        return protocol.ok_response(
+            request_id,
+            {"session": session.name, "engine": session.engine_name},
+        )
+
+    def _session_for(self, conn: _Connection, frame: dict) -> ClientSession:
+        """The request's target session: the named one, or the
+        connection's auto-created default."""
+        name = frame.get("session")
+        if name is not None:
+            session = conn.sessions.get(name)
+            if session is None:
+                raise ProtocolError(
+                    "unknown-session", f"no open session named {name!r}"
+                )
+            return session
+        if conn.default_session is None:
+            conn.default_session = ClientSession(self.shared, "default")
+        return conn.default_session
+
+    # -- evaluating ops --------------------------------------------------
+
+    async def _evaluate(self, conn: _Connection, frame: dict, started) -> None:
+        request_id = frame.get("id")
+        op = frame["op"]
+        if self._draining:
+            await self._finish(
+                conn, op, request_id, started,
+                protocol.error_response(
+                    request_id, "shutting-down",
+                    "server is draining; no new work",
+                ),
+            )
+            return
+        if self._inflight >= self.config.max_pending:
+            # Fast rejection BEFORE any parsing or queueing: overload
+            # costs the server one counter bump and one small frame.
+            self._c_overloaded.value += 1
+            await self._finish(
+                conn, op, request_id, started,
+                protocol.error_response(
+                    request_id, "overloaded",
+                    f"admission gate full ({self.config.max_pending} "
+                    "pending); retry later",
+                ),
+            )
+            return
+        try:
+            session = self._session_for(conn, frame)
+            budget = self._admit_budget(frame.get("budget"))
+            assume = frame.get("assume")
+            if assume is not None:
+                if isinstance(assume, str):
+                    assume = [assume]
+                if not isinstance(assume, list) or not all(
+                    isinstance(item, str) for item in assume
+                ):
+                    raise ProtocolError(
+                        "invalid-request",
+                        "'assume' must be a string or list of strings",
+                    )
+        except ProtocolError as error:
+            await self._finish(
+                conn, op, request_id, started,
+                protocol.error_response(request_id, error.code, str(error)),
+            )
+            return
+        self._inflight += 1
+        self._g_queue.set_max(self._inflight)
+        self._drained.clear()
+        token = budget.token
+        self._tokens.add(token)
+        try:
+            async with self._eval_gate:
+                response = await asyncio.to_thread(
+                    self._run_eval, session, frame, assume, budget
+                )
+            # The response must hit the wire while this request still
+            # counts as in flight, or a racing drain could close the
+            # connection between "evaluation done" and "answer sent".
+            await self._finish(conn, op, request_id, started, response)
+        finally:
+            self._tokens.discard(token)
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+
+    def _admit_budget(self, spec) -> Budget:
+        """The request's budget: client limits clamped by the server
+        ceilings, anchored NOW so queue wait counts against the
+        deadline (deadline propagation), with a fresh token so drain
+        can cancel it."""
+        config = self.config
+        if spec is None:
+            spec = {}
+        if not isinstance(spec, dict):
+            raise ProtocolError(
+                "invalid-request", "'budget' must be a JSON object"
+            )
+        values = {}
+        for key, kind in (
+            ("timeout", float),
+            ("max_steps", int),
+            ("max_atoms", int),
+            ("max_depth", int),
+        ):
+            value = spec.get(key)
+            if value is None:
+                values[key] = None
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    "invalid-request", f"budget {key!r} must be a number"
+                )
+            value = kind(value)
+            if value <= 0:
+                raise ProtocolError(
+                    "invalid-request", f"budget {key!r} must be positive"
+                )
+            values[key] = value
+        unknown = set(spec) - {"timeout", "max_steps", "max_atoms", "max_depth"}
+        if unknown:
+            raise ProtocolError(
+                "invalid-request",
+                f"unknown budget field(s): {', '.join(sorted(unknown))}",
+            )
+        budget = Budget(
+            timeout=_clamp(values["timeout"], config.max_timeout),
+            max_steps=_clamp(values["max_steps"], config.max_steps),
+            max_atoms=_clamp(values["max_atoms"], config.max_atoms),
+            max_depth=_clamp(values["max_depth"], config.max_depth),
+            token=CancellationToken(),
+        )
+        budget.begin()
+        return budget
+
+    def _run_eval(self, session, frame, assume, budget) -> dict:
+        """Worker-thread body: the actual engine call, every outcome
+        folded into a well-formed response frame."""
+        request_id = frame.get("id")
+        op = frame["op"]
+        try:
+            if failpoints.enabled:
+                failpoints.trigger("server.evaluate")
+            if op == "query":
+                query = frame.get("query")
+                if not isinstance(query, str):
+                    raise ProtocolError(
+                        "invalid-request", "'query' needs a 'query' string"
+                    )
+                answer = session.ask(query, assume=assume, budget=budget)
+                return protocol.ok_response(request_id, {"answer": bool(answer)})
+            if op == "answers":
+                pattern = frame.get("pattern")
+                if not isinstance(pattern, str):
+                    raise ProtocolError(
+                        "invalid-request", "'answers' needs a 'pattern' string"
+                    )
+                rows = session.answers(pattern, assume=assume, budget=budget)
+                return protocol.ok_response(
+                    request_id,
+                    {"rows": sorted([list(row) for row in rows], key=str)},
+                )
+            atoms = session.model(assume=assume, budget=budget)
+            return protocol.ok_response(
+                request_id, {"atoms": sorted(str(atom) for atom in atoms)}
+            )
+        except ProtocolError as error:
+            return protocol.error_response(request_id, error.code, str(error))
+        except ResourceExhausted as error:
+            code, message, partial = protocol.error_for_exception(error)
+            return protocol.error_response(
+                request_id, code, message, partial=partial
+            )
+        except HypotheticalDatalogError as error:
+            code, message, partial = protocol.error_for_exception(error)
+            return protocol.error_response(
+                request_id, code, message, partial=partial
+            )
+        except Exception as error:  # defensive: a bug answers, not kills
+            return protocol.error_response(
+                request_id, "internal", f"{type(error).__name__}: {error}"
+            )

@@ -37,11 +37,33 @@ from typing import Dict, Iterator, Optional
 
 from ..core.errors import InvariantViolation, ResourceExhausted
 
-__all__ = ["KNOWN_SITES", "armed", "enabled", "reset", "trigger"]
+__all__ = [
+    "KNOWN_SITES",
+    "NETWORK_SITES",
+    "armed",
+    "enabled",
+    "reset",
+    "trigger",
+]
+
+#: Guarded sites at the network layer (repro.server): unlike the engine
+#: sites these are reached per connection/frame rather than per budget
+#: charge, and the server converts a trip into a degraded single
+#: request/connection, never a dead process (docs/SERVER.md).  The
+#: fault-injection matrix for them lives in tests/test_server.py; the
+#: engine matrix in tests/test_failpoints.py skips them.
+NETWORK_SITES: frozenset[str] = frozenset(
+    {
+        "server.accept",
+        "server.read_frame",
+        "server.evaluate",
+        "server.write_response",
+    }
+)
 
 # The canonical guarded sites, grouped by evaluator.  Keep in sync with
 # the engines' budget checks and docs/ROBUSTNESS.md.
-KNOWN_SITES: frozenset[str] = frozenset(
+KNOWN_SITES: frozenset[str] = NETWORK_SITES | frozenset(
     {
         # the paper's PROVE cascade (repro.engine.prove)
         "prove.sigma_goals",

@@ -1,0 +1,26 @@
+"""Shared test fixtures.
+
+The one fixture here is hygiene for the fault-injection harness
+(:mod:`repro.testing.failpoints`): failpoints are armed through module
+globals, so a test that fails (or errors) between ``__enter__`` and
+``__exit__`` of :func:`failpoints.armed` would otherwise leave the
+site armed and poison every later test in the same process — a budget
+charge anywhere would raise an injected ``ResourceExhausted`` with no
+visible connection to the actual culprit.  The autouse fixture below
+guarantees a clean registry around *every* test, so one failing
+fault-injection test stays one failing test.
+"""
+
+import pytest
+
+from repro.testing import failpoints
+
+
+@pytest.fixture(autouse=True)
+def _failpoints_hygiene():
+    """Disarm stray failpoints before and after every test."""
+    if failpoints.enabled:
+        failpoints.reset()
+    yield
+    if failpoints.enabled:
+        failpoints.reset()

@@ -194,3 +194,31 @@ class TestBudgetFlags:
         code = main(["query", rules_file, "yes", "-d", db_file,
                      "--max-proof-depth", "1"])
         assert code == 5
+
+
+class TestServe:
+    """Startup-path exit codes for ``hypodatalog serve``; the live
+    server behaviour is covered end to end in tests/test_server.py."""
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.dl"
+        path.write_text("p(a :- q.")
+        assert main(["serve", str(path), "--port", "0"]) == 2
+
+    def test_unstratifiable_rulebase_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "cycle.dl"
+        path.write_text("p :- ~q. q :- ~p.")
+        assert main(["serve", str(path), "--port", "0", "-e", "model"]) == 3
+
+    def test_bad_engine_is_usage_error(self, rules_file, capsys):
+        # -e choices are validated by argparse: usage error, exit 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", rules_file, "--port", "0", "-e", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_flag_surface_parses(self, rules_file, capsys):
+        # The full flag surface must parse; a bogus flag is a usage
+        # error (argparse exits 2 via SystemExit).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", rules_file, "--no-such-flag"])
+        assert excinfo.value.code == 2

@@ -84,11 +84,28 @@ WORKLOADS = {
     "stratified.stratum": _stratified,
 }
 
-MATRIX_SITES = sorted(failpoints.KNOWN_SITES - {"model.invariant"})
+# The network-layer sites are reached per connection/frame, not per
+# budget charge; their fault-injection matrix lives in
+# tests/test_server.py against a live server.
+MATRIX_SITES = sorted(
+    failpoints.KNOWN_SITES - failpoints.NETWORK_SITES - {"model.invariant"}
+)
 
 
 def test_workload_map_covers_registry():
-    assert set(WORKLOADS) == failpoints.KNOWN_SITES - {"model.invariant"}
+    assert (
+        set(WORKLOADS)
+        == failpoints.KNOWN_SITES - failpoints.NETWORK_SITES - {"model.invariant"}
+    )
+
+
+def test_network_sites_registered():
+    # docs/SERVER.md promises every network site is armable by name.
+    assert failpoints.NETWORK_SITES <= failpoints.KNOWN_SITES
+    for site in failpoints.NETWORK_SITES:
+        with failpoints.armed(site):
+            assert failpoints.enabled
+    assert not failpoints.enabled
 
 
 @pytest.mark.parametrize("site", MATRIX_SITES)

@@ -256,3 +256,106 @@ class TestLimits:
         loaded.feed(":limits steps=3")
         out = loaded.feed(":profile yes")
         assert "exhausted" in out
+
+
+class TestConnect:
+    """``:connect`` — the REPL as a client of ``hypodatalog serve``."""
+
+    @pytest.fixture
+    def server_address(self):
+        import asyncio
+        import threading
+        import time
+
+        from repro.core.parser import parse_database, parse_program
+        from repro.server import (
+            HypoDatalogServer,
+            ServerConfig,
+            SharedRulebase,
+        )
+
+        shared = SharedRulebase(
+            parse_program("grad(S) :- take(S, m1), take(S, m2)."),
+            parse_database("take(ann, m1). take(ben, m1). take(ben, m2)."),
+        )
+        server = HypoDatalogServer(shared, ServerConfig(port=0))
+        loop = asyncio.new_event_loop()
+        started = {}
+
+        def runner():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started["address"] = server.address
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        while "address" not in started:
+            time.sleep(0.005)
+        yield started["address"]
+        asyncio.run_coroutine_threadsafe(
+            server.shutdown(drain_timeout=2.0), loop
+        ).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+
+    def test_connect_query_assert_disconnect(self, repl, server_address):
+        host, port = server_address
+        out = repl.feed(f":connect {host}:{port}")
+        assert "connected" in out
+        assert "1 rules" in out
+        assert repl.feed("?- grad(ben).") == "yes"
+        assert repl.feed("?- grad(ann).") == "no"
+        assert repl.feed("?- grad(S).") == "S = ben"
+        assert repl.feed("?- grad(ann)[add: take(ann, m2)].") == "yes"
+        # Ground asserts go to the private server-side session...
+        assert "asserted remotely" in repl.feed("take(cat, m1).")
+        assert "asserted remotely" in repl.feed("take(cat, m2).")
+        assert repl.feed("?- grad(cat).") == "yes"
+        # ...while rules are refused: the server rulebase is read-only.
+        assert "read-only" in repl.feed("p(X) :- q(X).")
+        out = repl.feed(":disconnect")
+        assert "disconnected" in out
+        # Local state was untouched while connected.
+        assert len(repl.rulebase) == 0
+        assert len(repl.db) == 0
+
+    def test_remote_errors_use_stable_codes(self, repl, server_address):
+        host, port = server_address
+        repl.feed(f":connect {host}:{port}")
+        out = repl.feed("?- grad(.")
+        assert out.startswith("error:")
+        repl.feed(":disconnect")
+
+    def test_limits_become_remote_budgets(self, repl, server_address):
+        host, port = server_address
+        repl.feed(f":connect {host}:{port}")
+        repl.feed(":limits steps=5")
+        # The budget rides along; this tiny query stays within it.
+        assert repl.feed("?- grad(ben).") == "yes"
+        repl.feed(":disconnect")
+
+    def test_connect_refused_when_nobody_listens(self, repl):
+        out = repl.feed(":connect 127.0.0.1:1")
+        assert out.startswith("error: cannot connect")
+        # The REPL stays local and usable.
+        assert repl.feed("take(ann, m1).").startswith("asserted fact")
+
+    def test_connect_usage_errors(self, repl):
+        assert "usage" in repl.feed(":connect nonsense")
+        assert "usage" in repl.feed(":connect host:notaport")
+
+    def test_disconnect_when_not_connected(self, repl):
+        assert repl.feed(":disconnect") == "not connected"
+
+    def test_lost_connection_degrades_gracefully(self, repl, server_address):
+        host, port = server_address
+        repl.feed(f":connect {host}:{port}")
+        # Kill the transport out from under the REPL.
+        repl._remote._sock.close()
+        repl._remote._file.close()
+        out = repl.feed("?- grad(ben).")
+        assert "lost connection" in out or out.startswith("error:")
+        # The link was dropped; local evaluation resumes.
+        assert repl._remote is None
+        assert repl.feed("take(ann, m1).").startswith("asserted fact")

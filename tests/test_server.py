@@ -1,0 +1,773 @@
+"""Tests for the fault-tolerant query server (docs/SERVER.md).
+
+Each test runs a real :class:`~repro.server.server.HypoDatalogServer`
+on an ephemeral port inside its own event loop and speaks the JSON
+lines protocol over actual sockets, so framing, backpressure, and
+drain behaviour are exercised end to end.  The invariants under test:
+
+* a malformed frame poisons one request, never the connection;
+* a poisoned connection never poisons the server;
+* budgets are clamped by server ceilings, and exhausted requests
+  answer with sound partial results;
+* the admission gate rejects overload fast, before any parsing;
+* network failpoints degrade the smallest possible unit;
+* SIGTERM-style drain finishes in-flight work or cancels it into
+  well-formed ``exhausted`` responses.
+"""
+
+import asyncio
+import itertools
+import json
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.core.errors import ResourceExhausted
+from repro.core.parser import parse_database, parse_program
+from repro.library import graph_db, hamiltonian_rulebase
+from repro.server import HypoDatalogServer, ServerConfig, SharedRulebase
+from repro.server.protocol import encode_frame
+from repro.testing import failpoints
+
+RULES = "grad(S) :- take(S, m1), take(S, m2)."
+FACTS = "take(ann, m1). take(ben, m1). take(ben, m2)."
+
+
+def make_shared(rules=RULES, facts=FACTS, rulebase=None, db=None, **kwargs):
+    rulebase = rulebase if rulebase is not None else parse_program(rules)
+    db = db if db is not None else parse_database(facts)
+    return SharedRulebase(rulebase, db, **kwargs)
+
+
+@asynccontextmanager
+async def serving(shared=None, **config_kwargs):
+    """One live server on an ephemeral port; drained on exit."""
+    shared = shared if shared is not None else make_shared()
+    server = HypoDatalogServer(shared, ServerConfig(port=0, **config_kwargs))
+    await server.start()
+    try:
+        yield server
+    finally:
+        if not server._draining:
+            await server.shutdown(drain_timeout=5.0)
+
+
+class WireClient:
+    """A minimal async JSON-lines client for the tests."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def open(cls, server):
+        reader, writer = await asyncio.open_connection(*server.address)
+        return cls(reader, writer)
+
+    async def call(self, op, **params):
+        frame = {"v": 1, "id": next(self._ids), "op": op}
+        frame.update(
+            (key, value) for key, value in params.items() if value is not None
+        )
+        await self.send_raw(encode_frame(frame))
+        return await self.read()
+
+    async def send_raw(self, data: bytes):
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def read(self):
+        line = await asyncio.wait_for(self.reader.readline(), 10.0)
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def at_eof(self) -> bool:
+        line = await asyncio.wait_for(self.reader.readline(), 10.0)
+        return line == b""
+
+    def close(self):
+        self.writer.close()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# Basic request/response behaviour
+# ----------------------------------------------------------------------
+
+
+class TestBasicOps:
+    def test_ping_reports_shape_and_limits(self):
+        async def scenario():
+            async with serving(max_timeout=12.5) as server:
+                client = await WireClient.open(server)
+                response = await client.call("ping")
+                client.close()
+                return response
+
+        response = run(scenario())
+        assert response["ok"] is True
+        result = response["result"]
+        assert result["pong"] is True
+        assert result["protocol"] == 1
+        assert result["server"]["rules"] == 1
+        assert result["server"]["facts"] == 3
+        assert result["limits"]["budget_ceilings"]["timeout"] == 12.5
+        assert result["draining"] is False
+
+    def test_request_ids_echo_verbatim(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                await client.send_raw(
+                    encode_frame({"v": 1, "id": "my-id", "op": "ping"})
+                )
+                await client.send_raw(
+                    encode_frame({"v": 1, "id": 99, "op": "ping"})
+                )
+                first, second = await client.read(), await client.read()
+                client.close()
+                return first, second
+
+        first, second = run(scenario())
+        assert first["id"] == "my-id"
+        assert second["id"] == 99
+
+    def test_query_answers_model(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                yes = await client.call("query", query="grad(ben)")
+                no = await client.call("query", query="grad(ann)")
+                rows = await client.call("answers", pattern="grad(S)")
+                model = await client.call("model")
+                client.close()
+                return yes, no, rows, model
+
+        yes, no, rows, model = run(scenario())
+        assert yes["result"] == {"answer": True}
+        assert no["result"] == {"answer": False}
+        assert rows["result"]["rows"] == [["ben"]]
+        assert "grad(ben)" in model["result"]["atoms"]
+        assert "take(ann, m1)" in model["result"]["atoms"]
+
+    def test_hypothetical_premise_and_one_shot_assume(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                inline = await client.call(
+                    "query", query="grad(ann)[add: take(ann, m2)]"
+                )
+                assumed = await client.call(
+                    "query", query="grad(ann)", assume=["take(ann, m2)"]
+                )
+                after = await client.call("query", query="grad(ann)")
+                client.close()
+                return inline, assumed, after
+
+        inline, assumed, after = run(scenario())
+        assert inline["result"]["answer"] is True
+        assert assumed["result"]["answer"] is True
+        # ``assume`` is a what-if: it never mutates the session.
+        assert after["result"]["answer"] is False
+
+    def test_parse_error_is_stable_code(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                bad_query = await client.call("query", query="grad(")
+                bad_fact = await client.call("assert", facts=["take(X, m1)"])
+                ok = await client.call("query", query="grad(ben)")
+                client.close()
+                return bad_query, bad_fact, ok
+
+        bad_query, bad_fact, ok = run(scenario())
+        assert bad_query["error"]["code"] == "parse"
+        assert bad_fact["error"]["code"] == "parse"  # non-ground fact
+        assert ok["result"]["answer"] is True
+
+
+# ----------------------------------------------------------------------
+# Sessions and isolation
+# ----------------------------------------------------------------------
+
+
+class TestSessions:
+    def test_connections_never_observe_each_other(self):
+        async def scenario():
+            async with serving() as server:
+                one = await WireClient.open(server)
+                two = await WireClient.open(server)
+                await one.call("assert", facts=["take(cat, m1)", "take(cat, m2)"])
+                mine = await one.call("query", query="grad(cat)")
+                theirs = await two.call("query", query="grad(cat)")
+                one.close()
+                two.close()
+                return mine, theirs
+
+        mine, theirs = run(scenario())
+        assert mine["result"]["answer"] is True
+        assert theirs["result"]["answer"] is False
+
+    def test_named_sessions_on_one_connection(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                opened = await client.call("session.open", session="a")
+                await client.call(
+                    "assert",
+                    session="a",
+                    facts=["take(cat, m1)", "take(cat, m2)"],
+                )
+                in_a = await client.call("query", session="a", query="grad(cat)")
+                in_default = await client.call("query", query="grad(cat)")
+                closed = await client.call("session.close", session="a")
+                gone = await client.call("query", session="a", query="grad(cat)")
+                client.close()
+                return opened, in_a, in_default, closed, gone
+
+        opened, in_a, in_default, closed, gone = run(scenario())
+        assert opened["result"]["session"] == "a"
+        assert opened["result"]["engine"]
+        assert in_a["result"]["answer"] is True
+        assert in_default["result"]["answer"] is False
+        assert closed["result"] == {"closed": "a"}
+        assert gone["error"]["code"] == "unknown-session"
+
+    def test_retract_is_private_to_the_session(self):
+        async def scenario():
+            async with serving() as server:
+                one = await WireClient.open(server)
+                two = await WireClient.open(server)
+                removed = await one.call("retract", facts=["take(ben, m2)"])
+                mine = await one.call("query", query="grad(ben)")
+                theirs = await two.call("query", query="grad(ben)")
+                one.close()
+                two.close()
+                return removed, mine, theirs
+
+        removed, mine, theirs = run(scenario())
+        assert removed["result"]["removed"] == 1
+        assert mine["result"]["answer"] is False
+        assert theirs["result"]["answer"] is True
+
+    def test_assert_counts_only_new_facts(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                first = await client.call("assert", facts=["take(cat, m1)"])
+                again = await client.call("assert", facts=["take(cat, m1)"])
+                base = await client.call("assert", facts=["take(ann, m1)"])
+                client.close()
+                return first, again, base
+
+        first, again, base = run(scenario())
+        assert first["result"]["added"] == 1
+        assert again["result"]["added"] == 0
+        assert base["result"]["added"] == 0  # already in the base db
+
+    def test_engine_override_per_session(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                opened = await client.call(
+                    "session.open", session="bu", engine="model"
+                )
+                answer = await client.call(
+                    "query", session="bu", query="grad(ben)"
+                )
+                client.close()
+                return opened, answer
+
+        opened, answer = run(scenario())
+        assert opened["result"]["engine"] == "model"
+        assert answer["result"]["answer"] is True
+
+
+# ----------------------------------------------------------------------
+# Malformed input: poison one request, not the connection/server
+# ----------------------------------------------------------------------
+
+
+class TestMalformedFrames:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"this is not json\n",
+            b'{"v": 7, "op": "ping"}\n',
+            b'[1, 2, 3]\n',
+            b'{"op": "no-such-op"}\n',
+            b'{"v": 1, "id": {"nested": true}, "op": "ping"}\n',
+        ],
+    )
+    def test_bad_frame_poisons_one_request_only(self, raw):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                await client.send_raw(raw)
+                error = await client.read()
+                after = await client.call("query", query="grad(ben)")
+                client.close()
+                return error, after
+
+        error, after = run(scenario())
+        assert error["ok"] is False
+        assert error["error"]["code"] in ("invalid-request", "unknown-op")
+        assert after["result"]["answer"] is True
+
+    def test_persistently_hostile_connection_is_cut_loose(self):
+        async def scenario():
+            async with serving() as server:
+                hostile = await WireClient.open(server)
+                responses = 0
+                for _ in range(40):
+                    try:
+                        await hostile.send_raw(b"garbage\n")
+                    except ConnectionError:
+                        break
+                while True:
+                    try:
+                        line = await asyncio.wait_for(
+                            hostile.reader.readline(), 10.0
+                        )
+                    except (ConnectionError, asyncio.IncompleteReadError):
+                        break  # server cut the connection mid-flood
+                    if not line:
+                        break
+                    responses += 1
+                hostile.close()
+                # The server survives its hostile client.
+                fresh = await WireClient.open(server)
+                after = await fresh.call("query", query="grad(ben)")
+                fresh.close()
+                return responses, after
+
+        responses, after = run(scenario())
+        assert responses <= 32
+        assert after["result"]["answer"] is True
+
+    def test_oversized_frame_is_one_error_then_recovery(self):
+        async def scenario():
+            async with serving(max_frame_bytes=1024) as server:
+                client = await WireClient.open(server)
+                big = b'{"op": "query", "query": "' + b"x" * 5000 + b'"}\n'
+                await client.send_raw(big)
+                error = await client.read()
+                after = await client.call("ping")
+                client.close()
+                return error, after
+
+        error, after = run(scenario())
+        assert error["error"]["code"] == "frame-too-large"
+        assert after["result"]["pong"] is True
+
+    def test_blank_lines_are_free_keepalives(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                await client.send_raw(b"\n\n\n")
+                alive = await client.call("ping")
+                client.close()
+                return alive
+
+        assert run(scenario())["result"]["pong"] is True
+
+
+# ----------------------------------------------------------------------
+# Budgets: clamped, exhausted soundly, invalid ones rejected
+# ----------------------------------------------------------------------
+
+
+HARD_NODES = [f"n{i}" for i in range(6)] + ["lonely"]
+HARD_EDGES = [
+    (a, b)
+    for a in HARD_NODES[:6]
+    for b in HARD_NODES[:6]
+    if a != b
+]
+
+
+def hard_shared():
+    """A workload (Hamiltonian path over K6 plus an isolated node)
+    that reliably outlives small step budgets."""
+    return SharedRulebase(
+        hamiltonian_rulebase(), graph_db(HARD_NODES, HARD_EDGES)
+    )
+
+
+class TestBudgets:
+    def test_server_ceiling_clamps_client_request(self):
+        async def scenario():
+            async with serving(hard_shared(), max_steps=50) as server:
+                client = await WireClient.open(server)
+                # The client asks for far more than the ceiling allows.
+                response = await client.call(
+                    "query", query="yes", budget={"max_steps": 10_000_000}
+                )
+                client.close()
+                return response
+
+        response = run(scenario())
+        assert response["ok"] is False
+        error = response["error"]
+        assert error["code"] == "exhausted"
+        assert error["partial"]["steps"] > 0
+        # The wire partial rebuilds into the Python exception.
+        clone = ResourceExhausted.from_dict(error)
+        assert clone.partial.steps == error["partial"]["steps"]
+
+    def test_client_budget_below_ceiling_is_honoured(self):
+        async def scenario():
+            async with serving(hard_shared()) as server:
+                client = await WireClient.open(server)
+                tight = await client.call(
+                    "query", query="yes", budget={"max_steps": 40}
+                )
+                free = await client.call("query", query="yes")
+                client.close()
+                return tight, free
+
+        tight, free = run(scenario())
+        assert tight["error"]["code"] == "exhausted"
+        assert free["result"]["answer"] is False
+
+    def test_exhausted_answers_carry_partial_rows(self):
+        async def scenario():
+            async with serving(hard_shared()) as server:
+                client = await WireClient.open(server)
+                response = await client.call(
+                    "answers", pattern="select(Y)", budget={"max_steps": 5}
+                )
+                client.close()
+                return response
+
+        response = run(scenario())
+        assert response["error"]["code"] == "exhausted"
+        partial = response["error"]["partial"]
+        assert partial["steps"] > 0  # sound spend accounting survived
+
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            "not-an-object",
+            {"max_steps": -1},
+            {"max_steps": 0},
+            {"timeout": True},
+            {"max_steps": "many"},
+            {"max_stepz": 10},
+        ],
+    )
+    def test_invalid_budgets_rejected_before_admission(self, budget):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                response = await client.call(
+                    "query", query="grad(ben)", budget=budget
+                )
+                client.close()
+                return response
+
+        assert run(scenario())["error"]["code"] == "invalid-request"
+
+
+# ----------------------------------------------------------------------
+# Backpressure: admission gate and rate limits
+# ----------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_overloaded_rejection_is_fast_and_wellformed(self):
+        async def scenario():
+            async with serving(max_pending=0) as server:
+                client = await WireClient.open(server)
+                rejected = await client.call("query", query="grad(ben)")
+                control = await client.call("ping")  # control ops bypass gate
+                client.close()
+                metric = server.metrics.counter(
+                    "server.requests.rejected_overloaded"
+                ).value
+                return rejected, control, metric
+
+        rejected, control, metric = run(scenario())
+        assert rejected["error"]["code"] == "overloaded"
+        assert control["result"]["pong"] is True
+        assert metric >= 1
+
+    def test_rate_limit_per_connection(self):
+        async def scenario():
+            async with serving(max_requests_per_second=1.0) as server:
+                client = await WireClient.open(server)
+                codes = []
+                for _ in range(6):
+                    response = await client.call("ping")
+                    codes.append(
+                        "ok" if response["ok"]
+                        else response["error"]["code"]
+                    )
+                client.close()
+                return codes
+
+        codes = run(scenario())
+        assert "ok" in codes  # the initial burst passes
+        assert "rate-limited" in codes  # the flood does not
+
+    def test_connection_limit(self):
+        async def scenario():
+            async with serving(max_connections=1) as server:
+                first = await WireClient.open(server)
+                await first.call("ping")  # ensure registered
+                second = await WireClient.open(server)
+                rejection = await second.read()
+                hung_up = await second.at_eof()
+                still = await first.call("ping")
+                first.close()
+                second.close()
+                return rejection, hung_up, still
+
+        rejection, hung_up, still = run(scenario())
+        assert rejection["error"]["code"] == "overloaded"
+        assert hung_up
+        assert still["result"]["pong"] is True
+
+
+# ----------------------------------------------------------------------
+# Network failpoints: degrade the smallest unit (docs/ROBUSTNESS.md)
+# ----------------------------------------------------------------------
+
+
+class TestNetworkFailpoints:
+    def test_accept_failure_kills_one_connection_not_the_server(self):
+        async def scenario():
+            async with serving() as server:
+                with failpoints.armed("server.accept"):
+                    reader, writer = await asyncio.open_connection(
+                        *server.address
+                    )
+                    died = (await reader.readline()) == b""
+                    writer.close()
+                survivor = await WireClient.open(server)
+                after = await survivor.call("ping")
+                survivor.close()
+                return died, after
+
+        died, after = run(scenario())
+        assert died
+        assert after["result"]["pong"] is True
+
+    def test_read_failure_closes_connection_not_the_server(self):
+        async def scenario():
+            async with serving() as server:
+                victim = await WireClient.open(server)
+                await victim.call("ping")  # healthy before the fault
+                with failpoints.armed("server.read_frame"):
+                    await victim.send_raw(
+                        encode_frame({"v": 1, "id": 1, "op": "ping"})
+                    )
+                    died = await victim.at_eof()
+                victim.close()
+                survivor = await WireClient.open(server)
+                after = await survivor.call("ping")
+                survivor.close()
+                return died, after
+
+        died, after = run(scenario())
+        assert died
+        assert after["result"]["pong"] is True
+
+    def test_evaluate_failure_answers_the_request(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                with failpoints.armed("server.evaluate"):
+                    faulted = await client.call("query", query="grad(ben)")
+                after = await client.call("query", query="grad(ben)")
+                client.close()
+                return faulted, after
+
+        faulted, after = run(scenario())
+        assert faulted["error"]["code"] == "exhausted"
+        assert "injected" in faulted["error"]["message"]
+        assert after["result"]["answer"] is True
+
+    def test_write_failure_closes_connection_not_the_server(self):
+        async def scenario():
+            async with serving() as server:
+                victim = await WireClient.open(server)
+                with failpoints.armed("server.write_response"):
+                    await victim.send_raw(
+                        encode_frame({"v": 1, "id": 1, "op": "ping"})
+                    )
+                    died = await victim.at_eof()
+                victim.close()
+                survivor = await WireClient.open(server)
+                after = await survivor.call("ping")
+                survivor.close()
+                metric = server.metrics.counter(
+                    "server.write_failures"
+                ).value
+                return died, after, metric
+
+        died, after, metric = run(scenario())
+        assert died
+        assert after["result"]["pong"] is True
+        assert metric >= 1
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_idle_shutdown_is_clean(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                await client.call("ping")
+                address = server.address  # gone once the listener closes
+                clean = await server.shutdown(drain_timeout=2.0)
+                hung_up = await client.at_eof()
+                client.close()
+                return clean, hung_up, address
+
+        clean, hung_up, address = run(scenario())
+        assert clean is True
+        assert hung_up
+        # The listener is closed: nobody new can connect.
+        with pytest.raises(OSError):
+            run(asyncio.open_connection(*address))
+
+    def test_inflight_work_finishes_before_drain_completes(self):
+        async def scenario():
+            async with serving(hard_shared()) as server:
+                client = await WireClient.open(server)
+                # Get a real search in flight, then drain: the drain
+                # must wait for it and deliver its answer.
+                await client.send_raw(
+                    encode_frame(
+                        {"v": 1, "id": 1, "op": "query", "query": "yes"}
+                    )
+                )
+                while server._inflight == 0:
+                    await asyncio.sleep(0.005)
+                clean = await server.shutdown(drain_timeout=10.0)
+                response = await client.read()
+                client.close()
+                return clean, response
+
+        clean, response = run(scenario())
+        assert clean is True
+        assert response["result"]["answer"] is False
+
+    def test_stragglers_are_cancelled_into_exhausted_responses(self):
+        nodes = [f"n{i}" for i in range(9)] + ["lonely"]
+        edges = [(a, b) for a in nodes[:9] for b in nodes[:9] if a != b]
+        shared = SharedRulebase(hamiltonian_rulebase(), graph_db(nodes, edges))
+
+        async def scenario():
+            async with serving(shared, max_timeout=60.0) as server:
+                slow = await WireClient.open(server)
+                bystander = await WireClient.open(server)
+                # A multi-second search gets in flight...
+                await slow.send_raw(
+                    encode_frame(
+                        {
+                            "v": 1,
+                            "id": "slow",
+                            "op": "query",
+                            "query": "yes",
+                            "budget": {"timeout": 50},
+                        }
+                    )
+                )
+                await asyncio.sleep(0.3)
+                shutdown = asyncio.create_task(
+                    server.shutdown(drain_timeout=0.2)
+                )
+                await asyncio.sleep(0.1)
+                # While draining, new work is refused with a stable code.
+                refused = await bystander.call("query", query="grad(x)")
+                clean = await shutdown
+                response = await slow.read()
+                slow.close()
+                bystander.close()
+                cancelled = server.metrics.counter(
+                    "server.drain.cancelled"
+                ).value
+                return refused, clean, response, cancelled
+
+        refused, clean, response, cancelled = run(scenario())
+        assert refused["error"]["code"] == "shutting-down"
+        assert clean is False
+        assert response["id"] == "slow"
+        assert response["error"]["code"] == "exhausted"
+        assert "cancel" in response["error"]["message"]
+        assert cancelled >= 1
+
+
+# ----------------------------------------------------------------------
+# Startup validation and observability
+# ----------------------------------------------------------------------
+
+
+class TestStartupAndObservability:
+    def test_broken_rulebase_fails_at_startup_not_per_request(self):
+        from repro.core.errors import HypotheticalDatalogError
+
+        bad = parse_program("p :- ~p.")  # not stratifiable
+        with pytest.raises(HypotheticalDatalogError):
+            SharedRulebase(bad, engine="model")
+
+    def test_request_metrics_accumulate(self):
+        async def scenario():
+            async with serving() as server:
+                client = await WireClient.open(server)
+                await client.call("query", query="grad(ben)")
+                await client.call("query", query="grad(")
+                await client.send_raw(b"junk\n")
+                await client.read()
+                client.close()
+                metrics = server.metrics
+                return {
+                    "total": metrics.counter("server.requests.total").value,
+                    "ok": metrics.counter("server.requests.ok").value,
+                    "errors": metrics.counter("server.requests.errors").value,
+                    "malformed": metrics.counter(
+                        "server.frames.malformed"
+                    ).value,
+                }
+
+        counts = run(scenario())
+        assert counts["total"] >= 3
+        assert counts["ok"] >= 1
+        assert counts["errors"] >= 1
+        assert counts["malformed"] == 1
+
+    def test_request_spans_recorded_flat_under_root(self):
+        from repro.obs.trace import Tracer
+
+        async def scenario():
+            tracer = Tracer()
+            shared = make_shared()
+            server = HypoDatalogServer(
+                shared, ServerConfig(port=0), tracer=tracer
+            )
+            await server.start()
+            client = await WireClient.open(server)
+            await client.call("query", query="grad(ben)")
+            await client.call("ping")
+            client.close()
+            await server.shutdown(drain_timeout=2.0)
+            return tracer
+
+        tracer = run(scenario())
+        spans = [
+            span for span in tracer.root.children
+            if getattr(span, "kind", None) == "server.request"
+        ]
+        assert len(spans) == 2
+        assert {span.args["op"] for span in spans} == {"query", "ping"}
+        assert all(span.args["outcome"] == "ok" for span in spans)

@@ -1,0 +1,241 @@
+"""Tests for the wire protocol and error serialization (docs/SERVER.md).
+
+Pure tests — no sockets.  Covers frame decode/encode validation, the
+stable error-code vocabulary, the exception→code mapping that mirrors
+the CLI exit ladder, and the JSON round trips on
+:class:`~repro.core.errors.PartialResult` /
+:class:`~repro.core.errors.ResourceExhausted` that carry partial
+results across the wire.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import (
+    EvaluationError,
+    ParseError,
+    PartialResult,
+    ResourceExhausted,
+    StratificationError,
+    ValidationError,
+)
+from repro.core.parser import parse_atom
+from repro.server.protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_for_exception,
+    error_response,
+    ok_response,
+)
+
+
+class TestDecodeFrame:
+    def test_minimal_valid_frame(self):
+        frame = decode_frame(b'{"op": "ping"}')
+        assert frame["op"] == "ping"
+
+    def test_version_defaults_to_current(self):
+        assert decode_frame('{"op": "ping"}').get("v", PROTOCOL_VERSION) == 1
+
+    def test_full_frame_round_trips_through_encode(self):
+        frame = {"v": 1, "id": 7, "op": "query", "query": "grad(ann)"}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert decode_frame(line) == frame
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"\xff\xfe not utf8",
+            b"not json at all",
+            b"[1, 2, 3]",
+            b'"just a string"',
+            b"null",
+        ],
+    )
+    def test_malformed_frames_raise_invalid_request(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(raw)
+        assert excinfo.value.code == "invalid-request"
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame('{"v": 99, "op": "ping"}')
+        assert excinfo.value.code == "invalid-request"
+        assert "99" in str(excinfo.value)
+
+    def test_bad_id_type_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame('{"op": "ping", "id": [1]}')
+        assert excinfo.value.code == "invalid-request"
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame('{"v": 1, "id": 1}')
+        assert excinfo.value.code == "invalid-request"
+
+    def test_unknown_op_gets_its_own_code(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame('{"op": "launch-missiles"}')
+        assert excinfo.value.code == "unknown-op"
+
+    def test_string_and_int_ids_accepted(self):
+        assert decode_frame('{"op": "ping", "id": "abc"}')["id"] == "abc"
+        assert decode_frame('{"op": "ping", "id": 42}')["id"] == 42
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(3, {"answer": True})
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "id": 3,
+            "ok": True,
+            "result": {"answer": True},
+        }
+
+    def test_error_response_shape(self):
+        response = error_response("q1", "parse", "boom")
+        assert response["ok"] is False
+        assert response["id"] == "q1"
+        assert response["error"] == {"code": "parse", "message": "boom"}
+
+    def test_error_response_carries_partial(self):
+        partial = PartialResult(answers={("ann",)}, steps=5).to_dict()
+        response = error_response(1, "exhausted", "over", partial=partial)
+        assert response["error"]["partial"]["steps"] == 5
+
+    def test_every_op_and_code_is_lower_kebab(self):
+        for word in sorted(OPS | ERROR_CODES):
+            assert word == word.lower()
+
+    def test_responses_are_json_lines(self):
+        line = encode_frame(error_response(None, "internal", "x"))
+        assert line.count(b"\n") == 1
+        json.loads(line)
+
+
+class TestErrorForException:
+    def test_exhausted_maps_with_partial(self):
+        error = ResourceExhausted(
+            "out of steps",
+            reason="steps",
+            site="topdown.goals",
+            partial=PartialResult(answers={("ann",)}, steps=100),
+        )
+        code, message, partial = error_for_exception(error)
+        assert code == "exhausted"
+        assert "out of steps" in message
+        assert partial["answers"] == [["ann"]]
+
+    @pytest.mark.parametrize(
+        "exception, code",
+        [
+            (ParseError("bad token"), "parse"),
+            (ValidationError("not ground"), "parse"),
+            (StratificationError("cycle through negation"), "stratification"),
+            (EvaluationError("no such engine"), "evaluation"),
+            (RuntimeError("surprise"), "internal"),
+        ],
+    )
+    def test_taxonomy_mirrors_cli_exit_ladder(self, exception, code):
+        got, _, partial = error_for_exception(exception)
+        assert got == code
+        assert partial is None
+
+    def test_all_emitted_codes_are_registered(self):
+        for exception in (
+            ResourceExhausted("x", reason="steps"),
+            ParseError("x"),
+            StratificationError("x"),
+            EvaluationError("x"),
+            KeyError("x"),
+        ):
+            assert error_for_exception(exception)[0] in ERROR_CODES
+
+
+class TestPartialResultWire:
+    def test_empty_round_trip(self):
+        partial = PartialResult()
+        clone = PartialResult.from_dict(partial.to_dict())
+        assert clone.answers is None
+        assert clone.atoms is None
+        assert clone.steps == 0
+
+    def test_answers_round_trip(self):
+        partial = PartialResult(
+            answers={("ann",), ("ben", "m2")}, steps=7, atoms_derived=3
+        )
+        clone = PartialResult.from_dict(
+            json.loads(json.dumps(partial.to_dict()))
+        )
+        assert clone.answers == partial.answers
+        assert clone.steps == 7
+        assert clone.atoms_derived == 3
+
+    def test_atoms_round_trip_through_parser(self):
+        atoms = frozenset(
+            {parse_atom("take(ann, m1)"), parse_atom("grad(ben)")}
+        )
+        partial = PartialResult(atoms=atoms, strata_completed=2)
+        clone = PartialResult.from_dict(partial.to_dict())
+        assert clone.atoms == atoms
+        assert clone.strata_completed == 2
+
+    def test_to_dict_is_deterministic_and_json_safe(self):
+        partial = PartialResult(
+            answers={("b",), ("a",)},
+            atoms=frozenset({parse_atom("q(b)"), parse_atom("q(a)")}),
+        )
+        once, twice = partial.to_dict(), partial.to_dict()
+        assert once == twice
+        assert once["answers"] == [["a"], ["b"]]
+        assert once["atoms"] == ["q(a)", "q(b)"]
+        json.dumps(once)
+
+    def test_from_dict_tolerates_missing_keys(self):
+        clone = PartialResult.from_dict({})
+        assert clone.answers is None
+        assert clone.elapsed == 0.0
+
+
+class TestResourceExhaustedWire:
+    def test_round_trip(self):
+        error = ResourceExhausted(
+            "query exhausted its step budget",
+            reason="steps",
+            site="prove.goals",
+            partial=PartialResult(answers={("ann",)}, steps=50, elapsed=0.25),
+        )
+        clone = ResourceExhausted.from_dict(
+            json.loads(json.dumps(error.to_dict()))
+        )
+        assert str(clone) == str(error)
+        assert clone.reason == "steps"
+        assert clone.site == "prove.goals"
+        assert clone.partial.answers == {("ann",)}
+        assert clone.partial.elapsed == 0.25
+
+    def test_from_dict_tolerates_sparse_payload(self):
+        clone = ResourceExhausted.from_dict({"message": "over"})
+        assert str(clone) == "over"
+        assert clone.reason == "unknown"
+        assert clone.site is None
+        assert clone.partial.steps == 0
+
+    def test_from_wire_error_object(self):
+        # The REPL rebuilds the exception straight from a response's
+        # ``error`` object, which has ``code`` but no ``reason``.
+        wire = {
+            "code": "exhausted",
+            "message": "deadline exceeded",
+            "partial": PartialResult(steps=9).to_dict(),
+        }
+        clone = ResourceExhausted.from_dict(wire)
+        assert str(clone) == "deadline exceeded"
+        assert clone.partial.steps == 9

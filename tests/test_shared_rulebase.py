@@ -1,0 +1,232 @@
+"""Isolation and sharing guarantees for the multi-session server core.
+
+The server's scalability story (docs/SERVER.md) rests on two claims
+about :class:`~repro.server.sessions.SharedRulebase`:
+
+1. **Isolation** — sessions over one shared rulebase never observe
+   each other's asserted/retracted facts or one-shot ``assume``
+   hypotheses, no matter how they interleave (a property test drives
+   disjoint assumption sets through both sessions).
+2. **Structural sharing** — a session's effective database shares the
+   untouched base relations *by identity* (copy-on-write), so a
+   thousand sessions cost O(their deltas), and the shared structures
+   are safe to read from concurrent evaluator threads because they
+   are immutable (``Database`` relation frozensets) or private per
+   engine (each session's ``SymbolTable``/``ColumnStore``).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+from repro.core.parser import parse_atom, parse_database, parse_program
+from repro.server.sessions import ClientSession, SharedRulebase
+
+RULES = "grad(S) :- take(S, m1), take(S, m2)."
+FACTS = "take(ann, m1). take(ben, m1). take(ben, m2)."
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+def make_shared():
+    return SharedRulebase(parse_program(RULES), parse_database(FACTS))
+
+
+def take_facts(student):
+    return [f"take({student}, m1)", f"take({student}, m2)"]
+
+
+# ----------------------------------------------------------------------
+# Isolation
+# ----------------------------------------------------------------------
+
+
+class TestIsolationProperty:
+    @SETTINGS
+    @given(st.sets(names, max_size=5), st.sets(names, max_size=5))
+    def test_disjoint_assertions_never_leak(self, left, right):
+        left, right = left - right, right - left  # force disjoint
+        shared = make_shared()
+        alpha = ClientSession(shared, "alpha")
+        beta = ClientSession(shared, "beta")
+        for student in left:
+            alpha.assert_facts(take_facts(student))
+        for student in right:
+            beta.assert_facts(take_facts(student))
+        base = {("ben",)}
+        assert alpha.answers("grad(S)") == base | {(s,) for s in left}
+        assert beta.answers("grad(S)") == base | {(s,) for s in right}
+        # The shared base is untouched by either overlay.
+        assert len(shared.base_db) == 3
+
+    @SETTINGS
+    @given(st.sets(names, min_size=1, max_size=4))
+    def test_disjoint_assume_hypotheses_never_leak(self, students):
+        # The same hypothetical [add: ...] premises as one-shot assume
+        # lists: visible inside the request, gone after it, and never
+        # visible from the sibling session.
+        shared = make_shared()
+        alpha = ClientSession(shared, "alpha")
+        beta = ClientSession(shared, "beta")
+        assumed = [fact for s in students for fact in take_facts(s)]
+        expected = {("ben",)} | {(s,) for s in students}
+        assert alpha.answers("grad(S)", assume=assumed) == expected
+        # Not persisted in alpha, never seen by beta.
+        assert alpha.answers("grad(S)") == {("ben",)}
+        assert beta.answers("grad(S)") == {("ben",)}
+
+    def test_retraction_is_private(self):
+        shared = make_shared()
+        alpha = ClientSession(shared, "alpha")
+        beta = ClientSession(shared, "beta")
+        alpha.retract_facts(["take(ben, m2)"])
+        assert alpha.answers("grad(S)") == set()
+        assert beta.answers("grad(S)") == {("ben",)}
+        assert parse_atom("take(ben, m2)") in shared.base_db
+
+    def test_assert_after_retract_restores_the_fact(self):
+        shared = make_shared()
+        session = ClientSession(shared)
+        session.retract_facts(["take(ben, m2)"])
+        assert not session.ask("grad(ben)")
+        session.assert_facts(["take(ben, m2)"])
+        assert session.ask("grad(ben)")
+        assert session.overlay() == {
+            "asserted": ["take(ben, m2)"],
+            "retracted": [],
+        }
+
+    def test_inline_hypothetical_premises_stay_per_query(self):
+        shared = make_shared()
+        alpha = ClientSession(shared, "alpha")
+        beta = ClientSession(shared, "beta")
+        assert alpha.ask("grad(ann)[add: take(ann, m2)]")
+        assert not alpha.ask("grad(ann)")
+        assert not beta.ask("grad(ann)")
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write structural sharing
+# ----------------------------------------------------------------------
+
+
+class TestStructuralSharing:
+    def test_session_db_shares_untouched_relations_by_identity(self):
+        shared = make_shared()
+        session = ClientSession(shared)
+        session.assert_facts(["likes(ann, logic)"])
+        view = session.db
+        assert view is not shared.base_db
+        # The untouched relation is the same frozenset object, not a
+        # copy: overlays cost O(delta), never O(|base|).
+        assert view._index["take"] is shared.base_db._index["take"]
+
+    def test_clean_session_view_is_the_base_itself(self):
+        shared = make_shared()
+        session = ClientSession(shared)
+        assert session.db is shared.base_db
+
+    def test_redundant_overlay_collapses_to_base(self):
+        shared = make_shared()
+        session = ClientSession(shared)
+        # Asserting a fact the base already holds adds nothing.
+        session.assert_facts(["take(ann, m1)"])
+        assert session.db is shared.base_db
+
+    def test_with_facts_returns_self_when_nothing_new(self):
+        db = parse_database(FACTS)
+        assert db.with_facts(parse_atom("take(ann, m1)")) is db
+        assert db.without_facts(parse_atom("take(zz, m9)")) is db
+
+    def test_many_sessions_share_one_base(self):
+        shared = make_shared()
+        sessions = [ClientSession(shared) for _ in range(50)]
+        for position, session in enumerate(sessions):
+            session.assert_facts([f"take(s{position}, m1)"])
+        base_rows = shared.base_db._index["take"]
+        assert all(
+            session.db._index["grad"] is shared.base_db._index["grad"]
+            for session in sessions
+            if "grad" in shared.base_db._index
+        )
+        # Every overlay extends the same shared 'take' rows.
+        assert all(
+            base_rows <= session.db._index["take"] for session in sessions
+        )
+
+    def test_private_engine_state_per_session(self):
+        # Interning tables and column stores live inside each session's
+        # engine, never in the shared rulebase — so one session's hot
+        # loops cannot corrupt another's decode tables.
+        shared = make_shared()
+        alpha = ClientSession(shared, "alpha")
+        beta = ClientSession(shared, "beta")
+        assert alpha._session is not beta._session
+        for mine, theirs in [(alpha, beta)]:
+            a_engine, b_engine = mine._session.engine, theirs._session.engine
+            a_kern = getattr(a_engine, "kernels", None) or getattr(
+                a_engine, "_kernels", None
+            )
+            b_kern = getattr(b_engine, "kernels", None) or getattr(
+                b_engine, "_kernels", None
+            )
+            if a_kern is not None and b_kern is not None:
+                assert a_kern is not b_kern
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers over the shared structures
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentSharing:
+    def test_parallel_sessions_stay_correct_and_isolated(self):
+        """Hammer one shared rulebase from worker threads, each owning
+        a private session — the server's exact execution shape."""
+        shared = make_shared()
+
+        def worker(position):
+            session = ClientSession(shared, f"w{position}")
+            student = f"s{position}"
+            session.assert_facts(take_facts(student))
+            for _ in range(10):
+                rows = session.answers("grad(S)")
+                if rows != {("ben",), (student,)}:
+                    return f"w{position} saw {rows!r}"
+                if session.ask(f"grad(x{position})"):
+                    return f"w{position} proved a ghost"
+            return None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            problems = [p for p in pool.map(worker, range(16)) if p]
+        assert problems == []
+        assert len(shared.base_db) == 3
+
+    def test_parallel_what_ifs_over_one_session_db_snapshot(self):
+        """Concurrent one-shot ``assume`` requests layer over the same
+        immutable database object without interference."""
+        shared = make_shared()
+        sessions = [ClientSession(shared, f"c{i}") for i in range(8)]
+
+        def worker(position):
+            session = sessions[position]
+            assumed = take_facts(f"h{position}")
+            rows = session.answers("grad(S)", assume=assumed)
+            if rows != {("ben",), (f"h{position}",)}:
+                return f"c{position} saw {rows!r}"
+            if session.db is not shared.base_db:
+                return f"c{position} mutated its view"
+            return None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            problems = [p for p in pool.map(worker, range(8)) if p]
+        assert problems == []
