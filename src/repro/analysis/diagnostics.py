@@ -120,6 +120,11 @@ CODES: dict[str, CodeInfo] = _catalogue(
         "outside the PROVE engine's linear fragment",
     ),
     (
+        "hypothetical-deletion",
+        "info",
+        "a premise deletes facts hypothetically (EXPTIME fragment)",
+    ),
+    (
         "demand-unsafe-rule",
         "warning",
         "the magic-sets rewrite would destroy stratification; "
@@ -306,6 +311,37 @@ def _structure_checks(rulebase: Rulebase, out: list[Diagnostic]) -> None:
         )
 
 
+def _deletion_checks(rulebase: Rulebase, out: list[Diagnostic]) -> None:
+    """Which rules use the ``[del: ...]`` escape hatch.
+
+    Deletions raise data-complexity to EXPTIME and put the rulebase
+    outside the linear PROVE fragment; the top-down engine and the
+    bottom-up engine (by deletion propagation, docs/INCREMENTAL.md)
+    both evaluate them, so the finding is informational — it answers
+    "why did the engine auto-selection change?" and "where does demand
+    propagation stop?".
+    """
+    for item in rulebase:
+        deleted = sorted(
+            {
+                str(fact)
+                for premise in item.body
+                if isinstance(premise, Hypothetical)
+                for fact in premise.deletions
+            }
+        )
+        if deleted:
+            _emit(
+                out,
+                "hypothetical-deletion",
+                f"rule hypothetically deletes {', '.join(deleted)}; "
+                f"deletions are the EXPTIME fragment — the linear "
+                f"PROVE engine refuses them and demand propagation "
+                f"stops at the deleting premise",
+                rule=item,
+            )
+
+
 def _stratification_checks(rulebase: Rulebase, out: list[Diagnostic]) -> None:
     try:
         negation_strata(rulebase)
@@ -465,14 +501,16 @@ def check(
 ) -> list[Diagnostic]:
     """All diagnostics for a rulebase, in stable order.
 
-    Order: structural findings (rule order), stratification, then
-    binding-mode findings (rule order), then — only when ``queries``
-    are given — demand-rewrite findings per query.  ``queries`` seed
+    Order: structural findings (rule order), hypothetical-deletion
+    findings (rule order), stratification, then binding-mode findings
+    (rule order), then — only when ``queries`` are given —
+    demand-rewrite findings per query.  ``queries`` seed
     the adornment analysis with real entry points; without them every
     output predicate is assumed queried all-free.
     """
     raw: list[Diagnostic] = []
     _structure_checks(rulebase, raw)
+    _deletion_checks(rulebase, raw)
     _stratification_checks(rulebase, raw)
     try:
         report = analyze_modes(rulebase, queries)

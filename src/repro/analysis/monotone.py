@@ -5,23 +5,34 @@ add-only, negation-free fragment: if ``DB ⊆ DB'`` then every atom
 derivable at ``DB`` is derivable at ``DB'`` (adding facts can only
 enable more rule instances, and hypothetical premises ``A[add: B...]``
 quantify over supersets either way).  Negation-by-failure breaks this —
-Example 6's ``select(X) :- a(X), ~b(X)`` *shrinks* when ``b`` grows —
-and hypothetical deletions break it trivially.
+Example 6's ``select(X) :- a(X), ~b(X)`` *shrinks* when ``b`` grows.
+
+Hypothetical deletions ``A[del: C...]`` are classified *anti-monotone*
+here as well, although for a subtler reason.  The database map
+``DB ↦ DB − {C}`` is itself monotone, so derivability stays monotone
+in a purely model-theoretic sense; what breaks is the *stability of
+the premise's case split* that seeding relies on: an instance that
+collapses at the parent (``C ∉ DB``, so the premise is its goal atom
+inside the same fixpoint) becomes a genuine recursion into a *smaller*
+database at a child ``DB' ⊇ DB ∋ C`` — and a smaller database is
+exactly what a parent-state seed cannot speak for.  Deletion-carrying
+strata therefore go through the deletion-propagation path
+(:mod:`repro.engine.dred`) instead of the monotone seed.
 
 The model engine exploits monotonicity to seed a child fixpoint
 ``model(DB + {B...})`` with atoms already derived at the parent: that
 is sound exactly for the strata whose rules (and hence, by the
 topological order of :func:`~repro.analysis.stratify.negation_strata`,
-everything they can read) are negation-free.  Because the strata are
-listed bottom-up, the negation-free strata form a *prefix* of the
-list; :func:`monotone_layer_prefix` measures it.
+everything they can read) are negation-free and deletion-free.
+Because the strata are listed bottom-up, those strata form a *prefix*
+of the list; :func:`monotone_layer_prefix` measures it.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.ast import Negated, Rule, Rulebase
+from ..core.ast import Hypothetical, Negated, Rule, Rulebase
 
 __all__ = ["is_add_monotone", "monotone_layer_prefix"]
 
@@ -32,23 +43,32 @@ def is_add_monotone(rulebase: Rulebase) -> bool:
     return not rulebase.has_negation() and not rulebase.has_deletions()
 
 
+def _anti_monotone(rules: Sequence[Rule]) -> bool:
+    """Does any rule carry a premise the parent-seed argument cannot
+    cover: a negation, or a hypothetical premise with deletions?"""
+    for item in rules:
+        for premise in item.body:
+            if isinstance(premise, Negated):
+                return True
+            if isinstance(premise, Hypothetical) and premise.deletions:
+                return True
+    return False
+
+
 def monotone_layer_prefix(layer_rules: Sequence[Sequence[Rule]]) -> int:
     """How many leading strata are provably monotone in the database.
 
     ``layer_rules`` is the per-stratum rule partition in the bottom-up
     order produced by :func:`~repro.analysis.stratify.negation_strata`.
     A stratum is in the prefix iff no rule of it (or of any stratum
-    below it) has a negated premise; atoms of prefix strata derived at
-    ``DB`` therefore remain derivable at every ``DB' ⊇ DB``.  Deletions
-    are the caller's concern (the model engine rejects them outright).
+    below it) has a negated premise or a deletion-carrying hypothetical
+    premise (see the module docstring for why deletions are classified
+    anti-monotone); atoms of prefix strata derived at ``DB`` therefore
+    remain derivable at every ``DB' ⊇ DB``.
     """
     prefix = 0
     for rules in layer_rules:
-        if any(
-            isinstance(premise, Negated)
-            for item in rules
-            for premise in item.body
-        ):
+        if _anti_monotone(rules):
             break
         prefix += 1
     return prefix

@@ -52,6 +52,14 @@ re-evaluation.  ``refire_full`` lists rules to evaluate in full on that
 first round regardless; the model engine passes its
 hypothetical-containing rules, whose recursion-case truth may shift
 between databases in ways no delta can witness.
+
+The same seeded discipline also runs *in reverse*: the deletion
+propagator (:mod:`repro.engine.dred`) uses :func:`rule_firings` with
+the delta holding *deleted* atoms to enumerate the derivations a
+retraction kills (DRed's over-delete pass), and then re-enters
+:func:`close_layer` with ``seed_delta`` holding the re-derived
+survivors plus the additions — so forward and backward maintenance
+share one firing semantics by construction.
 """
 
 from __future__ import annotations
@@ -68,7 +76,7 @@ from .body import nonlocal_variables, satisfy_body
 from .budget import NULL_BUDGET
 from .interpretation import Interpretation
 
-__all__ = ["LayerInstruments", "close_layer", "delta_sources"]
+__all__ = ["LayerInstruments", "close_layer", "delta_sources", "rule_firings"]
 
 HypotheticalExpander = Callable[
     [Hypothetical, Substitution], Iterator[Substitution]
@@ -120,6 +128,91 @@ def _reject_hypothetical(
         f"this closure was given no hypothetical expander but rule body "
         f"contains {premise}"
     )
+
+
+def rule_firings(
+    item: Rule,
+    head_variables,
+    guards,
+    target: Optional[Premise],
+    delta: Optional[Interpretation],
+    *,
+    positive,
+    hypothetical,
+    negated,
+    domain: Sequence[Constant],
+    hypothetical_delta=None,
+    optimize: bool = False,
+    plan=None,
+    record=None,
+) -> Iterator[Atom]:
+    """Head instances of one rule evaluation, shared firing semantics.
+
+    ``target`` restricts one premise (matched by identity) to ``delta``
+    — the semi-naive discipline.  A :class:`~repro.core.ast.Positive`
+    target matches the delta instead of the full interpretation; a
+    hypothetical target goes through ``hypothetical_delta`` (the
+    collapse-case-only expander).  ``target=None`` evaluates the body
+    in full.  Unbound head variables are grounded over ``domain``
+    (Definition 3); ``record``, when given, is called as
+    ``record(rule, head, binding)`` once per firing before
+    deduplication.
+
+    Both the forward closure (:func:`close_layer`) and the deletion
+    propagator (:mod:`repro.engine.dred`, where ``delta`` holds
+    *deleted* atoms and ``positive`` reads the pre-deletion state) fire
+    rules through this one function, so incremental addition and
+    incremental deletion cannot drift apart on firing semantics.
+    """
+    if target is None:
+        pos_cb, hyp_cb = positive, hypothetical
+    elif isinstance(target, Positive):
+        target_atom = target.atom
+
+        def pos_cb(pattern, current):
+            if pattern is target_atom:
+                return delta.matches(pattern, current)
+            return positive(pattern, current)
+
+        hyp_cb = hypothetical
+    else:
+
+        def hyp_cb(premise, current):
+            if premise is target:
+                return hypothetical_delta(premise, current, delta)
+            return hypothetical(premise, current)
+
+        pos_cb = positive
+    bindings = satisfy_body(
+        item.body,
+        positive=pos_cb,
+        hypothetical=hyp_cb,
+        negated=negated,
+        ground_first=guards,
+        domain=domain,
+        optimize=optimize,
+        plan=plan,
+    )
+    if record is None:
+        for binding in bindings:
+            unbound = [var for var in head_variables if var not in binding]
+            if unbound:
+                for grounded in ground_instances(unbound, domain, binding):
+                    yield item.head.substitute(grounded)
+            else:
+                yield item.head.substitute(binding)
+        return
+    for binding in bindings:
+        unbound = [var for var in head_variables if var not in binding]
+        if unbound:
+            for grounded in ground_instances(unbound, domain, binding):
+                head = item.head.substitute(grounded)
+                record(item, head, grounded)
+                yield head
+        else:
+            head = item.head.substitute(binding)
+            record(item, head, binding)
+            yield head
 
 
 # Per-rule closure prep (head variables, guards, delta sources), cached
@@ -244,55 +337,21 @@ def close_layer(
     def fire(item, head_variables, guards, target, delta) -> Iterator[Atom]:
         """Head instances of one rule; ``target`` restricts one premise
         (matched by identity) to the delta."""
-        if target is None:
-            pos_cb, hyp_cb = positive, hypothetical
-        elif isinstance(target, Positive):
-            target_atom = target.atom
-
-            def pos_cb(pattern, current):
-                if pattern is target_atom:
-                    return delta.matches(pattern, current)
-                return positive(pattern, current)
-
-            hyp_cb = hypothetical
-        else:
-
-            def hyp_cb(premise, current):
-                if premise is target:
-                    return hypothetical_delta(premise, current, delta)
-                return hypothetical(premise, current)
-
-            pos_cb = positive
-        bindings = satisfy_body(
-            item.body,
-            positive=pos_cb,
-            hypothetical=hyp_cb,
+        return rule_firings(
+            item,
+            head_variables,
+            guards,
+            target,
+            delta,
+            positive=positive,
+            hypothetical=hypothetical,
+            hypothetical_delta=hypothetical_delta,
             negated=negated,
-            ground_first=guards,
             domain=domain,
             optimize=optimize,
             plan=plan,
+            record=record,
         )
-        if record is None:
-            for binding in bindings:
-                unbound = [var for var in head_variables if var not in binding]
-                if unbound:
-                    for grounded in ground_instances(unbound, domain, binding):
-                        yield item.head.substitute(grounded)
-                else:
-                    yield item.head.substitute(binding)
-            return
-        for binding in bindings:
-            unbound = [var for var in head_variables if var not in binding]
-            if unbound:
-                for grounded in ground_instances(unbound, domain, binding):
-                    head = item.head.substitute(grounded)
-                    record(item, head, grounded)
-                    yield head
-            else:
-                head = item.head.substitute(binding)
-                record(item, head, binding)
-                yield head
 
     if kernels is None:
         fire_body = fire

@@ -1,0 +1,363 @@
+"""Deletion propagation for the bottom-up model engine (DRed).
+
+PR 3's differential machinery (:mod:`repro.engine.delta`) maintains a
+model under *additions*: a child fixpoint starts from a parent state
+and closes with the new facts as the seed delta.  This module is the
+reverse direction — given a complete model at ``DB`` and a change to
+``DB' = DB − removed + added``, patch the model instead of recomputing
+it, in time proportional to the change.  It is the engine behind
+
+* ``model(db.without_facts(f))`` after ``model(db)`` — the
+  :class:`~repro.engine.model.PerfectModelEngine` finds the cached
+  superset model and patches it (a REPL/server retract);
+* first-class ``[del: ...]`` premises — a recursion-case instance at a
+  *smaller* database patches the live parent state downward instead of
+  evaluating the child from scratch.
+
+The algorithm is delete-and-rederive (Gupta-Mumick-Subrahmanian),
+specialized to the stratified shape of the model engine.  Strata are
+processed bottom-up and classified per change:
+
+* **skipped** — no predicate the stratum reads or defines changed: the
+  old extension is copied wholesale (O(#rows) set adoption, no rule
+  fires).
+* **incremental** — the stratum's rules are purely positive: run DRed
+  proper.  *Over-delete* fires each rule with one premise restricted
+  to the deleted delta and the rest against the *pre-change* state —
+  the exact mirror image of the semi-naive discipline, through the
+  same :func:`~repro.engine.delta.rule_firings` helper — collecting
+  every derivation a deleted atom supported.  Atoms with remaining EDB
+  support (present in ``DB'``) are never deleted.  *Re-derive* then
+  checks each over-deleted atom for an alternative derivation from the
+  surviving state; this is where the support accounting lives — an
+  atom's support is counted *at deletion time* against the new state
+  (first surviving derivation wins), because persistent per-atom
+  derivation counters are unsound under the set-at-a-time semi-naive
+  closure (a derivation may be enumerated once per delta-restricted
+  premise, so stored counts carry multiplicity noise).  Finally the
+  stratum re-enters :func:`~repro.engine.delta.close_layer` with
+  ``seed_delta`` = re-derived atoms + additions, which transitively
+  restores everything downstream of a survivor.
+* **recomputed** — the stratum carries negation or hypothetical
+  premises: its extension can grow under deletion (an anti-monotone
+  stratum; see :mod:`repro.analysis.monotone`), so it is re-closed in
+  full against the already-patched lower strata and the old/new
+  extensions are diffed to keep propagating upward.  Deletions *and*
+  additions flow through every boundary: a lower-stratum deletion can
+  add atoms through negation, and vice versa.
+
+The patched model is bit-for-bit the model a fresh fixpoint would
+compute — ``PerfectModelEngine(cross_check=True)`` verifies exactly
+that, and the E23 bench (``benchmarks/bench_e23_dred.py``) pins the
+work bound: a 1-fact retract re-answers with a small fraction of the
+full fixpoint's rule firings.  See docs/INCREMENTAL.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.ast import Hypothetical, Negated, Positive, Rule
+from ..core.database import Database
+from ..core.errors import EvaluationError
+from ..core.terms import Atom, Constant, Term
+from ..core.unify import Substitution, match_args
+from .body import nonlocal_variables, satisfy_body
+from .budget import NULL_BUDGET
+from .delta import delta_sources, rule_firings
+from .interpretation import Interpretation
+
+__all__ = [
+    "DredInstruments",
+    "DredSource",
+    "OldView",
+    "patch_stratum",
+    "stratum_incremental",
+    "stratum_reads",
+]
+
+
+class DredSource:
+    """The pre-change model a patch starts from.
+
+    ``relation`` reads the old model's rows per predicate (a cached
+    frozenset model or a live parent
+    :class:`~repro.engine.interpretation.Interpretation`);
+    ``closed_layers`` says how many bottom-up strata of that state are
+    complete — higher strata are recomputed fresh.  ``removed`` and
+    ``added`` are the EDB-level diff from the old database to the new
+    one.
+    """
+
+    __slots__ = ("relation", "closed_layers", "removed", "added")
+
+    def __init__(
+        self,
+        relation: Callable[[str], Iterable[tuple[Term, ...]]],
+        closed_layers: int,
+        removed: tuple[Atom, ...],
+        added: tuple[Atom, ...],
+    ) -> None:
+        self.relation = relation
+        self.closed_layers = closed_layers
+        self.removed = removed
+        self.added = added
+
+
+class DredInstruments:
+    """Bound counters a patch increments; all optional (see
+    :class:`~repro.engine.delta.LayerInstruments` for the discipline)."""
+
+    __slots__ = (
+        "overdelete_firings",
+        "atoms_overdeleted",
+        "atoms_rederived",
+        "rederive_checks",
+    )
+
+    def __init__(
+        self,
+        overdelete_firings=None,
+        atoms_overdeleted=None,
+        atoms_rederived=None,
+        rederive_checks=None,
+    ) -> None:
+        self.overdelete_firings = overdelete_firings
+        self.atoms_overdeleted = atoms_overdeleted
+        self.atoms_rederived = atoms_rederived
+        self.rederive_checks = rederive_checks
+
+
+class OldView:
+    """Lazy pattern-matching view over the pre-change model.
+
+    Per-predicate rows are pulled from the source reader on first use
+    and indexed in an :class:`Interpretation`, so a patch touching two
+    strata never materializes the relations it does not read.
+    """
+
+    __slots__ = ("_relation", "_interp", "_loaded")
+
+    def __init__(self, relation: Callable[[str], Iterable]) -> None:
+        self._relation = relation
+        self._interp = Interpretation()
+        self._loaded: set[str] = set()
+
+    def _load(self, predicate: str) -> None:
+        if predicate not in self._loaded:
+            self._loaded.add(predicate)
+            self._interp.add_rows(predicate, self._relation(predicate))
+
+    def matches(self, pattern: Atom, binding=None):
+        self._load(pattern.predicate)
+        return self._interp.matches(pattern, binding)
+
+    def rows(self, predicate: str) -> frozenset[tuple[Term, ...]]:
+        self._load(predicate)
+        return self._interp.relation(predicate)
+
+    def __contains__(self, item: Atom) -> bool:
+        self._load(item.predicate)
+        return item in self._interp
+
+
+def stratum_reads(rules: Sequence[Rule]) -> Optional[frozenset[str]]:
+    """The predicates whose change can affect this stratum's rules, or
+    ``None`` when the stratum must be considered touched by *any*
+    change (a hypothetical premise explores whole child models, whose
+    truth may shift with any fact)."""
+    reads: set[str] = set()
+    for item in rules:
+        for premise in item.body:
+            if isinstance(premise, Hypothetical):
+                return None
+            reads.add(premise.goal.predicate)
+    return frozenset(reads)
+
+
+def stratum_incremental(rules: Sequence[Rule]) -> bool:
+    """True iff every premise is positive — the fragment DRed patches
+    in place.  Negation and hypothetical premises force a recompute of
+    the stratum (their truth is anti-monotone under deletion)."""
+    return all(
+        isinstance(premise, Positive) for item in rules for premise in item.body
+    )
+
+
+def _no_negated(pattern: Atom, current: Substitution) -> bool:
+    raise EvaluationError(
+        f"deletion propagation fired a negated premise ~{pattern} in an "
+        f"incremental stratum; stratum classification is broken"
+    )
+
+
+def _no_hypothetical(premise, current):
+    raise EvaluationError(
+        f"deletion propagation fired a hypothetical premise {premise} in "
+        f"an incremental stratum; stratum classification is broken"
+    )
+
+
+def patch_stratum(
+    rules: tuple[Rule, ...],
+    predicates: frozenset[str],
+    old: OldView,
+    interp: Interpretation,
+    db_new: Database,
+    domain: Sequence[Constant],
+    removed: dict[str, set[Atom]],
+    added: dict[str, set[Atom]],
+    *,
+    optimize: bool = False,
+    plan=None,
+    instruments: Optional[DredInstruments] = None,
+    budget=NULL_BUDGET,
+) -> tuple[set[Atom], Interpretation]:
+    """DRed one purely-positive stratum; returns ``(deleted, seed)``.
+
+    On entry ``interp`` holds the patched state of every lower stratum
+    over ``db_new``; on exit it additionally holds this stratum's old
+    extension minus the over-deleted atoms plus the directly re-derived
+    ones.  The caller must then run the seeded closure
+    (:func:`~repro.engine.delta.close_layer` with ``seed_delta=seed``)
+    to restore derivations that chain through a re-derived or added
+    atom, and afterwards diff ``deleted`` against the closed ``interp``
+    to see which deletions stuck.
+
+    ``removed``/``added`` map predicates to the net atom-level changes
+    accumulated from the EDB diff and the lower strata.
+    """
+    reads: set[str] = set()
+    prep = []
+    for item in rules:
+        reads.update(premise.goal.predicate for premise in item.body)
+        prep.append(
+            (
+                item,
+                set(item.head.variables()),
+                nonlocal_variables(item),
+                delta_sources(item),
+            )
+        )
+    relevant = reads | predicates
+
+    # Everything already known to be gone: retracted EDB facts of this
+    # stratum's own predicates, and lower-stratum/EDB removals start
+    # the over-delete frontier.
+    deleted: set[Atom] = set()
+    frontier = Interpretation()
+    for predicate, atoms in removed.items():
+        if predicate in relevant:
+            for item in atoms:
+                frontier.add(item)
+        if predicate in predicates:
+            deleted.update(atoms)
+
+    n_overdelete = n_deleted = n_checks = n_rederived = None
+    if instruments is not None:
+        n_overdelete = instruments.overdelete_firings
+        n_deleted = instruments.atoms_overdeleted
+        n_checks = instruments.rederive_checks
+        n_rederived = instruments.atoms_rederived
+    governed = budget.enabled
+
+    # -- over-delete: enumerate the derivations the frontier killed ----
+    while len(frontier):
+        if governed:
+            budget.poll("dred.round")
+        candidates: list[Atom] = []
+        for item, head_variables, guards, sources in prep:
+            for target in sources:
+                if not frontier.count(target.goal.predicate):
+                    continue
+                for head in rule_firings(
+                    item,
+                    head_variables,
+                    guards,
+                    target,
+                    frontier,
+                    positive=old.matches,
+                    hypothetical=_no_hypothetical,
+                    negated=_no_negated,
+                    domain=domain,
+                    optimize=optimize,
+                    plan=plan,
+                ):
+                    if n_overdelete is not None:
+                        n_overdelete.value += 1
+                    if governed:
+                        budget.charge("dred.firings")
+                    candidates.append(head)
+        frontier = Interpretation()
+        for head in candidates:
+            if head in deleted:
+                continue
+            if head in db_new:
+                continue  # EDB support in the new database survives
+            if head not in old:
+                continue  # never was derived; nothing to delete
+            deleted.add(head)
+            frontier.add(head)
+            if n_deleted is not None:
+                n_deleted.value += 1
+
+    # -- copy the survivors of the old extension -----------------------
+    dead_rows: dict[str, set[tuple[Term, ...]]] = {}
+    for item in deleted:
+        dead_rows.setdefault(item.predicate, set()).add(item.args)
+    for predicate in predicates:
+        rows = old.rows(predicate)
+        dead = dead_rows.get(predicate)
+        if dead:
+            interp.add_rows(
+                predicate, (args for args in rows if args not in dead)
+            )
+        else:
+            interp.add_rows(predicate, rows)
+
+    # -- re-derive: alternative support against the surviving state ----
+    definitions: dict[str, list] = {}
+    for entry in prep:
+        definitions.setdefault(entry[0].head.predicate, []).append(entry)
+    seed = Interpretation()
+    for item in sorted(deleted, key=str):
+        if governed:
+            budget.poll("dred.rederive")
+        for rule, _head_variables, guards, _sources in definitions.get(
+            item.predicate, ()
+        ):
+            binding = match_args(rule.head.args, item.args)
+            if binding is None:
+                continue
+            if n_checks is not None:
+                n_checks.value += 1
+            alive = next(
+                satisfy_body(
+                    rule.body,
+                    positive=interp.matches,
+                    hypothetical=_no_hypothetical,
+                    negated=_no_negated,
+                    binding=binding,
+                    ground_first=guards,
+                    domain=domain,
+                    optimize=optimize,
+                    plan=plan,
+                ),
+                None,
+            )
+            if alive is not None:
+                interp.add(item)
+                seed.add(item)
+                if n_rederived is not None:
+                    n_rederived.value += 1
+                break
+
+    # Additions this stratum can consume enter through the seed delta:
+    # re-asserted EDB facts of its own predicates are already in the
+    # interpretation's base, lower-stratum additions were added when
+    # those strata closed — the delta is what makes rules fire on them.
+    for predicate, atoms in added.items():
+        if predicate in relevant:
+            for item in atoms:
+                seed.add(item)
+    return deleted, seed

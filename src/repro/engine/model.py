@@ -15,15 +15,17 @@ standing assumption in Section 3.1).  Within a stratum, rules are
 closed by the shared differential machinery of
 :mod:`repro.engine.delta` (``strategy="seminaive"``, the default) or by
 exhaustive iteration (``strategy="naive"``, the baseline the E18 bench
-measures against).  A hypothetical premise ``A[add: B...]`` under a
-grounding either
+measures against).  A hypothetical premise ``A[add: B...][del: C...]``
+under a grounding either
 
-* adds nothing new (every ``B`` already in the database) — then it is
-  the premise ``A`` inside the *same* fixpoint, or
-* strictly enlarges the database — then the engine recursively computes
-  the full model of the enlarged database.  Since additions only grow
-  the database and the ground-atom space over ``dom(R, DB)`` is finite,
-  this recursion is well founded.
+* changes nothing (every ``B`` already present, no ``C`` present) —
+  then it is the premise ``A`` inside the *same* fixpoint, or
+* moves to a different database ``(DB − {C}) + {B}`` — then the engine
+  recursively computes the full model there.  Deletions apply before
+  additions (the paper's ``R, (DB − {C}) + {B} |- A`` reading), and
+  the recursion is well founded because all reachable databases live
+  in the finite lattice of fact sets over ``dom(R, DB)`` and models
+  are memoized per database.
 
 Models are memoized per database, so the overall cost is "number of
 reachable databases x fixpoint cost" rather than "number of proof
@@ -54,6 +56,18 @@ them actually inherited — 0 whenever the rulebase's monotone prefix is
 empty (e.g. Example 6's parity program, whose bottom stratum is
 negation-guarded), positive on negation-free programs such as the
 university and chain examples.
+
+Deletion propagation
+--------------------
+The mirror image of the seed: when the target database is *smaller*
+than a state the engine already holds — a ``[del: ...]`` recursion
+below the live parent, or a public ``model(db.without_facts(f))``
+after ``model(db)`` — the model is *patched* by delete-and-rederive
+(:mod:`repro.engine.dred`) instead of recomputed: untouched strata are
+copied, purely-positive strata over-delete and re-derive in time
+proportional to the change, and negation-/hypothesis-carrying strata
+are re-closed and diffed.  ``dred.models_patched`` counts patches; the
+E23 bench pins the work bound.
 """
 
 from __future__ import annotations
@@ -79,6 +93,14 @@ from ..testing import failpoints as _failpoints
 from .body import cost_aware_positive_order, join_mode
 from .budget import NULL_BUDGET, cancelled_error, depth_error
 from .delta import LayerInstruments, close_layer
+from .dred import (
+    DredInstruments,
+    DredSource,
+    OldView,
+    patch_stratum,
+    stratum_incremental,
+    stratum_reads,
+)
 from .interpretation import Interpretation
 from .kernels import KernelProgram, compile_mode
 
@@ -269,12 +291,6 @@ class PerfectModelEngine:
         from ..analysis.monotone import monotone_layer_prefix
         from ..analysis.stratify import negation_strata
 
-        if rulebase.has_deletions():
-            raise EvaluationError(
-                "the bottom-up model engine supports the paper's add-only "
-                "language; evaluate hypothetical deletions with the "
-                "top-down engine"
-            )
         if strategy not in ("naive", "seminaive"):
             raise EvaluationError(
                 f"unknown evaluation strategy {strategy!r}; "
@@ -298,6 +314,11 @@ class PerfectModelEngine:
         self._layer_predicates: list[frozenset[str]] = [
             frozenset(layer) for layer in layers
         ]
+        self._predicate_layer: dict[str, int] = {
+            predicate: index
+            for index, layer in enumerate(layers)
+            for predicate in layer
+        }
         # Hypothetical-carrying rules per stratum: re-fired in full on
         # the first round of a seeded closure (recursion-case truth is
         # database-dependent; no delta witnesses the shift).
@@ -310,6 +331,15 @@ class PerfectModelEngine:
             for rules in self._layer_rules
         ]
         self._seed_prefix = monotone_layer_prefix(self._layer_rules)
+        # Per-stratum deletion-propagation classification: which
+        # predicates can invalidate the stratum (None = any), and
+        # whether DRed may patch it in place (purely positive rules).
+        self._dred_reads = [
+            stratum_reads(rules) for rules in self._layer_rules
+        ]
+        self._dred_incremental = [
+            stratum_incremental(rules) for rules in self._layer_rules
+        ]
         self._strategy = strategy
         self._reuse = bool(reuse_models) and strategy == "seminaive"
         self._rule_constants = (
@@ -362,6 +392,16 @@ class PerfectModelEngine:
         # first; harvested for partial results when evaluation is cut
         # short (frames are popped on success only).
         self._inflight: list[Interpretation] = []
+        # In-flight frames by database, each mapping to its live
+        # ``[interpretation, strata-closed-so-far]`` state.  Add-only
+        # recursion grows the database strictly, so it cannot revisit
+        # one; deletions make add/delete cycles through the lattice
+        # possible.  A benign cycle (the goal's stratum already closed
+        # in the in-flight evaluation) is answered from that final
+        # prefix; a genuine one is refused.  Only consulted when the
+        # rulebase has deletions.
+        self._has_deletions = rulebase.has_deletions()
+        self._inflight_dbs: dict[Database, list] = {}
         #: Diagnostics recorded by graceful-degradation events (one per
         #: naive fallback); rendered by the CLI alongside query output.
         self.diagnostics: list = []
@@ -387,6 +427,16 @@ class PerfectModelEngine:
         self._n_fallbacks = counter("engine.fallbacks")
         self._n_demand_fallbacks = counter("engine.demand_fallbacks")
         self._n_probes = counter("interp.index_probes")
+        self._n_patched = counter("dred.models_patched")
+        self._n_strata_skipped = counter("dred.strata_skipped")
+        self._n_strata_incremental = counter("dred.strata_incremental")
+        self._n_strata_recomputed = counter("dred.strata_recomputed")
+        self._dred_instruments = DredInstruments(
+            overdelete_firings=counter("dred.overdelete_firings"),
+            atoms_overdeleted=counter("dred.atoms_overdeleted"),
+            atoms_rederived=counter("dred.atoms_rederived"),
+            rederive_checks=counter("dred.rederive_checks"),
+        )
         self._h_model_size = self.metrics.histogram("model.model_size")
         self._h_delta_size = self.metrics.histogram("model.delta_size")
         self._h_atoms_seeded = self.metrics.histogram("model.atoms_seeded")
@@ -634,7 +684,7 @@ class PerfectModelEngine:
                 budget.poll("prov.groundings")
             grounded = premise.substitute(grounding)
             if isinstance(grounded, Hypothetical):
-                yield grounded.atom, db.with_facts(*grounded.additions)
+                yield grounded.atom, self._child_db(db, grounded)
             else:
                 yield grounded.atom, db
 
@@ -688,10 +738,10 @@ class PerfectModelEngine:
         goal, target = first
         note = ""
         if target is not db:
-            added = ", ".join(
-                str(item) for item in sorted(target.facts - db.facts, key=str)
+            note = (
+                "explained in the child db under "
+                f"{self._delta_note(db, target)}"
             )
-            note = f"explained in the child db under [add: {added}]"
         elif not ground:
             note = f"shown for the grounding {goal}; no grounding is derivable"
         return explain_absence(
@@ -703,6 +753,19 @@ class PerfectModelEngine:
             budget=self._budget,
             note=note,
         )
+
+    @staticmethod
+    def _delta_note(db: Database, target: Database) -> str:
+        """Human-readable ``[add: ...][del: ...]`` delta between the
+        query database and the child a hypothetical query moved to."""
+        parts = []
+        added = sorted(target.facts - db.facts, key=str)
+        removed = sorted(db.facts - target.facts, key=str)
+        if added:
+            parts.append("[add: " + ", ".join(map(str, added)) + "]")
+        if removed:
+            parts.append("[del: " + ", ".join(map(str, removed)) + "]")
+        return "".join(parts) if parts else "[no net change]"
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -927,6 +990,7 @@ class PerfectModelEngine:
         finally:
             self._budget = previous
             self._inflight.clear()
+            self._inflight_dbs.clear()
 
     def _note_exhaustion(self, error: ResourceExhausted) -> None:
         if self._inflight:
@@ -955,6 +1019,7 @@ class PerfectModelEngine:
         self._cache.clear()
         self._hyp_memo.clear()
         self._inflight.clear()
+        self._inflight_dbs.clear()
         self._n_fallbacks.value += 1
         self.diagnostics.append(
             Diagnostic(
@@ -1005,6 +1070,25 @@ class PerfectModelEngine:
                 f"{extra} spurious"
             )
 
+    @staticmethod
+    def _child_db(db: Database, grounded: Hypothetical) -> Database:
+        """The database a grounded hypothetical premise moves to:
+        ``(db − deletions) + additions``, deletions first (the paper's
+        ``R, (DB − {C}) + {B} |- A``), normalized so a net no-op
+        returns ``db`` *itself*.  Identity matters: the collapse test
+        is ``child is db``, and a ``[del: f][add: f]`` round trip
+        produces an equal-but-distinct object that would otherwise
+        recurse into "fresh" copies of the same database forever.
+        """
+        if not grounded.deletions:
+            return db.with_facts(*grounded.additions)
+        db2 = db.without_facts(*grounded.deletions).with_facts(
+            *grounded.additions
+        )
+        if db2 is not db and len(db2) == len(db) and db2 == db:
+            return db
+        return db2
+
     def _exists(self, db: Database, premise: Premise, domain) -> bool:
         """Is some grounding of the premise derivable at ``db``?"""
         if isinstance(premise, Positive):
@@ -1021,7 +1105,7 @@ class PerfectModelEngine:
                 if budget.enabled:
                     budget.poll("model.exists")
                 grounded = premise.substitute(binding)
-                db2 = db.with_facts(*grounded.additions)
+                db2 = self._child_db(db, grounded)
                 self._n_hypo.value += 1
                 ctx = (
                     trace.span("hypothesis", str(grounded), src=premise.span)
@@ -1064,16 +1148,65 @@ class PerfectModelEngine:
             additions,
         )
 
+    def _dred_ancestor(
+        self, db: Database, domain: Sequence[Constant]
+    ) -> Optional[DredSource]:
+        """A deletion-propagation source from the smallest cached
+        strict-superset database — the public retract pattern
+        (``model(db)`` then ``model(db.without_facts(f))``).
+
+        Guarded on domain equality: a removed fact can take constants
+        out of ``dom(R, DB)``, which changes how unbound head variables
+        ground, and then the superset's model speaks a different
+        language than the one to compute.
+        """
+        if not self._reuse or not self._cache:
+            return None
+        if len(self._cache) > self._ANCESTOR_SCAN_CAP:
+            return None
+        best: Optional[Database] = None
+        size = len(db)
+        for other in self._cache:
+            if len(other) > size and (best is None or len(other) < len(best)):
+                if db <= other:
+                    best = other
+        if best is None:
+            return None
+        if self.domain(best) != list(domain):
+            return None
+        relations: dict[str, list[tuple[Term, ...]]] = {}
+        for item in self._cache[best]:
+            relations.setdefault(item.predicate, []).append(item.args)
+        removed = tuple(best.facts - db.facts)
+        return DredSource(
+            lambda predicate: relations.get(predicate, ()),
+            len(self._layer_rules),
+            removed,
+            (),
+        )
+
     def _model(
         self,
         db: Database,
         domain: Sequence[Constant],
         parent: Optional[_SeedSource] = None,
+        dred: Optional[DredSource] = None,
     ) -> frozenset[Atom]:
         cached = self._cache.get(db)
         if cached is not None:
             self._n_cache_hits.value += 1
             return cached
+        if self._has_deletions and db in self._inflight_dbs:
+            # Backstop only: goal-aware recursion resolves benign
+            # cycles in _hyp_recurse before reaching here.
+            raise EvaluationError(
+                "hypothetical add/delete premises form a cycle through "
+                f"the database db[{len(db)}]: its whole model is needed "
+                "while it is still being computed.  Bottom-up "
+                "evaluation computes whole models per database and "
+                "cannot resolve cross-database circular support; "
+                "evaluate this query with the top-down engine"
+            )
         if len(self._cache) >= self._max_databases:
             raise EvaluationError(
                 f"hypothetical evaluation touched more than "
@@ -1101,47 +1234,58 @@ class PerfectModelEngine:
             interp = Interpretation(db)
             interp.probes = self._n_probes
             self._inflight.append(interp)
+            if self._has_deletions:
+                self._inflight_dbs[db] = [interp, 0]
             if self._reuse and parent is None:
                 parent = self._ancestor_seed(db)
-            seed_limit = 0
-            # ``fresh`` is the running delta for seeded strata: the new
-            # EDB facts plus atoms lower seeded strata derive beyond
-            # the parent's state.
-            fresh = Interpretation()
-            if parent is not None:
-                seed_limit = min(parent.closed_layers, self._seed_prefix)
-                seeded_atoms = 0
-                for k in range(seed_limit):
-                    for predicate in self._layer_predicates[k]:
-                        seeded_atoms += interp.add_rows(
-                            predicate, parent.relation(predicate)
-                        )
-                for item in parent.additions:
-                    fresh.add(item)
-                self._n_seeded.value += 1
-                self._h_atoms_seeded.observe(seeded_atoms)
+                if parent is None and dred is None:
+                    dred = self._dred_ancestor(db, domain)
+            if parent is None and dred is not None and record is None:
+                self._dred_fill(db, domain, interp, dred)
             else:
-                self._n_fresh.value += 1
-            for index, rules in enumerate(self._layer_rules):
-                stratum_ctx = (
-                    trace.span("stratum", str(index), args={"rules": len(rules)})
-                    if trace.enabled
-                    else NULL_SPAN
-                )
-                with stratum_ctx:
-                    seeded = index < seed_limit
-                    new = self._close_layer(
-                        rules,
-                        interp,
-                        db,
-                        domain,
-                        index,
-                        seed_delta=fresh if seeded else None,
-                        refire=self._refire_rules[index] if seeded else (),
-                        record=record,
+                seed_limit = 0
+                # ``fresh`` is the running delta for seeded strata: the
+                # new EDB facts plus atoms lower seeded strata derive
+                # beyond the parent's state.
+                fresh = Interpretation()
+                if parent is not None:
+                    seed_limit = min(parent.closed_layers, self._seed_prefix)
+                    seeded_atoms = 0
+                    for k in range(seed_limit):
+                        for predicate in self._layer_predicates[k]:
+                            seeded_atoms += interp.add_rows(
+                                predicate, parent.relation(predicate)
+                            )
+                    for item in parent.additions:
+                        fresh.add(item)
+                    self._n_seeded.value += 1
+                    self._h_atoms_seeded.observe(seeded_atoms)
+                else:
+                    self._n_fresh.value += 1
+                for index, rules in enumerate(self._layer_rules):
+                    stratum_ctx = (
+                        trace.span(
+                            "stratum", str(index), args={"rules": len(rules)}
+                        )
+                        if trace.enabled
+                        else NULL_SPAN
                     )
-                    if index + 1 < seed_limit:
-                        fresh.update(new)
+                    with stratum_ctx:
+                        seeded = index < seed_limit
+                        new = self._close_layer(
+                            rules,
+                            interp,
+                            db,
+                            domain,
+                            index,
+                            seed_delta=fresh if seeded else None,
+                            refire=self._refire_rules[index] if seeded else (),
+                            record=record,
+                        )
+                        if index + 1 < seed_limit:
+                            fresh.update(new)
+                    if self._has_deletions:
+                        self._inflight_dbs[db][1] = index + 1
             program = self._kernel_program
             result = (
                 program.freeze(interp)
@@ -1149,12 +1293,124 @@ class PerfectModelEngine:
                 else interp.to_frozenset()
             )
         self._inflight.pop()
+        if self._has_deletions:
+            self._inflight_dbs.pop(db, None)
         self._h_model_size.observe(len(result))
         if self._memoize:
             self._cache[db] = result
         if top and (self._cross_check or _failpoints.enabled):
             self._verify_model(db, result)
         return result
+
+    def _dred_fill(
+        self,
+        db: Database,
+        domain: Sequence[Constant],
+        interp: Interpretation,
+        source: DredSource,
+    ) -> None:
+        """Fill ``interp`` with the model at ``db`` by patching the
+        pre-change state in ``source`` (delete-and-rederive) instead of
+        running the fixpoint from scratch.
+
+        Strata the source has closed are skipped (no relevant change),
+        DRed-patched (purely positive), or re-closed and diffed
+        (negation / hypothetical premises); strata beyond
+        ``source.closed_layers`` — a live parent interrupted
+        mid-evaluation — are computed fresh.  The predicate-level
+        removed/added accumulators start from the EDB diff and are
+        replaced per stratum with the *extension* diff, so only net
+        changes propagate upward.
+        """
+        old = OldView(source.relation)
+        removed_acc: dict[str, set[Atom]] = {}
+        added_acc: dict[str, set[Atom]] = {}
+        for item in source.removed:
+            removed_acc.setdefault(item.predicate, set()).add(item)
+        for item in source.added:
+            added_acc.setdefault(item.predicate, set()).add(item)
+        self._n_patched.value += 1
+        trace = self._tracer
+        if trace.enabled:
+            trace.event(
+                "dred",
+                "patch",
+                args={
+                    "db": len(db),
+                    "removed": len(source.removed),
+                    "added": len(source.added),
+                    "closed_layers": source.closed_layers,
+                },
+            )
+        fresh_from = min(source.closed_layers, len(self._layer_rules))
+        for index, rules in enumerate(self._layer_rules):
+            predicates = self._layer_predicates[index]
+            stratum_ctx = (
+                trace.span("stratum", str(index), args={"rules": len(rules)})
+                if trace.enabled
+                else NULL_SPAN
+            )
+            with stratum_ctx:
+                if index >= fresh_from:
+                    # The source never closed this stratum; nothing to
+                    # patch against.  (Only live parents end here — a
+                    # cached model has every stratum closed.)
+                    self._close_layer(rules, interp, db, domain, index)
+                    self._n_strata_recomputed.value += 1
+                    diff = False
+                else:
+                    reads = self._dred_reads[index]
+                    touched = reads is None or any(
+                        removed_acc.get(predicate) or added_acc.get(predicate)
+                        for predicate in (reads | predicates)
+                    )
+                    if not touched:
+                        for predicate in predicates:
+                            interp.add_rows(predicate, old.rows(predicate))
+                        self._n_strata_skipped.value += 1
+                        diff = False
+                    elif self._dred_incremental[index]:
+                        deleted, seed = patch_stratum(
+                            rules,
+                            predicates,
+                            old,
+                            interp,
+                            db,
+                            domain,
+                            removed_acc,
+                            added_acc,
+                            optimize=self._join_mode == "greedy",
+                            instruments=self._dred_instruments,
+                            budget=self._budget,
+                        )
+                        self._close_layer(
+                            rules, interp, db, domain, index, seed_delta=seed
+                        )
+                        self._n_strata_incremental.value += 1
+                        diff = True
+                    else:
+                        # Negation or hypotheses: anti-monotone under
+                        # the change — re-close in full over the
+                        # patched lower strata, then diff to keep
+                        # propagating.
+                        self._close_layer(rules, interp, db, domain, index)
+                        self._n_strata_recomputed.value += 1
+                        diff = True
+                if diff:
+                    for predicate in predicates:
+                        old_rows = old.rows(predicate)
+                        new_rows = interp.relation(predicate)
+                        removed_acc[predicate] = {
+                            Atom(predicate, args)
+                            for args in old_rows - new_rows
+                        }
+                        added_acc[predicate] = {
+                            Atom(predicate, args)
+                            for args in new_rows - old_rows
+                        }
+            state = self._inflight_dbs.get(db)
+            if state is not None:
+                state[1] = index + 1
 
     def _close_layer(
         self,
@@ -1224,7 +1480,7 @@ class PerfectModelEngine:
                     var: decode[ident] for var, ident in zip(pvars, ids)
                 }
                 grounded = premise.substitute(grounding)
-                db2 = db.with_facts(*grounded.additions)
+                db2 = self._child_db(db, grounded)
                 if db2 is db:
                     # Collapse case: decided inline by the kernel; kept
                     # as an unmemoized guard (depends on the
@@ -1297,7 +1553,7 @@ class PerfectModelEngine:
         ]
         for grounding in ground_instances(unbound, domain, binding):
             grounded = premise.substitute(grounding)
-            db2 = db.with_facts(*grounded.additions)
+            db2 = self._child_db(db, grounded)
             if db2 is db:
                 if grounded.atom in interp:
                     yield grounding
@@ -1324,6 +1580,11 @@ class PerfectModelEngine:
         trace span, and the ``model.hypothesis_expansions`` counter are
         identical on both paths by construction.
         """
+        if self._has_deletions:
+            state = self._inflight_dbs.get(db2)
+            if state is not None:
+                self._n_hypo.value += 1
+                return self._inflight_goal(grounded.atom, state)
         added = grounded.additions
         if self._demand_seeds:
             # Demand delegate: static magic propagation cannot survive
@@ -1338,9 +1599,28 @@ class PerfectModelEngine:
                 added = added + (magic_fact,)
         self._n_hypo.value += 1
         parent = None
+        dred = None
         if self._reuse:
-            additions = tuple(item for item in added if item not in db)
-            parent = _SeedSource(interp.relation_rows, layer_index, additions)
+            if (
+                not grounded.deletions
+                or db.without_facts(*grounded.deletions) is db
+            ):
+                # Child is a superset: the monotone-prefix seed holds.
+                additions = tuple(item for item in added if item not in db)
+                parent = _SeedSource(
+                    interp.relation_rows, layer_index, additions
+                )
+            else:
+                # A deletion took effect: the child database is not
+                # above this one in the lattice, so seed atoms are not
+                # guaranteed derivable there.  Patch downward instead:
+                # the strata below ``layer_index`` are closed at the
+                # parent, and both states share this query's domain.
+                removed = tuple(db.facts - db2.facts)
+                added_facts = tuple(db2.facts - db.facts)
+                dred = DredSource(
+                    interp.relation_rows, layer_index, removed, added_facts
+                )
         trace = self._tracer
         ctx = (
             trace.span("hypothesis", str(grounded), src=span)
@@ -1348,8 +1628,34 @@ class PerfectModelEngine:
             else NULL_SPAN
         )
         with ctx:
-            model = self._model(db2, domain, parent)
+            model = self._model(db2, domain, parent, dred)
         return grounded.atom in model
+
+    def _inflight_goal(self, goal: Atom, state: list) -> bool:
+        """Resolve a recursion into a database whose model is still
+        being computed (an add/delete cycle through the lattice).
+
+        Strata close in order, and a closed stratum's extension is
+        final — so when the goal's stratum is already closed in the
+        in-flight evaluation, membership there IS the model's answer
+        and the cycle is benign.  (EDB-only predicates have no stratum
+        and are final from the start.)  A goal in a stratum at or above
+        the in-flight frontier has genuinely circular support, which
+        whole-model evaluation cannot resolve; refuse with a pointer at
+        the engine that can.
+        """
+        interp2, closed = state
+        layer = self._predicate_layer.get(goal.predicate)
+        if layer is None or layer < closed:
+            return goal in interp2
+        raise EvaluationError(
+            "hypothetical add/delete premises form a cycle through a "
+            f"database whose model is still being computed, and the "
+            f"goal {goal} sits in a stratum not yet closed there.  "
+            "Bottom-up evaluation computes whole models per database "
+            "and cannot resolve cross-database circular support; "
+            "evaluate this query with the top-down engine"
+        )
 
     def _expand_hypothetical_delta(
         self,
@@ -1374,5 +1680,5 @@ class PerfectModelEngine:
             grounded = premise.substitute(grounding)
             if grounded.atom not in delta:
                 continue
-            if db.with_facts(*grounded.additions) is db:
+            if self._child_db(db, grounded) is db:
                 yield grounding

@@ -13,6 +13,14 @@ language) otherwise.  The bottom-up
 Module-level :func:`ask` and :func:`answers` are one-shot conveniences;
 build a :class:`Session` when issuing several queries so caches are
 shared.
+
+:meth:`Session.watch` registers a *standing query*: a pattern whose
+answer set is re-evaluated on demand, reporting only what changed
+(:class:`WatchDiff`).  Standing queries are the engine-side half of the
+server's ``subscribe`` op and the REPL's ``:watch`` (docs/SERVER.md,
+docs/INCREMENTAL.md); with the bottom-up engine each refresh rides the
+differential machinery — a retract re-answers by deletion propagation
+rather than a fresh fixpoint.
 """
 
 from __future__ import annotations
@@ -21,9 +29,10 @@ from typing import Optional, Union
 
 from ..analysis.classify import ComplexityReport, classify
 from ..analysis.stratify import is_linearly_stratified
-from ..core.ast import Premise, Rulebase
+from ..core.ast import Positive, Premise, Rulebase
 from ..core.database import Database
 from ..core.errors import EvaluationError
+from ..core.parser import parse_premise
 from ..core.terms import Atom
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
@@ -32,10 +41,86 @@ from .model import PerfectModelEngine
 from .prove import LinearStratifiedProver
 from .topdown import TopDownEngine
 
-__all__ = ["Session", "ask", "answers"]
+__all__ = ["Session", "StandingQuery", "WatchDiff", "ask", "answers"]
 
 Query = Union[str, Atom, Premise]
 Engine = Union[PerfectModelEngine, LinearStratifiedProver, TopDownEngine]
+
+
+class WatchDiff:
+    """The change in a standing query's answer set across one refresh.
+
+    ``added``/``removed`` are frozensets of payload tuples (the same
+    shape :meth:`Session.answers` returns).  Falsy when nothing
+    changed, so subscribers can be notified only on real diffs.
+    """
+
+    __slots__ = ("added", "removed")
+
+    def __init__(
+        self, added: frozenset[tuple], removed: frozenset[tuple]
+    ) -> None:
+        self.added = added
+        self.removed = removed
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"WatchDiff(added={sorted(self.added)}, "
+            f"removed={sorted(self.removed)})"
+        )
+
+
+class StandingQuery:
+    """One registered pattern of a :meth:`Session.watch` subscription.
+
+    Holds the last answer set delivered; :meth:`refresh` re-evaluates
+    against a database and returns only the delta.  The first refresh
+    reports the whole current answer set as ``added`` (the subscriber
+    starts from nothing).  Re-evaluation goes through the session's
+    engine, so with the bottom-up engine an assert/retract refresh is
+    served by the lattice seed / deletion-propagation paths instead of
+    a from-scratch fixpoint.
+    """
+
+    __slots__ = ("_session", "pattern", "text", "_last")
+
+    def __init__(self, session: "Session", pattern: Union[str, Atom]) -> None:
+        if isinstance(pattern, str):
+            premise = parse_premise(pattern)
+            if not isinstance(premise, Positive):
+                raise EvaluationError(
+                    "watch() needs a plain atom pattern, like answers(); "
+                    f"got {premise}"
+                )
+            pattern = premise.atom
+        self._session = session
+        self.pattern = pattern
+        self.text = str(pattern)
+        self._last: Optional[frozenset[tuple]] = None
+
+    @property
+    def answers(self) -> Optional[frozenset[tuple]]:
+        """The answer set as of the last refresh (None before one)."""
+        return self._last
+
+    def rebind(self, session: "Session") -> None:
+        """Point this watch at a new session (e.g. after the REPL
+        rebuilds its engine when the rulebase changes).  The remembered
+        answer set is kept, so the next refresh reports a true diff
+        against what the subscriber last saw."""
+        self._session = session
+
+    def refresh(self, db: Database, *, budget=None) -> WatchDiff:
+        """Re-evaluate at ``db``; return what changed since last time."""
+        current = frozenset(
+            self._session.answers(db, self.pattern, budget=budget)
+        )
+        previous = self._last if self._last is not None else frozenset()
+        self._last = current
+        return WatchDiff(current - previous, previous - current)
 
 
 class Session:
@@ -163,6 +248,16 @@ class Session:
         ``budget`` bounds the call as in :meth:`ask`.
         """
         return self._engine.answers(db, pattern, budget=budget)
+
+    def watch(self, pattern: Union[str, Atom]) -> StandingQuery:
+        """Register a standing query over an atom pattern.
+
+        Returns a :class:`StandingQuery`; call its
+        :meth:`~StandingQuery.refresh` after each database change to
+        get the add/del diff of its answer set.  The session keeps no
+        reference — the caller owns the subscription's lifetime.
+        """
+        return StandingQuery(self, pattern)
 
     def classify(self) -> ComplexityReport:
         """Theorem 1 classification of this session's rulebase."""

@@ -12,6 +12,14 @@ The loop accepts three kinds of input:
 
       :rules            print the current rulebase
       :facts            print the current database
+      :retract FACT     remove a ground fact from the database
+                        (private to your session when connected)
+      :watch PATTERN    register a standing query: after every
+                        assert/retract the +/- diff of its answer set
+                        is printed (docs/INCREMENTAL.md); when
+                        connected, subscribes server-side and renders
+                        the pushed watch event frames
+      :unwatch NAME     drop a standing query (names are w1, w2, ...)
       :classify         Theorem 1 classification
       :stratify         print the linear stratification
       :lint             hygiene findings (legacy codes)
@@ -66,6 +74,7 @@ and Ctrl-D leaves cleanly.
 
 from __future__ import annotations
 
+import itertools
 import sys
 from typing import Optional
 
@@ -75,11 +84,17 @@ from .analysis.stratify import linear_stratification
 from .core.ast import Rulebase
 from .core.database import Database
 from .core.errors import HypotheticalDatalogError, ResourceExhausted
-from .core.parser import parse_database, parse_premise, parse_program, parse_rule
+from .core.parser import (
+    parse_atom,
+    parse_database,
+    parse_premise,
+    parse_program,
+    parse_rule,
+)
 from .core.pretty import format_database, format_stratification
 from .core.ast import Positive
 from .engine.budget import Budget
-from .engine.query import Session
+from .engine.query import Session, StandingQuery
 
 __all__ = ["Repl", "run"]
 
@@ -102,9 +117,17 @@ class _RemoteLink:
         self._file = self._sock.makefile("rwb")
         self._counter = 0
         self.address = f"{host}:{port}"
+        #: Unsolicited ``watch`` event frames read while waiting for a
+        #: response (the server pushes them after assert/retract);
+        #: drained and rendered by the command layer.
+        self.events: list[dict] = []
 
     def call(self, op: str, **params) -> dict:
-        """One request/response round trip; returns the response frame."""
+        """One request/response round trip; returns the response frame.
+
+        Event frames (``"event"`` key, no ``"ok"``) encountered while
+        waiting are stashed on :attr:`events`, never returned.
+        """
         import json
 
         from .server.protocol import encode_frame
@@ -116,10 +139,24 @@ class _RemoteLink:
         )
         self._file.write(encode_frame(frame))
         self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise OSError("server closed the connection")
-        return json.loads(line)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise OSError("server closed the connection")
+            response = json.loads(line)
+            if (
+                isinstance(response, dict)
+                and "event" in response
+                and "ok" not in response
+            ):
+                self.events.append(response)
+                continue
+            return response
+
+    def drain_events(self) -> list[dict]:
+        """Hand over (and clear) the stashed event frames."""
+        events, self.events = self.events, []
+        return events
 
     def close(self) -> None:
         try:
@@ -157,6 +194,11 @@ class Repl:
         self._prov_session: Optional[Session] = None
         # ``:connect`` link; while set, queries/asserts go remote.
         self._remote: Optional[_RemoteLink] = None
+        # ``:watch`` standing queries (docs/INCREMENTAL.md): local
+        # watches by name, plus the ids subscribed on the remote side.
+        self._watches: dict[str, StandingQuery] = {}
+        self._watch_names = itertools.count(1)
+        self._remote_watches: set[str] = set()
         self.done = False
 
     # -- state ----------------------------------------------------------
@@ -178,6 +220,8 @@ class Repl:
             self._session = Session(
                 self._rulebase, self._engine_choice, metrics=self._metrics
             )
+            for query in self._watches.values():
+                query.rebind(self._session)
         return self._session
 
     # -- the loop body ----------------------------------------------------
@@ -267,11 +311,153 @@ class Repl:
             return self._remote_call("assert", facts=[str(rule.head)])
         if rule.is_fact and rule.head.is_ground:
             self._db = self._db.with_facts(rule.head)
-            self._invalidate()
-            return f"asserted fact {rule.head}"
+            # Keep the engine session: its per-database caches make
+            # the next query after a fact change incremental
+            # (docs/INCREMENTAL.md).  Only the recorded provenance
+            # goes stale.
+            self._prov_session = None
+            return self._with_watch_report(f"asserted fact {rule.head}")
         self._rulebase = self._rulebase + [rule]
         self._invalidate()
-        return f"added rule {rule}"
+        return self._with_watch_report(f"added rule {rule}")
+
+    def _retract(self, text: str) -> str:
+        """``:retract FACT`` — remove a ground fact (docs/INCREMENTAL.md).
+
+        Locally the engine session survives, so the next query (and
+        every watch refresh) is answered by deletion propagation rather
+        than a fresh fixpoint; connected, it forwards the server's
+        ``retract`` op against the private session view.
+        """
+        text = text.rstrip(".")
+        if self._remote is not None:
+            return self._remote_call("retract", facts=[text])
+        fact = parse_atom(text)
+        if not fact.is_ground:
+            return "error: only ground facts can be retracted"
+        present = fact in self._db
+        self._db = self._db.without_facts(fact)
+        self._prov_session = None
+        out = (
+            f"retracted fact {fact}" if present
+            else f"{fact} was not in the database"
+        )
+        return self._with_watch_report(out)
+
+    # -- standing queries (docs/INCREMENTAL.md) --------------------------
+
+    @staticmethod
+    def _format_watch_diff(wid, pattern, added, removed) -> str:
+        lines = [f"watch {wid} ({pattern}):"]
+        for sign, rows in (("+", added), ("-", removed)):
+            for row in sorted(rows, key=str):
+                payload = (
+                    ", ".join(str(value) for value in row) if row else "true"
+                )
+                lines.append(f"  {sign} {payload}")
+        return "\n".join(lines)
+
+    def _with_watch_report(self, out: str) -> str:
+        """Append the +/- diff of every changed local watch to one
+        command's output (unchanged watches stay silent)."""
+        if not self._watches:
+            return out
+        # A rule change invalidates the session; rebuilding it here
+        # rebinds every watch before the refreshes below.
+        self._require_session()
+        lines = [out]
+        for wid, query in self._watches.items():
+            try:
+                diff = query.refresh(self._db, budget=self._budget())
+            except ResourceExhausted as error:
+                lines.append(f"watch {wid} ({query.text}): error: {error}")
+                continue
+            if diff:
+                lines.append(
+                    self._format_watch_diff(
+                        wid, query.text, diff.added, diff.removed
+                    )
+                )
+        return "\n".join(lines)
+
+    def _watch_command(self, argument: str) -> str:
+        if not argument:
+            return "error: usage: :watch PATTERN"
+        pattern = argument.rstrip(".")
+        if self._remote is not None:
+            try:
+                response = self._remote.call(
+                    "subscribe", pattern=pattern, budget=self._budget_spec()
+                )
+            except (OSError, ValueError) as error:
+                address = self._drop_remote()
+                return (
+                    f"error: lost connection to {address} ({error}); "
+                    f"disconnected"
+                )
+            if not response.get("ok"):
+                return self._render_remote_error(response.get("error", {}))
+            result = response["result"]
+            wid = result.get("watch")
+            self._remote_watches.add(wid)
+            rows = result.get("rows", [])
+            return f"watch {wid} ({pattern}): {len(rows)} answer(s)"
+        session = self._require_session()
+        query = session.watch(pattern)
+        try:
+            initial = query.refresh(self._db, budget=self._budget())
+        except ResourceExhausted as error:
+            return self._render_exhausted(error, [])
+        wid = f"w{next(self._watch_names)}"
+        self._watches[wid] = query
+        return f"watch {wid} ({query.text}): {len(initial.added)} answer(s)"
+
+    def _unwatch_command(self, argument: str) -> str:
+        if not argument:
+            return "error: usage: :unwatch NAME"
+        if self._remote is not None:
+            try:
+                response = self._remote.call("unsubscribe", watch=argument)
+            except (OSError, ValueError) as error:
+                address = self._drop_remote()
+                return (
+                    f"error: lost connection to {address} ({error}); "
+                    f"disconnected"
+                )
+            if not response.get("ok"):
+                return self._render_remote_error(response.get("error", {}))
+            self._remote_watches.discard(argument)
+            return f"unwatched {argument}"
+        if self._watches.pop(argument, None) is None:
+            return f"error: no watch named {argument!r} (see :help)"
+        return f"unwatched {argument}"
+
+    def _pull_remote_events(self) -> list[str]:
+        """Render the watch events a remote assert/retract triggered.
+
+        The server pushes event frames right after the mutation's
+        response and handles frames in order, so one ``ping`` acts as a
+        barrier: by the time its pong arrives, every event is stashed.
+        """
+        if self._remote is None or not self._remote_watches:
+            return []
+        try:
+            self._remote.call("ping")
+        except (OSError, ValueError):
+            return []
+        lines = []
+        for event in self._remote.drain_events():
+            if event.get("event") != "watch":
+                continue
+            lines.append(
+                self._format_watch_diff(
+                    event.get("watch", "?"),
+                    event.get("pattern", "?"),
+                    [tuple(row) for row in event.get("added", [])],
+                    [tuple(row) for row in event.get("removed", [])],
+                )
+            )
+        return lines
 
     # -- the :connect link (docs/SERVER.md) ------------------------------
 
@@ -293,6 +479,7 @@ class Repl:
         if self._remote is not None:
             self._remote.close()
             self._remote = None
+        self._remote_watches.clear()
         return address
 
     def _remote_call(self, op: str, **params) -> str:
@@ -306,8 +493,15 @@ class Repl:
         if response.get("ok"):
             result = response["result"]
             if op == "assert":
-                return f"asserted remotely ({result.get('added', 0)} new)"
-            return str(result)
+                lines = [f"asserted remotely ({result.get('added', 0)} new)"]
+            elif op == "retract":
+                lines = [
+                    f"retracted remotely ({result.get('removed', 0)} removed)"
+                ]
+            else:
+                return str(result)
+            lines.extend(self._pull_remote_events())
+            return "\n".join(lines)
         return self._render_remote_error(response.get("error", {}))
 
     def _remote_query(self, text: str, premise) -> str:
@@ -363,6 +557,14 @@ class Repl:
             return str(self._rulebase) if len(self._rulebase) else "(no rules)"
         if name == "facts":
             return format_database(self._db) if len(self._db) else "(no facts)"
+        if name == "retract":
+            if not argument:
+                return "error: usage: :retract FACT"
+            return self._retract(argument)
+        if name == "watch":
+            return self._watch_command(argument)
+        if name == "unwatch":
+            return self._unwatch_command(argument)
         if name == "classify":
             return str(classify(self._rulebase))
         if name == "stratify":
@@ -468,6 +670,7 @@ class Repl:
         if name == "reset":
             self._rulebase = Rulebase()
             self._db = Database()
+            self._watches.clear()
             self._invalidate()
             return "cleared"
         return f"error: unknown command :{name} (try :help)"

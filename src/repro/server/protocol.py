@@ -10,10 +10,19 @@ Requests are flat JSON objects with three reserved keys —
 * ``op`` — one of :data:`OPS`;
 
 — plus per-op parameters (``query``, ``pattern``, ``facts``,
-``session``, ``assume``, ``budget``, ``engine``, ...).  Responses are
-``{"v": 1, "id": ..., "ok": true, "result": {...}}`` or
+``session``, ``assume``, ``budget``, ``engine``, ``watch``, ...).
+Responses are ``{"v": 1, "id": ..., "ok": true, "result": {...}}`` or
 ``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
 ..., "partial": {...}?}}``.
+
+Standing queries (``subscribe``/``unsubscribe``, docs/INCREMENTAL.md)
+additionally make the server *push* unsolicited **event frames**:
+``{"v": 1, "event": "watch", "session": ..., "watch": ..., "pattern":
+..., "added": [...], "removed": [...]}``.  Event frames carry an
+``event`` key and **no** ``ok`` key — that is how a pipelining client
+distinguishes them from responses; they are emitted after the
+response to the ``assert``/``retract`` that changed a watched answer
+set, one frame per watch whose diff is non-empty.
 
 Error codes are stable and mirror the CLI exit codes
 (docs/ROBUSTNESS.md) where a CLI equivalent exists:
@@ -31,6 +40,7 @@ code                meaning                                      exit
 ``frame-too-large`` request line exceeded the frame limit         --
 ``unknown-op``      ``op`` not in :data:`OPS`                     --
 ``unknown-session`` ``session`` names no open session             --
+``unknown-watch``   ``watch`` names no registered standing query  --
 ``overloaded``      admission gate full; retry later              --
 ``rate-limited``    connection exceeded its request rate          --
 ``shutting-down``   server is draining; no new work               --
@@ -65,14 +75,15 @@ __all__ = [
     "encode_frame",
     "error_for_exception",
     "error_response",
+    "event_frame",
     "ok_response",
 ]
 
 PROTOCOL_VERSION = 1
 
-#: Every op the server understands.  ``query``/``answers``/``model``
-#: evaluate (and pass the admission gate); the rest are control ops
-#: answered inline.
+#: Every op the server understands.  ``query``/``answers``/``model``/
+#: ``subscribe`` evaluate (and pass the admission gate); the rest are
+#: control ops answered inline.
 OPS = frozenset(
     {
         "ping",
@@ -83,6 +94,8 @@ OPS = frozenset(
         "query",
         "answers",
         "model",
+        "subscribe",
+        "unsubscribe",
     }
 )
 
@@ -97,6 +110,7 @@ ERROR_CODES = frozenset(
         "frame-too-large",
         "unknown-op",
         "unknown-session",
+        "unknown-watch",
         "overloaded",
         "rate-limited",
         "shutting-down",
@@ -170,6 +184,15 @@ def encode_frame(payload: dict) -> bytes:
 
 def ok_response(request_id: Optional[Any], result: dict) -> dict:
     return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def event_frame(event: str, payload: dict) -> dict:
+    """An unsolicited server-push frame (no ``id``, no ``ok``).
+
+    Clients recognize events by the ``event`` key; anything with an
+    ``ok`` key is a response to one of their own requests.
+    """
+    return {"v": PROTOCOL_VERSION, "event": event, **payload}
 
 
 def error_response(

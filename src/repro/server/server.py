@@ -191,6 +191,7 @@ class HypoDatalogServer:
         self._c_oversized = m.counter("server.frames.oversized")
         self._c_drain_cancelled = m.counter("server.drain.cancelled")
         self._c_write_failures = m.counter("server.write_failures")
+        self._c_watch_events = m.counter("server.watch.events")
         self._g_queue = m.gauge("server.queue.depth")
         self._h_latency = {
             op: m.histogram(f"server.latency.{op}")
@@ -406,15 +407,18 @@ class HypoDatalogServer:
                 ),
             )
             return
-        if op in ("query", "answers", "model"):
+        if op in ("query", "answers", "model", "subscribe"):
             # _evaluate sends its own response *inside* its in-flight
             # accounting window, so a drain that fires the moment the
             # last evaluation returns cannot close the connection
-            # before the answer is on the wire.
+            # before the answer is on the wire.  ``subscribe`` is an
+            # evaluating op: it computes the watch's initial answers.
             await self._evaluate(conn, frame, started)
         else:
             response = self._control(conn, frame)
             await self._finish(conn, op, request_id, started, response)
+            if op in ("assert", "retract") and response.get("ok"):
+                await self._push_watch_events(conn, frame)
 
     async def _finish(
         self, conn: _Connection, op, request_id, started, response: dict
@@ -489,6 +493,23 @@ class HypoDatalogServer:
                 )
             if op == "session.open":
                 return self._open_session(conn, frame)
+            if op == "unsubscribe":
+                session = self._session_for(conn, frame)
+                name = frame.get("watch")
+                if not isinstance(name, str):
+                    raise ProtocolError(
+                        "invalid-request",
+                        "'unsubscribe' needs a 'watch' string",
+                    )
+                if not session.unwatch(name):
+                    return protocol.error_response(
+                        request_id, "unknown-watch",
+                        f"no watch named {name!r} "
+                        f"in session {session.name!r}",
+                    )
+                return protocol.ok_response(
+                    request_id, {"unwatched": name, "session": session.name}
+                )
             if op == "session.close":
                 name = frame.get("session")
                 if name is None or name not in conn.sessions:
@@ -650,6 +671,38 @@ class HypoDatalogServer:
             if self._inflight == 0:
                 self._drained.set()
 
+    async def _push_watch_events(self, conn: _Connection, frame: dict) -> None:
+        """After a successful assert/retract, re-evaluate the target
+        session's standing queries and push one ``watch`` event frame
+        per changed answer set (docs/INCREMENTAL.md).
+
+        Refreshes run on a worker thread under the eval gate with a
+        server-ceiling budget; any failure is swallowed — the client
+        misses one round of events, the connection lives on.
+        """
+        try:
+            session = self._session_for(conn, frame)
+        except ProtocolError:
+            return
+        if not session.watches:
+            return
+        try:
+            budget = self._admit_budget(None)
+            async with self._eval_gate:
+                events = await asyncio.to_thread(
+                    session.refresh_watches, budget=budget
+                )
+        except Exception:
+            return
+        for payload in events:
+            self._c_watch_events.value += 1
+            await self._send(
+                conn,
+                protocol.event_frame(
+                    "watch", {"session": session.name, **payload}
+                ),
+            )
+
     def _admit_budget(self, spec) -> Budget:
         """The request's budget: client limits clamped by the server
         ceilings, anchored NOW so queue wait counts against the
@@ -725,6 +778,32 @@ class HypoDatalogServer:
                 return protocol.ok_response(
                     request_id,
                     {"rows": sorted([list(row) for row in rows], key=str)},
+                )
+            if op == "subscribe":
+                pattern = frame.get("pattern")
+                if not isinstance(pattern, str):
+                    raise ProtocolError(
+                        "invalid-request",
+                        "'subscribe' needs a 'pattern' string",
+                    )
+                name = frame.get("watch")
+                if name is not None and not isinstance(name, str):
+                    raise ProtocolError(
+                        "invalid-request", "'watch' must be a string"
+                    )
+                if name is not None and name in session.watches:
+                    raise ProtocolError(
+                        "invalid-request",
+                        f"watch {name!r} is already registered",
+                    )
+                wid, rows = session.watch(pattern, name=name, budget=budget)
+                return protocol.ok_response(
+                    request_id,
+                    {
+                        "watch": wid,
+                        "session": session.name,
+                        "rows": sorted([list(row) for row in rows], key=str),
+                    },
                 )
             atoms = session.model(assume=assume, budget=budget)
             return protocol.ok_response(

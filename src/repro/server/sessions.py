@@ -37,10 +37,10 @@ from typing import Iterable, Optional
 
 from ..core.ast import Rulebase
 from ..core.database import Database
-from ..core.errors import EvaluationError, ParseError, ValidationError
+from ..core.errors import ValidationError
 from ..core.parser import parse_atom
 from ..core.terms import Atom
-from ..engine.query import Session
+from ..engine.query import Session, StandingQuery
 from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ClientSession", "SharedRulebase", "parse_fact"]
@@ -127,6 +127,8 @@ class ClientSession:
         self._asserted: dict[Atom, None] = {}
         self._retracted: dict[Atom, None] = {}
         self._db: Optional[Database] = None
+        self._watches: dict[str, StandingQuery] = {}
+        self._watch_names = itertools.count(1)
         self._session = Session(
             shared.rulebase,
             engine if engine is not None else shared.engine,
@@ -155,25 +157,42 @@ class ClientSession:
 
     def assert_facts(self, texts: Iterable[str]) -> int:
         """Add ground facts to this session's overlay; returns how many
-        were new (idempotent re-asserts don't count)."""
+        became newly visible (idempotent re-asserts don't count).
+
+        Visibility is judged against the *effective* view (base +
+        asserted - retracted) snapshotted before the batch: re-asserting
+        a base fact this session had retracted counts — it changes what
+        queries see — and a duplicate within one batch counts once.
+        """
         atoms = [parse_fact(text) for text in texts]
         added = 0
+        view = self.db
+        shown: set[Atom] = set()
         for atom in atoms:
-            self._retracted.pop(atom, None)
-            if atom not in self._asserted and atom not in self.shared.base_db:
+            if atom not in view and atom not in shown:
                 added += 1
+                shown.add(atom)
+            self._retracted.pop(atom, None)
             self._asserted.setdefault(atom, None)
         self._db = None
         return added
 
     def retract_facts(self, texts: Iterable[str]) -> int:
         """Remove ground facts from this session's view; returns how
-        many were actually visible before the retract."""
+        many were actually visible before the retract.
+
+        Judged against the pre-batch view with in-batch removals
+        tracked, so a batch naming the same fact twice reports it
+        removed once, not twice.
+        """
         atoms = [parse_fact(text) for text in texts]
         removed = 0
+        view = self.db
+        hidden: set[Atom] = set()
         for atom in atoms:
-            if atom in self.db:
+            if atom in view and atom not in hidden:
                 removed += 1
+                hidden.add(atom)
             self._asserted.pop(atom, None)
             self._retracted.setdefault(atom, None)
         self._db = None
@@ -185,6 +204,57 @@ class ClientSession:
             "asserted": sorted(str(atom) for atom in self._asserted),
             "retracted": sorted(str(atom) for atom in self._retracted),
         }
+
+    # -- standing queries (docs/INCREMENTAL.md) -------------------------
+
+    @property
+    def watches(self) -> tuple[str, ...]:
+        """The ids of this session's registered standing queries."""
+        return tuple(self._watches)
+
+    def watch(
+        self,
+        pattern: str,
+        *,
+        name: Optional[str] = None,
+        budget=None,
+    ) -> tuple[str, frozenset]:
+        """Register a standing query; returns ``(watch id, current
+        answer set)``.  The id is caller-chosen or generated (``w1``,
+        ``w2``, ...)."""
+        wid = name if name else f"w{next(self._watch_names)}"
+        if wid in self._watches:
+            raise ValidationError(f"watch {wid!r} is already registered")
+        query = self._session.watch(pattern)
+        initial = query.refresh(self.db, budget=budget)
+        self._watches[wid] = query
+        return wid, initial.added
+
+    def unwatch(self, name: str) -> bool:
+        """Drop a standing query; True iff it existed."""
+        return self._watches.pop(name, None) is not None
+
+    def refresh_watches(self, *, budget=None) -> list[dict]:
+        """Re-evaluate every standing query against the current view;
+        returns one JSON-ready payload per watch whose answer set
+        changed (empty diffs are suppressed)."""
+        events: list[dict] = []
+        for wid, query in self._watches.items():
+            diff = query.refresh(self.db, budget=budget)
+            if diff:
+                events.append(
+                    {
+                        "watch": wid,
+                        "pattern": query.text,
+                        "added": sorted(
+                            [list(row) for row in diff.added], key=str
+                        ),
+                        "removed": sorted(
+                            [list(row) for row in diff.removed], key=str
+                        ),
+                    }
+                )
+        return events
 
     # -- evaluation -----------------------------------------------------
 
@@ -222,16 +292,10 @@ class ClientSession:
 
         engine = getattr(self, "_model_engine", None)
         if engine is None:
-            try:
-                engine = PerfectModelEngine(
-                    self.shared.rulebase,
-                    metrics=self.shared.metrics,
-                    compile=self.shared.compile,
-                )
-            except EvaluationError:
-                raise EvaluationError(
-                    "the 'model' op needs the bottom-up engine, which "
-                    "rejects this rulebase (hypothetical deletions?)"
-                )
+            engine = PerfectModelEngine(
+                self.shared.rulebase,
+                metrics=self.shared.metrics,
+                compile=self.shared.compile,
+            )
             self._model_engine = engine
         return engine.model(self._target_db(assume), budget=budget)

@@ -3,8 +3,9 @@
 The paper's introduction cites its companion [4] for the fact that
 allowing hypothetical deletions raises data-complexity from PSPACE to
 EXPTIME.  The extension is supported end to end: syntax, top-down
-evaluation, and classification; the add-only engines and the linear
-stratification analysis reject it explicitly.
+evaluation, bottom-up evaluation (with deletion propagation, see
+tests/test_dred.py), and classification; the linear stratification
+analysis and the linear prover reject it explicitly.
 """
 
 import pytest
@@ -136,9 +137,12 @@ class TestIntegrationWithAnalysis:
         assert session.engine_name == "topdown"
         assert session.ask(Database([atom("g")]), "p")
 
-    def test_model_engine_rejects(self):
-        with pytest.raises(EvaluationError):
-            PerfectModelEngine(parse_program("p :- q[del: f]."))
+    def test_model_engine_accepts_deletions(self):
+        # Since the DRed PR the bottom-up engine evaluates [del: ...]
+        # first-class; parity with the top-down oracle is pinned in
+        # tests/test_dred.py.
+        engine = PerfectModelEngine(parse_program("p :- q[del: f]. q :- g."))
+        assert engine.ask(Database([atom("g"), atom("f")]), "p")
 
     def test_prove_engine_rejects(self):
         with pytest.raises(EvaluationError):
